@@ -1,0 +1,88 @@
+//! Numeric gradient checking against central finite differences.
+//!
+//! Every differentiable operation in this crate is validated with
+//! [`check_scalar_fn`], which compares an analytic gradient against
+//! `(f(x + εe_i) - f(x - εe_i)) / 2ε` at every coordinate.
+
+use hero_tensor::Tensor;
+
+/// Compares the analytic gradient of a scalar function against central
+/// finite differences.
+///
+/// `f` maps an input tensor to `(loss, analytic_gradient)`. The check
+/// perturbs every coordinate of `x0` by `±eps` and requires the relative
+/// error of each analytic partial derivative to be below `tol` (with an
+/// absolute floor for near-zero derivatives).
+///
+/// # Panics
+///
+/// Panics with a descriptive message at the first coordinate whose analytic
+/// and numeric derivatives disagree — this is a test utility.
+pub fn check_scalar_fn(x0: &Tensor, eps: f32, tol: f32, f: impl Fn(&Tensor) -> (f32, Tensor)) {
+    let (_, analytic) = f(x0);
+    assert_eq!(
+        analytic.shape(),
+        x0.shape(),
+        "gradient shape {:?} differs from input shape {:?}",
+        analytic.dims(),
+        x0.dims()
+    );
+    for i in 0..x0.numel() {
+        let mut plus = x0.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = x0.clone();
+        minus.data_mut()[i] -= eps;
+        let (lp, _) = f(&plus);
+        let (lm, _) = f(&minus);
+        let numeric = (lp - lm) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let denom = a.abs().max(numeric.abs()).max(1.0);
+        let rel = (a - numeric).abs() / denom;
+        assert!(
+            rel <= tol,
+            "gradient mismatch at flat index {i}: analytic {a}, numeric {numeric}, rel err {rel} > {tol}"
+        );
+    }
+}
+
+/// Computes the full numeric gradient of a scalar function by central
+/// differences (useful when only the value is available).
+pub fn numeric_gradient(x0: &Tensor, eps: f32, f: impl Fn(&Tensor) -> f32) -> Tensor {
+    let mut grad = Tensor::zeros(x0.shape().clone());
+    for i in 0..x0.numel() {
+        let mut plus = x0.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = x0.clone();
+        minus.data_mut()[i] -= eps;
+        grad.data_mut()[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_gradient_of_quadratic() {
+        // f(x) = sum(x^2) -> grad = 2x
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5], [3]).unwrap();
+        let g = numeric_gradient(&x, 1e-2, |t| t.norm_l2_sq());
+        for (gi, xi) in g.data().iter().zip(x.data()) {
+            assert!((gi - 2.0 * xi).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn check_scalar_fn_accepts_correct_gradient() {
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.1], [3]).unwrap();
+        check_scalar_fn(&x, 1e-3, 1e-2, |t| (t.norm_l2_sq(), t.scale(2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn check_scalar_fn_rejects_wrong_gradient() {
+        let x = Tensor::from_vec(vec![0.3, -0.7], [2]).unwrap();
+        check_scalar_fn(&x, 1e-3, 1e-2, |t| (t.norm_l2_sq(), t.scale(3.0)));
+    }
+}

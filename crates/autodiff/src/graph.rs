@@ -1,0 +1,603 @@
+//! Define-by-run computation graph with reverse-mode differentiation.
+
+use hero_tensor::{Result, Shape, Tensor, TensorError};
+
+/// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
+/// that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The node's index within its graph (stable for the graph's lifetime).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One recorded operation. Parents are stored as graph indices; any context
+/// the backward pass needs (argmax indices, saved activations) lives in the
+/// variant.
+#[derive(Debug)]
+pub(crate) enum Op {
+    /// Leaf node: an input or parameter.
+    Input,
+    /// Broadcast addition.
+    Add(usize, usize),
+    /// Broadcast subtraction.
+    Sub(usize, usize),
+    /// Broadcast (Hadamard) multiplication.
+    Mul(usize, usize),
+    /// Multiplication by a constant.
+    Scale(usize, f32),
+    /// Addition of a constant.
+    AddScalar(usize),
+    /// Matrix product `(m,k) x (k,n)`.
+    Matmul(usize, usize),
+    /// Rectified linear unit.
+    Relu(usize),
+    /// ReLU clipped at 6 (MobileNet's activation).
+    Relu6(usize),
+    /// Element-wise square.
+    Square(usize),
+    /// Reshape (metadata only); stores the parent's shape.
+    Reshape(usize, Shape),
+    /// Sum of all elements to a scalar.
+    Sum(usize),
+    /// Mean of all elements to a scalar.
+    Mean(usize),
+    /// 2-D convolution via im2col; saves the column matrix for backward.
+    Conv2d {
+        /// Input node (NCHW).
+        x: usize,
+        /// Weight node `(out_c, in_c*k*k)`.
+        w: usize,
+        /// Window geometry.
+        geom: hero_tensor::ConvGeometry,
+        /// Saved `im2col(x)`.
+        cols: Tensor,
+        /// Batch size of `x`.
+        n: usize,
+        /// Channel count of `x`.
+        c: usize,
+    },
+    /// Depthwise 2-D convolution (one filter per channel).
+    DepthwiseConv2d {
+        /// Input node (NCHW).
+        x: usize,
+        /// Weight node `(c, k, k)`.
+        w: usize,
+        /// Window geometry.
+        geom: hero_tensor::ConvGeometry,
+    },
+    /// Batch normalization over (N, H, W) per channel; saves normalization
+    /// context for backward.
+    BatchNorm {
+        /// Input node (NCHW).
+        x: usize,
+        /// Per-channel scale node `(c,)`.
+        gamma: usize,
+        /// Per-channel shift node `(c,)`.
+        beta: usize,
+        /// Saved normalized activations.
+        xhat: Tensor,
+        /// Saved per-channel `1/sqrt(var + eps)`.
+        inv_std: Vec<f32>,
+    },
+    /// Non-overlapping max pooling; saves argmax routing.
+    MaxPool {
+        /// Input node (NCHW).
+        x: usize,
+        /// Saved flat source index per output element.
+        arg: Vec<usize>,
+    },
+    /// Non-overlapping average pooling with window side `k`.
+    AvgPool {
+        /// Input node (NCHW).
+        x: usize,
+        /// Window side.
+        k: usize,
+    },
+    /// Global average pooling `(n,c,h,w) -> (n,c)`.
+    GlobalAvgPool(usize),
+    /// Softmax cross-entropy against integer labels, averaged over the batch.
+    CrossEntropy {
+        /// Logits node `(batch, classes)`.
+        logits: usize,
+        /// Saved softmax probabilities.
+        softmax: Tensor,
+        /// Target class per row.
+        labels: Vec<usize>,
+    },
+    /// Logistic sigmoid.
+    Sigmoid(usize),
+    /// Hyperbolic tangent.
+    Tanh(usize),
+    /// Leaky ReLU with the given negative-side slope.
+    LeakyRelu(usize, f32),
+    /// Natural logarithm.
+    Ln(usize),
+    /// Inverted dropout; saves the mask already divided by the keep
+    /// probability.
+    Dropout {
+        /// Input node.
+        x: usize,
+        /// Saved `mask / keep_prob`.
+        scaled_mask: Tensor,
+    },
+    /// Mean-squared-error against a constant target; saves `x - target`.
+    MseLoss {
+        /// Prediction node.
+        x: usize,
+        /// Saved residual.
+        diff: Tensor,
+    },
+    /// Label-smoothed softmax cross-entropy.
+    CrossEntropySmoothed {
+        /// Logits node `(batch, classes)`.
+        logits: usize,
+        /// Saved softmax probabilities.
+        softmax: Tensor,
+        /// Target class per row.
+        labels: Vec<usize>,
+        /// Smoothing coefficient.
+        eps: f32,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) op: Op,
+}
+
+/// A define-by-run computation graph.
+///
+/// Operations append nodes in topological order; [`Graph::backward`] then
+/// walks the tape in reverse, accumulating adjoints. The graph is intended
+/// to be rebuilt every training step (like eager-mode frameworks).
+///
+/// # Examples
+///
+/// ```
+/// use hero_autodiff::Graph;
+/// use hero_tensor::Tensor;
+///
+/// # fn main() -> Result<(), hero_tensor::TensorError> {
+/// let mut g = Graph::new();
+/// let x = g.input(Tensor::from_vec(vec![2.0, 3.0], [2])?);
+/// let y = g.square(x);           // y = x^2
+/// let loss = g.sum(y);           // loss = sum(x^2)
+/// let grads = g.backward(loss)?;
+/// assert_eq!(grads.get(x).unwrap().data(), &[4.0, 6.0]); // d/dx = 2x
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+}
+
+/// Gradients produced by [`Graph::backward`], indexed by [`Var`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient of the loss with respect to `v`, if `v` influenced the
+    /// loss.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(Option::as_ref)
+    }
+
+    /// Removes and returns the gradient for `v`, avoiding a clone.
+    pub fn take(&mut self, v: Var) -> Option<Tensor> {
+        self.grads.get_mut(v.0).and_then(Option::take)
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Registers a leaf tensor (input or parameter) and returns its handle.
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    pub(crate) fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Broadcast element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a broadcast error if the operand shapes are incompatible.
+    pub fn add(&mut self, a: Var, b: Var) -> Result<Var> {
+        let value = self.value(a).badd(self.value(b))?;
+        Ok(self.push(value, Op::Add(a.0, b.0)))
+    }
+
+    /// Broadcast element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a broadcast error if the operand shapes are incompatible.
+    pub fn sub(&mut self, a: Var, b: Var) -> Result<Var> {
+        let value = self.value(a).bsub(self.value(b))?;
+        Ok(self.push(value, Op::Sub(a.0, b.0)))
+    }
+
+    /// Broadcast element-wise product.
+    ///
+    /// # Errors
+    ///
+    /// Returns a broadcast error if the operand shapes are incompatible.
+    pub fn mul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let value = self.value(a).bmul(self.value(b))?;
+        Ok(self.push(value, Op::Mul(a.0, b.0)))
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).scale(c);
+        self.push(value, Op::Scale(a.0, c))
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).add_scalar(c);
+        self.push(value, Op::AddScalar(a.0))
+    }
+
+    /// Matrix product of two rank-2 nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/dimension errors from [`Tensor::matmul`].
+    pub fn matmul(&mut self, a: Var, b: Var) -> Result<Var> {
+        let value = self.value(a).matmul(self.value(b))?;
+        Ok(self.push(value, Op::Matmul(a.0, b.0)))
+    }
+
+    /// Rectified linear unit, `max(x, 0)`.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).clamp_min(0.0);
+        self.push(value, Op::Relu(a.0))
+    }
+
+    /// ReLU clipped at 6: `min(max(x, 0), 6)`.
+    pub fn relu6(&mut self, a: Var) -> Var {
+        let value = self.value(a).clamp(0.0, 6.0);
+        self.push(value, Op::Relu6(a.0))
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let value = self.value(a).square();
+        self.push(value, Op::Square(a.0))
+    }
+
+    /// Reshapes to a new shape of equal volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if the volumes differ.
+    pub fn reshape(&mut self, a: Var, shape: impl Into<Shape>) -> Result<Var> {
+        let old_shape = self.value(a).shape().clone();
+        let value = self.value(a).reshape(shape)?;
+        Ok(self.push(value, Op::Reshape(a.0, old_shape)))
+    }
+
+    /// Sums all elements to a scalar node.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        self.push(value, Op::Sum(a.0))
+    }
+
+    /// Averages all elements to a scalar node.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).mean());
+        self.push(value, Op::Mean(a.0))
+    }
+
+    /// Runs reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `loss` is not a scalar
+    /// (one-element) node.
+    pub fn backward(&mut self, loss: Var) -> Result<Gradients> {
+        if self.nodes[loss.0].value.numel() != 1 {
+            return Err(TensorError::InvalidArgument(format!(
+                "backward requires a scalar loss, got {} elements",
+                self.nodes[loss.0].value.numel()
+            )));
+        }
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::full(self.nodes[loss.0].value.shape().clone(), 1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(grad) = grads[i].take() else { continue };
+            self.accumulate_parents(i, &grad, &mut grads)?;
+            grads[i] = Some(grad);
+        }
+        Ok(Gradients { grads })
+    }
+
+    /// Routes `grad` (the adjoint of node `i`) to node `i`'s parents.
+    fn accumulate_parents(
+        &self,
+        i: usize,
+        grad: &Tensor,
+        grads: &mut [Option<Tensor>],
+    ) -> Result<()> {
+        let add_grad = |idx: usize, g: Tensor, grads: &mut [Option<Tensor>]| -> Result<()> {
+            match &mut grads[idx] {
+                Some(acc) => acc.axpy(1.0, &g)?,
+                slot @ None => *slot = Some(g),
+            }
+            Ok(())
+        };
+        match &self.nodes[i].op {
+            Op::Input => {}
+            Op::Add(a, b) => {
+                let ga = grad.reduce_to_shape(self.nodes[*a].value.shape())?;
+                let gb = grad.reduce_to_shape(self.nodes[*b].value.shape())?;
+                add_grad(*a, ga, grads)?;
+                add_grad(*b, gb, grads)?;
+            }
+            Op::Sub(a, b) => {
+                let ga = grad.reduce_to_shape(self.nodes[*a].value.shape())?;
+                let gb = grad.neg().reduce_to_shape(self.nodes[*b].value.shape())?;
+                add_grad(*a, ga, grads)?;
+                add_grad(*b, gb, grads)?;
+            }
+            Op::Mul(a, b) => {
+                let ga = grad
+                    .bmul(&self.nodes[*b].value)?
+                    .reduce_to_shape(self.nodes[*a].value.shape())?;
+                let gb = grad
+                    .bmul(&self.nodes[*a].value)?
+                    .reduce_to_shape(self.nodes[*b].value.shape())?;
+                add_grad(*a, ga, grads)?;
+                add_grad(*b, gb, grads)?;
+            }
+            Op::Scale(a, c) => add_grad(*a, grad.scale(*c), grads)?,
+            Op::AddScalar(a) => add_grad(*a, grad.clone(), grads)?,
+            Op::Matmul(a, b) => {
+                // dA = dC B^T ; dB = A^T dC
+                let ga = grad.matmul_nt(&self.nodes[*b].value)?;
+                let gb = self.nodes[*a].value.matmul_tn(grad)?;
+                add_grad(*a, ga, grads)?;
+                add_grad(*b, gb, grads)?;
+            }
+            Op::Relu(a) => {
+                let mask = self.nodes[*a].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                add_grad(*a, grad.mul(&mask)?, grads)?;
+            }
+            Op::Relu6(a) => {
+                let mask = self.nodes[*a]
+                    .value
+                    .map(|v| if v > 0.0 && v < 6.0 { 1.0 } else { 0.0 });
+                add_grad(*a, grad.mul(&mask)?, grads)?;
+            }
+            Op::Square(a) => {
+                let g = grad.mul(&self.nodes[*a].value.scale(2.0))?;
+                add_grad(*a, g, grads)?;
+            }
+            Op::Reshape(a, old_shape) => {
+                add_grad(*a, grad.reshape(old_shape.clone())?, grads)?;
+            }
+            Op::Sum(a) => {
+                let g = Tensor::full(self.nodes[*a].value.shape().clone(), grad.data()[0]);
+                add_grad(*a, g, grads)?;
+            }
+            Op::Mean(a) => {
+                let n = self.nodes[*a].value.numel() as f32;
+                let g = Tensor::full(self.nodes[*a].value.shape().clone(), grad.data()[0] / n);
+                add_grad(*a, g, grads)?;
+            }
+            // Ops with bespoke backward rules live in ops_nn.rs / ops_ext.rs.
+            other => match other {
+                Op::Sigmoid(..)
+                | Op::Tanh(..)
+                | Op::LeakyRelu(..)
+                | Op::Ln(..)
+                | Op::Dropout { .. }
+                | Op::MseLoss { .. }
+                | Op::CrossEntropySmoothed { .. } => {
+                    self.accumulate_ext_parents(other, grad, grads)?
+                }
+                _ => self.accumulate_nn_parents(other, grad, grads)?,
+            },
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_scalar_fn;
+
+    #[test]
+    fn input_value_round_trips() {
+        let mut g = Graph::new();
+        let t = Tensor::arange(3);
+        let x = g.input(t.clone());
+        assert_eq!(g.value(x), &t);
+        assert_eq!(g.len(), 1);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn backward_requires_scalar_loss() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(3));
+        assert!(g.backward(x).is_err());
+    }
+
+    #[test]
+    fn grad_of_sum_is_ones() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(4));
+        let s = g.sum(x);
+        let grads = g.backward(s).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn grad_of_mean_is_inverse_count() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(4));
+        let s = g.mean(x);
+        let grads = g.backward(s).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_reuse() {
+        // loss = sum(x + x) -> dx = 2
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(3));
+        let y = g.add(x, x).unwrap();
+        let s = g.sum(y);
+        let grads = g.backward(s).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0; 3]);
+    }
+
+    #[test]
+    fn unused_inputs_have_no_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(3));
+        let unused = g.input(Tensor::arange(2));
+        let s = g.sum(x);
+        let mut grads = g.backward(s).unwrap();
+        assert!(grads.get(unused).is_none());
+        assert!(grads.take(x).is_some());
+        assert!(grads.take(x).is_none()); // second take is empty
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        let a0 = Tensor::from_fn([3, 4], |i| 0.1 * (i[0] as f32) - 0.2 * (i[1] as f32) + 0.3);
+        let b0 = Tensor::from_fn([4, 2], |i| 0.2 * (i[0] as f32) + 0.1 * (i[1] as f32) - 0.4);
+        // Check dL/dA where L = sum(A B)
+        check_scalar_fn(&a0, 1e-2, 2e-2, |a| {
+            let mut g = Graph::new();
+            let av = g.input(a.clone());
+            let bv = g.input(b0.clone());
+            let c = g.matmul(av, bv).unwrap();
+            let loss = g.sum(c);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(av).unwrap().clone())
+        });
+        // Check dL/dB
+        check_scalar_fn(&b0, 1e-2, 2e-2, |b| {
+            let mut g = Graph::new();
+            let av = g.input(a0.clone());
+            let bv = g.input(b.clone());
+            let c = g.matmul(av, bv).unwrap();
+            let loss = g.sum(c);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(bv).unwrap().clone())
+        });
+    }
+
+    #[test]
+    fn mul_with_broadcast_gradcheck() {
+        let x0 = Tensor::from_fn([2, 3], |i| 0.3 * (i[0] as f32) + 0.1 * (i[1] as f32) - 0.2);
+        let w0 = Tensor::from_fn([3], |i| 0.5 - 0.2 * (i[0] as f32));
+        check_scalar_fn(&w0, 1e-2, 2e-2, |w| {
+            let mut g = Graph::new();
+            let xv = g.input(x0.clone());
+            let wv = g.input(w.clone());
+            let y = g.mul(xv, wv).unwrap(); // broadcasts w over rows
+            let loss = g.sum(y);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(wv).unwrap().clone())
+        });
+    }
+
+    #[test]
+    fn relu_and_relu6_gradcheck() {
+        // Values chosen away from the kinks at 0 and 6.
+        let x0 = Tensor::from_vec(vec![-2.0, -0.5, 0.7, 3.0, 5.5, 7.0], [6]).unwrap();
+        check_scalar_fn(&x0, 1e-3, 1e-2, |x| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let y = g.relu(xv);
+            let sq = g.square(y);
+            let loss = g.sum(sq);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+        });
+        check_scalar_fn(&x0, 1e-3, 1e-2, |x| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let y = g.relu6(xv);
+            let sq = g.square(y);
+            let loss = g.sum(sq);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+        });
+    }
+
+    #[test]
+    fn relu6_clips_forward() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![-1.0, 3.0, 8.0], [3]).unwrap());
+        let y = g.relu6(x);
+        assert_eq!(g.value(y).data(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn composite_expression_gradcheck() {
+        // loss = mean((2x + 1)^2 - x) exercises scale, add_scalar, square, sub, mean.
+        let x0 = Tensor::from_fn([5], |i| 0.2 * (i[0] as f32) - 0.5);
+        check_scalar_fn(&x0, 1e-3, 1e-2, |x| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let two_x = g.scale(xv, 2.0);
+            let shifted = g.add_scalar(two_x, 1.0);
+            let sq = g.square(shifted);
+            let diff = g.sub(sq, xv).unwrap();
+            let loss = g.mean(diff);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+        });
+    }
+
+    #[test]
+    fn reshape_routes_gradients() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(6));
+        let m = g.reshape(x, [2, 3]).unwrap();
+        let sq = g.square(m);
+        let loss = g.sum(sq);
+        let grads = g.backward(loss).unwrap();
+        let gx = grads.get(x).unwrap();
+        assert_eq!(gx.dims(), &[6]);
+        assert_eq!(gx.data(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+}

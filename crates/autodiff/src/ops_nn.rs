@@ -1,0 +1,692 @@
+//! Neural-network operations: convolution, batch norm, pooling and
+//! softmax cross-entropy, each with a hand-written backward rule.
+
+use crate::graph::{Graph, Op, Var};
+use hero_tensor::{ConvGeometry, Result, Tensor, TensorError};
+
+/// Per-channel batch statistics produced by a training-mode batch norm,
+/// used by layers to update running estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Per-channel batch mean.
+    pub mean: Vec<f32>,
+    /// Per-channel (biased) batch variance.
+    pub var: Vec<f32>,
+}
+
+impl Graph {
+    /// 2-D convolution of an NCHW input with weights `(out_c, in_c*k*k)`.
+    /// The output has shape `(n, out_c, out_h, out_w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/geometry errors if the input is not 4-D, the weight is
+    /// not 2-D with `in_c*k*k` columns, or `geom` disagrees with the input.
+    pub fn conv2d(&mut self, x: Var, w: Var, geom: ConvGeometry) -> Result<Var> {
+        let xv = self.value(x);
+        if xv.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, actual: xv.rank() });
+        }
+        let (n, c) = (xv.dims()[0], xv.dims()[1]);
+        let wv = self.value(w);
+        if wv.rank() != 2 || wv.dims()[1] != c * geom.kernel * geom.kernel {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![wv.dims().first().copied().unwrap_or(0), c * geom.kernel * geom.kernel],
+                right: wv.dims().to_vec(),
+            });
+        }
+        let out_c = wv.dims()[0];
+        let cols = xv.im2col(&geom)?;
+        let out2d = self.value(w).matmul(&cols)?; // (out_c, n*oh*ow)
+        let (oh, ow) = geom.out_hw();
+        // Reorder (out_c, n*oh*ow) -> (n, out_c, oh, ow).
+        let mut out = Tensor::zeros([n, out_c, oh, ow]);
+        let spatial = oh * ow;
+        for oc in 0..out_c {
+            for in_ in 0..n {
+                let src = oc * (n * spatial) + in_ * spatial;
+                let dst = (in_ * out_c + oc) * spatial;
+                out.data_mut()[dst..dst + spatial]
+                    .copy_from_slice(&out2d.data()[src..src + spatial]);
+            }
+        }
+        Ok(self.push(out, Op::Conv2d { x: x.0, w: w.0, geom, cols, n, c }))
+    }
+
+    /// Depthwise convolution: channel `ch` of the input is convolved with
+    /// filter `w[ch]` (weights shaped `(c, k, k)`), preserving channel count.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/geometry errors analogous to [`Graph::conv2d`].
+    pub fn depthwise_conv2d(&mut self, x: Var, w: Var, geom: ConvGeometry) -> Result<Var> {
+        let xv = self.value(x);
+        if xv.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, actual: xv.rank() });
+        }
+        let (n, c) = (xv.dims()[0], xv.dims()[1]);
+        let wv = self.value(w);
+        if wv.dims() != [c, geom.kernel, geom.kernel] {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![c, geom.kernel, geom.kernel],
+                right: wv.dims().to_vec(),
+            });
+        }
+        let out = depthwise_forward(xv, wv, &geom)?;
+        let _ = n;
+        Ok(self.push(out, Op::DepthwiseConv2d { x: x.0, w: w.0, geom }))
+    }
+
+    /// Training-mode batch normalization over the (N, H, W) axes of an NCHW
+    /// input, with per-channel scale `gamma` and shift `beta` (both `(c,)`).
+    /// Returns the output node and the batch statistics (for running-stat
+    /// updates).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if the input is not 4-D or the parameter shapes
+    /// are not `(c,)`.
+    pub fn batch_norm(
+        &mut self,
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    ) -> Result<(Var, BatchStats)> {
+        let xv = self.value(x);
+        if xv.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, actual: xv.rank() });
+        }
+        let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+        let gv = self.value(gamma);
+        let bv = self.value(beta);
+        if gv.dims() != [c] || bv.dims() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![c],
+                right: if gv.dims() != [c] { gv.dims().to_vec() } else { bv.dims().to_vec() },
+            });
+        }
+        let m = (n * h * w) as f32;
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for ch in 0..c {
+            let mut acc = 0.0;
+            for in_ in 0..n {
+                let base = (in_ * c + ch) * h * w;
+                acc += xv.data()[base..base + h * w].iter().sum::<f32>();
+            }
+            mean[ch] = acc / m;
+        }
+        for ch in 0..c {
+            let mu = mean[ch];
+            let mut acc = 0.0;
+            for in_ in 0..n {
+                let base = (in_ * c + ch) * h * w;
+                acc += xv.data()[base..base + h * w]
+                    .iter()
+                    .map(|&v| (v - mu) * (v - mu))
+                    .sum::<f32>();
+            }
+            var[ch] = acc / m;
+        }
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let mut xhat = Tensor::zeros([n, c, h, w]);
+        let mut out = Tensor::zeros([n, c, h, w]);
+        for in_ in 0..n {
+            for ch in 0..c {
+                let base = (in_ * c + ch) * h * w;
+                let (mu, is) = (mean[ch], inv_std[ch]);
+                let (ga, be) = (gv.data()[ch], bv.data()[ch]);
+                for off in base..base + h * w {
+                    let z = (xv.data()[off] - mu) * is;
+                    xhat.data_mut()[off] = z;
+                    out.data_mut()[off] = ga * z + be;
+                }
+            }
+        }
+        let stats = BatchStats { mean, var };
+        let node = self.push(
+            out,
+            Op::BatchNorm { x: x.0, gamma: gamma.0, beta: beta.0, xhat, inv_std },
+        );
+        Ok((node, stats))
+    }
+
+    /// Non-overlapping max pooling with window side `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns geometry errors from [`Tensor::max_pool2d`].
+    pub fn max_pool2d(&mut self, x: Var, k: usize) -> Result<Var> {
+        let (out, arg) = self.value(x).max_pool2d(k)?;
+        Ok(self.push(out, Op::MaxPool { x: x.0, arg }))
+    }
+
+    /// Non-overlapping average pooling with window side `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns geometry errors from [`Tensor::avg_pool2d`].
+    pub fn avg_pool2d(&mut self, x: Var, k: usize) -> Result<Var> {
+        let out = self.value(x).avg_pool2d(k)?;
+        Ok(self.push(out, Op::AvgPool { x: x.0, k }))
+    }
+
+    /// Global average pooling `(n, c, h, w) -> (n, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the input is 4-D.
+    pub fn global_avg_pool2d(&mut self, x: Var) -> Result<Var> {
+        let out = self.value(x).global_avg_pool2d()?;
+        Ok(self.push(out, Op::GlobalAvgPool(x.0)))
+    }
+
+    /// Softmax cross-entropy of logits `(batch, classes)` against integer
+    /// `labels`, averaged over the batch. Produces a scalar node.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if the logits are not 2-D, the label count does
+    /// not match the batch, or a label is out of range.
+    pub fn cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Result<Var> {
+        let lv = self.value(logits);
+        if lv.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: lv.rank() });
+        }
+        let (batch, classes) = (lv.dims()[0], lv.dims()[1]);
+        if labels.len() != batch {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} labels for batch of {batch}",
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(TensorError::IndexOutOfRange { index: bad, size: classes });
+        }
+        let softmax = lv.softmax_rows()?;
+        let mut loss = 0.0;
+        for (row, &label) in labels.iter().enumerate() {
+            let p = softmax.data()[row * classes + label].max(1e-12);
+            loss -= p.ln();
+        }
+        loss /= batch as f32;
+        Ok(self.push(
+            Tensor::scalar(loss),
+            Op::CrossEntropy { logits: logits.0, softmax, labels: labels.to_vec() },
+        ))
+    }
+
+    /// Backward routing for the NN ops (called from the graph's main
+    /// reverse sweep).
+    pub(crate) fn accumulate_nn_parents(
+        &self,
+        op: &Op,
+        grad: &Tensor,
+        grads: &mut [Option<Tensor>],
+    ) -> Result<()> {
+        let add_grad = |idx: usize, g: Tensor, grads: &mut [Option<Tensor>]| -> Result<()> {
+            match &mut grads[idx] {
+                Some(acc) => acc.axpy(1.0, &g)?,
+                slot @ None => *slot = Some(g),
+            }
+            Ok(())
+        };
+        match op {
+            Op::Conv2d { x, w, geom, cols, n, c } => {
+                let out_c = self.nodes[*w].value.dims()[0];
+                let (oh, ow) = geom.out_hw();
+                let spatial = oh * ow;
+                // Reorder dY (n, out_c, oh, ow) -> (out_c, n*oh*ow).
+                let mut dy2d = Tensor::zeros([out_c, *n * spatial]);
+                for in_ in 0..*n {
+                    for oc in 0..out_c {
+                        let src = (in_ * out_c + oc) * spatial;
+                        let dst = oc * (*n * spatial) + in_ * spatial;
+                        dy2d.data_mut()[dst..dst + spatial]
+                            .copy_from_slice(&grad.data()[src..src + spatial]);
+                    }
+                }
+                // dW = dY cols^T ; dCols = W^T dY ; dX = col2im(dCols)
+                let dw = dy2d.matmul_nt(cols)?; // (out_c, c*k*k)
+                let dcols = self.nodes[*w].value.matmul_tn(&dy2d)?;
+                let dx = dcols.col2im(geom, *n, *c)?;
+                add_grad(*w, dw, grads)?;
+                add_grad(*x, dx, grads)?;
+            }
+            Op::DepthwiseConv2d { x, w, geom } => {
+                let (dx, dw) =
+                    depthwise_backward(&self.nodes[*x].value, &self.nodes[*w].value, geom, grad)?;
+                add_grad(*x, dx, grads)?;
+                add_grad(*w, dw, grads)?;
+            }
+            Op::BatchNorm { x, gamma, beta, xhat, inv_std } => {
+                let xv = &self.nodes[*x].value;
+                let (n, c, h, w) =
+                    (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+                let m = (n * h * w) as f32;
+                let gv = &self.nodes[*gamma].value;
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                let mut sum_dxhat = vec![0.0f32; c];
+                let mut sum_dxhat_xhat = vec![0.0f32; c];
+                for in_ in 0..n {
+                    for ch in 0..c {
+                        let base = (in_ * c + ch) * h * w;
+                        for off in base..base + h * w {
+                            let dy = grad.data()[off];
+                            let xh = xhat.data()[off];
+                            dbeta[ch] += dy;
+                            dgamma[ch] += dy * xh;
+                            let dxh = dy * gv.data()[ch];
+                            sum_dxhat[ch] += dxh;
+                            sum_dxhat_xhat[ch] += dxh * xh;
+                        }
+                    }
+                }
+                let mut dx = Tensor::zeros([n, c, h, w]);
+                for in_ in 0..n {
+                    for ch in 0..c {
+                        let base = (in_ * c + ch) * h * w;
+                        let scale = inv_std[ch] / m;
+                        for off in base..base + h * w {
+                            let dy = grad.data()[off];
+                            let xh = xhat.data()[off];
+                            let dxh = dy * gv.data()[ch];
+                            dx.data_mut()[off] =
+                                scale * (m * dxh - sum_dxhat[ch] - xh * sum_dxhat_xhat[ch]);
+                        }
+                    }
+                }
+                add_grad(*x, dx, grads)?;
+                add_grad(*gamma, Tensor::from_vec(dgamma, [c])?, grads)?;
+                add_grad(*beta, Tensor::from_vec(dbeta, [c])?, grads)?;
+            }
+            Op::MaxPool { x, arg } => {
+                let mut dx = Tensor::zeros(self.nodes[*x].value.shape().clone());
+                for (out_off, &src) in arg.iter().enumerate() {
+                    dx.data_mut()[src] += grad.data()[out_off];
+                }
+                add_grad(*x, dx, grads)?;
+            }
+            Op::AvgPool { x, k } => {
+                let xs = self.nodes[*x].value.dims();
+                let dx = grad.avg_unpool2d(*k, xs[2], xs[3])?;
+                add_grad(*x, dx, grads)?;
+            }
+            Op::GlobalAvgPool(x) => {
+                let xs = self.nodes[*x].value.dims();
+                let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+                let inv = 1.0 / (h * w) as f32;
+                let mut dx = Tensor::zeros([n, c, h, w]);
+                for in_ in 0..n {
+                    for ch in 0..c {
+                        let g = grad.data()[in_ * c + ch] * inv;
+                        let base = (in_ * c + ch) * h * w;
+                        for v in &mut dx.data_mut()[base..base + h * w] {
+                            *v = g;
+                        }
+                    }
+                }
+                add_grad(*x, dx, grads)?;
+            }
+            Op::CrossEntropy { logits, softmax, labels } => {
+                let batch = labels.len();
+                let classes = softmax.dims()[1];
+                let upstream = grad.data()[0] / batch as f32;
+                let mut dl = softmax.scale(upstream);
+                for (row, &label) in labels.iter().enumerate() {
+                    dl.data_mut()[row * classes + label] -= upstream;
+                }
+                add_grad(*logits, dl, grads)?;
+            }
+            _ => unreachable!("non-NN op routed to accumulate_nn_parents"),
+        }
+        Ok(())
+    }
+}
+
+/// Direct (loop) depthwise convolution forward.
+fn depthwise_forward(x: &Tensor, w: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
+    let (n, c, h, ww) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    if h != geom.in_h || ww != geom.in_w {
+        return Err(TensorError::InvalidGeometry(format!(
+            "geometry expects {}x{}, input is {h}x{ww}",
+            geom.in_h, geom.in_w
+        )));
+    }
+    let k = geom.kernel;
+    let (oh, ow) = geom.out_hw();
+    let pad = geom.pad as isize;
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    for in_ in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let base_y = (oy * geom.stride) as isize - pad;
+                    let base_x = (ox * geom.stride) as isize - pad;
+                    let mut acc = 0.0;
+                    for ky in 0..k {
+                        let y = base_y + ky as isize;
+                        if y < 0 || y >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let xx = base_x + kx as isize;
+                            if xx < 0 || xx >= ww as isize {
+                                continue;
+                            }
+                            let xi = ((in_ * c + ch) * h + y as usize) * ww + xx as usize;
+                            let wi = (ch * k + ky) * k + kx;
+                            acc += x.data()[xi] * w.data()[wi];
+                        }
+                    }
+                    out.data_mut()[((in_ * c + ch) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Direct depthwise convolution backward: returns `(dx, dw)`.
+fn depthwise_backward(
+    x: &Tensor,
+    w: &Tensor,
+    geom: &ConvGeometry,
+    dy: &Tensor,
+) -> Result<(Tensor, Tensor)> {
+    let (n, c, h, ww) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let k = geom.kernel;
+    let (oh, ow) = geom.out_hw();
+    let pad = geom.pad as isize;
+    let mut dx = Tensor::zeros([n, c, h, ww]);
+    let mut dw = Tensor::zeros([c, k, k]);
+    for in_ in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dy.data()[((in_ * c + ch) * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let base_y = (oy * geom.stride) as isize - pad;
+                    let base_x = (ox * geom.stride) as isize - pad;
+                    for ky in 0..k {
+                        let y = base_y + ky as isize;
+                        if y < 0 || y >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let xx = base_x + kx as isize;
+                            if xx < 0 || xx >= ww as isize {
+                                continue;
+                            }
+                            let xi = ((in_ * c + ch) * h + y as usize) * ww + xx as usize;
+                            let wi = (ch * k + ky) * k + kx;
+                            dx.data_mut()[xi] += g * w.data()[wi];
+                            dw.data_mut()[wi] += g * x.data()[xi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((dx, dw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_scalar_fn;
+
+    fn seeded(shape: &[usize], scale: f32, salt: usize) -> Tensor {
+        Tensor::from_fn(shape.to_vec(), |i| {
+            let h = i
+                .iter()
+                .enumerate()
+                .fold(salt, |acc, (k, &v)| acc.wrapping_mul(31).wrapping_add(v * (k + 7)));
+            ((h % 17) as f32 / 17.0 - 0.5) * scale
+        })
+    }
+
+    #[test]
+    fn conv2d_matches_reference_shape_and_values() {
+        let mut g = Graph::new();
+        // Identity 1x1 kernel on 2 channels picks out channel sums.
+        let x = g.input(seeded(&[2, 2, 3, 3], 2.0, 1));
+        let w = g.input(Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]).unwrap());
+        let geom = ConvGeometry::new(3, 3, 1, 1, 0).unwrap();
+        let y = g.conv2d(x, w, geom).unwrap();
+        assert_eq!(g.value(y).dims(), &[2, 2, 3, 3]);
+        // With identity weights the output equals the input.
+        assert_eq!(g.value(y).data(), g.value(x).data());
+    }
+
+    #[test]
+    fn conv2d_validates_weight_shape() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([1, 2, 4, 4]));
+        let w = g.input(Tensor::zeros([3, 17])); // should be (3, 2*3*3=18)
+        let geom = ConvGeometry::new(4, 4, 3, 1, 1).unwrap();
+        assert!(g.conv2d(x, w, geom).is_err());
+    }
+
+    #[test]
+    fn conv2d_gradcheck_weights_and_input() {
+        let x0 = seeded(&[2, 2, 4, 4], 1.0, 3);
+        let w0 = seeded(&[3, 2 * 3 * 3], 0.6, 5);
+        let geom = ConvGeometry::new(4, 4, 3, 2, 1).unwrap();
+        check_scalar_fn(&w0, 1e-2, 3e-2, |w| {
+            let mut g = Graph::new();
+            let xv = g.input(x0.clone());
+            let wv = g.input(w.clone());
+            let y = g.conv2d(xv, wv, geom).unwrap();
+            let sq = g.square(y);
+            let loss = g.sum(sq);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(wv).unwrap().clone())
+        });
+        check_scalar_fn(&x0, 1e-2, 3e-2, |x| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let wv = g.input(w0.clone());
+            let y = g.conv2d(xv, wv, geom).unwrap();
+            let sq = g.square(y);
+            let loss = g.sum(sq);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+        });
+    }
+
+    #[test]
+    fn depthwise_conv_gradcheck() {
+        let x0 = seeded(&[2, 3, 4, 4], 1.0, 11);
+        let w0 = seeded(&[3, 3, 3], 0.8, 13);
+        let geom = ConvGeometry::new(4, 4, 3, 1, 1).unwrap();
+        check_scalar_fn(&w0, 1e-2, 3e-2, |w| {
+            let mut g = Graph::new();
+            let xv = g.input(x0.clone());
+            let wv = g.input(w.clone());
+            let y = g.depthwise_conv2d(xv, wv, geom).unwrap();
+            let sq = g.square(y);
+            let loss = g.sum(sq);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(wv).unwrap().clone())
+        });
+        check_scalar_fn(&x0, 1e-2, 3e-2, |x| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let wv = g.input(w0.clone());
+            let y = g.depthwise_conv2d(xv, wv, geom).unwrap();
+            let sq = g.square(y);
+            let loss = g.sum(sq);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+        });
+    }
+
+    #[test]
+    fn depthwise_conv_validates_weight_shape() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([1, 3, 4, 4]));
+        let w = g.input(Tensor::zeros([2, 3, 3]));
+        let geom = ConvGeometry::new(4, 4, 3, 1, 1).unwrap();
+        assert!(g.depthwise_conv2d(x, w, geom).is_err());
+    }
+
+    #[test]
+    fn batch_norm_normalizes_channels() {
+        let mut g = Graph::new();
+        let x = g.input(seeded(&[4, 2, 3, 3], 5.0, 17));
+        let gamma = g.input(Tensor::ones([2]));
+        let beta = g.input(Tensor::zeros([2]));
+        let (y, stats) = g.batch_norm(x, gamma, beta, 1e-5).unwrap();
+        // Output per channel should have ~zero mean and ~unit variance.
+        let yv = g.value(y);
+        let (n, c, h, w) = (4, 2, 3, 3);
+        for ch in 0..c {
+            let mut vals = Vec::new();
+            for in_ in 0..n {
+                let base = (in_ * c + ch) * h * w;
+                vals.extend_from_slice(&yv.data()[base..base + h * w]);
+            }
+            let t = Tensor::from_vec(vals, [n * h * w]).unwrap();
+            assert!(t.mean().abs() < 1e-4);
+            assert!((t.variance() - 1.0).abs() < 1e-2);
+        }
+        assert_eq!(stats.mean.len(), 2);
+        assert_eq!(stats.var.len(), 2);
+    }
+
+    #[test]
+    fn batch_norm_gradcheck_all_parameters() {
+        let x0 = seeded(&[3, 2, 2, 2], 2.0, 23);
+        let gamma0 = Tensor::from_vec(vec![1.2, 0.7], [2]).unwrap();
+        let beta0 = Tensor::from_vec(vec![0.1, -0.3], [2]).unwrap();
+        let run = |x: &Tensor, gamma: &Tensor, beta: &Tensor| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let gv = g.input(gamma.clone());
+            let bv = g.input(beta.clone());
+            let (y, _) = g.batch_norm(xv, gv, bv, 1e-5).unwrap();
+            let sq = g.square(y);
+            // Weighted sum to make the loss non-symmetric in elements.
+            let weights = g.input(Tensor::from_fn([3, 2, 2, 2], |i| {
+                0.1 + 0.05 * (i.iter().sum::<usize>() as f32)
+            }));
+            let weighted = g.mul(sq, weights).unwrap();
+            let loss = g.sum(weighted);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads, xv, gv, bv)
+        };
+        check_scalar_fn(&x0, 1e-2, 5e-2, |x| {
+            let (l, grads, xv, _, _) = run(x, &gamma0, &beta0);
+            (l, grads.get(xv).unwrap().clone())
+        });
+        check_scalar_fn(&gamma0, 1e-3, 2e-2, |gamma| {
+            let (l, grads, _, gv, _) = run(&x0, gamma, &beta0);
+            (l, grads.get(gv).unwrap().clone())
+        });
+        check_scalar_fn(&beta0, 1e-3, 2e-2, |beta| {
+            let (l, grads, _, _, bv) = run(&x0, &gamma0, beta);
+            (l, grads.get(bv).unwrap().clone())
+        });
+    }
+
+    #[test]
+    fn batch_norm_validates_shapes() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([1, 2, 2, 2]));
+        let gamma = g.input(Tensor::ones([3]));
+        let beta = g.input(Tensor::zeros([2]));
+        assert!(g.batch_norm(x, gamma, beta, 1e-5).is_err());
+        let x2 = g.input(Tensor::zeros([2, 2]));
+        let gamma2 = g.input(Tensor::ones([2]));
+        assert!(g.batch_norm(x2, gamma2, beta, 1e-5).is_err());
+    }
+
+    #[test]
+    fn max_pool_routes_gradient_to_argmax() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], [1, 1, 2, 2]).unwrap());
+        let y = g.max_pool2d(x, 2).unwrap();
+        let loss = g.sum(y);
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_gradcheck() {
+        let x0 = seeded(&[1, 2, 4, 4], 1.5, 29);
+        check_scalar_fn(&x0, 1e-2, 2e-2, |x| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let y = g.avg_pool2d(xv, 2).unwrap();
+            let sq = g.square(y);
+            let loss = g.sum(sq);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+        });
+    }
+
+    #[test]
+    fn global_avg_pool_gradcheck() {
+        let x0 = seeded(&[2, 3, 2, 2], 1.0, 31);
+        check_scalar_fn(&x0, 1e-2, 2e-2, |x| {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let y = g.global_avg_pool2d(xv).unwrap();
+            let sq = g.square(y);
+            let loss = g.sum(sq);
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+        });
+    }
+
+    #[test]
+    fn cross_entropy_on_uniform_logits_is_log_classes() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::zeros([4, 10]));
+        let loss = g.cross_entropy(logits, &[0, 3, 7, 9]).unwrap();
+        let expected = (10.0f32).ln();
+        assert!((g.value(loss).item().unwrap() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let l0 = seeded(&[3, 5], 2.0, 37);
+        let labels = vec![1usize, 4, 0];
+        check_scalar_fn(&l0, 1e-2, 2e-2, |l| {
+            let mut g = Graph::new();
+            let lv = g.input(l.clone());
+            let loss = g.cross_entropy(lv, &labels).unwrap();
+            let grads = g.backward(loss).unwrap();
+            (g.value(loss).item().unwrap(), grads.get(lv).unwrap().clone())
+        });
+    }
+
+    #[test]
+    fn cross_entropy_validates_labels() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::zeros([2, 3]));
+        assert!(g.cross_entropy(logits, &[0]).is_err()); // wrong count
+        assert!(g.cross_entropy(logits, &[0, 3]).is_err()); // class out of range
+        let vec1d = g.input(Tensor::zeros([3]));
+        assert!(g.cross_entropy(vec1d, &[0, 1, 2]).is_err()); // wrong rank
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        // softmax - onehot has zero row sum.
+        let mut g = Graph::new();
+        let logits = g.input(seeded(&[4, 6], 3.0, 41));
+        let loss = g.cross_entropy(logits, &[0, 1, 2, 3]).unwrap();
+        let grads = g.backward(loss).unwrap();
+        let gl = grads.get(logits).unwrap();
+        for row in 0..4 {
+            let s: f32 = gl.data()[row * 6..(row + 1) * 6].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Per-step cost of each training method (the paper's implicit §5.1 cost
+//! claim: SAM-style methods cost one extra backprop, HERO two).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hero_core::experiment::{model_config, MethodKind};
+use hero_data::Preset;
+use hero_nn::models::ModelKind;
+use hero_optim::{train_step, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_step_cost(c: &mut Criterion) {
+    let preset = Preset::C10;
+    let (train_set, _) = preset.load(0.2);
+    let images = train_set.images.narrow(0, 16).unwrap();
+    let labels = train_set.labels[..16].to_vec();
+    let mut group = c.benchmark_group("step_cost");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for method in [
+        MethodKind::Sgd,
+        MethodKind::GradL1,
+        MethodKind::FirstOrder,
+        MethodKind::Hero,
+    ] {
+        let mut net =
+            ModelKind::Resnet.build(model_config(preset), &mut StdRng::seed_from_u64(0));
+        let mut opt = Optimizer::new(method.tuned());
+        group.bench_function(BenchmarkId::from_parameter(method.paper_name()), |b| {
+            b.iter(|| {
+                train_step(&mut net, &mut opt, &images, &labels, 0.01).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_cost);
+criterion_main!(benches);

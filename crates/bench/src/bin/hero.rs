@@ -1,0 +1,246 @@
+//! `hero` — command-line front end for the HERO reproduction.
+//!
+//! ```text
+//! hero train    --preset c10 --model resnet --method hero --epochs 30 [--out net.ckpt]
+//! hero quantize --preset c10 --model resnet --ckpt net.ckpt --bits 3,4,6,8 [--mixed 5.0]
+//! hero analyze  --preset c10 --model resnet --ckpt net.ckpt
+//! ```
+//!
+//! `train` trains and optionally checkpoints a model; `quantize` sweeps
+//! post-training precision on a checkpoint (or a uniform/mixed allocation);
+//! `analyze` reports curvature (λ_max via Lanczos, ‖Hz‖) and the Theorem 3
+//! robustness bounds at the checkpoint.
+
+use hero_core::experiment::{model_config, MethodKind};
+use hero_core::{train, TrainConfig};
+use hero_data::Preset;
+use hero_hessian::{hessian_norm_probe, lanczos_spectrum, BoundInputs, GradOracle};
+use hero_nn::models::ModelKind;
+use hero_nn::{evaluate_accuracy, load_params_from_file, save_params_to_file, Network};
+use hero_optim::BatchOracle;
+use hero_quant::{
+    allocate_bits, network_sensitivities, quantize_params, quantize_params_mixed, QuantScheme,
+};
+use hero_tensor::{global_norm_l1, global_norm_l2};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&opts),
+        "quantize" => cmd_quantize(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+hero — HERO (DAC 2022) reproduction CLI
+
+USAGE:
+  hero train    --preset <c10|c100|in50> --model <resnet|mobilenet|vgg>
+                --method <hero|sam|gradl1|sgd> [--epochs N] [--scale F]
+                [--seed N] [--out FILE]
+  hero quantize --preset ... --model ... (--ckpt FILE | --method ... [--epochs N])
+                [--bits 3,4,6,8] [--mixed AVG_BITS]
+  hero analyze  --preset ... --model ... (--ckpt FILE | --method ... [--epochs N])";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        out.insert(key.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn preset_of(opts: &HashMap<String, String>) -> Result<Preset, String> {
+    match opts.get("preset").map(String::as_str) {
+        Some("c10") | None => Ok(Preset::C10),
+        Some("c100") => Ok(Preset::C100),
+        Some("in50") => Ok(Preset::In50),
+        Some(other) => Err(format!("unknown preset `{other}`")),
+    }
+}
+
+fn model_of(opts: &HashMap<String, String>) -> Result<ModelKind, String> {
+    match opts.get("model").map(String::as_str) {
+        Some("resnet") | None => Ok(ModelKind::Resnet),
+        Some("mobilenet") => Ok(ModelKind::Mobilenet),
+        Some("vgg") => Ok(ModelKind::Vgg),
+        Some(other) => Err(format!("unknown model `{other}`")),
+    }
+}
+
+fn method_of(opts: &HashMap<String, String>) -> Result<MethodKind, String> {
+    match opts.get("method").map(String::as_str) {
+        Some("hero") | None => Ok(MethodKind::Hero),
+        Some("sam") | Some("first-order") => Ok(MethodKind::FirstOrder),
+        Some("gradl1") => Ok(MethodKind::GradL1),
+        Some("sgd") => Ok(MethodKind::Sgd),
+        Some(other) => Err(format!("unknown method `{other}`")),
+    }
+}
+
+fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+    }
+}
+
+/// Obtains a trained network: from a checkpoint if `--ckpt` is given,
+/// otherwise by training with `--method` for `--epochs`.
+fn obtain_model(
+    opts: &HashMap<String, String>,
+) -> Result<(Network, Preset, hero_data::Dataset, hero_data::Dataset), String> {
+    let preset = preset_of(opts)?;
+    let model = model_of(opts)?;
+    let scale: f32 = num(opts, "scale", 0.5)?;
+    let seed: u64 = num(opts, "seed", 42)?;
+    let (train_set, test_set) = preset.load(scale);
+    let mut net = model.build(model_config(preset), &mut StdRng::seed_from_u64(seed));
+    if let Some(ckpt) = opts.get("ckpt") {
+        load_params_from_file(&mut net, &PathBuf::from(ckpt)).map_err(|e| e.to_string())?;
+        println!("loaded checkpoint {ckpt}");
+    } else {
+        let method = method_of(opts)?;
+        let epochs: usize = num(opts, "epochs", 20)?;
+        println!(
+            "training {} with {} for {epochs} epochs on {} ...",
+            model.paper_name(),
+            method.paper_name(),
+            preset.paper_name()
+        );
+        let config = TrainConfig::new(method.tuned(), epochs).with_seed(seed);
+        let rec = train(&mut net, &train_set, &test_set, &config).map_err(|e| e.to_string())?;
+        println!(
+            "trained: train acc {:.2}%, test acc {:.2}%",
+            100.0 * rec.final_train_acc,
+            100.0 * rec.final_test_acc
+        );
+    }
+    Ok((net, preset, train_set, test_set))
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (net, _, _, _) = obtain_model(opts)?;
+    if let Some(out) = opts.get("out") {
+        save_params_to_file(&net, &PathBuf::from(out)).map_err(|e| e.to_string())?;
+        println!("checkpoint written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (mut net, _, _, test_set) = obtain_model(opts)?;
+    let full_params = net.params();
+    let full_acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
+        .map_err(|e| e.to_string())?;
+    println!("full precision: test acc {:.2}%", 100.0 * full_acc);
+
+    if let Some(avg) = opts.get("mixed") {
+        let avg: f32 = avg.parse().map_err(|_| "--mixed: cannot parse".to_string())?;
+        let sens = network_sensitivities(&net);
+        let bits = allocate_bits(&sens, avg, 2, 8).map_err(|e| e.to_string())?;
+        println!("mixed-precision allocation (avg {avg} bits):");
+        for (s, b) in sens.iter().zip(&bits) {
+            println!("  {:40} {} bits ({} weights)", s.name, b, s.numel);
+        }
+        let (qp, report) = quantize_params_mixed(&net, &bits).map_err(|e| e.to_string())?;
+        net.set_params(&qp).map_err(|e| e.to_string())?;
+        let acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "mixed {avg}-bit: test acc {:.2}%  (‖δ‖∞ {:.4})",
+            100.0 * acc,
+            report.worst_linf
+        );
+        net.set_params(&full_params).map_err(|e| e.to_string())?;
+    }
+
+    let bits_arg = opts.get("bits").cloned().unwrap_or_else(|| "3,4,6,8".into());
+    for token in bits_arg.split(',') {
+        let b: u8 = token
+            .trim()
+            .parse()
+            .map_err(|_| format!("--bits: cannot parse `{token}`"))?;
+        let (qp, report) =
+            quantize_params(&net, &QuantScheme::symmetric(b)).map_err(|e| e.to_string())?;
+        net.set_params(&qp).map_err(|e| e.to_string())?;
+        let acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{b}-bit uniform: test acc {:.2}%  (‖δ‖∞ {:.4} ≤ Δ/2 {:.4})",
+            100.0 * acc,
+            report.worst_linf,
+            report.max_bin_width / 2.0
+        );
+        net.set_params(&full_params).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (mut net, _, train_set, _) = obtain_model(opts)?;
+    let n = train_set.len().min(128);
+    let images = train_set.images.narrow(0, n).map_err(|e| e.to_string())?;
+    let labels = train_set.labels[..n].to_vec();
+    let params = net.params();
+    let nonzeros: usize = params.iter().map(|p| p.norm_l0()).sum();
+    let mut oracle = BatchOracle::new(&mut net, &images, &labels);
+    let (loss, grads) = oracle.grad(&params).map_err(|e| e.to_string())?;
+    let (hz, _) = hessian_norm_probe(&mut oracle, &params, 1e-3).map_err(|e| e.to_string())?;
+    let spectrum = lanczos_spectrum(&mut oracle, &params, 10, 1e-3, &mut StdRng::seed_from_u64(0))
+        .map_err(|e| e.to_string())?;
+    let bounds = BoundInputs {
+        grad_l2: global_norm_l2(&grads),
+        grad_l1: global_norm_l1(&grads),
+        eigenvalue: spectrum.lambda_max(),
+        nonzeros,
+        tolerance: 0.1,
+    };
+    println!("curvature analysis on {n} training samples:");
+    println!("  loss                      {loss:.4}");
+    println!("  ‖g‖₂ / ‖g‖₁               {:.4} / {:.4}", bounds.grad_l2, bounds.grad_l1);
+    println!("  ‖Hz‖ (Fig. 2 probe)       {hz:.4}");
+    println!(
+        "  λ_max / λ_min (Lanczos)   {:.4} / {:.4}",
+        spectrum.lambda_max(),
+        spectrum.lambda_min()
+    );
+    println!("  theorem 3 ‖δ*‖₂ bound     {:.5}", bounds.l2_bound());
+    println!("  theorem 3 ‖δ*‖∞ bound     {:.6}", bounds.linf_bound());
+    println!("  max safe bin width Δ      {:.6}", bounds.max_safe_bin_width());
+    Ok(())
+}

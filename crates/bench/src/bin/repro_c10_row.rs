@@ -1,0 +1,33 @@
+//! Re-runs the CIFAR-10 row of Table 1 / Fig. 1 (all three model
+//! families) — a focused subset of `repro_fig1` for quick iteration on
+//! per-architecture hyper-parameters.
+
+use hero_bench::{banner, scale_from_args};
+use hero_core::experiment::{fig1_bits, quant_sweep, run_table1};
+use hero_core::report::{render_fig1_panel, render_table1};
+use hero_data::Preset;
+use hero_nn::models::ModelKind;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Table 1 / Fig. 1, CIFAR-10 row", scale);
+    let matrix = vec![
+        (Preset::C10, ModelKind::Resnet),
+        (Preset::C10, ModelKind::Mobilenet),
+        (Preset::C10, ModelKind::Vgg),
+    ];
+    let (table, mut models) = run_table1(&matrix, scale).expect("training");
+    println!("{}", render_table1(&table));
+    let bits = fig1_bits();
+    for ((preset, model), cell) in matrix.iter().zip(models.iter_mut()) {
+        let (_, test_set) = preset.load(scale.data);
+        let curves: Vec<_> = cell
+            .iter_mut()
+            .map(|t| quant_sweep(t, &test_set, &bits).expect("quant sweep"))
+            .collect();
+        println!(
+            "{}",
+            render_fig1_panel(preset.paper_name(), model.paper_name(), &curves)
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Reproduces Fig. 1: post-training quantization accuracy vs bit width for
+//! every (dataset, model) panel, methods HERO / GRAD-L1 / SGD.
+//!
+//! The checkpoints are the Table 1 models (as in the paper); this binary
+//! trains the matrix and prints both the Table 1 row and the Fig. 1 panel
+//! for each cell.
+
+use hero_bench::{banner, scale_from_args};
+use hero_core::experiment::{fig1_bits, quant_sweep, run_table1, table1_matrix};
+use hero_core::report::{render_fig1_panel, render_table1};
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 1 (post-training quantization sweeps)", scale);
+    let matrix = table1_matrix();
+    let (table, mut models) = run_table1(&matrix, scale).expect("matrix training");
+    println!("{}", render_table1(&table));
+    let bits = fig1_bits();
+    for ((preset, model), cell) in matrix.iter().zip(models.iter_mut()) {
+        let (_, test_set) = preset.load(scale.data);
+        let curves: Vec<_> = cell
+            .iter_mut()
+            .map(|t| quant_sweep(t, &test_set, &bits).expect("quant sweep"))
+            .collect();
+        println!(
+            "{}",
+            render_fig1_panel(preset.paper_name(), model.paper_name(), &curves)
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Reproduces Fig. 2: the evolution of the Hessian-norm probe ‖Hz‖ across
+//! training (a) and the late-training generalization gap (b) for HERO,
+//! GRAD-L1 and SGD.
+
+use hero_bench::{banner, scale_from_args};
+use hero_core::experiment::run_fig2;
+use hero_core::report::render_fig2;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 2 (Hessian norm and generalization gap)", scale);
+    let fig = run_fig2(scale).expect("fig 2 runs");
+    println!("{}", render_fig2(&fig));
+}

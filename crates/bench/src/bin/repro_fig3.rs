@@ -1,0 +1,15 @@
+//! Reproduces Fig. 3: 2-D loss contours around converged weights for HERO-
+//! and SGD-trained ResNet20 stand-ins, along the same filter-normalized
+//! random directions and at the same scale.
+
+use hero_bench::{banner, scale_from_args};
+use hero_core::experiment::run_fig3;
+use hero_core::report::render_fig3;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Fig. 3 (loss contours)", scale);
+    let steps = if std::env::args().any(|a| a == "--fast") { 11 } else { 17 };
+    let fig = run_fig3(scale, 1.0, steps).expect("fig 3 runs");
+    println!("{}", render_fig3(&fig));
+}

@@ -1,0 +1,14 @@
+//! Reproduces Table 3: the ablation of HERO vs first-order-only (SAM) vs
+//! SGD on the MobileNetV2 stand-in / CIFAR-10 preset, evaluated at 4/6/8
+//! bits and full precision.
+
+use hero_bench::{banner, scale_from_args};
+use hero_core::experiment::run_table3;
+use hero_core::report::render_table3;
+
+fn main() {
+    let scale = scale_from_args();
+    banner("Table 3 (Hessian-term ablation)", scale);
+    let table = run_table3(scale).expect("table 3 runs");
+    println!("{}", render_table3(&table));
+}

@@ -1,0 +1,52 @@
+//! # hero-bench
+//!
+//! Benchmarks and reproduction binaries for the HERO (DAC 2022)
+//! reproduction. The `repro_*` binaries regenerate every table and figure
+//! of the paper's evaluation section (see DESIGN.md §3 for the index);
+//! the Criterion benches under `benches/` measure component costs (the
+//! per-step overhead of each training method, quantization throughput,
+//! curvature-probe cost).
+//!
+//! Run a reproduction binary with:
+//!
+//! ```text
+//! cargo run --release -p hero-bench --bin repro_table1 [-- --fast]
+//! ```
+
+#![warn(missing_docs)]
+
+use hero_core::experiment::Scale;
+
+/// Parses the common `--fast` flag used by every reproduction binary.
+///
+/// `--fast` selects the smoke-test scale; anything else (or nothing) runs
+/// the full reproduction scale recorded in EXPERIMENTS.md.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--fast") {
+        Scale::fast()
+    } else {
+        Scale::full()
+    }
+}
+
+/// Prints a standard header for a reproduction binary.
+pub fn banner(what: &str, scale: Scale) {
+    println!("== HERO reproduction: {what} ==");
+    println!(
+        "scale: data x{:.2}, {} epochs (8x8 presets) / {} epochs (16x16)",
+        scale.data, scale.epochs_small, scale.epochs_large
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_full() {
+        // Test binaries never pass --fast, so this exercises the default arm.
+        let s = scale_from_args();
+        assert_eq!(s.data, Scale::full().data);
+    }
+}

@@ -1,0 +1,559 @@
+//! Experiment runners reproducing every table and figure of the paper.
+//!
+//! Each runner returns a plain-data result that the report module renders;
+//! the `hero-bench` reproduction binaries are thin wrappers around these
+//! functions. Hyper-parameters are the result of the grid search described
+//! in EXPERIMENTS.md (the paper's §5.1 grid, re-run on the synthetic
+//! substrate).
+
+use crate::config::TrainConfig;
+use crate::metrics::TrainRecord;
+use crate::trainer::train;
+use hero_data::{inject_symmetric_noise, Dataset, Preset};
+use hero_landscape::{filter_normalized_direction, scan_2d, SurfaceScan};
+use hero_nn::models::{ModelConfig, ModelKind};
+use hero_nn::{evaluate_accuracy, Network};
+use hero_optim::Method;
+use hero_quant::{quantize_params, QuantScheme};
+use hero_tensor::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The method variants evaluated across the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// Plain SGD.
+    Sgd,
+    /// GRAD-L1 baseline.
+    GradL1,
+    /// First-order-only (SAM) ablation.
+    FirstOrder,
+    /// HERO.
+    Hero,
+}
+
+impl MethodKind {
+    /// The default tuned hyper-parameters (the ResNet/C10 cell). Prefer
+    /// [`MethodKind::tuned_for`] inside experiments.
+    pub fn tuned(self) -> Method {
+        self.tuned_for(Preset::C10, ModelKind::Resnet)
+    }
+
+    /// The tuned hyper-parameters for one (dataset, model) cell.
+    ///
+    /// The paper grid-searches γ per experiment (§5.1) and uses different
+    /// h per dataset; the same was necessary here — the perturbation scale
+    /// that works for the ResNet stand-in over-perturbs the deeper
+    /// MobileNet/VGG stand-ins and the 100-class task. Values recorded in
+    /// EXPERIMENTS.md.
+    pub fn tuned_for(self, preset: Preset, model: ModelKind) -> Method {
+        // The ResNet stand-in tolerates the strongest perturbation except
+        // on the 100-class task; the deeper BN-heavy families need h an
+        // order of magnitude below the paper's (our weights are much
+        // smaller, and Eq. 15's z scales with them).
+        let strong = matches!(model, ModelKind::Resnet) && !matches!(preset, Preset::C100);
+        match self {
+            MethodKind::Sgd => Method::Sgd,
+            MethodKind::GradL1 => Method::GradL1 { lambda: 1e-4 },
+            MethodKind::FirstOrder => {
+                if strong {
+                    Method::FirstOrderOnly { h: 0.2 }
+                } else {
+                    Method::FirstOrderOnly { h: 0.05 }
+                }
+            }
+            MethodKind::Hero => {
+                if strong {
+                    Method::Hero { h: 0.2, gamma: 0.01 }
+                } else {
+                    Method::Hero { h: 0.1, gamma: 0.005 }
+                }
+            }
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn paper_name(self) -> &'static str {
+        self.tuned().name()
+    }
+}
+
+/// Global scale knob for the experiment suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Dataset size multiplier.
+    pub data: f32,
+    /// Epochs for the 8×8 presets (C10/C100).
+    pub epochs_small: usize,
+    /// Epochs for the 16×16 preset (IN).
+    pub epochs_large: usize,
+}
+
+impl Scale {
+    /// The full reproduction scale used for EXPERIMENTS.md.
+    pub fn full() -> Self {
+        Scale { data: 1.0, epochs_small: 60, epochs_large: 25 }
+    }
+
+    /// A smoke-test scale for CI-speed runs.
+    pub fn fast() -> Self {
+        Scale { data: 0.25, epochs_small: 6, epochs_large: 2 }
+    }
+
+    /// Epoch budget for a preset.
+    pub fn epochs(&self, preset: Preset) -> usize {
+        match preset {
+            Preset::C10 | Preset::C100 => self.epochs_small,
+            Preset::In50 => self.epochs_large,
+        }
+    }
+}
+
+/// Builds the model configuration for a (preset, model) pair.
+pub fn model_config(preset: Preset) -> ModelConfig {
+    ModelConfig {
+        classes: preset.classes(),
+        in_channels: 3,
+        input_hw: preset.input_hw(),
+        width: 8,
+    }
+}
+
+/// A trained model together with its training record.
+#[derive(Debug)]
+pub struct TrainedModel {
+    /// The network with final weights installed.
+    pub net: Network,
+    /// Per-epoch record.
+    pub record: TrainRecord,
+    /// Which method trained it.
+    pub method: MethodKind,
+}
+
+/// Trains one (preset, model, method) cell of the experiment matrix.
+///
+/// `probe_every` enables the Fig. 2 ‖Hz‖ probe at that epoch interval
+/// (0 = off). The model seed is fixed per (preset, model) so methods start
+/// from identical initializations, as in the paper.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn train_cell(
+    preset: Preset,
+    model: ModelKind,
+    method: MethodKind,
+    scale: Scale,
+    probe_every: usize,
+) -> Result<TrainedModel> {
+    let (train_set, test_set) = preset.load(scale.data);
+    train_on(
+        &train_set,
+        &test_set,
+        preset,
+        model,
+        method,
+        scale,
+        probe_every,
+    )
+}
+
+/// Like [`train_cell`] but on caller-supplied datasets (used by the
+/// noisy-label experiment).
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn train_on(
+    train_set: &Dataset,
+    test_set: &Dataset,
+    preset: Preset,
+    model: ModelKind,
+    method: MethodKind,
+    scale: Scale,
+    probe_every: usize,
+) -> Result<TrainedModel> {
+    let mut rng = StdRng::seed_from_u64(model_seed(preset, model));
+    let mut net = model.build(model_config(preset), &mut rng);
+    let config = TrainConfig::new(method.tuned_for(preset, model), scale.epochs(preset))
+        .with_probe_every(probe_every)
+        .with_seed(model_seed(preset, model) ^ 0x7EA7);
+    let record = train(&mut net, train_set, test_set, &config)?;
+    Ok(TrainedModel { net, record, method })
+}
+
+fn model_seed(preset: Preset, model: ModelKind) -> u64 {
+    let p = match preset {
+        Preset::C10 => 1,
+        Preset::C100 => 2,
+        Preset::In50 => 3,
+    };
+    let m = match model {
+        ModelKind::Resnet => 10,
+        ModelKind::Mobilenet => 20,
+        ModelKind::Vgg => 30,
+    };
+    p * 1000 + m
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: clean test accuracy
+// ---------------------------------------------------------------------------
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Model name.
+    pub model: &'static str,
+    /// Test accuracy per method, ordered as `methods`.
+    pub accs: Vec<f32>,
+}
+
+/// Table 1 result: the method columns plus one row per (dataset, model).
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Column methods.
+    pub methods: Vec<MethodKind>,
+    /// Rows.
+    pub rows: Vec<Table1Row>,
+}
+
+/// The (dataset, model) matrix of Table 1 / Fig. 1.
+pub fn table1_matrix() -> Vec<(Preset, ModelKind)> {
+    vec![
+        (Preset::C10, ModelKind::Resnet),
+        (Preset::C10, ModelKind::Mobilenet),
+        (Preset::C10, ModelKind::Vgg),
+        (Preset::C100, ModelKind::Resnet),
+        (Preset::C100, ModelKind::Mobilenet),
+        (Preset::C100, ModelKind::Vgg),
+        (Preset::In50, ModelKind::Resnet),
+    ]
+}
+
+/// Runs Table 1 over the given matrix, returning the table and the trained
+/// models (reused by Fig. 1, which quantizes exactly these checkpoints).
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn run_table1(
+    matrix: &[(Preset, ModelKind)],
+    scale: Scale,
+) -> Result<(Table1, Vec<Vec<TrainedModel>>)> {
+    let methods = [MethodKind::Hero, MethodKind::GradL1, MethodKind::Sgd];
+    let mut rows = Vec::new();
+    let mut all_models = Vec::new();
+    for &(preset, model) in matrix {
+        let mut accs = Vec::new();
+        let mut cell_models = Vec::new();
+        for &method in &methods {
+            let trained = train_cell(preset, model, method, scale, 0)?;
+            accs.push(trained.record.final_test_acc);
+            cell_models.push(trained);
+        }
+        rows.push(Table1Row {
+            dataset: preset.paper_name(),
+            model: model.paper_name(),
+            accs,
+        });
+        all_models.push(cell_models);
+    }
+    Ok((Table1 { methods: methods.to_vec(), rows }, all_models))
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: noisy-label training
+// ---------------------------------------------------------------------------
+
+/// Table 2 result for one model: test accuracy per (method, noise ratio).
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// The model evaluated.
+    pub model: &'static str,
+    /// Noise ratios (columns).
+    pub ratios: Vec<f32>,
+    /// Methods (rows).
+    pub methods: Vec<MethodKind>,
+    /// `accs[m][r]` = accuracy of method `m` at ratio `r`.
+    pub accs: Vec<Vec<f32>>,
+}
+
+/// Runs the §5.2 noisy-label experiment for one model on the C10 preset.
+///
+/// This experiment runs in the *memorization regime*: samples carry a
+/// private identifying texture (like the idiosyncratic detail of real
+/// photographs — without it, near-duplicate synthetic samples make label
+/// memorization impossible and no method can differ), and training uses
+/// small batches over an extended epoch budget so the step count is large
+/// enough for sharp minimizers to actually memorize wrong labels. See
+/// EXPERIMENTS.md for the adaptation note.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn run_table2(model: ModelKind, ratios: &[f32], scale: Scale) -> Result<Table2> {
+    let methods = [MethodKind::Hero, MethodKind::GradL1, MethodKind::Sgd];
+    let preset = Preset::C10;
+    let spec = hero_data::SynthSpec { sample_texture: 0.6, ..preset.spec() };
+    let generator = hero_data::SynthGenerator::new(spec);
+    let (train_n, test_n) = preset.sizes(scale.data);
+    let (clean_train, test_set) = generator.train_test(train_n, test_n);
+    // Extended small-batch budget (see doc comment).
+    let epochs = (scale.epochs_small * 2).max(1);
+    let mut accs = vec![Vec::new(); methods.len()];
+    for &ratio in ratios {
+        let mut noisy = clean_train.clone();
+        inject_symmetric_noise(&mut noisy, ratio, 0xBAD_1ABE1);
+        for (mi, &method) in methods.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(model_seed(preset, model));
+            let mut net = model.build(model_config(preset), &mut rng);
+            let config = TrainConfig::new(method.tuned_for(preset, model), epochs)
+                .with_batch_size(8)
+                .with_seed(model_seed(preset, model) ^ 0x7EA7);
+            let record = train(&mut net, &noisy, &test_set, &config)?;
+            accs[mi].push(record.final_test_acc);
+        }
+    }
+    Ok(Table2 {
+        model: model.paper_name(),
+        ratios: ratios.to_vec(),
+        methods: methods.to_vec(),
+        accs,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1: post-training quantization sweeps
+// ---------------------------------------------------------------------------
+
+/// One quantization curve: accuracy at each bit width for one method.
+#[derive(Debug, Clone)]
+pub struct QuantCurve {
+    /// Method that trained the checkpoint.
+    pub method: MethodKind,
+    /// Full-precision accuracy.
+    pub full_acc: f32,
+    /// `(bits, accuracy)` points.
+    pub points: Vec<(u8, f32)>,
+}
+
+/// Sweeps post-training quantization over `bits` for a trained model,
+/// restoring full-precision weights afterwards.
+///
+/// # Errors
+///
+/// Propagates quantization/evaluation errors.
+pub fn quant_sweep(
+    trained: &mut TrainedModel,
+    test_set: &Dataset,
+    bits: &[u8],
+) -> Result<QuantCurve> {
+    let full_params = trained.net.params();
+    let mut points = Vec::with_capacity(bits.len());
+    for &b in bits {
+        let (qp, _) = quantize_params(&trained.net, &QuantScheme::symmetric(b))?;
+        trained.net.set_params(&qp)?;
+        let acc = evaluate_accuracy(&mut trained.net, &test_set.images, &test_set.labels, 64)?;
+        points.push((b, acc));
+        trained.net.set_params(&full_params)?;
+    }
+    Ok(QuantCurve {
+        method: trained.method,
+        full_acc: trained.record.final_test_acc,
+        points,
+    })
+}
+
+/// The paper's Fig. 1 bit-width grid adapted to the substrate.
+pub fn fig1_bits() -> Vec<u8> {
+    vec![3, 4, 5, 6, 8]
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: ablation (HERO vs first-order-only vs SGD)
+// ---------------------------------------------------------------------------
+
+/// Table 3 result: quantized accuracy per method at each precision.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Bit widths (columns, plus full precision).
+    pub bits: Vec<u8>,
+    /// Methods (rows).
+    pub methods: Vec<MethodKind>,
+    /// `accs[m]` = accuracies at each bit width then full precision last.
+    pub accs: Vec<Vec<f32>>,
+}
+
+/// Runs the Table 3 ablation: MobileNet on C10 trained with HERO,
+/// first-order-only, and SGD, evaluated at several precisions.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn run_table3(scale: Scale) -> Result<Table3> {
+    let methods = [MethodKind::Hero, MethodKind::FirstOrder, MethodKind::Sgd];
+    let bits = vec![4u8, 6, 8];
+    let preset = Preset::C10;
+    let (_, test_set) = preset.load(scale.data);
+    let mut accs = Vec::new();
+    for &method in &methods {
+        let mut trained = train_cell(preset, ModelKind::Mobilenet, method, scale, 0)?;
+        let curve = quant_sweep(&mut trained, &test_set, &bits)?;
+        let mut row: Vec<f32> = curve.points.iter().map(|&(_, a)| a).collect();
+        row.push(curve.full_acc);
+        accs.push(row);
+    }
+    Ok(Table3 { bits, methods: methods.to_vec(), accs })
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2: Hessian norm and generalization gap across training
+// ---------------------------------------------------------------------------
+
+/// Fig. 2 result: the ‖Hz‖ series and late-training generalization gap per
+/// method.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Method per entry.
+    pub methods: Vec<MethodKind>,
+    /// ‖Hz‖ series per method: `(epoch, value)`.
+    pub hessian_series: Vec<Vec<(usize, f32)>>,
+    /// Mean generalization gap over the final quarter of training.
+    pub late_gaps: Vec<f32>,
+}
+
+/// Runs Fig. 2: ResNet on C10 trained with each method under periodic
+/// curvature probes.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn run_fig2(scale: Scale) -> Result<Fig2> {
+    let methods = [MethodKind::Hero, MethodKind::GradL1, MethodKind::Sgd];
+    let probe_every = (scale.epochs_small / 10).max(1);
+    let mut series = Vec::new();
+    let mut gaps = Vec::new();
+    for &method in &methods {
+        let trained =
+            train_cell(Preset::C10, ModelKind::Resnet, method, scale, probe_every)?;
+        series.push(trained.record.hessian_series());
+        gaps.push(trained.record.mean_late_gap((scale.epochs_small / 4).max(1)));
+    }
+    Ok(Fig2 { methods: methods.to_vec(), hessian_series: series, late_gaps: gaps })
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3: loss contours
+// ---------------------------------------------------------------------------
+
+/// Fig. 3 result: the 2-D loss scans for HERO- and SGD-trained weights
+/// along the same (per-model filter-normalized) random directions.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// Scan of the HERO-trained model.
+    pub hero: SurfaceScan,
+    /// Scan of the SGD-trained model.
+    pub sgd: SurfaceScan,
+    /// Loss-increase threshold used for the flatness statistics.
+    pub threshold: f32,
+}
+
+/// Scans the loss surface around a trained model's weights along two
+/// filter-normalized random directions, evaluating the training loss on a
+/// fixed subsample (as the visualization tool of Li et al. does).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn landscape_scan(
+    trained: &mut TrainedModel,
+    train_set: &Dataset,
+    radius: f32,
+    steps: usize,
+    seed: u64,
+) -> Result<SurfaceScan> {
+    let n = train_set.len().min(128);
+    let images = train_set.images.narrow(0, n)?;
+    let labels = train_set.labels[..n].to_vec();
+    let params = trained.net.params();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d1 = filter_normalized_direction(&params, &mut rng)?;
+    let d2 = filter_normalized_direction(&params, &mut rng)?;
+    let net = &mut trained.net;
+    let mut oracle = |ps: &[hero_tensor::Tensor]| -> Result<f32> {
+        net.set_params(ps)?;
+        hero_nn::eval_loss(net, &images, &labels)
+    };
+    let scan = scan_2d(&mut oracle, &params, &d1, &d2, radius, steps)?;
+    trained.net.set_params(&params)?;
+    Ok(scan)
+}
+
+/// Runs Fig. 3: ResNet20-stand-in on C10 trained with HERO and SGD, scanned
+/// at the same scale.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors.
+pub fn run_fig3(scale: Scale, radius: f32, steps: usize) -> Result<Fig3> {
+    let (train_set, _) = Preset::C10.load(scale.data);
+    let mut hero = train_cell(Preset::C10, ModelKind::Resnet, MethodKind::Hero, scale, 0)?;
+    let mut sgd = train_cell(Preset::C10, ModelKind::Resnet, MethodKind::Sgd, scale, 0)?;
+    let hero_scan = landscape_scan(&mut hero, &train_set, radius, steps, 0xF16_3)?;
+    let sgd_scan = landscape_scan(&mut sgd, &train_set, radius, steps, 0xF16_3)?;
+    Ok(Fig3 { hero: hero_scan, sgd: sgd_scan, threshold: 0.1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_methods_have_expected_shapes() {
+        assert_eq!(MethodKind::Sgd.tuned(), Method::Sgd);
+        assert!(matches!(MethodKind::Hero.tuned(), Method::Hero { .. }));
+        assert!(matches!(MethodKind::GradL1.tuned(), Method::GradL1 { .. }));
+        assert_eq!(MethodKind::Hero.paper_name(), "HERO");
+    }
+
+    #[test]
+    fn scale_epochs_vary_by_preset() {
+        let s = Scale::full();
+        assert_eq!(s.epochs(Preset::C10), 60);
+        assert_eq!(s.epochs(Preset::In50), 25);
+        assert!(Scale::fast().epochs_small < s.epochs_small);
+    }
+
+    #[test]
+    fn matrix_covers_paper_rows() {
+        let m = table1_matrix();
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.iter().filter(|(p, _)| *p == Preset::C10).count(), 3);
+        assert_eq!(m.iter().filter(|(p, _)| *p == Preset::In50).count(), 1);
+    }
+
+    #[test]
+    fn train_cell_and_quant_sweep_smoke() {
+        let scale = Scale { data: 0.12, epochs_small: 2, epochs_large: 1 };
+        let mut trained =
+            train_cell(Preset::C10, ModelKind::Resnet, MethodKind::Sgd, scale, 0).unwrap();
+        assert!(trained.record.final_test_acc.is_finite());
+        let (_, test_set) = Preset::C10.load(scale.data);
+        let before = trained.net.params();
+        let curve = quant_sweep(&mut trained, &test_set, &[4, 8]).unwrap();
+        assert_eq!(curve.points.len(), 2);
+        // Weights restored after the sweep.
+        assert_eq!(trained.net.params(), before);
+    }
+
+    #[test]
+    fn model_seeds_are_unique_per_cell() {
+        let mut seen = std::collections::HashSet::new();
+        for (p, m) in table1_matrix() {
+            assert!(seen.insert(model_seed(p, m)), "duplicate seed for {p:?}/{m:?}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Per-epoch metrics and whole-run records.
+
+/// Metrics collected at the end of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochMetrics {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f32,
+    /// Training-set accuracy (evaluated when the test set is evaluated).
+    pub train_acc: f32,
+    /// Test-set accuracy (NaN when not evaluated this epoch).
+    pub test_acc: f32,
+    /// ‖Hz‖ curvature probe (NaN when not probed this epoch).
+    pub hessian_norm: f32,
+    /// Mean of the method's regularizer statistic over the epoch.
+    pub regularizer: f32,
+}
+
+impl EpochMetrics {
+    /// Generalization gap `train_acc − test_acc` (NaN when the test set was
+    /// not evaluated).
+    pub fn generalization_gap(&self) -> f32 {
+        self.train_acc - self.test_acc
+    }
+}
+
+/// The full record of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainRecord {
+    /// Method name (for reports).
+    pub method: String,
+    /// Per-epoch metrics.
+    pub epochs: Vec<EpochMetrics>,
+    /// Final test accuracy.
+    pub final_test_acc: f32,
+    /// Final training accuracy.
+    pub final_train_acc: f32,
+    /// Total gradient evaluations spent.
+    pub grad_evals: usize,
+}
+
+impl TrainRecord {
+    /// Final generalization gap.
+    pub fn final_gap(&self) -> f32 {
+        self.final_train_acc - self.final_test_acc
+    }
+
+    /// Mean generalization gap over the last `k` evaluated epochs — the
+    /// paper's Fig. 2(b) statistic ("final 50 training epochs").
+    pub fn mean_late_gap(&self, k: usize) -> f32 {
+        let evaluated: Vec<&EpochMetrics> =
+            self.epochs.iter().filter(|e| !e.test_acc.is_nan()).collect();
+        if evaluated.is_empty() {
+            return f32::NAN;
+        }
+        let tail = &evaluated[evaluated.len().saturating_sub(k)..];
+        tail.iter().map(|e| e.generalization_gap()).sum::<f32>() / tail.len() as f32
+    }
+
+    /// The ‖Hz‖ probe series as `(epoch, value)` pairs — Fig. 2(a).
+    pub fn hessian_series(&self) -> Vec<(usize, f32)> {
+        self.epochs
+            .iter()
+            .filter(|e| !e.hessian_norm.is_nan())
+            .map(|e| (e.epoch, e.hessian_norm))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(e: usize, train: f32, test: f32, hz: f32) -> EpochMetrics {
+        EpochMetrics {
+            epoch: e,
+            train_loss: 1.0,
+            train_acc: train,
+            test_acc: test,
+            hessian_norm: hz,
+            regularizer: 0.0,
+        }
+    }
+
+    #[test]
+    fn gap_is_train_minus_test() {
+        let m = epoch(0, 0.9, 0.8, f32::NAN);
+        assert!((m.generalization_gap() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_late_gap_uses_evaluated_tail() {
+        let rec = TrainRecord {
+            method: "SGD".into(),
+            epochs: vec![
+                epoch(0, 0.5, 0.5, f32::NAN),
+                epoch(1, 0.8, f32::NAN, f32::NAN), // skipped eval
+                epoch(2, 0.9, 0.7, f32::NAN),
+                epoch(3, 1.0, 0.7, f32::NAN),
+            ],
+            final_test_acc: 0.7,
+            final_train_acc: 1.0,
+            grad_evals: 0,
+        };
+        assert!((rec.mean_late_gap(2) - 0.25).abs() < 1e-6);
+        assert!((rec.final_gap() - 0.3).abs() < 1e-6);
+        // Asking for more than exist averages everything evaluated.
+        assert!((rec.mean_late_gap(10) - (0.0 + 0.2 + 0.3) / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hessian_series_skips_unprobed_epochs() {
+        let rec = TrainRecord {
+            method: "HERO".into(),
+            epochs: vec![
+                epoch(0, 0.5, 0.5, 2.0),
+                epoch(1, 0.6, 0.5, f32::NAN),
+                epoch(2, 0.7, 0.6, 1.0),
+            ],
+            final_test_acc: 0.6,
+            final_train_acc: 0.7,
+            grad_evals: 0,
+        };
+        assert_eq!(rec.hessian_series(), vec![(0, 2.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn empty_record_gap_is_nan() {
+        let rec = TrainRecord {
+            method: "x".into(),
+            epochs: vec![],
+            final_test_acc: 0.0,
+            final_train_acc: 0.0,
+            grad_evals: 0,
+        };
+        assert!(rec.mean_late_gap(5).is_nan());
+    }
+}

@@ -1,0 +1,327 @@
+//! Plain-text rendering of experiment results, mirroring the paper's
+//! table and figure layouts.
+
+use crate::experiment::{Fig2, Fig3, QuantCurve, Table1, Table2, Table3};
+
+/// A simple aligned text table builder.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (missing cells render empty; extra cells are kept).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an accuracy as a percentage with two decimals (paper style).
+pub fn pct(acc: f32) -> String {
+    format!("{:.2}%", acc * 100.0)
+}
+
+/// Renders Table 1 in the paper's layout.
+pub fn render_table1(t: &Table1) -> String {
+    let mut header = vec!["Dataset", "Model"];
+    let names: Vec<&str> = t.methods.iter().map(|m| m.paper_name()).collect();
+    header.extend(names.iter().copied());
+    let mut table = TextTable::new(&header);
+    for row in &t.rows {
+        let mut cells = vec![row.dataset.to_string(), row.model.to_string()];
+        cells.extend(row.accs.iter().map(|&a| pct(a)));
+        table.row(cells);
+    }
+    format!("Table 1: Test accuracy on various models and datasets.\n{}", table.render())
+}
+
+/// Renders Table 2 in the paper's layout.
+pub fn render_table2(t: &Table2) -> String {
+    let mut header = vec!["Noise ratio".to_string()];
+    header.extend(t.ratios.iter().map(|r| format!("{:.0}%", r * 100.0)));
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&headers);
+    for (mi, m) in t.methods.iter().enumerate() {
+        let mut cells = vec![m.paper_name().to_string()];
+        cells.extend(t.accs[mi].iter().map(|&a| pct(a)));
+        table.row(cells);
+    }
+    format!(
+        "Table 2: Test accuracy under noisy-label training ({}).\n{}",
+        t.model,
+        table.render()
+    )
+}
+
+/// Renders Table 3 in the paper's layout.
+pub fn render_table3(t: &Table3) -> String {
+    let mut header = vec!["Quantization (bit)".to_string()];
+    header.extend(t.bits.iter().map(|b| b.to_string()));
+    header.push("Full".to_string());
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&headers);
+    for (mi, m) in t.methods.iter().enumerate() {
+        let mut cells = vec![m.paper_name().to_string()];
+        cells.extend(t.accs[mi].iter().map(|&a| pct(a)));
+        table.row(cells);
+    }
+    format!(
+        "Table 3: Ablation on HERO, first-order only, and SGD (MobileNetV2 / CIFAR-10).\n{}",
+        table.render()
+    )
+}
+
+/// Renders one Fig. 1 panel: quantization curves for several methods on
+/// one (dataset, model) pair.
+pub fn render_fig1_panel(dataset: &str, model: &str, curves: &[QuantCurve]) -> String {
+    let mut header = vec!["Bits".to_string()];
+    header.extend(curves.iter().map(|c| c.method.paper_name().to_string()));
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&headers);
+    if let Some(first) = curves.first() {
+        for (i, &(bits, _)) in first.points.iter().enumerate() {
+            let mut cells = vec![bits.to_string()];
+            for c in curves {
+                cells.push(pct(c.points[i].1));
+            }
+            table.row(cells);
+        }
+    }
+    let mut full = vec!["Full".to_string()];
+    full.extend(curves.iter().map(|c| pct(c.full_acc)));
+    table.row(full);
+    format!("Fig 1 panel: {dataset} / {model} post-training quantization accuracy.\n{}", table.render())
+}
+
+/// Renders Fig. 2 as two aligned series tables.
+pub fn render_fig2(f: &Fig2) -> String {
+    let mut out = String::from("Fig 2(a): Hessian norm ‖Hz‖ across training.\n");
+    let mut header = vec!["Epoch".to_string()];
+    header.extend(f.methods.iter().map(|m| m.paper_name().to_string()));
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&headers);
+    if let Some(first) = f.hessian_series.first() {
+        for (i, &(epoch, _)) in first.iter().enumerate() {
+            let mut cells = vec![epoch.to_string()];
+            for s in &f.hessian_series {
+                cells.push(
+                    s.get(i).map(|&(_, v)| format!("{v:.4}")).unwrap_or_default(),
+                );
+            }
+            table.row(cells);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str("\nFig 2(b): generalization gap over the final training epochs.\n");
+    let mut gap_table = TextTable::new(&["Method", "Mean late gap"]);
+    for (m, g) in f.methods.iter().zip(&f.late_gaps) {
+        gap_table.row(vec![m.paper_name().to_string(), pct(*g)]);
+    }
+    out.push_str(&gap_table.render());
+    out
+}
+
+/// Renders Fig. 3 as ASCII contours plus flatness statistics.
+pub fn render_fig3(f: &Fig3) -> String {
+    format!(
+        "Fig 3: loss contours around converged weights (threshold +{:.2}).\n\
+         (a) HERO  — low-loss fraction {:.3}, flat radius {:.3}\n{}\n\
+         (b) SGD   — low-loss fraction {:.3}, flat radius {:.3}\n{}",
+        f.threshold,
+        f.hero.low_loss_fraction(f.threshold),
+        f.hero.flat_radius(f.threshold),
+        f.hero.ascii_contour(f.threshold),
+        f.sgd.low_loss_fraction(f.threshold),
+        f.sgd.flat_radius(f.threshold),
+        f.sgd.ascii_contour(f.threshold),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::MethodKind;
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let mut t = TextTable::new(&["A", "Longer"]);
+        t.row(vec!["xx".into(), "y".into()]);
+        t.row(vec!["a-very-long-cell".into(), "z".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have the same rendered position for column 2.
+        let pos: Vec<usize> = [lines[0], lines[2], lines[3]]
+            .iter()
+            .map(|l| l.trim_end().rfind(' ').unwrap())
+            .collect();
+        assert_eq!(pos[0], pos[1]);
+        assert_eq!(pos[1], pos[2]);
+    }
+
+    #[test]
+    fn pct_formats_paper_style() {
+        assert_eq!(pct(0.9344), "93.44%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+
+    #[test]
+    fn render_table1_includes_all_cells() {
+        let t = Table1 {
+            methods: vec![MethodKind::Hero, MethodKind::Sgd],
+            rows: vec![crate::experiment::Table1Row {
+                dataset: "CIFAR-10",
+                model: "ResNet20",
+                accs: vec![0.93, 0.91],
+            }],
+        };
+        let s = render_table1(&t);
+        assert!(s.contains("CIFAR-10"));
+        assert!(s.contains("ResNet20"));
+        assert!(s.contains("93.00%"));
+        assert!(s.contains("HERO"));
+        assert!(s.contains("SGD"));
+    }
+
+    #[test]
+    fn render_table2_and_3() {
+        let t2 = Table2 {
+            model: "ResNet20",
+            ratios: vec![0.2, 0.8],
+            methods: vec![MethodKind::Hero],
+            accs: vec![vec![0.9, 0.7]],
+        };
+        let s = render_table2(&t2);
+        assert!(s.contains("20%") && s.contains("80%") && s.contains("70.00%"));
+        let t3 = Table3 {
+            bits: vec![4, 8],
+            methods: vec![MethodKind::Hero, MethodKind::FirstOrder],
+            accs: vec![vec![0.9, 0.92, 0.93], vec![0.85, 0.9, 0.91]],
+        };
+        let s = render_table3(&t3);
+        assert!(s.contains("First-order only"));
+        assert!(s.contains("Full"));
+    }
+
+    #[test]
+    fn render_fig1_panel_rows_match_bits() {
+        let c = QuantCurve {
+            method: MethodKind::Hero,
+            full_acc: 0.95,
+            points: vec![(4, 0.9), (8, 0.94)],
+        };
+        let s = render_fig1_panel("CIFAR-10", "VGG19BN", &[c]);
+        assert!(s.contains("VGG19BN"));
+        assert!(s.lines().count() >= 5);
+        assert!(s.contains("90.00%"));
+    }
+}
+
+#[cfg(test)]
+mod render_fig_tests {
+    use super::*;
+    use crate::experiment::{Fig2, Fig3, MethodKind};
+    use hero_landscape::{scan_2d, LossOracle};
+    use hero_tensor::Tensor;
+
+    fn tiny_scan() -> crate::experiment::Fig3 {
+        let mut bowl = |ps: &[Tensor]| Ok(0.01 * ps[0].norm_l2_sq());
+        let sharp = {
+            let mut b = |ps: &[Tensor]| Ok(ps[0].norm_l2_sq() * 30.0);
+            let params = vec![Tensor::zeros([2])];
+            let d1 = vec![Tensor::from_vec(vec![1.0, 0.0], [2]).unwrap()];
+            let d2 = vec![Tensor::from_vec(vec![0.0, 1.0], [2]).unwrap()];
+            scan_2d(&mut b as &mut dyn LossOracle, &params, &d1, &d2, 1.0, 5).unwrap()
+        };
+        let flat = {
+            let params = vec![Tensor::zeros([2])];
+            let d1 = vec![Tensor::from_vec(vec![1.0, 0.0], [2]).unwrap()];
+            let d2 = vec![Tensor::from_vec(vec![0.0, 1.0], [2]).unwrap()];
+            scan_2d(&mut bowl as &mut dyn LossOracle, &params, &d1, &d2, 1.0, 5).unwrap()
+        };
+        Fig3 { hero: flat, sgd: sharp, threshold: 0.1 }
+    }
+
+    #[test]
+    fn render_fig2_lists_all_methods_and_epochs() {
+        let f = Fig2 {
+            methods: vec![MethodKind::Hero, MethodKind::Sgd],
+            hessian_series: vec![vec![(0, 2.0), (5, 1.0)], vec![(0, 3.0), (5, 4.0)]],
+            late_gaps: vec![0.02, 0.08],
+        };
+        let s = render_fig2(&f);
+        assert!(s.contains("HERO"));
+        assert!(s.contains("SGD"));
+        assert!(s.contains("2.0000"));
+        assert!(s.contains("8.00%"));
+        assert!(s.contains("Fig 2(a)"));
+        assert!(s.contains("Fig 2(b)"));
+    }
+
+    #[test]
+    fn render_fig2_handles_empty_series() {
+        let f = Fig2 { methods: vec![], hessian_series: vec![], late_gaps: vec![] };
+        let s = render_fig2(&f);
+        assert!(s.contains("Fig 2"));
+    }
+
+    #[test]
+    fn render_fig3_shows_both_contours_and_flatness_order() {
+        let f = tiny_scan();
+        let s = render_fig3(&f);
+        assert!(s.contains("(a) HERO"));
+        assert!(s.contains("(b) SGD"));
+        assert!(s.contains('#'));
+        // The flat (HERO) scan reports a higher low-loss fraction.
+        assert!(f.hero.low_loss_fraction(0.1) > f.sgd.low_loss_fraction(0.1));
+    }
+}

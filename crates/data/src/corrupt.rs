@@ -1,0 +1,138 @@
+//! Test-time input corruptions.
+//!
+//! Evaluating a trained model on corrupted copies of the test set probes
+//! input-space robustness — the paper's motivation ("data gathered in the
+//! wild", §1) and the CURE lineage (§2.3) both concern it. These
+//! corruptions are deterministic given a seed so sweeps are reproducible.
+
+use crate::synth::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The supported corruption families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Corruption {
+    /// Additive Gaussian pixel noise with the given standard deviation.
+    GaussianNoise(f32),
+    /// Sets each pixel to zero independently with the given probability.
+    PixelDropout(f32),
+    /// Scales global contrast by the given factor (1.0 = identity).
+    Contrast(f32),
+}
+
+impl Corruption {
+    /// Returns a corrupted copy of the dataset (labels untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability parameter is outside `[0, 1]` — corruption
+    /// severities come from a fixed sweep, so an invalid value is a
+    /// programming error.
+    pub fn apply(&self, data: &Dataset, seed: u64) -> Dataset {
+        let mut out = data.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            Corruption::GaussianNoise(std) => {
+                for v in out.images.data_mut() {
+                    *v += std * standard_normal(&mut rng);
+                }
+            }
+            Corruption::PixelDropout(p) => {
+                assert!((0.0..=1.0).contains(&p), "dropout probability {p} out of range");
+                for v in out.images.data_mut() {
+                    if rng.gen::<f32>() < p {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Corruption::Contrast(factor) => {
+                let mean = out.images.mean();
+                for v in out.images.data_mut() {
+                    *v = mean + factor * (*v - mean);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthGenerator, SynthSpec};
+
+    fn data() -> Dataset {
+        SynthGenerator::new(SynthSpec::default()).generate(40, 1)
+    }
+
+    #[test]
+    fn corruptions_preserve_shape_and_labels() {
+        let d = data();
+        for c in [
+            Corruption::GaussianNoise(0.5),
+            Corruption::PixelDropout(0.3),
+            Corruption::Contrast(0.5),
+        ] {
+            let out = c.apply(&d, 1);
+            assert_eq!(out.images.dims(), d.images.dims());
+            assert_eq!(out.labels, d.labels);
+            assert!(out.images.is_finite());
+        }
+    }
+
+    #[test]
+    fn gaussian_noise_scales_with_severity() {
+        let d = data();
+        let mild = Corruption::GaussianNoise(0.1).apply(&d, 2);
+        let harsh = Corruption::GaussianNoise(1.0).apply(&d, 2);
+        let dist = |a: &Dataset| a.images.sub(&d.images).unwrap().norm_l2();
+        assert!(dist(&harsh) > 5.0 * dist(&mild));
+        // Zero severity is the identity.
+        let none = Corruption::GaussianNoise(0.0).apply(&d, 2);
+        assert_eq!(none.images, d.images);
+    }
+
+    #[test]
+    fn pixel_dropout_zeroes_expected_fraction() {
+        let d = data();
+        let out = Corruption::PixelDropout(0.25).apply(&d, 3);
+        let zeros = out.images.data().iter().filter(|&&v| v == 0.0).count();
+        let total = out.images.numel();
+        let frac = zeros as f32 / total as f32;
+        assert!((frac - 0.25).abs() < 0.03, "dropout fraction {frac}");
+    }
+
+    #[test]
+    fn contrast_one_is_identity() {
+        let d = data();
+        let out = Corruption::Contrast(1.0).apply(&d, 4);
+        for (a, b) in out.images.data().iter().zip(d.images.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        // Zero contrast collapses to the mean.
+        let flat = Corruption::Contrast(0.0).apply(&d, 4);
+        assert!(flat.images.variance() < 1e-8);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_in_seed() {
+        let d = data();
+        let a = Corruption::GaussianNoise(0.3).apply(&d, 7);
+        let b = Corruption::GaussianNoise(0.3).apply(&d, 7);
+        assert_eq!(a.images, b.images);
+        let c = Corruption::GaussianNoise(0.3).apply(&d, 8);
+        assert_ne!(a.images, c.images);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dropout_rejects_invalid_probability() {
+        Corruption::PixelDropout(1.5).apply(&data(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # hero-data
+//!
+//! Synthetic vision datasets for the HERO (DAC 2022) reproduction:
+//! procedurally generated class-texture images standing in for CIFAR-10,
+//! CIFAR-100 and ImageNet (the environment has no dataset access — see
+//! DESIGN.md §1), plus the paper's symmetric label-noise model (§5.2),
+//! pad-crop/flip augmentation (§5.1) and shuffled mini-batch loading.
+//!
+//! # Examples
+//!
+//! ```
+//! use hero_data::{Loader, Preset};
+//!
+//! let (train, test) = Preset::C10.load(0.1);
+//! assert_eq!(train.classes, 10);
+//! let mut loader = Loader::new(16, 0);
+//! let batches = loader.epoch(&train);
+//! assert_eq!(batches.iter().map(|b| b.labels.len()).sum::<usize>(), train.len());
+//! # let _ = test;
+//! ```
+
+#![warn(missing_docs)]
+
+mod augment;
+mod corrupt;
+mod loader;
+mod noise;
+mod presets;
+mod synth;
+
+pub use augment::Augment;
+pub use corrupt::Corruption;
+pub use loader::{Batch, Loader};
+pub use noise::{inject_symmetric_noise, label_disagreement};
+pub use presets::Preset;
+pub use synth::{Dataset, SynthGenerator, SynthSpec};

@@ -1,0 +1,144 @@
+//! Shuffled mini-batch iteration over a [`Dataset`].
+
+use crate::synth::Dataset;
+use hero_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One mini-batch: images and aligned labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Images `(b, c, h, w)`.
+    pub images: Tensor,
+    /// Labels, length `b`.
+    pub labels: Vec<usize>,
+}
+
+/// Produces shuffled mini-batches, reshuffling every epoch.
+#[derive(Debug)]
+pub struct Loader {
+    batch_size: usize,
+    rng: StdRng,
+}
+
+impl Loader {
+    /// Creates a loader with the given batch size and shuffle seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Loader { batch_size, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Returns the batches of one epoch in a fresh shuffled order. The
+    /// final batch may be smaller than `batch_size`.
+    pub fn epoch(&mut self, data: &Dataset) -> Vec<Batch> {
+        let n = data.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Fisher-Yates shuffle.
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let (c, h, w) = data.image_dims();
+        let pix = c * h * w;
+        let mut batches = Vec::with_capacity(n.div_ceil(self.batch_size));
+        for chunk in order.chunks(self.batch_size) {
+            let mut imgs = Vec::with_capacity(chunk.len() * pix);
+            let mut labels = Vec::with_capacity(chunk.len());
+            for &idx in chunk {
+                imgs.extend_from_slice(&data.images.data()[idx * pix..(idx + 1) * pix]);
+                labels.push(data.labels[idx]);
+            }
+            let images = Tensor::from_vec(imgs, [chunk.len(), c, h, w])
+                .expect("volume matches by construction");
+            batches.push(Batch { images, labels });
+        }
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthGenerator, SynthSpec};
+
+    fn data(n: usize) -> Dataset {
+        SynthGenerator::new(SynthSpec::default()).generate(n, 1)
+    }
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let d = data(23);
+        let mut loader = Loader::new(5, 0);
+        let batches = loader.epoch(&d);
+        assert_eq!(batches.len(), 5);
+        let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+        assert_eq!(total, 23);
+        assert_eq!(batches.last().unwrap().labels.len(), 3);
+        // Label histogram matches the dataset.
+        let mut count = vec![0usize; d.classes];
+        for b in &batches {
+            for &l in &b.labels {
+                count[l] += 1;
+            }
+        }
+        let mut expected = vec![0usize; d.classes];
+        for &l in &d.labels {
+            expected[l] += 1;
+        }
+        assert_eq!(count, expected);
+    }
+
+    #[test]
+    fn shuffling_changes_across_epochs() {
+        let d = data(40);
+        let mut loader = Loader::new(8, 1);
+        let e1: Vec<usize> = loader.epoch(&d).iter().flat_map(|b| b.labels.clone()).collect();
+        let e2: Vec<usize> = loader.epoch(&d).iter().flat_map(|b| b.labels.clone()).collect();
+        assert_ne!(e1, e2, "two epochs produced identical order");
+    }
+
+    #[test]
+    fn images_align_with_labels() {
+        // Build a dataset where each image is constant = its label.
+        let mut d = data(20);
+        let pix = 3 * 8 * 8;
+        for i in 0..20 {
+            let l = d.labels[i] as f32;
+            for v in &mut d.images.data_mut()[i * pix..(i + 1) * pix] {
+                *v = l;
+            }
+        }
+        let mut loader = Loader::new(6, 2);
+        for b in loader.epoch(&d) {
+            for (row, &label) in b.labels.iter().enumerate() {
+                let first = b.images.get(&[row, 0, 0, 0]).unwrap();
+                assert_eq!(first, label as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_loader_is_deterministic() {
+        let d = data(30);
+        let a: Vec<usize> =
+            Loader::new(7, 9).epoch(&d).iter().flat_map(|b| b.labels.clone()).collect();
+        let b: Vec<usize> =
+            Loader::new(7, 9).epoch(&d).iter().flat_map(|b| b.labels.clone()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        Loader::new(0, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Symmetric label-noise injection (the paper's §5.2 noisy-label setting,
+//! following DivideMix's symmetric noise model).
+
+use crate::synth::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replaces the labels of a uniformly-sampled `ratio` fraction of the
+/// dataset with uniform random classes (symmetric noise).
+///
+/// Following [Li et al. 2020], the replacement label is drawn from *all*
+/// classes, so a corrupted sample keeps its true label with probability
+/// `1/classes`. Returns the indices that were selected for corruption.
+///
+/// # Panics
+///
+/// Panics if `ratio` is outside `[0, 1]` — noise ratios come from the
+/// experiment grid, so an invalid value is a programming error.
+pub fn inject_symmetric_noise(data: &mut Dataset, ratio: f32, seed: u64) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&ratio),
+        "noise ratio {ratio} must lie in [0, 1]"
+    );
+    let n = data.len();
+    let k = (ratio * n as f32).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher-Yates: pick k distinct indices.
+    let mut indices: Vec<usize> = (0..n).collect();
+    for i in 0..k.min(n) {
+        let j = rng.gen_range(i..n);
+        indices.swap(i, j);
+    }
+    let chosen: Vec<usize> = indices[..k.min(n)].to_vec();
+    for &idx in &chosen {
+        data.labels[idx] = rng.gen_range(0..data.classes);
+    }
+    chosen
+}
+
+/// Fraction of labels that differ from a reference labelling.
+pub fn label_disagreement(reference: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(reference.len(), labels.len(), "label lists must align");
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let diff = reference.iter().zip(labels).filter(|(a, b)| a != b).count();
+    diff as f32 / reference.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthGenerator, SynthSpec};
+
+    fn dataset(n: usize) -> Dataset {
+        SynthGenerator::new(SynthSpec::default()).generate(n, 1)
+    }
+
+    #[test]
+    fn corrupts_exactly_the_requested_count() {
+        let mut d = dataset(200);
+        let chosen = inject_symmetric_noise(&mut d, 0.4, 7);
+        assert_eq!(chosen.len(), 80);
+        // Chosen indices are distinct.
+        let mut sorted = chosen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 80);
+    }
+
+    #[test]
+    fn disagreement_is_close_to_ratio() {
+        let mut d = dataset(1000);
+        let clean = d.labels.clone();
+        inject_symmetric_noise(&mut d, 0.6, 3);
+        let dis = label_disagreement(&clean, &d.labels);
+        // Symmetric noise keeps the true label with prob 1/classes, so the
+        // observed disagreement is ratio * (1 - 1/10) = 0.54 on average.
+        assert!((dis - 0.54).abs() < 0.06, "disagreement {dis}");
+    }
+
+    #[test]
+    fn zero_ratio_changes_nothing() {
+        let mut d = dataset(100);
+        let before = d.labels.clone();
+        let chosen = inject_symmetric_noise(&mut d, 0.0, 1);
+        assert!(chosen.is_empty());
+        assert_eq!(d.labels, before);
+    }
+
+    #[test]
+    fn full_ratio_touches_every_label() {
+        let mut d = dataset(100);
+        let chosen = inject_symmetric_noise(&mut d, 1.0, 1);
+        assert_eq!(chosen.len(), 100);
+        // Labels stay within range.
+        assert!(d.labels.iter().all(|&l| l < d.classes));
+    }
+
+    #[test]
+    fn noise_is_deterministic_in_seed() {
+        let mut a = dataset(100);
+        let mut b = dataset(100);
+        inject_symmetric_noise(&mut a, 0.5, 42);
+        inject_symmetric_noise(&mut b, 0.5, 42);
+        assert_eq!(a.labels, b.labels);
+        let mut c = dataset(100);
+        inject_symmetric_noise(&mut c, 0.5, 43);
+        assert_ne!(a.labels, c.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in")]
+    fn rejects_invalid_ratio() {
+        let mut d = dataset(10);
+        inject_symmetric_noise(&mut d, 1.5, 0);
+    }
+
+    #[test]
+    fn disagreement_of_identical_lists_is_zero() {
+        assert_eq!(label_disagreement(&[1, 2, 3], &[1, 2, 3]), 0.0);
+        assert_eq!(label_disagreement(&[], &[]), 0.0);
+        assert!((label_disagreement(&[1, 2], &[1, 3]) - 0.5).abs() < 1e-6);
+    }
+}

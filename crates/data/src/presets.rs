@@ -1,0 +1,144 @@
+//! Dataset presets standing in for the paper's CIFAR-10, CIFAR-100 and
+//! ImageNet benchmarks (DESIGN.md §1).
+
+use crate::synth::{Dataset, SynthGenerator, SynthSpec};
+
+/// The three benchmark stand-ins used by the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// CIFAR-10 stand-in: 10 independent texture classes, 3×8×8.
+    C10,
+    /// CIFAR-100 stand-in: 100 fine classes over 20 super-textures, 3×8×8
+    /// (fewer samples per class, lower absolute accuracy — the CIFAR-100
+    /// relationship).
+    C100,
+    /// ImageNet stand-in: 50 classes at 3×16×16 (the scalability axis).
+    In50,
+}
+
+impl Preset {
+    /// The display name used in reports (matching the paper's tables).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Preset::C10 => "CIFAR-10",
+            Preset::C100 => "CIFAR-100",
+            Preset::In50 => "ImageNet",
+        }
+    }
+
+    /// The generator spec for this preset.
+    pub fn spec(self) -> SynthSpec {
+        match self {
+            Preset::C10 => SynthSpec {
+                classes: 10,
+                channels: 3,
+                hw: 8,
+                noise_std: 0.55,
+                max_shift: 1,
+                superclasses: 5,
+                sample_texture: 0.0,
+                seed: 0xC1FA_0010,
+            },
+            Preset::C100 => SynthSpec {
+                classes: 100,
+                channels: 3,
+                hw: 8,
+                noise_std: 0.45,
+                max_shift: 1,
+                superclasses: 20,
+                sample_texture: 0.0,
+                seed: 0xC1FA_0100,
+            },
+            Preset::In50 => SynthSpec {
+                classes: 50,
+                channels: 3,
+                hw: 16,
+                noise_std: 0.40,
+                max_shift: 2,
+                superclasses: 10,
+                sample_texture: 0.0,
+                seed: 0x1A6E_0050,
+            },
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(self) -> usize {
+        self.spec().classes
+    }
+
+    /// Input spatial side length.
+    pub fn input_hw(self) -> usize {
+        self.spec().hw
+    }
+
+    /// Default `(train, test)` sample counts scaled by `scale` (1.0 is the
+    /// standard experiment size).
+    pub fn sizes(self, scale: f32) -> (usize, usize) {
+        let (train, test) = match self {
+            Preset::C10 => (200, 400),
+            Preset::C100 => (400, 600),
+            Preset::In50 => (300, 500),
+        };
+        let s = |n: usize| ((n as f32 * scale).round() as usize).max(self.classes());
+        (s(train), s(test))
+    }
+
+    /// Builds the generator and a `(train, test)` split at `scale`.
+    pub fn load(self, scale: f32) -> (Dataset, Dataset) {
+        let generator = SynthGenerator::new(self.spec());
+        let (train_n, test_n) = self.sizes(scale);
+        generator.train_test(train_n, test_n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_specs_match_paper_structure() {
+        assert_eq!(Preset::C10.classes(), 10);
+        assert_eq!(Preset::C100.classes(), 100);
+        assert_eq!(Preset::In50.classes(), 50);
+        assert_eq!(Preset::C10.input_hw(), 8);
+        assert_eq!(Preset::In50.input_hw(), 16);
+        assert_eq!(Preset::C10.paper_name(), "CIFAR-10");
+    }
+
+    #[test]
+    fn c100_has_superclass_structure() {
+        assert_eq!(Preset::C100.spec().superclasses, 20);
+        assert_eq!(Preset::C10.spec().superclasses, 5);
+    }
+
+    #[test]
+    fn sizes_scale_and_stay_class_covering() {
+        let (tr, te) = Preset::C10.sizes(1.0);
+        assert_eq!((tr, te), (200, 400));
+        let (tr_s, te_s) = Preset::C10.sizes(0.25);
+        assert_eq!((tr_s, te_s), (50, 100));
+        // Even absurdly small scales keep one sample per class.
+        let (tr_min, _) = Preset::C100.sizes(0.001);
+        assert!(tr_min >= 100);
+        let _ = te_s;
+    }
+
+    #[test]
+    fn load_produces_balanced_split() {
+        let (train, test) = Preset::C10.load(0.1);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 40);
+        assert_eq!(train.classes, 10);
+        assert!(train.images.is_finite());
+        assert_ne!(train.images, test.images);
+    }
+
+    #[test]
+    fn presets_are_mutually_distinct() {
+        let a = Preset::C10.load(0.05).0;
+        let b = Preset::C100.load(0.05).0;
+        assert_ne!(a.classes, b.classes);
+        assert_ne!(a.images.dims(), Preset::In50.load(0.05).0.images.dims());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for dataset generation, label noise and loading.
+
+use hero_data::{inject_symmetric_noise, Loader, SynthGenerator, SynthSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = SynthSpec> {
+    (2usize..8, 4usize..10, 0.0f32..1.0, 0usize..2, 0u64..1000).prop_map(
+        |(classes, hw, noise, shift, seed)| SynthSpec {
+            classes,
+            channels: 3,
+            hw,
+            noise_std: noise,
+            max_shift: shift,
+            superclasses: 0,
+            sample_texture: 0.0,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_data_is_finite_and_balanced(spec in arb_spec(), n_mult in 1usize..5) {
+        let n = spec.classes * n_mult;
+        let d = SynthGenerator::new(spec).generate(n, 1);
+        prop_assert_eq!(d.len(), n);
+        prop_assert!(d.images.is_finite());
+        for class in 0..spec.classes {
+            prop_assert_eq!(d.labels.iter().filter(|&&l| l == class).count(), n_mult);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(spec in arb_spec()) {
+        let g1 = SynthGenerator::new(spec);
+        let g2 = SynthGenerator::new(spec);
+        let a = g1.generate(spec.classes * 2, 7);
+        let b = g2.generate(spec.classes * 2, 7);
+        prop_assert_eq!(a.images, b.images);
+    }
+
+    #[test]
+    fn noise_injection_corrupts_requested_fraction(
+        spec in arb_spec(), ratio in 0.0f32..1.0, seed in 0u64..100
+    ) {
+        let n = spec.classes * 10;
+        let mut d = SynthGenerator::new(spec).generate(n, 1);
+        let chosen = inject_symmetric_noise(&mut d, ratio, seed);
+        prop_assert_eq!(chosen.len(), (ratio * n as f32).round() as usize);
+        prop_assert!(d.labels.iter().all(|&l| l < spec.classes));
+    }
+
+    #[test]
+    fn loader_partitions_every_epoch(
+        spec in arb_spec(), batch in 1usize..20, seed in 0u64..100
+    ) {
+        let n = spec.classes * 7;
+        let d = SynthGenerator::new(spec).generate(n, 1);
+        let mut loader = Loader::new(batch, seed);
+        for _ in 0..3 {
+            let batches = loader.epoch(&d);
+            let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+            prop_assert_eq!(total, n);
+            prop_assert!(batches.iter().all(|b| b.labels.len() <= batch));
+            // All images keep the dataset's per-image shape.
+            for b in &batches {
+                prop_assert_eq!(&b.images.dims()[1..], &[3, spec.hw, spec.hw]);
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Theorem 3's perturbation lower bounds (Eq. 6, 7, 12).
+//!
+//! Given the gradient norm, the dominant Hessian eigenvalue `v` and a loss
+//! tolerance `c`, these bounds give the minimal ℓ2 / ℓ∞ perturbation
+//! strength that could raise the loss by `c` under the second-order model.
+//! Larger bounds mean a more robust model — HERO's objective is to enlarge
+//! them by shrinking `v`.
+
+/// Inputs to the Theorem 3 bounds at a particular weight configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundInputs {
+    /// ℓ2 norm of the gradient, ‖g‖₂.
+    pub grad_l2: f32,
+    /// ℓ1 norm of the gradient, |g| in the paper's Eq. 7 notation.
+    pub grad_l1: f32,
+    /// Dominant Hessian eigenvalue `v = λ_max(H)` (must be ≥ 0 for the
+    /// bounds to apply).
+    pub eigenvalue: f32,
+    /// Number of nonzero weights `n = ‖W‖₀`.
+    pub nonzeros: usize,
+    /// Loss-increase tolerance `c > 0`.
+    pub tolerance: f32,
+}
+
+impl BoundInputs {
+    /// Eq. (6): lower bound on ‖δ*‖₂, the smallest ℓ2 perturbation that can
+    /// raise the loss by `c`. Governs the generalization gap (Theorem 1).
+    ///
+    /// Returns infinity when both the gradient and curvature vanish (no
+    /// second-order path to a loss increase).
+    pub fn l2_bound(&self) -> f32 {
+        let g = self.grad_l2.max(0.0);
+        let v = self.eigenvalue.max(0.0);
+        let c = self.tolerance;
+        if v <= f32::MIN_POSITIVE {
+            // Limit v -> 0 of the bound is c / ||g||2.
+            return if g <= f32::MIN_POSITIVE { f32::INFINITY } else { c / g };
+        }
+        if g <= f32::MIN_POSITIVE {
+            // Limit g -> 0: sqrt(2c / v).
+            return (2.0 * c / v).sqrt();
+        }
+        (g / v) * ((1.0 + 2.0 * v * c / (g * g)).sqrt() - 1.0)
+    }
+
+    /// Eq. (7): lower bound on ‖δ*‖∞, the smallest ℓ∞ perturbation that can
+    /// raise the loss by `c`. Governs quantization robustness (Theorem 2):
+    /// quantization with bin width Δ ≤ 2·bound cannot raise the loss past
+    /// `c` under the second-order model.
+    pub fn linf_bound(&self) -> f32 {
+        let g = self.grad_l1.max(0.0);
+        let v = self.eigenvalue.max(0.0);
+        let n = self.nonzeros.max(1) as f32;
+        let c = self.tolerance;
+        if v <= f32::MIN_POSITIVE {
+            return if g <= f32::MIN_POSITIVE { f32::INFINITY } else { c / g };
+        }
+        if g <= f32::MIN_POSITIVE {
+            return self.linf_bound_grad_free();
+        }
+        (g / (n * v)) * ((1.0 + 2.0 * n * v * c / (g * g)).sqrt() - 1.0)
+    }
+
+    /// Eq. (12): the |g| → 0 limit of the ℓ∞ bound, `sqrt(2c/(n·v))` — the
+    /// residual robustness after GRAD-L1 has fully optimized the gradient,
+    /// still limited by curvature. This is the paper's argument for why
+    /// first-order regularization alone is insufficient.
+    pub fn linf_bound_grad_free(&self) -> f32 {
+        let v = self.eigenvalue.max(0.0);
+        let n = self.nonzeros.max(1) as f32;
+        if v <= f32::MIN_POSITIVE {
+            return f32::INFINITY;
+        }
+        (2.0 * self.tolerance / (n * v)).sqrt()
+    }
+
+    /// The largest quantization bin width Δ whose worst-case perturbation
+    /// (Δ/2 per weight) stays within the ℓ∞ bound: `Δ = 2 · linf_bound()`.
+    pub fn max_safe_bin_width(&self) -> f32 {
+        2.0 * self.linf_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BoundInputs {
+        BoundInputs { grad_l2: 1.0, grad_l1: 4.0, eigenvalue: 2.0, nonzeros: 100, tolerance: 0.1 }
+    }
+
+    #[test]
+    fn bounds_are_positive_and_finite() {
+        let b = base();
+        assert!(b.l2_bound() > 0.0 && b.l2_bound().is_finite());
+        assert!(b.linf_bound() > 0.0 && b.linf_bound().is_finite());
+        assert!(b.linf_bound() < b.l2_bound()); // ℓ∞ ball is tighter per coordinate
+    }
+
+    #[test]
+    fn bounds_increase_as_eigenvalue_decreases() {
+        // The core claim of Theorem 3: smaller v => larger allowed perturbation.
+        let mut prev_l2 = 0.0;
+        let mut prev_linf = 0.0;
+        for &v in &[8.0, 4.0, 2.0, 1.0, 0.5, 0.25] {
+            let b = BoundInputs { eigenvalue: v, ..base() };
+            assert!(b.l2_bound() > prev_l2);
+            assert!(b.linf_bound() > prev_linf);
+            prev_l2 = b.l2_bound();
+            prev_linf = b.linf_bound();
+        }
+    }
+
+    #[test]
+    fn linf_bound_increases_as_grad_l1_decreases() {
+        // The secondary monotonicity that justifies GRAD-L1.
+        let lo = BoundInputs { grad_l1: 0.5, ..base() };
+        let hi = BoundInputs { grad_l1: 8.0, ..base() };
+        assert!(lo.linf_bound() > hi.linf_bound());
+    }
+
+    #[test]
+    fn grad_free_limit_matches_eq12() {
+        let b = BoundInputs { grad_l1: 0.0, ..base() };
+        let expected = (2.0f32 * 0.1 / (100.0 * 2.0)).sqrt();
+        assert!((b.linf_bound() - expected).abs() < 1e-6);
+        assert!((b.linf_bound_grad_free() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grad_free_limit_is_approached_continuously() {
+        // As |g| -> 0 the general bound converges to Eq. 12.
+        let limit = base().linf_bound_grad_free();
+        let near = BoundInputs { grad_l1: 1e-4, ..base() }.linf_bound();
+        assert!((near - limit).abs() / limit < 1e-2);
+    }
+
+    #[test]
+    fn zero_curvature_gives_first_order_bound() {
+        let b = BoundInputs { eigenvalue: 0.0, ..base() };
+        assert!((b.l2_bound() - 0.1 / 1.0).abs() < 1e-6); // c / ||g||2
+        assert!((b.linf_bound() - 0.1 / 4.0).abs() < 1e-6); // c / |g|
+    }
+
+    #[test]
+    fn flat_and_gradient_free_is_unbreakable() {
+        let b = BoundInputs {
+            grad_l1: 0.0,
+            grad_l2: 0.0,
+            eigenvalue: 0.0,
+            ..base()
+        };
+        assert!(b.l2_bound().is_infinite());
+        assert!(b.linf_bound().is_infinite());
+    }
+
+    #[test]
+    fn safe_bin_width_doubles_linf_bound() {
+        let b = base();
+        assert!((b.max_safe_bin_width() - 2.0 * b.linf_bound()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn second_order_model_validates_l2_bound() {
+        // On an exact quadratic, a perturbation of the bound's size along
+        // the worst direction raises the loss by at most ~c.
+        let b = BoundInputs {
+            grad_l2: 1.0,
+            grad_l1: 1.0,
+            eigenvalue: 4.0,
+            nonzeros: 1,
+            tolerance: 0.05,
+        };
+        let r = b.l2_bound();
+        // Worst-case 1-D increase: ||g|| r + v/2 r^2 should equal c exactly.
+        let increase = 1.0 * r + 0.5 * 4.0 * r * r;
+        assert!((increase - 0.05).abs() < 1e-4, "increase={increase}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Finite-difference Hessian-vector products.
+//!
+//! HERO's regularizer gradient (Eq. 16) is `2·H(W′)·(∇L(W′) − g)` — a
+//! Hessian-vector product. The paper computes it with double
+//! backpropagation; this reproduction uses the standard finite-difference
+//! estimate `H·v ≈ (∇L(W + ε·v̂) − ∇L(W)) · ‖v‖ / ε`, which costs one extra
+//! gradient evaluation (the same cost profile) and avoids needing
+//! higher-order autodiff. See DESIGN.md §1 for the substitution note.
+
+use hero_tensor::{global_norm_l2, Result, Tensor, TensorError};
+
+/// A differentiable objective over a list of parameter tensors.
+///
+/// Implementations return the loss value and the gradient with respect to
+/// every parameter (canonical order). This is the only interface the
+/// curvature tools need, keeping them independent of any model type.
+pub trait GradOracle {
+    /// Evaluates loss and gradients at `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `params` has the wrong arity or shapes.
+    fn grad(&mut self, params: &[Tensor]) -> Result<(f32, Vec<Tensor>)>;
+}
+
+impl<F> GradOracle for F
+where
+    F: FnMut(&[Tensor]) -> Result<(f32, Vec<Tensor>)>,
+{
+    fn grad(&mut self, params: &[Tensor]) -> Result<(f32, Vec<Tensor>)> {
+        self(params)
+    }
+}
+
+/// Adds `scale * v` to a copy of `params`.
+///
+/// # Errors
+///
+/// Returns a shape error if the lists are misaligned.
+pub fn perturbed(params: &[Tensor], v: &[Tensor], scale: f32) -> Result<Vec<Tensor>> {
+    if params.len() != v.len() {
+        return Err(TensorError::InvalidArgument(format!(
+            "{} parameter tensors but {} direction tensors",
+            params.len(),
+            v.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(params.len());
+    for (p, d) in params.iter().zip(v) {
+        let mut t = p.clone();
+        t.axpy(scale, d)?;
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Finite-difference Hessian-vector product at `params` along `v`.
+///
+/// `base_grad` must be the gradient already evaluated at `params` (callers
+/// always have it; passing it avoids a redundant backprop). `eps` is the
+/// normalized step size. Returns `H·v` with the same shapes as `params`.
+///
+/// A zero `v` returns zeros without evaluating the oracle.
+///
+/// # Errors
+///
+/// Propagates oracle and shape errors.
+pub fn fd_hvp(
+    oracle: &mut dyn GradOracle,
+    params: &[Tensor],
+    base_grad: &[Tensor],
+    v: &[Tensor],
+    eps: f32,
+) -> Result<Vec<Tensor>> {
+    let norm = global_norm_l2(v);
+    if norm <= f32::MIN_POSITIVE {
+        return Ok(v.iter().map(|t| Tensor::zeros(t.shape().clone())).collect());
+    }
+    let scale = eps / norm;
+    let shifted = perturbed(params, v, scale)?;
+    let (_, grad_shifted) = oracle.grad(&shifted)?;
+    let mut out = Vec::with_capacity(v.len());
+    for (gs, g0) in grad_shifted.iter().zip(base_grad) {
+        let mut d = gs.sub(g0)?;
+        d.scale_in_place(norm / eps);
+        out.push(d);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadratic::Quadratic;
+
+    #[test]
+    fn perturbed_adds_scaled_direction() {
+        let p = vec![Tensor::ones([2]), Tensor::zeros([3])];
+        let v = vec![Tensor::full([2], 2.0), Tensor::ones([3])];
+        let out = perturbed(&p, &v, 0.5).unwrap();
+        assert_eq!(out[0].data(), &[2.0, 2.0]);
+        assert_eq!(out[1].data(), &[0.5, 0.5, 0.5]);
+        assert!(perturbed(&p, &v[..1], 1.0).is_err());
+    }
+
+    #[test]
+    fn fd_hvp_matches_exact_on_quadratic() {
+        // For f(x) = 1/2 x^T A x, the Hessian is exactly A everywhere.
+        let q = Quadratic::diag(&[1.0, 4.0, 9.0]);
+        let params = vec![Tensor::from_vec(vec![0.3, -0.2, 0.5], [3]).unwrap()];
+        let mut oracle = q.oracle();
+        let (_, g0) = oracle.grad(&params).unwrap();
+        let v = vec![Tensor::from_vec(vec![1.0, 1.0, 1.0], [3]).unwrap()];
+        let hv = fd_hvp(&mut oracle, &params, &g0, &v, 1e-3).unwrap();
+        // H v = [1, 4, 9]
+        for (got, want) in hv[0].data().iter().zip(&[1.0, 4.0, 9.0]) {
+            assert!((got - want).abs() < 1e-2, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fd_hvp_scales_linearly_in_v() {
+        let q = Quadratic::diag(&[2.0, 3.0]);
+        let params = vec![Tensor::zeros([2])];
+        let mut oracle = q.oracle();
+        let (_, g0) = oracle.grad(&params).unwrap();
+        let v = vec![Tensor::from_vec(vec![1.0, -2.0], [2]).unwrap()];
+        let hv = fd_hvp(&mut oracle, &params, &g0, &v, 1e-3).unwrap();
+        let v2 = vec![v[0].scale(5.0)];
+        let hv2 = fd_hvp(&mut oracle, &params, &g0, &v2, 1e-3).unwrap();
+        for (a, b) in hv2[0].data().iter().zip(hv[0].data()) {
+            assert!((a - 5.0 * b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn fd_hvp_of_zero_vector_is_zero_without_oracle_calls() {
+        use std::cell::Cell;
+        let calls = Cell::new(0usize);
+        let mut oracle = |_: &[Tensor]| {
+            calls.set(calls.get() + 1);
+            Ok((0.0, vec![Tensor::zeros([2])]))
+        };
+        let params = vec![Tensor::zeros([2])];
+        let (_, g0) = GradOracle::grad(&mut oracle, &params).unwrap();
+        let v = vec![Tensor::zeros([2])];
+        let before = calls.get();
+        let hv = fd_hvp(&mut oracle, &params, &g0, &v, 1e-3).unwrap();
+        assert_eq!(hv[0].data(), &[0.0, 0.0]);
+        assert_eq!(calls.get(), before);
+    }
+
+    #[test]
+    fn fd_hvp_multi_tensor_params() {
+        // Two parameter tensors forming a block-diagonal quadratic.
+        let q = Quadratic::diag(&[1.0, 2.0, 3.0, 4.0]);
+        let mut oracle = move |ps: &[Tensor]| {
+            // Concatenate blocks, evaluate, split back.
+            let flat: Vec<f32> =
+                ps.iter().flat_map(|t| t.data().iter().copied()).collect();
+            let x = vec![Tensor::from_vec(flat, [4])?];
+            let (l, g) = q.oracle().grad(&x)?;
+            let gd = g[0].data();
+            Ok((
+                l,
+                vec![
+                    Tensor::from_vec(gd[..2].to_vec(), [2])?,
+                    Tensor::from_vec(gd[2..].to_vec(), [2])?,
+                ],
+            ))
+        };
+        let params = vec![Tensor::zeros([2]), Tensor::zeros([2])];
+        let (_, g0) = GradOracle::grad(&mut oracle, &params).unwrap();
+        let v = vec![Tensor::ones([2]), Tensor::ones([2])];
+        let hv = fd_hvp(&mut oracle, &params, &g0, &v, 1e-3).unwrap();
+        assert!((hv[0].data()[0] - 1.0).abs() < 1e-2);
+        assert!((hv[0].data()[1] - 2.0).abs() < 1e-2);
+        assert!((hv[1].data()[0] - 3.0).abs() < 1e-2);
+        assert!((hv[1].data()[1] - 4.0).abs() < 1e-2);
+    }
+}

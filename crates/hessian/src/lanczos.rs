@@ -1,0 +1,332 @@
+//! Lanczos iteration over Hessian-vector products: Ritz-value estimates of
+//! the Hessian spectrum (stochastic Lanczos quadrature), extending the
+//! single-eigenvalue power iteration to whole-spectrum summaries.
+
+use crate::hvp::{fd_hvp, GradOracle};
+use hero_tensor::{fill_standard_normal, global_dot, global_norm_l2, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// Result of a Lanczos run: Ritz values (eigenvalue estimates) and their
+/// quadrature weights.
+#[derive(Debug, Clone)]
+pub struct LanczosResult {
+    /// Ritz values, ascending. The extremes converge first: the last entry
+    /// estimates λ_max, the first λ_min.
+    pub ritz_values: Vec<f32>,
+    /// Quadrature weight of each Ritz value (squared first eigenvector
+    /// components; they sum to 1). Together with the Ritz values these give
+    /// the stochastic-Lanczos-quadrature estimate of the spectral density.
+    pub weights: Vec<f32>,
+    /// Krylov steps actually performed (may stop early on breakdown).
+    pub steps: usize,
+}
+
+impl LanczosResult {
+    /// Largest Ritz value — the λ_max estimate (the `v` of Theorem 3).
+    pub fn lambda_max(&self) -> f32 {
+        self.ritz_values.last().copied().unwrap_or(0.0)
+    }
+
+    /// Smallest Ritz value — the λ_min estimate (negative at saddles).
+    pub fn lambda_min(&self) -> f32 {
+        self.ritz_values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Quadrature estimate of `trace(H)/n ≈ Σ wᵢ λᵢ` (the first spectral
+    /// moment under the probe distribution).
+    pub fn mean_eigenvalue(&self) -> f32 {
+        self.ritz_values.iter().zip(&self.weights).map(|(&l, &w)| l * w).sum()
+    }
+
+    /// Quadrature estimate of the second spectral moment `Σ wᵢ λᵢ²` — the
+    /// per-dimension analogue of HERO's regularizer Σλᵢ² (Eq. 13).
+    pub fn second_moment(&self) -> f32 {
+        self.ritz_values.iter().zip(&self.weights).map(|(&l, &w)| l * l * w).sum()
+    }
+}
+
+/// Runs `steps` of Lanczos iteration on the Hessian at `params` with a
+/// random unit start vector, using finite-difference HVPs (one gradient
+/// evaluation per step).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for zero steps and propagates
+/// oracle errors.
+pub fn lanczos_spectrum(
+    oracle: &mut dyn GradOracle,
+    params: &[Tensor],
+    steps: usize,
+    eps: f32,
+    rng: &mut impl Rng,
+) -> Result<LanczosResult> {
+    if steps == 0 {
+        return Err(TensorError::InvalidArgument("lanczos needs at least one step".into()));
+    }
+    let (_, base_grad) = oracle.grad(params)?;
+    // v1: random unit vector.
+    let mut v: Vec<Tensor> = params
+        .iter()
+        .map(|p| {
+            let mut t = Tensor::zeros(p.shape().clone());
+            fill_standard_normal(&mut t, rng);
+            t
+        })
+        .collect();
+    normalize(&mut v);
+    let mut v_prev: Option<Vec<Tensor>> = None;
+    let mut alphas = Vec::with_capacity(steps);
+    let mut betas: Vec<f32> = Vec::new();
+    for _ in 0..steps {
+        let mut w = fd_hvp(oracle, params, &base_grad, &v, eps)?;
+        let alpha = global_dot(&v, &w);
+        alphas.push(alpha);
+        // w = H v - alpha v - beta v_prev
+        for (wi, vi) in w.iter_mut().zip(&v) {
+            wi.axpy(-alpha, vi)?;
+        }
+        if let (Some(prev), Some(&beta)) = (&v_prev, betas.last()) {
+            for (wi, pi) in w.iter_mut().zip(prev) {
+                wi.axpy(-beta, pi)?;
+            }
+        }
+        // Full reorthogonalization is overkill at these sizes; one extra
+        // projection against v keeps the basis numerically sane.
+        let drift = global_dot(&w, &v);
+        for (wi, vi) in w.iter_mut().zip(&v) {
+            wi.axpy(-drift, vi)?;
+        }
+        let beta = global_norm_l2(&w);
+        if beta <= 1e-7 {
+            break; // Krylov space exhausted (happy breakdown).
+        }
+        betas.push(beta);
+        for wi in &mut w {
+            wi.scale_in_place(1.0 / beta);
+        }
+        v_prev = Some(std::mem::replace(&mut v, w));
+    }
+    let k = alphas.len();
+    betas.truncate(k.saturating_sub(1));
+    let (ritz_values, weights) = tridiag_eigen(&alphas, &betas);
+    Ok(LanczosResult { ritz_values, weights, steps: k })
+}
+
+fn normalize(v: &mut [Tensor]) {
+    let n = global_norm_l2(v);
+    if n > f32::MIN_POSITIVE {
+        for t in v {
+            t.scale_in_place(1.0 / n);
+        }
+    }
+}
+
+/// Eigenvalues and squared-first-component weights of a symmetric
+/// tridiagonal matrix, via the implicit-shift QL algorithm (EISPACK tql2).
+fn tridiag_eigen(alphas: &[f32], betas: &[f32]) -> (Vec<f32>, Vec<f32>) {
+    let n = alphas.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut d: Vec<f64> = alphas.iter().map(|&a| a as f64).collect();
+    let mut e: Vec<f64> = betas.iter().map(|&b| b as f64).collect();
+    e.resize(n, 0.0);
+    // z holds the first row of the accumulating eigenvector matrix.
+    let mut z = vec![0.0f64; n];
+    z[0] = 1.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal element.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 50 {
+                break; // give up on this eigenvalue; rare at our sizes
+            }
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the first-row eigenvector components.
+                f = z[i + 1];
+                z[i + 1] = s * z[i] + c * f;
+                z[i] = c * z[i] - s * f;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    // Sort ascending by eigenvalue, carrying weights along.
+    let mut pairs: Vec<(f64, f64)> = d.into_iter().zip(z).map(|(v, zz)| (v, zz * zz)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f32> = pairs.iter().map(|&(v, _)| v as f32).collect();
+    let weights: Vec<f32> = pairs.iter().map(|&(_, w)| w as f32).collect();
+    (values, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadratic::Quadratic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tridiag_eigen_of_diagonal_matrix() {
+        let (vals, weights) = tridiag_eigen(&[3.0, 1.0, 2.0], &[0.0, 0.0]);
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
+        // Start vector e1 puts all weight on the first diagonal entry (3.0).
+        let total: f32 = weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        assert!((weights[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tridiag_eigen_of_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3 with equal weights.
+        let (vals, weights) = tridiag_eigen(&[2.0, 2.0], &[1.0]);
+        assert!((vals[0] - 1.0).abs() < 1e-4);
+        assert!((vals[1] - 3.0).abs() < 1e-4);
+        assert!((weights[0] - 0.5).abs() < 1e-4);
+        assert!((weights[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lanczos_recovers_full_spectrum_of_small_quadratic() {
+        let q = Quadratic::diag(&[1.0, 2.0, 5.0, 9.0]);
+        let mut oracle = q.oracle();
+        let params = vec![Tensor::zeros([4])];
+        let res = lanczos_spectrum(
+            &mut oracle,
+            &params,
+            4,
+            1e-3,
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        assert!((res.lambda_max() - 9.0).abs() < 0.2, "λmax {}", res.lambda_max());
+        assert!((res.lambda_min() - 1.0).abs() < 0.2, "λmin {}", res.lambda_min());
+        // With the full Krylov space, all four eigenvalues appear.
+        assert_eq!(res.ritz_values.len(), 4);
+        for (got, want) in res.ritz_values.iter().zip(&[1.0, 2.0, 5.0, 9.0]) {
+            assert!((got - want).abs() < 0.3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn lanczos_extremes_converge_with_few_steps() {
+        let eigs: Vec<f32> = (1..=20).map(|i| i as f32 * 0.5).collect();
+        let q = Quadratic::diag(&eigs);
+        let mut oracle = q.oracle();
+        let params = vec![Tensor::zeros([20])];
+        let res = lanczos_spectrum(
+            &mut oracle,
+            &params,
+            8,
+            1e-3,
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
+        assert!((res.lambda_max() - 10.0).abs() < 0.5, "λmax {}", res.lambda_max());
+        assert!(res.lambda_min() < 1.5);
+    }
+
+    #[test]
+    fn quadrature_moments_match_diagonal_quadratic() {
+        // mean eigenvalue = tr(H)/n, second moment = Σλ²/n under random probes
+        // (averaged over probes; a single probe is noisy, so use tolerance).
+        let q = Quadratic::diag(&[1.0, 3.0]);
+        let mut oracle = q.oracle();
+        let params = vec![Tensor::zeros([2])];
+        let mut mean_acc = 0.0;
+        let mut second_acc = 0.0;
+        let mut rng = StdRng::seed_from_u64(11);
+        let probes = 32;
+        for _ in 0..probes {
+            let res = lanczos_spectrum(&mut oracle, &params, 2, 1e-3, &mut rng).unwrap();
+            mean_acc += res.mean_eigenvalue();
+            second_acc += res.second_moment();
+        }
+        let mean = mean_acc / probes as f32;
+        let second = second_acc / probes as f32;
+        assert!((mean - 2.0).abs() < 0.3, "tr/n estimate {mean}");
+        assert!((second - 5.0).abs() < 1.0, "Σλ²/n estimate {second}");
+    }
+
+    #[test]
+    fn detects_negative_curvature() {
+        let q = Quadratic::diag(&[-2.0, 1.0, 4.0]);
+        let mut oracle = q.oracle();
+        let params = vec![Tensor::zeros([3])];
+        let res = lanczos_spectrum(
+            &mut oracle,
+            &params,
+            3,
+            1e-3,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        assert!(res.lambda_min() < -1.5, "λmin {}", res.lambda_min());
+        assert!(res.lambda_max() > 3.5);
+    }
+
+    #[test]
+    fn validates_step_count() {
+        let q = Quadratic::diag(&[1.0]);
+        let params = vec![Tensor::zeros([1])];
+        assert!(lanczos_spectrum(
+            &mut q.oracle(),
+            &params,
+            0,
+            1e-3,
+            &mut StdRng::seed_from_u64(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn weights_are_a_probability_distribution() {
+        let q = Quadratic::diag(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let params = vec![Tensor::zeros([5])];
+        let res = lanczos_spectrum(
+            &mut q.oracle(),
+            &params,
+            5,
+            1e-3,
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap();
+        let total: f32 = res.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "weights sum {total}");
+        assert!(res.weights.iter().all(|&w| w >= -1e-6));
+    }
+}

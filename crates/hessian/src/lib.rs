@@ -1,0 +1,52 @@
+//! # hero-hessian
+//!
+//! Curvature analysis for the HERO (DAC 2022) reproduction: the
+//! finite-difference Hessian-vector product that powers HERO's regularizer
+//! gradient, power iteration for λ_max, the paper's ‖Hz‖ probe (Fig. 2a),
+//! Hutchinson trace estimation, and the computable Theorem 3 robustness
+//! bounds.
+//!
+//! Everything works through the [`GradOracle`] trait — any closure mapping
+//! parameters to `(loss, gradients)` — so the tools apply equally to test
+//! quadratics ([`Quadratic`]) and real networks.
+//!
+//! # Examples
+//!
+//! ```
+//! use hero_hessian::{power_iteration, PowerIterConfig, Quadratic};
+//! use hero_tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), hero_tensor::TensorError> {
+//! let q = Quadratic::diag(&[1.0, 7.0]);
+//! let mut oracle = q.oracle();
+//! let params = vec![Tensor::zeros([2])];
+//! let res = power_iteration(
+//!     &mut oracle,
+//!     &params,
+//!     PowerIterConfig::default(),
+//!     &mut StdRng::seed_from_u64(0),
+//! )?;
+//! assert!((res.eigenvalue - 7.0).abs() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod bounds;
+mod hvp;
+mod lanczos;
+mod norm;
+mod power;
+mod quadratic;
+
+pub use bounds::BoundInputs;
+pub use hvp::{fd_hvp, perturbed, GradOracle};
+pub use lanczos::{lanczos_spectrum, LanczosResult};
+pub use norm::{
+    eigen_sq_sum_estimate, hessian_norm_probe, hutchinson_trace, layer_scaled_direction,
+};
+pub use power::{power_iteration, PowerIterConfig, PowerIterResult};
+pub use quadratic::Quadratic;

@@ -1,0 +1,222 @@
+//! The paper's curvature probe ‖Hz‖ (Fig. 2a) and the Hutchinson trace
+//! estimator.
+
+use crate::hvp::{fd_hvp, GradOracle};
+use hero_tensor::{fill_standard_normal, global_dot, global_norm_l2, Result, Tensor};
+use rand::Rng;
+
+/// Computes the paper's layer-scaled perturbation direction (Eq. 15):
+/// `z_i = (W_i ⊙ W_i ⊙ g_i) / (‖W_i‖₂ · ‖g_i‖₂)` per parameter tensor,
+/// with `W_i ⊙ W_i` the element-wise square.
+///
+/// The element-wise `W²` factor perturbs large-magnitude weights more
+/// (adapting to each layer's weight distribution, §4.1) and is what makes
+/// the paper's step sizes `h = 0.5 / 1.0` well-scaled: the resulting `z`
+/// has norm well below ‖W‖.
+///
+/// Layers with a vanishing weight or gradient norm get a zero direction
+/// (no perturbation) rather than a division by zero.
+///
+/// # Panics
+///
+/// Panics if the lists have different lengths (they always come from the
+/// same canonical parameter order).
+pub fn layer_scaled_direction(params: &[Tensor], grads: &[Tensor]) -> Vec<Tensor> {
+    assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+    params
+        .iter()
+        .zip(grads)
+        .map(|(w, g)| {
+            let gn = g.norm_l2();
+            let wn = w.norm_l2();
+            if gn <= f32::MIN_POSITIVE || wn <= f32::MIN_POSITIVE {
+                Tensor::zeros(w.shape().clone())
+            } else {
+                let wsq_g = w
+                    .square()
+                    .mul(g)
+                    .expect("params and grads share shapes by construction");
+                wsq_g.scale(1.0 / (wn * gn))
+            }
+        })
+        .collect()
+}
+
+/// Evaluates the Hessian-norm probe ‖Hz‖₂ the paper plots in Fig. 2(a),
+/// with `z` the layer-scaled gradient direction of Eq. 15.
+///
+/// Returns `(‖Hz‖₂, loss)` at `params`.
+///
+/// # Errors
+///
+/// Propagates oracle and shape errors.
+pub fn hessian_norm_probe(
+    oracle: &mut dyn GradOracle,
+    params: &[Tensor],
+    eps: f32,
+) -> Result<(f32, f32)> {
+    let (loss, grads) = oracle.grad(params)?;
+    let z = layer_scaled_direction(params, &grads);
+    let hz = fd_hvp(oracle, params, &grads, &z, eps)?;
+    Ok((global_norm_l2(&hz), loss))
+}
+
+/// Hutchinson estimate of the Hessian trace: `E_z[zᵀHz]` with Rademacher
+/// probes. Each probe costs one gradient evaluation.
+///
+/// # Errors
+///
+/// Propagates oracle and shape errors.
+pub fn hutchinson_trace(
+    oracle: &mut dyn GradOracle,
+    params: &[Tensor],
+    probes: usize,
+    eps: f32,
+    rng: &mut impl Rng,
+) -> Result<f32> {
+    let (_, grads) = oracle.grad(params)?;
+    let mut acc = 0.0;
+    for _ in 0..probes {
+        let z: Vec<Tensor> = params
+            .iter()
+            .map(|p| {
+                let mut t = Tensor::zeros(p.shape().clone());
+                for v in t.data_mut() {
+                    *v = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                }
+                t
+            })
+            .collect();
+        let hz = fd_hvp(oracle, params, &grads, &z, eps)?;
+        acc += global_dot(&z, &hz);
+    }
+    Ok(acc / probes.max(1) as f32)
+}
+
+/// Monte-Carlo estimate of the regularizer `L_r = E_z‖Hz‖²` of Eq. 13 with
+/// Gaussian probes (the quantity HERO minimizes, equal to Σλᵢ²).
+///
+/// # Errors
+///
+/// Propagates oracle and shape errors.
+pub fn eigen_sq_sum_estimate(
+    oracle: &mut dyn GradOracle,
+    params: &[Tensor],
+    probes: usize,
+    eps: f32,
+    rng: &mut impl Rng,
+) -> Result<f32> {
+    let (_, grads) = oracle.grad(params)?;
+    let mut acc = 0.0;
+    for _ in 0..probes {
+        let z: Vec<Tensor> = params
+            .iter()
+            .map(|p| {
+                let mut t = Tensor::zeros(p.shape().clone());
+                fill_standard_normal(&mut t, rng);
+                t
+            })
+            .collect();
+        let hz = fd_hvp(oracle, params, &grads, &z, eps)?;
+        acc += global_norm_l2(&hz).powi(2);
+    }
+    Ok(acc / probes.max(1) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadratic::Quadratic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layer_scaled_direction_matches_eq15() {
+        let w = vec![Tensor::from_vec(vec![3.0, 4.0], [2]).unwrap()]; // ||w|| = 5
+        let g = vec![Tensor::from_vec(vec![0.0, 2.0], [2]).unwrap()]; // ||g|| = 2
+        let z = layer_scaled_direction(&w, &g);
+        // z = (w^2 ⊙ g) / (||w|| ||g||) = [9*0, 16*2] / 10 = [0, 3.2]
+        assert_eq!(z[0].data(), &[0.0, 3.2]);
+    }
+
+    #[test]
+    fn direction_scales_quadratically_with_weight_magnitude() {
+        // Doubling W quadruples W² but only doubles ||W||: z doubles.
+        let w1 = vec![Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap()];
+        let w2 = vec![w1[0].scale(2.0)];
+        let g = vec![Tensor::from_vec(vec![1.0, 1.0], [2]).unwrap()];
+        let z1 = layer_scaled_direction(&w1, &g);
+        let z2 = layer_scaled_direction(&w2, &g);
+        for (a, b) in z2[0].data().iter().zip(z1[0].data()) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_gradient_layer_gets_zero_direction() {
+        let w = vec![Tensor::ones([2]), Tensor::ones([2])];
+        let g = vec![Tensor::zeros([2]), Tensor::ones([2])];
+        let z = layer_scaled_direction(&w, &g);
+        assert_eq!(z[0].data(), &[0.0, 0.0]);
+        assert!(z[1].norm_l2() > 0.0);
+    }
+
+    #[test]
+    fn hessian_norm_probe_on_quadratic() {
+        // H = diag(2, 2), x0 = (3,4): g = (6,8), ||w||·||g|| = 50,
+        // z = (9·6, 16·8)/50 = (1.08, 2.56), Hz = (2.16, 5.12), ||Hz|| ≈ 5.557.
+        let q = Quadratic::diag(&[2.0, 2.0]);
+        let mut oracle = q.oracle();
+        let params = vec![Tensor::from_vec(vec![3.0, 4.0], [2]).unwrap()];
+        let (hn, loss) = hessian_norm_probe(&mut oracle, &params, 1e-3).unwrap();
+        let expected = (2.16f32 * 2.16 + 5.12 * 5.12).sqrt();
+        assert!((hn - expected).abs() < 0.05, "‖Hz‖={hn}, expected {expected}");
+        assert!((loss - 25.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn hutchinson_trace_of_diagonal() {
+        let q = Quadratic::diag(&[1.0, 2.0, 3.0]);
+        let mut oracle = q.oracle();
+        let params = vec![Tensor::zeros([3])];
+        let tr = hutchinson_trace(
+            &mut oracle,
+            &params,
+            64,
+            1e-3,
+            &mut StdRng::seed_from_u64(5),
+        )
+        .unwrap();
+        assert!((tr - 6.0).abs() < 0.5, "trace={tr}");
+    }
+
+    #[test]
+    fn eigen_sq_sum_of_diagonal() {
+        // sum λ² = 1 + 4 + 9 = 14.
+        let q = Quadratic::diag(&[1.0, 2.0, 3.0]);
+        let mut oracle = q.oracle();
+        let params = vec![Tensor::zeros([3])];
+        let est = eigen_sq_sum_estimate(
+            &mut oracle,
+            &params,
+            256,
+            1e-3,
+            &mut StdRng::seed_from_u64(6),
+        )
+        .unwrap();
+        assert!((est - 14.0).abs() < 3.0, "estimate={est}");
+    }
+
+    #[test]
+    fn flatter_quadratic_has_smaller_probe() {
+        // The probe must rank curvature correctly — this ordering is what
+        // Fig. 2(a) relies on.
+        let sharp = Quadratic::diag(&[10.0, 10.0]);
+        let flat = Quadratic::diag(&[0.5, 0.5]);
+        let params = vec![Tensor::from_vec(vec![1.0, 1.0], [2]).unwrap()];
+        let (hn_sharp, _) =
+            hessian_norm_probe(&mut sharp.oracle(), &params, 1e-3).unwrap();
+        let (hn_flat, _) = hessian_norm_probe(&mut flat.oracle(), &params, 1e-3).unwrap();
+        assert!(hn_sharp > hn_flat * 10.0);
+    }
+}

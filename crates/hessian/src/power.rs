@@ -1,0 +1,172 @@
+//! Power iteration for the dominant Hessian eigenvalue.
+
+use crate::hvp::{fd_hvp, GradOracle};
+use hero_tensor::{fill_standard_normal, global_dot, global_norm_l2, Result, Tensor};
+use rand::Rng;
+
+/// Result of a power-iteration run.
+#[derive(Debug, Clone)]
+pub struct PowerIterResult {
+    /// Rayleigh-quotient estimate of the dominant eigenvalue λ_max
+    /// (the `v` of Theorem 3).
+    pub eigenvalue: f32,
+    /// The corresponding unit eigenvector estimate, shaped like the
+    /// parameters.
+    pub eigenvector: Vec<Tensor>,
+    /// Iterations actually run.
+    pub iterations: usize,
+    /// Whether the eigenvalue moved less than the tolerance on the final
+    /// iteration.
+    pub converged: bool,
+}
+
+/// Configuration for [`power_iteration`].
+#[derive(Debug, Clone, Copy)]
+pub struct PowerIterConfig {
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Relative change in eigenvalue below which iteration stops.
+    pub tol: f32,
+    /// Finite-difference step for the inner HVPs.
+    pub eps: f32,
+}
+
+impl Default for PowerIterConfig {
+    fn default() -> Self {
+        PowerIterConfig { max_iters: 30, tol: 1e-3, eps: 1e-3 }
+    }
+}
+
+/// Estimates the dominant Hessian eigenvalue of `oracle` at `params` by
+/// power iteration over finite-difference HVPs.
+///
+/// Each iteration costs one gradient evaluation. The returned eigenvalue is
+/// the Rayleigh quotient `uᵀHu` of the final unit iterate `u`, which is
+/// what Theorem 3's bounds consume.
+///
+/// # Errors
+///
+/// Propagates oracle and shape errors.
+pub fn power_iteration(
+    oracle: &mut dyn GradOracle,
+    params: &[Tensor],
+    cfg: PowerIterConfig,
+    rng: &mut impl Rng,
+) -> Result<PowerIterResult> {
+    let (_, base_grad) = oracle.grad(params)?;
+    // Random unit start direction.
+    let mut u: Vec<Tensor> = params
+        .iter()
+        .map(|p| {
+            let mut t = Tensor::zeros(p.shape().clone());
+            fill_standard_normal(&mut t, rng);
+            t
+        })
+        .collect();
+    normalize(&mut u);
+    let mut eigenvalue = 0.0f32;
+    let mut converged = false;
+    let mut iterations = 0;
+    for it in 0..cfg.max_iters {
+        iterations = it + 1;
+        let hu = fd_hvp(oracle, params, &base_grad, &u, cfg.eps)?;
+        let rayleigh = global_dot(&u, &hu);
+        let norm = global_norm_l2(&hu);
+        if norm <= f32::MIN_POSITIVE {
+            // H u = 0: the direction is in the null space; eigenvalue 0.
+            eigenvalue = 0.0;
+            converged = true;
+            break;
+        }
+        let delta = (rayleigh - eigenvalue).abs();
+        eigenvalue = rayleigh;
+        u = hu;
+        normalize(&mut u);
+        if it > 0 && delta <= cfg.tol * eigenvalue.abs().max(1e-6) {
+            converged = true;
+            break;
+        }
+    }
+    Ok(PowerIterResult { eigenvalue, eigenvector: u, iterations, converged })
+}
+
+fn normalize(v: &mut [Tensor]) {
+    let n = global_norm_l2(v);
+    if n > f32::MIN_POSITIVE {
+        for t in v {
+            t.scale_in_place(1.0 / n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadratic::Quadratic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_dominant_eigenvalue_of_diagonal() {
+        let q = Quadratic::diag(&[1.0, 3.0, 10.0, 0.5]);
+        let mut oracle = q.oracle();
+        let params = vec![Tensor::from_vec(vec![0.1, 0.2, -0.1, 0.3], [4]).unwrap()];
+        let res = power_iteration(
+            &mut oracle,
+            &params,
+            PowerIterConfig::default(),
+            &mut StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        assert!((res.eigenvalue - 10.0).abs() < 0.2, "λ={}", res.eigenvalue);
+        assert!(res.converged);
+        // Eigenvector should align with e_2.
+        let ev = &res.eigenvector[0];
+        assert!(ev.data()[2].abs() > 0.95);
+    }
+
+    #[test]
+    fn eigenvector_is_unit_norm() {
+        let q = Quadratic::diag(&[5.0, 1.0]);
+        let mut oracle = q.oracle();
+        let params = vec![Tensor::zeros([2])];
+        let res = power_iteration(
+            &mut oracle,
+            &params,
+            PowerIterConfig::default(),
+            &mut StdRng::seed_from_u64(2),
+        )
+        .unwrap();
+        assert!((global_norm_l2(&res.eigenvector) - 1.0).abs() < 1e-4);
+        assert!((res.eigenvalue - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_hessian_reports_zero() {
+        // Linear objective: gradient constant, Hessian zero.
+        let mut oracle = |ps: &[Tensor]| {
+            Ok((ps[0].sum(), vec![Tensor::ones(ps[0].shape().clone())]))
+        };
+        let params = vec![Tensor::zeros([3])];
+        let res = power_iteration(
+            &mut oracle,
+            &params,
+            PowerIterConfig::default(),
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        assert_eq!(res.eigenvalue, 0.0);
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn respects_max_iterations() {
+        let q = Quadratic::diag(&[4.0, 3.9]); // close eigenvalues converge slowly
+        let mut oracle = q.oracle();
+        let params = vec![Tensor::zeros([2])];
+        let cfg = PowerIterConfig { max_iters: 2, tol: 1e-12, eps: 1e-3 };
+        let res =
+            power_iteration(&mut oracle, &params, cfg, &mut StdRng::seed_from_u64(4)).unwrap();
+        assert!(res.iterations <= 2);
+    }
+}

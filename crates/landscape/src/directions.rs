@@ -1,0 +1,152 @@
+//! Random probe directions in parameter space, with the filter
+//! normalization of Li et al. ("Visualizing the loss landscape of neural
+//! nets") that the paper's Fig. 3 uses.
+
+use hero_tensor::{fill_standard_normal, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// Samples a Gaussian direction shaped like `params`.
+pub fn random_direction(params: &[Tensor], rng: &mut impl Rng) -> Vec<Tensor> {
+    params
+        .iter()
+        .map(|p| {
+            let mut t = Tensor::zeros(p.shape().clone());
+            fill_standard_normal(&mut t, rng);
+            t
+        })
+        .collect()
+}
+
+/// Applies filter normalization in place: for each parameter tensor, each
+/// "filter" (row of a rank-≥2 tensor, the whole tensor otherwise) of the
+/// direction is rescaled to the ℓ2 norm of the corresponding weight filter.
+///
+/// This removes the scale invariance of BN networks so that contours from
+/// different training methods are comparable at the same plot scale — the
+/// property the paper relies on when comparing Fig. 3(a) and (b).
+///
+/// # Errors
+///
+/// Returns a shape error if `direction` is misaligned with `params`.
+pub fn filter_normalize(direction: &mut [Tensor], params: &[Tensor]) -> Result<()> {
+    if direction.len() != params.len() {
+        return Err(TensorError::InvalidArgument(format!(
+            "direction has {} tensors for {} params",
+            direction.len(),
+            params.len()
+        )));
+    }
+    for (d, p) in direction.iter_mut().zip(params) {
+        if d.shape() != p.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: p.dims().to_vec(),
+                right: d.dims().to_vec(),
+            });
+        }
+        if p.rank() >= 2 {
+            let rows = p.dims()[0];
+            let chunk = p.numel() / rows.max(1);
+            for r in 0..rows {
+                let range = r * chunk..(r + 1) * chunk;
+                let wn = norm_of(&p.data()[range.clone()]);
+                let dn = norm_of(&d.data()[range.clone()]);
+                let scale = if dn <= f32::MIN_POSITIVE { 0.0 } else { wn / dn };
+                for v in &mut d.data_mut()[range] {
+                    *v *= scale;
+                }
+            }
+        } else {
+            let wn = p.norm_l2();
+            let dn = d.norm_l2();
+            let scale = if dn <= f32::MIN_POSITIVE { 0.0 } else { wn / dn };
+            d.scale_in_place(scale);
+        }
+    }
+    Ok(())
+}
+
+/// Samples a filter-normalized random direction (the Fig. 3 probe).
+///
+/// # Errors
+///
+/// Never fails for well-formed params; propagates internal shape errors.
+pub fn filter_normalized_direction(
+    params: &[Tensor],
+    rng: &mut impl Rng,
+) -> Result<Vec<Tensor>> {
+    let mut d = random_direction(params, rng);
+    filter_normalize(&mut d, params)?;
+    Ok(d)
+}
+
+fn norm_of(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn random_direction_matches_shapes() {
+        let params = vec![Tensor::zeros([3, 4]), Tensor::zeros([5])];
+        let d = random_direction(&params, &mut rng());
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].dims(), &[3, 4]);
+        assert_eq!(d[1].dims(), &[5]);
+        assert!(d[0].norm_l2() > 0.0);
+    }
+
+    #[test]
+    fn filter_normalize_matches_row_norms() {
+        let params = vec![Tensor::from_vec(vec![3.0, 4.0, 0.3, 0.4], [2, 2]).unwrap()];
+        let mut d = random_direction(&params, &mut rng());
+        filter_normalize(&mut d, &params).unwrap();
+        // Row 0 of direction has norm 5, row 1 has norm 0.5.
+        let r0 = norm_of(&d[0].data()[..2]);
+        let r1 = norm_of(&d[0].data()[2..]);
+        assert!((r0 - 5.0).abs() < 1e-4);
+        assert!((r1 - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn filter_normalize_rank1_uses_whole_tensor() {
+        let params = vec![Tensor::from_vec(vec![0.6, 0.8], [2]).unwrap()];
+        let mut d = vec![Tensor::from_vec(vec![5.0, 0.0], [2]).unwrap()];
+        filter_normalize(&mut d, &params).unwrap();
+        assert!((d[0].norm_l2() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_weight_filter_zeroes_direction() {
+        let params = vec![Tensor::zeros([2, 2])];
+        let mut d = random_direction(&params, &mut rng());
+        filter_normalize(&mut d, &params).unwrap();
+        assert_eq!(d[0].norm_l2(), 0.0);
+    }
+
+    #[test]
+    fn validates_alignment() {
+        let params = vec![Tensor::zeros([2])];
+        let mut wrong_count = vec![];
+        assert!(filter_normalize(&mut wrong_count, &params).is_err());
+        let mut wrong_shape = vec![Tensor::zeros([3])];
+        assert!(filter_normalize(&mut wrong_shape, &params).is_err());
+    }
+
+    #[test]
+    fn normalized_direction_scales_with_weights() {
+        // Doubling the weights doubles the normalized direction.
+        let p1 = vec![Tensor::from_fn([4, 3], |i| (i[0] + i[1]) as f32 * 0.1 + 0.1)];
+        let p2 = vec![p1[0].scale(2.0)];
+        let d1 = filter_normalized_direction(&p1, &mut rng()).unwrap();
+        let d2 = filter_normalized_direction(&p2, &mut rng()).unwrap();
+        assert!((d2[0].norm_l2() / d1[0].norm_l2() - 2.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,163 @@
+//! Parameter-free layers: activations, pooling, flatten.
+
+use crate::module::{Layer, ParamInfo, ParamSource};
+use hero_autodiff::{Graph, Var};
+use hero_tensor::{Result, Tensor};
+
+/// Activation functions used by the paper's architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `max(x, 0)` — ResNet/VGG.
+    Relu,
+    /// `min(max(x, 0), 6)` — MobileNetV2.
+    Relu6,
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, _vars: &mut Vec<Var>) -> Result<Var> {
+        Ok(match self {
+            Activation::Relu => g.relu(x),
+            Activation::Relu6 => g.relu6(x),
+        })
+    }
+
+    fn collect_params(&self, _out: &mut Vec<Tensor>) {}
+
+    fn assign_params(&mut self, _src: &mut ParamSource<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+}
+
+/// Non-overlapping max pooling with a square window.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2d {
+    /// Window side length.
+    pub k: usize,
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, _vars: &mut Vec<Var>) -> Result<Var> {
+        g.max_pool2d(x, self.k)
+    }
+
+    fn collect_params(&self, _out: &mut Vec<Tensor>) {}
+
+    fn assign_params(&mut self, _src: &mut ParamSource<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+}
+
+/// Non-overlapping average pooling with a square window.
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool2d {
+    /// Window side length.
+    pub k: usize,
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, _vars: &mut Vec<Var>) -> Result<Var> {
+        g.avg_pool2d(x, self.k)
+    }
+
+    fn collect_params(&self, _out: &mut Vec<Tensor>) {}
+
+    fn assign_params(&mut self, _src: &mut ParamSource<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+}
+
+/// Global average pooling `(n, c, h, w) -> (n, c)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalAvgPool2d;
+
+impl Layer for GlobalAvgPool2d {
+    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, _vars: &mut Vec<Var>) -> Result<Var> {
+        g.global_avg_pool2d(x)
+    }
+
+    fn collect_params(&self, _out: &mut Vec<Tensor>) {}
+
+    fn assign_params(&mut self, _src: &mut ParamSource<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+}
+
+/// Flattens all trailing axes: `(n, ...) -> (n, prod(...))`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flatten;
+
+impl Layer for Flatten {
+    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, _vars: &mut Vec<Var>) -> Result<Var> {
+        let dims = g.value(x).dims().to_vec();
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        g.reshape(x, [n, rest])
+    }
+
+    fn collect_params(&self, _out: &mut Vec<Tensor>) {}
+
+    fn assign_params(&mut self, _src: &mut ParamSource<'_>) -> Result<()> {
+        Ok(())
+    }
+
+    fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_layers_apply_nonlinearity() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![-1.0, 3.0, 8.0], [3]).unwrap());
+        let mut vars = Vec::new();
+        let y = Activation::Relu.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_eq!(g.value(y).data(), &[0.0, 3.0, 8.0]);
+        let y6 = Activation::Relu6.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_eq!(g.value(y6).data(), &[0.0, 3.0, 6.0]);
+        assert!(vars.is_empty());
+    }
+
+    #[test]
+    fn pooling_layers_reduce_spatial() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(16).reshape([1, 1, 4, 4]).unwrap());
+        let mut vars = Vec::new();
+        let m = MaxPool2d { k: 2 }.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_eq!(g.value(m).dims(), &[1, 1, 2, 2]);
+        let a = AvgPool2d { k: 2 }.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_eq!(g.value(a).data(), &[2.5, 4.5, 10.5, 12.5]);
+        let gp = GlobalAvgPool2d.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_eq!(g.value(gp).dims(), &[1, 1]);
+    }
+
+    #[test]
+    fn flatten_collapses_trailing_axes() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([2, 3, 4, 4]));
+        let mut vars = Vec::new();
+        let y = Flatten.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_eq!(g.value(y).dims(), &[2, 48]);
+    }
+
+    #[test]
+    fn stateless_layers_have_no_params() {
+        let mut out = Vec::new();
+        Activation::Relu.collect_params(&mut out);
+        Flatten.collect_params(&mut out);
+        MaxPool2d { k: 2 }.collect_params(&mut out);
+        assert!(out.is_empty());
+        let mut infos = Vec::new();
+        GlobalAvgPool2d.param_infos("x", &mut infos);
+        assert!(infos.is_empty());
+    }
+}

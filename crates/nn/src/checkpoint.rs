@@ -1,0 +1,173 @@
+//! Saving and restoring network weights.
+//!
+//! The format is a small self-describing binary container (magic, version,
+//! tensor count, then per-tensor rank/dims/data as little-endian), so
+//! trained checkpoints can be moved between the reproduction binaries, the
+//! examples and downstream users without any serialization dependency.
+
+use crate::module::Network;
+use hero_tensor::{Result, Shape, Tensor, TensorError};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"HEROCKP1";
+
+/// Writes the network's parameters (canonical order) to `w`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] wrapping any I/O failure.
+pub fn save_params<W: Write>(net: &Network, mut w: W) -> Result<()> {
+    let params = net.params();
+    let io = |e: std::io::Error| TensorError::InvalidArgument(format!("checkpoint write: {e}"));
+    w.write_all(MAGIC).map_err(io)?;
+    w.write_all(&(params.len() as u64).to_le_bytes()).map_err(io)?;
+    for p in &params {
+        w.write_all(&(p.rank() as u64).to_le_bytes()).map_err(io)?;
+        for &d in p.dims() {
+            w.write_all(&(d as u64).to_le_bytes()).map_err(io)?;
+        }
+        for &v in p.data() {
+            w.write_all(&v.to_le_bytes()).map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads parameters from `r` and installs them into the network.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, bad magic, or a parameter mismatch
+/// (count or shapes) against the target network.
+pub fn load_params<R: Read>(net: &mut Network, mut r: R) -> Result<()> {
+    let io = |e: std::io::Error| TensorError::InvalidArgument(format!("checkpoint read: {e}"));
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io)?;
+    if &magic != MAGIC {
+        return Err(TensorError::InvalidArgument(
+            "not a HERO checkpoint (bad magic)".into(),
+        ));
+    }
+    let count = read_u64(&mut r)? as usize;
+    let mut params = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = read_u64(&mut r)? as usize;
+        if rank > 8 {
+            return Err(TensorError::InvalidArgument(format!(
+                "implausible tensor rank {rank} in checkpoint"
+            )));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(&mut r)? as usize);
+        }
+        let shape = Shape::new(dims);
+        let mut data = vec![0.0f32; shape.numel()];
+        for v in &mut data {
+            let mut buf = [0u8; 4];
+            r.read_exact(&mut buf).map_err(io)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        params.push(Tensor::from_vec(data, shape)?);
+    }
+    net.set_params(&params)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)
+        .map_err(|e| TensorError::InvalidArgument(format!("checkpoint read: {e}")))?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Saves to a filesystem path.
+///
+/// # Errors
+///
+/// See [`save_params`].
+pub fn save_params_to_file(net: &Network, path: &std::path::Path) -> Result<()> {
+    let f = std::fs::File::create(path)
+        .map_err(|e| TensorError::InvalidArgument(format!("create {path:?}: {e}")))?;
+    save_params(net, std::io::BufWriter::new(f))
+}
+
+/// Loads from a filesystem path.
+///
+/// # Errors
+///
+/// See [`load_params`].
+pub fn load_params_from_file(net: &mut Network, path: &std::path::Path) -> Result<()> {
+    let f = std::fs::File::open(path)
+        .map_err(|e| TensorError::InvalidArgument(format!("open {path:?}: {e}")))?;
+    load_params(net, std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{mlp, mini_resnet, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_preserves_every_parameter() {
+        let cfg = ModelConfig::default();
+        let net = mini_resnet(cfg, 1, &mut StdRng::seed_from_u64(0));
+        let mut buf = Vec::new();
+        save_params(&net, &mut buf).unwrap();
+        let mut other = mini_resnet(cfg, 1, &mut StdRng::seed_from_u64(99));
+        assert_ne!(net.params(), other.params());
+        load_params(&mut other, buf.as_slice()).unwrap();
+        assert_eq!(net.params(), other.params());
+    }
+
+    #[test]
+    fn predictions_survive_the_round_trip() {
+        let cfg = ModelConfig { classes: 3, in_channels: 1, input_hw: 4, width: 4 };
+        let mut net = mlp(cfg, &[8], &mut StdRng::seed_from_u64(1));
+        let x = Tensor::from_fn([2, 1, 4, 4], |i| i.iter().sum::<usize>() as f32 * 0.1);
+        let before = net.predict(&x).unwrap();
+        let mut buf = Vec::new();
+        save_params(&net, &mut buf).unwrap();
+        let mut restored = mlp(cfg, &[8], &mut StdRng::seed_from_u64(2));
+        load_params(&mut restored, buf.as_slice()).unwrap();
+        assert_eq!(restored.predict(&x).unwrap(), before);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let cfg = ModelConfig { classes: 2, in_channels: 1, input_hw: 2, width: 4 };
+        let mut net = mlp(cfg, &[4], &mut StdRng::seed_from_u64(3));
+        assert!(load_params(&mut net, &b"NOTAHERO"[..]).is_err());
+        let mut buf = Vec::new();
+        save_params(&net, &mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        assert!(load_params(&mut net, truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let cfg = ModelConfig { classes: 2, in_channels: 1, input_hw: 2, width: 4 };
+        let small = mlp(cfg, &[4], &mut StdRng::seed_from_u64(4));
+        let mut buf = Vec::new();
+        save_params(&small, &mut buf).unwrap();
+        let mut big = mlp(cfg, &[8], &mut StdRng::seed_from_u64(5));
+        assert!(load_params(&mut big, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let cfg = ModelConfig { classes: 2, in_channels: 1, input_hw: 2, width: 4 };
+        let net = mlp(cfg, &[4], &mut StdRng::seed_from_u64(6));
+        let dir = std::env::temp_dir().join("hero_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.ckpt");
+        save_params_to_file(&net, &path).unwrap();
+        let mut other = mlp(cfg, &[4], &mut StdRng::seed_from_u64(7));
+        load_params_from_file(&mut other, &path).unwrap();
+        assert_eq!(net.params(), other.params());
+        std::fs::remove_file(&path).ok();
+        // Missing file errors cleanly.
+        assert!(load_params_from_file(&mut other, &path).is_err());
+    }
+}

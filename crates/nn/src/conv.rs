@@ -1,0 +1,202 @@
+//! Convolutional layers: standard and depthwise.
+
+use crate::module::{Layer, ParamInfo, ParamKind, ParamSource};
+use hero_autodiff::{Graph, Var};
+use hero_tensor::{ConvGeometry, Init, Result, Tensor};
+use rand::Rng;
+
+/// 2-D convolution with a square kernel over NCHW inputs.
+///
+/// Weights are stored flattened as `(out_c, in_c*k*k)` — the layout
+/// [`Graph::conv2d`] consumes directly. Convolutions are bias-free (the
+/// paper's architectures all follow them with batch norm).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    w: Tensor,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_c * kernel * kernel;
+        Conv2d {
+            w: Init::KaimingNormal { fan_in }.tensor([out_c, fan_in], rng),
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, vars: &mut Vec<Var>) -> Result<Var> {
+        let dims = g.value(x).dims().to_vec();
+        let geom = ConvGeometry::new(dims[2], dims[3], self.kernel, self.stride, self.pad)?;
+        let w = g.input(self.w.clone());
+        vars.push(w);
+        g.conv2d(x, w, geom)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Tensor>) {
+        out.push(self.w.clone());
+    }
+
+    fn assign_params(&mut self, src: &mut ParamSource<'_>) -> Result<()> {
+        self.w = src.next_like(&self.w)?;
+        Ok(())
+    }
+
+    fn param_infos(&self, prefix: &str, out: &mut Vec<ParamInfo>) {
+        out.push(ParamInfo { name: format!("{prefix}.weight"), kind: ParamKind::Weight });
+    }
+}
+
+/// Depthwise 2-D convolution (`groups == channels`), the core of
+/// MobileNet-style blocks. Weights are `(c, k, k)`.
+#[derive(Debug, Clone)]
+pub struct DepthwiseConv2d {
+    w: Tensor,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a Kaiming-initialized depthwise convolution.
+    pub fn new(channels: usize, kernel: usize, stride: usize, pad: usize, rng: &mut impl Rng) -> Self {
+        let fan_in = kernel * kernel;
+        DepthwiseConv2d {
+            w: Init::KaimingNormal { fan_in }.tensor([channels, kernel, kernel], rng),
+            channels,
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// Channel count (input == output for depthwise).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, vars: &mut Vec<Var>) -> Result<Var> {
+        let dims = g.value(x).dims().to_vec();
+        let geom = ConvGeometry::new(dims[2], dims[3], self.kernel, self.stride, self.pad)?;
+        let w = g.input(self.w.clone());
+        vars.push(w);
+        g.depthwise_conv2d(x, w, geom)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Tensor>) {
+        out.push(self.w.clone());
+    }
+
+    fn assign_params(&mut self, src: &mut ParamSource<'_>) -> Result<()> {
+        self.w = src.next_like(&self.w)?;
+        Ok(())
+    }
+
+    fn param_infos(&self, prefix: &str, out: &mut Vec<ParamInfo>) {
+        out.push(ParamInfo { name: format!("{prefix}.weight"), kind: ParamKind::Weight });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_preserves_spatial_with_same_padding() {
+        let mut c = Conv2d::new(3, 8, 3, 1, 1, &mut StdRng::seed_from_u64(0));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([2, 3, 8, 8]));
+        let mut vars = Vec::new();
+        let y = c.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_eq!(g.value(y).dims(), &[2, 8, 8, 8]);
+        assert_eq!(c.out_channels(), 8);
+        assert_eq!(c.in_channels(), 3);
+    }
+
+    #[test]
+    fn strided_conv_halves_spatial() {
+        let mut c = Conv2d::new(4, 4, 3, 2, 1, &mut StdRng::seed_from_u64(1));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([1, 4, 8, 8]));
+        let mut vars = Vec::new();
+        let y = c.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_eq!(g.value(y).dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channels() {
+        let mut c = Conv2d::new(3, 8, 3, 1, 1, &mut StdRng::seed_from_u64(2));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([1, 5, 8, 8]));
+        let mut vars = Vec::new();
+        assert!(c.forward(&mut g, x, true, &mut vars).is_err());
+    }
+
+    #[test]
+    fn depthwise_preserves_channel_count() {
+        let mut c = DepthwiseConv2d::new(6, 3, 1, 1, &mut StdRng::seed_from_u64(3));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([2, 6, 4, 4]));
+        let mut vars = Vec::new();
+        let y = c.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_eq!(g.value(y).dims(), &[2, 6, 4, 4]);
+        assert_eq!(c.channels(), 6);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let c = Conv2d::new(2, 4, 3, 1, 1, &mut StdRng::seed_from_u64(4));
+        let mut ps = Vec::new();
+        c.collect_params(&mut ps);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].dims(), &[4, 18]);
+        let mut infos = Vec::new();
+        c.param_infos("stem", &mut infos);
+        assert_eq!(infos[0].name, "stem.weight");
+        assert_eq!(infos[0].kind, ParamKind::Weight);
+    }
+
+    #[test]
+    fn kaiming_scale_shrinks_with_fan_in() {
+        let small = Conv2d::new(1, 64, 3, 1, 1, &mut StdRng::seed_from_u64(5));
+        let large = Conv2d::new(64, 64, 3, 1, 1, &mut StdRng::seed_from_u64(5));
+        let mut ps_s = Vec::new();
+        small.collect_params(&mut ps_s);
+        let mut ps_l = Vec::new();
+        large.collect_params(&mut ps_l);
+        assert!(ps_s[0].variance() > ps_l[0].variance());
+    }
+}

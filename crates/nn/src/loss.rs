@@ -1,0 +1,243 @@
+//! Loss evaluation and accuracy metrics over a network.
+
+use crate::module::Network;
+use hero_autodiff::Graph;
+use hero_tensor::{Result, Tensor};
+
+/// Loss value and per-parameter gradients from one forward/backward pass.
+#[derive(Debug)]
+pub struct LossAndGrads {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient for every parameter tensor, canonical order.
+    pub grads: Vec<Tensor>,
+}
+
+/// Runs a train-mode forward/backward pass, returning the batch loss and
+/// per-parameter gradients in the network's canonical order.
+///
+/// This is the single gradient-evaluation primitive all training methods
+/// (SGD, SAM, GRAD-L1, HERO) are built from; HERO calls it up to three
+/// times per step.
+///
+/// # Errors
+///
+/// Returns shape errors if the batch is incompatible with the network or
+/// labels are invalid.
+pub fn loss_and_grads(net: &mut Network, x: &Tensor, labels: &[usize]) -> Result<LossAndGrads> {
+    let mut g = Graph::new();
+    let (logits, vars) = net.forward(&mut g, x, true)?;
+    let loss = g.cross_entropy(logits, labels)?;
+    let loss_value = g.value(loss).item()?;
+    let mut grads = g.backward(loss)?;
+    let params = net.params();
+    let grad_tensors = vars
+        .iter()
+        .zip(&params)
+        .map(|(v, p)| grads.take(*v).unwrap_or_else(|| Tensor::zeros(p.shape().clone())))
+        .collect();
+    Ok(LossAndGrads { loss: loss_value, grads: grad_tensors })
+}
+
+/// Like [`loss_and_grads`] but with label smoothing `eps` (the target mixes
+/// `1 - eps` on the true class with uniform mass) — a classic
+/// generalization baseline kept alongside HERO for comparisons.
+///
+/// # Errors
+///
+/// Returns shape errors if the batch is incompatible with the network or
+/// `eps` is outside `[0, 1)`.
+pub fn loss_and_grads_smoothed(
+    net: &mut Network,
+    x: &Tensor,
+    labels: &[usize],
+    eps: f32,
+) -> Result<LossAndGrads> {
+    let mut g = Graph::new();
+    let (logits, vars) = net.forward(&mut g, x, true)?;
+    let loss = g.cross_entropy_smoothed(logits, labels, eps)?;
+    let loss_value = g.value(loss).item()?;
+    let mut grads = g.backward(loss)?;
+    let params = net.params();
+    let grad_tensors = vars
+        .iter()
+        .zip(&params)
+        .map(|(v, p)| grads.take(*v).unwrap_or_else(|| Tensor::zeros(p.shape().clone())))
+        .collect();
+    Ok(LossAndGrads { loss: loss_value, grads: grad_tensors })
+}
+
+/// Computes the mean cross-entropy loss in eval mode (no gradients).
+///
+/// # Errors
+///
+/// Returns shape errors if the batch is incompatible with the network.
+pub fn eval_loss(net: &mut Network, x: &Tensor, labels: &[usize]) -> Result<f32> {
+    let mut g = Graph::new();
+    let (logits, _) = net.forward(&mut g, x, false)?;
+    let loss = g.cross_entropy(logits, labels)?;
+    g.value(loss).item()
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Errors
+///
+/// Returns shape errors if `logits` is not `(batch, classes)` with
+/// `batch == labels.len()`.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let preds = logits.argmax_rows()?;
+    if preds.len() != labels.len() {
+        return Err(hero_tensor::TensorError::InvalidArgument(format!(
+            "{} predictions for {} labels",
+            preds.len(),
+            labels.len()
+        )));
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f32 / labels.len().max(1) as f32)
+}
+
+/// Evaluates classification accuracy over a dataset in mini-batches.
+///
+/// # Errors
+///
+/// Returns shape errors if any batch is incompatible with the network.
+pub fn evaluate_accuracy(
+    net: &mut Network,
+    xs: &Tensor,
+    labels: &[usize],
+    batch: usize,
+) -> Result<f32> {
+    let n = xs.dims()[0];
+    let mut correct = 0usize;
+    let mut start = 0;
+    while start < n {
+        let len = batch.min(n - start);
+        let xb = xs.narrow(start, len)?;
+        let logits = net.predict(&xb)?;
+        let preds = logits.argmax_rows()?;
+        correct += preds
+            .iter()
+            .zip(&labels[start..start + len])
+            .filter(|(p, l)| p == l)
+            .count();
+        start += len;
+    }
+    Ok(correct as f32 / n.max(1) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{mlp, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> Network {
+        let cfg = ModelConfig { classes: 3, in_channels: 1, input_hw: 2, width: 4 };
+        mlp(cfg, &[8], &mut StdRng::seed_from_u64(3))
+    }
+
+    fn batch() -> (Tensor, Vec<usize>) {
+        let x = Tensor::from_fn([4, 1, 2, 2], |i| (i.iter().sum::<usize>() % 3) as f32 - 1.0);
+        (x, vec![0, 1, 2, 0])
+    }
+
+    #[test]
+    fn loss_and_grads_aligns_with_params() {
+        let mut net = tiny_net();
+        let (x, y) = batch();
+        let out = loss_and_grads(&mut net, &x, &y).unwrap();
+        let params = net.params();
+        assert_eq!(out.grads.len(), params.len());
+        for (g, p) in out.grads.iter().zip(&params) {
+            assert_eq!(g.shape(), p.shape());
+        }
+        assert!(out.loss > 0.0);
+        assert!(out.loss.is_finite());
+    }
+
+    #[test]
+    fn gradient_descent_on_grads_reduces_loss() {
+        let mut net = tiny_net();
+        let (x, y) = batch();
+        let first = loss_and_grads(&mut net, &x, &y).unwrap();
+        let mut params = net.params();
+        for (p, g) in params.iter_mut().zip(&first.grads) {
+            p.axpy(-0.5, g).unwrap();
+        }
+        net.set_params(&params).unwrap();
+        let second = loss_and_grads(&mut net, &x, &y).unwrap();
+        assert!(second.loss < first.loss, "{} !< {}", second.loss, first.loss);
+    }
+
+    #[test]
+    fn eval_loss_matches_magnitude() {
+        let mut net = tiny_net();
+        let (x, y) = batch();
+        let l = eval_loss(&mut net, &x, &y).unwrap();
+        assert!(l > 0.0 && l < 10.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits =
+            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], [3, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1, 1]).unwrap(), 2.0 / 3.0);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]).unwrap(), 1.0);
+        assert!(accuracy(&logits, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn evaluate_accuracy_batches_consistently() {
+        let mut net = tiny_net();
+        let (x, y) = batch();
+        let a1 = evaluate_accuracy(&mut net, &x, &y, 2).unwrap();
+        let a2 = evaluate_accuracy(&mut net, &x, &y, 4).unwrap();
+        let a3 = evaluate_accuracy(&mut net, &x, &y, 3).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(a1, a3);
+        assert!((0.0..=1.0).contains(&a1));
+    }
+}
+
+#[cfg(test)]
+mod smoothing_tests {
+    use super::*;
+    use crate::models::{mlp, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn smoothed_loss_matches_plain_at_zero_eps() {
+        let cfg = ModelConfig { classes: 3, in_channels: 1, input_hw: 2, width: 4 };
+        let mut net = mlp(cfg, &[8], &mut StdRng::seed_from_u64(3));
+        let x = Tensor::from_fn([4, 1, 2, 2], |i| (i.iter().sum::<usize>() % 3) as f32 - 1.0);
+        let y = vec![0, 1, 2, 0];
+        let plain = loss_and_grads(&mut net, &x, &y).unwrap();
+        let smoothed = loss_and_grads_smoothed(&mut net, &x, &y, 0.0).unwrap();
+        assert!((plain.loss - smoothed.loss).abs() < 1e-5);
+    }
+
+    #[test]
+    fn smoothing_raises_loss_on_confident_predictions() {
+        // Train briefly, then the smoothed loss exceeds the plain loss
+        // (confident correct predictions pay the uniform-mass penalty).
+        let cfg = ModelConfig { classes: 3, in_channels: 1, input_hw: 2, width: 4 };
+        let mut net = mlp(cfg, &[12], &mut StdRng::seed_from_u64(4));
+        let x = Tensor::from_fn([6, 1, 2, 2], |i| (i[0] % 3) as f32 - 1.0);
+        let y: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        for _ in 0..40 {
+            let out = loss_and_grads(&mut net, &x, &y).unwrap();
+            let mut ps = net.params();
+            for (p, g) in ps.iter_mut().zip(&out.grads) {
+                p.axpy(-0.3, g).unwrap();
+            }
+            net.set_params(&ps).unwrap();
+        }
+        let plain = loss_and_grads(&mut net, &x, &y).unwrap();
+        let smoothed = loss_and_grads_smoothed(&mut net, &x, &y, 0.2).unwrap();
+        assert!(smoothed.loss > plain.loss);
+    }
+}

@@ -1,0 +1,252 @@
+//! Batch normalization with running statistics.
+
+use crate::module::{Layer, ParamInfo, ParamKind, ParamSource};
+use hero_autodiff::{Graph, Var};
+use hero_tensor::{Result, Tensor};
+use std::cell::Cell;
+
+thread_local! {
+    /// Whether train-mode batch-norm forwards update running statistics.
+    ///
+    /// Perturbed-gradient methods (SAM, GRAD-L1, HERO) evaluate gradients
+    /// at *shifted* weights several times per step; if every evaluation
+    /// updated the running estimates, eval-mode normalization would track
+    /// the perturbed weights instead of the real ones (a known BN pitfall
+    /// of SAM-family methods). The batch oracle disables updates for all
+    /// but the first evaluation of each step.
+    static UPDATE_RUNNING_STATS: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Enables or disables running-statistic updates for train-mode batch
+/// norm on this thread. Returns the previous value.
+pub fn set_bn_running_stat_updates(on: bool) -> bool {
+    UPDATE_RUNNING_STATS.with(|c| c.replace(on))
+}
+
+/// Whether train-mode batch norm currently updates running statistics.
+pub fn bn_running_stat_updates() -> bool {
+    UPDATE_RUNNING_STATS.with(Cell::get)
+}
+
+/// 2-D batch normalization over NCHW inputs.
+///
+/// In training mode the batch statistics normalize the activations (via
+/// [`Graph::batch_norm`], which has a full backward rule) and exponentially
+/// update the running estimates. In eval mode the stored running statistics
+/// are folded into a per-channel affine transform.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch norm for `channels` with γ=1, β=0, momentum 0.1.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::ones([channels]),
+            beta: Tensor::zeros([channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.gamma.numel()
+    }
+
+    /// Current running mean estimate.
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Current running variance estimate.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, g: &mut Graph, x: Var, train: bool, vars: &mut Vec<Var>) -> Result<Var> {
+        let gamma = g.input(self.gamma.clone());
+        let beta = g.input(self.beta.clone());
+        vars.push(gamma);
+        vars.push(beta);
+        if train {
+            let (y, stats) = g.batch_norm(x, gamma, beta, self.eps)?;
+            if bn_running_stat_updates() {
+                for (r, &b) in self.running_mean.iter_mut().zip(&stats.mean) {
+                    *r = (1.0 - self.momentum) * *r + self.momentum * b;
+                }
+                for (r, &b) in self.running_var.iter_mut().zip(&stats.var) {
+                    *r = (1.0 - self.momentum) * *r + self.momentum * b;
+                }
+            }
+            Ok(y)
+        } else {
+            // y = gamma * (x - mean) / sqrt(var + eps) + beta, folded into
+            // per-channel scale/shift constants broadcast over (N,C,H,W).
+            let c = self.channels();
+            let mut scale = Tensor::zeros([1, c, 1, 1]);
+            let mut shift = Tensor::zeros([1, c, 1, 1]);
+            for ch in 0..c {
+                let inv = 1.0 / (self.running_var[ch] + self.eps).sqrt();
+                // Keep gamma/beta in the graph path so eval still depends on
+                // the parameter nodes (useful for perturbation probes).
+                scale.data_mut()[ch] = inv;
+                shift.data_mut()[ch] = -self.running_mean[ch] * inv;
+            }
+            let scale_v = g.input(scale);
+            let shift_v = g.input(shift);
+            let normalized0 = g.mul(x, scale_v)?;
+            let normalized = g.add(normalized0, shift_v)?;
+            // Reshape gamma/beta to (1,c,1,1) for broadcasting.
+            let gamma4 = g.reshape(gamma, [1, c, 1, 1])?;
+            let beta4 = g.reshape(beta, [1, c, 1, 1])?;
+            let scaled = g.mul(normalized, gamma4)?;
+            g.add(scaled, beta4)
+        }
+    }
+
+    fn collect_params(&self, out: &mut Vec<Tensor>) {
+        out.push(self.gamma.clone());
+        out.push(self.beta.clone());
+    }
+
+    fn assign_params(&mut self, src: &mut ParamSource<'_>) -> Result<()> {
+        self.gamma = src.next_like(&self.gamma)?;
+        self.beta = src.next_like(&self.beta)?;
+        Ok(())
+    }
+
+    fn param_infos(&self, prefix: &str, out: &mut Vec<ParamInfo>) {
+        out.push(ParamInfo { name: format!("{prefix}.gamma"), kind: ParamKind::BnGamma });
+        out.push(ParamInfo { name: format!("{prefix}.beta"), kind: ParamKind::BnBeta });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_input() -> Tensor {
+        Tensor::from_fn([4, 2, 3, 3], |i| {
+            (i[0] * 3 + i[1] * 7 + i[2] + i[3]) as f32 * 0.3 - 2.0
+        })
+    }
+
+    #[test]
+    fn train_mode_normalizes_and_updates_running_stats() {
+        let mut bn = BatchNorm2d::new(2);
+        let before_mean = bn.running_mean().to_vec();
+        let mut g = Graph::new();
+        let x = g.input(sample_input());
+        let mut vars = Vec::new();
+        let y = bn.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_eq!(g.value(y).dims(), &[4, 2, 3, 3]);
+        assert_ne!(bn.running_mean(), before_mean.as_slice());
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(2);
+        // Train several times to move running stats toward batch stats.
+        for _ in 0..200 {
+            let mut g = Graph::new();
+            let x = g.input(sample_input());
+            let mut vars = Vec::new();
+            bn.forward(&mut g, x, true, &mut vars).unwrap();
+        }
+        // Eval output should now be close to train-mode normalization.
+        let mut g_train = Graph::new();
+        let x1 = g_train.input(sample_input());
+        let mut v1 = Vec::new();
+        let y_train = bn.forward(&mut g_train, x1, true, &mut v1).unwrap();
+        let mut g_eval = Graph::new();
+        let x2 = g_eval.input(sample_input());
+        let mut v2 = Vec::new();
+        let y_eval = bn.forward(&mut g_eval, x2, false, &mut v2).unwrap();
+        let diff = g_train
+            .value(y_train)
+            .sub(g_eval.value(y_eval))
+            .unwrap()
+            .norm_linf();
+        assert!(diff < 0.1, "train/eval divergence {diff}");
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic_and_affine() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut g = Graph::new();
+        let x = g.input(sample_input());
+        let mut vars = Vec::new();
+        let y = bn.forward(&mut g, x, false, &mut vars).unwrap();
+        // Fresh BN has mean 0, var 1 => eval output ~= input (eps shrinks slightly).
+        let diff = g.value(y).sub(&sample_input()).unwrap().norm_linf();
+        assert!(diff < 1e-3);
+    }
+
+    #[test]
+    fn params_round_trip_with_kinds() {
+        let bn = BatchNorm2d::new(3);
+        let mut ps = Vec::new();
+        bn.collect_params(&mut ps);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].data(), &[1.0, 1.0, 1.0]);
+        assert_eq!(ps[1].data(), &[0.0, 0.0, 0.0]);
+        let mut infos = Vec::new();
+        bn.param_infos("bn1", &mut infos);
+        assert_eq!(infos[0].kind, ParamKind::BnGamma);
+        assert_eq!(infos[1].kind, ParamKind::BnBeta);
+        assert!(infos[0].name.ends_with("gamma"));
+        assert_eq!(bn.channels(), 3);
+    }
+
+    #[test]
+    fn assign_params_validates_shape() {
+        let mut bn = BatchNorm2d::new(3);
+        let bad = [Tensor::ones([4]), Tensor::zeros([3])];
+        assert!(bn.assign_params(&mut ParamSource::new(&bad)).is_err());
+        let good = [Tensor::full([3], 2.0), Tensor::full([3], 0.5)];
+        bn.assign_params(&mut ParamSource::new(&good)).unwrap();
+        let mut ps = Vec::new();
+        bn.collect_params(&mut ps);
+        assert_eq!(ps[0].data(), &[2.0, 2.0, 2.0]);
+    }
+}
+
+#[cfg(test)]
+mod stat_freeze_tests {
+    use super::*;
+
+    #[test]
+    fn frozen_stats_do_not_move() {
+        let mut bn = BatchNorm2d::new(2);
+        let x_data = Tensor::from_fn([4, 2, 3, 3], |i| (i.iter().sum::<usize>() % 7) as f32);
+        let before = bn.running_mean().to_vec();
+        let prev = set_bn_running_stat_updates(false);
+        {
+            let mut g = hero_autodiff::Graph::new();
+            let x = g.input(x_data.clone());
+            let mut vars = Vec::new();
+            bn.forward(&mut g, x, true, &mut vars).unwrap();
+        }
+        set_bn_running_stat_updates(prev);
+        assert_eq!(bn.running_mean(), before.as_slice());
+        // With updates re-enabled, stats move again.
+        assert!(bn_running_stat_updates());
+        let mut g = hero_autodiff::Graph::new();
+        let x = g.input(x_data);
+        let mut vars = Vec::new();
+        bn.forward(&mut g, x, true, &mut vars).unwrap();
+        assert_ne!(bn.running_mean(), before.as_slice());
+    }
+}

@@ -1,0 +1,215 @@
+//! Optimizer extras: warmup scheduling, Nesterov momentum and global
+//! gradient clipping. These are not needed to reproduce the paper's main
+//! results but round out the training toolbox (and are exercised by the
+//! ablation benches).
+
+use crate::schedule::LrSchedule;
+use hero_tensor::{global_norm_l2, Result, Tensor, TensorError};
+
+/// Wraps a base schedule with linear warmup over the first `warmup_steps`.
+///
+/// # Examples
+///
+/// ```
+/// use hero_optim::{LrSchedule, Warmup};
+///
+/// let s = Warmup::new(LrSchedule::Constant { lr: 0.1 }, 10);
+/// assert!(s.at(0) < 0.02);
+/// assert_eq!(s.at(10), 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Warmup {
+    base: LrSchedule,
+    warmup_steps: usize,
+}
+
+impl Warmup {
+    /// Creates a warmup wrapper around `base`.
+    pub fn new(base: LrSchedule, warmup_steps: usize) -> Self {
+        Warmup { base, warmup_steps }
+    }
+
+    /// Learning rate at `step`: linearly ramps from `base.at(0)/w` to the
+    /// base schedule over the warmup window, then follows the base
+    /// schedule shifted by the window.
+    pub fn at(&self, step: usize) -> f32 {
+        if self.warmup_steps == 0 {
+            return self.base.at(step);
+        }
+        if step < self.warmup_steps {
+            let frac = (step + 1) as f32 / self.warmup_steps as f32;
+            self.base.at(0) * frac
+        } else {
+            self.base.at(step - self.warmup_steps)
+        }
+    }
+}
+
+/// Nesterov-accelerated momentum state: the gradient is evaluated by the
+/// caller, and the update applies the look-ahead form
+/// `v ← μv + g; p ← p − lr·(g + μv)`.
+#[derive(Debug, Clone)]
+pub struct NesterovState {
+    momentum: f32,
+    buffers: Option<Vec<Tensor>>,
+}
+
+impl NesterovState {
+    /// Creates a Nesterov momentum state.
+    pub fn new(momentum: f32) -> Self {
+        NesterovState { momentum, buffers: None }
+    }
+
+    /// Applies one Nesterov update in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `params` and `grads` are misaligned.
+    pub fn update(&mut self, params: &mut [Tensor], grads: &[Tensor], lr: f32) -> Result<()> {
+        if params.len() != grads.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} params but {} grads",
+                params.len(),
+                grads.len()
+            )));
+        }
+        let buffers = self.buffers.get_or_insert_with(|| {
+            grads.iter().map(|g| Tensor::zeros(g.shape().clone())).collect()
+        });
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(buffers.iter_mut()) {
+            v.scale_in_place(self.momentum);
+            v.axpy(1.0, g)?;
+            // Look-ahead: g + μ·v
+            p.axpy(-lr, g)?;
+            p.axpy(-lr * self.momentum, v)?;
+        }
+        Ok(())
+    }
+
+    /// Clears the velocity buffers.
+    pub fn reset(&mut self) {
+        self.buffers = None;
+    }
+}
+
+/// Scales the gradient list in place so its global ℓ2 norm is at most
+/// `max_norm`. Returns the pre-clipping norm.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive — the clip threshold is a fixed
+/// hyper-parameter.
+pub fn clip_global_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "clip threshold {max_norm} must be positive");
+    let norm = global_norm_l2(grads);
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            g.scale_in_place(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ramps_then_follows_base() {
+        let s = Warmup::new(LrSchedule::Constant { lr: 0.2 }, 4);
+        assert!((s.at(0) - 0.05).abs() < 1e-6);
+        assert!((s.at(1) - 0.10).abs() < 1e-6);
+        assert!((s.at(3) - 0.20).abs() < 1e-6);
+        assert_eq!(s.at(4), 0.2);
+        assert_eq!(s.at(100), 0.2);
+    }
+
+    #[test]
+    fn warmup_zero_steps_is_passthrough() {
+        let base = LrSchedule::Cosine { lr: 0.1, min_lr: 0.0, total_steps: 10 };
+        let s = Warmup::new(base, 0);
+        for step in [0usize, 3, 10] {
+            assert_eq!(s.at(step), base.at(step));
+        }
+    }
+
+    #[test]
+    fn warmup_is_monotone_through_the_ramp() {
+        let s = Warmup::new(LrSchedule::paper_default(100), 10);
+        let mut prev = 0.0;
+        for step in 0..10 {
+            let v = s.at(step);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn nesterov_converges_faster_than_heavy_ball_on_ill_conditioned() {
+        // Minimize 0.5 * (x1^2 + 25 x2^2).
+        let grad = |p: &Tensor| {
+            Tensor::from_vec(vec![p.data()[0], 25.0 * p.data()[1]], [2]).unwrap()
+        };
+        let run_nesterov = || {
+            let mut s = NesterovState::new(0.9);
+            let mut p = vec![Tensor::from_vec(vec![1.0, 1.0], [2]).unwrap()];
+            for _ in 0..60 {
+                let g = vec![grad(&p[0])];
+                s.update(&mut p, &g, 0.02).unwrap();
+            }
+            p[0].norm_l2()
+        };
+        let run_plain = || {
+            let mut p = vec![Tensor::from_vec(vec![1.0, 1.0], [2]).unwrap()];
+            for _ in 0..60 {
+                let g = grad(&p[0]);
+                p[0].axpy(-0.02, &g).unwrap();
+            }
+            p[0].norm_l2()
+        };
+        assert!(run_nesterov() < run_plain());
+    }
+
+    #[test]
+    fn nesterov_validates_and_resets() {
+        let mut s = NesterovState::new(0.9);
+        let mut p = vec![Tensor::zeros([2])];
+        assert!(s.update(&mut p, &[], 0.1).is_err());
+        let g = vec![Tensor::ones([2])];
+        s.update(&mut p, &g, 0.1).unwrap();
+        s.reset();
+        let mut p2 = vec![Tensor::zeros([2])];
+        s.update(&mut p2, &g, 0.1).unwrap();
+        // First post-reset step: p = -lr*(g + mu*g) = -0.1*1.9
+        assert!((p2[0].data()[0] + 0.19).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut g = vec![Tensor::from_vec(vec![0.3, 0.4], [2]).unwrap()];
+        let norm = clip_global_norm(&mut g, 1.0);
+        assert!((norm - 0.5).abs() < 1e-6);
+        assert_eq!(g[0].data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_rescales_large_gradients_to_threshold() {
+        let mut g = vec![
+            Tensor::from_vec(vec![3.0, 0.0], [2]).unwrap(),
+            Tensor::from_vec(vec![0.0, 4.0], [2]).unwrap(),
+        ];
+        let norm = clip_global_norm(&mut g, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!((global_norm_l2(&g) - 1.0).abs() < 1e-5);
+        // Direction preserved.
+        assert!((g[0].data()[0] - 0.6).abs() < 1e-6);
+        assert!((g[1].data()[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn clip_rejects_nonpositive_threshold() {
+        clip_global_norm(&mut [Tensor::ones([1])], 0.0);
+    }
+}

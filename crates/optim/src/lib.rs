@@ -1,0 +1,45 @@
+//! # hero-optim
+//!
+//! Training methods for the HERO (DAC 2022) reproduction: plain SGD, the
+//! first-order-only / SAM rule, the GRAD-L1 baseline [Alizadeh et al.
+//! 2020], and HERO itself (Eq. 17 / Algorithm 1), all sharing
+//! SGD-with-momentum, weight decay and cosine learning-rate scheduling.
+//!
+//! The [`Optimizer`] is model-agnostic — it drives any
+//! [`hero_hessian::GradOracle`] — and [`train_step`] adapts it to a
+//! [`hero_nn::Network`] with one call.
+//!
+//! # Examples
+//!
+//! ```
+//! use hero_optim::{Method, Optimizer};
+//! use hero_hessian::Quadratic;
+//! use hero_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), hero_tensor::TensorError> {
+//! let q = Quadratic::diag(&[1.0, 5.0]);
+//! let mut opt = Optimizer::new(Method::Hero { h: 0.05, gamma: 0.1 })
+//!     .with_weight_decay(0.0);
+//! let mut params = vec![Tensor::from_vec(vec![1.0, 1.0], [2])?];
+//! let mut oracle = q.oracle();
+//! for _ in 0..100 {
+//!     opt.step(&mut oracle, &mut params, &[false], 0.05)?;
+//! }
+//! assert!(q.loss(&params[0])? < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod extras;
+mod method;
+mod oracle;
+mod schedule;
+mod sgd;
+
+pub use extras::{clip_global_norm, NesterovState, Warmup};
+pub use method::{Method, Optimizer, StepStats};
+pub use oracle::{train_step, BatchOracle};
+pub use schedule::LrSchedule;
+pub use sgd::SgdState;

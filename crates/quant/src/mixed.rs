@@ -1,0 +1,275 @@
+//! Mixed-precision bit allocation guided by the paper's second-order
+//! analysis.
+//!
+//! Theorem 3 says the tolerable ℓ∞ perturbation shrinks with the Hessian
+//! eigenvalue `v` and grows with the bin width Δ; under the second-order
+//! model the loss impact of quantizing layer `i` at `b` bits is
+//! approximately `v_i · n_i · Δ_i(b)² / 24` (uniform rounding error has
+//! variance Δ²/12, halved by symmetry of the quadratic form). Allocating a
+//! global bit budget to minimize the summed impact is then a classic
+//! greedy marginal-gain problem — the direction the paper points at with
+//! its mixed-precision citations (§2.2, BSQ).
+
+use crate::model::ModelQuantReport;
+use crate::quantizer::{quant_error, quantize_tensor};
+use crate::scheme::QuantScheme;
+use hero_nn::Network;
+use hero_tensor::{Result, Tensor, TensorError};
+
+/// Per-layer inputs to the bit allocator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSensitivity {
+    /// Layer (parameter tensor) name, for reporting.
+    pub name: String,
+    /// Number of weights in the layer.
+    pub numel: usize,
+    /// Maximum absolute weight (determines Δ at a given bit width).
+    pub max_abs: f32,
+    /// Curvature proxy for the layer (e.g. λ_max of the layer-restricted
+    /// Hessian, or a gradient-magnitude heuristic). Must be ≥ 0.
+    pub curvature: f32,
+}
+
+impl LayerSensitivity {
+    /// Bin width of a symmetric uniform quantizer at `bits`.
+    fn delta(&self, bits: u8) -> f32 {
+        let half_levels = ((1u32 << bits) / 2).saturating_sub(1).max(1) as f32;
+        self.max_abs / half_levels
+    }
+
+    /// Estimated second-order loss impact of quantizing at `bits`.
+    fn impact(&self, bits: u8) -> f32 {
+        let d = self.delta(bits);
+        self.curvature * self.numel as f32 * d * d / 24.0
+    }
+}
+
+/// Greedy mixed-precision allocation: distributes a budget of
+/// `avg_bits × Σ numel` weight-bits across layers within
+/// `[min_bits, max_bits]`, minimizing the estimated total loss impact.
+///
+/// Returns one bit width per layer, aligned with `layers`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if the bounds are inverted,
+/// zero, or the budget is infeasible (below `min_bits` everywhere).
+pub fn allocate_bits(
+    layers: &[LayerSensitivity],
+    avg_bits: f32,
+    min_bits: u8,
+    max_bits: u8,
+) -> Result<Vec<u8>> {
+    if min_bits == 0 || min_bits > max_bits {
+        return Err(TensorError::InvalidArgument(format!(
+            "invalid bit bounds [{min_bits}, {max_bits}]"
+        )));
+    }
+    let total_weights: usize = layers.iter().map(|l| l.numel).sum();
+    let budget = (avg_bits * total_weights as f32).floor() as i64;
+    let floor_cost: i64 = layers.iter().map(|l| l.numel as i64 * min_bits as i64).sum();
+    if budget < floor_cost {
+        return Err(TensorError::InvalidArgument(format!(
+            "budget {avg_bits} avg bits is below the {min_bits}-bit floor"
+        )));
+    }
+    let mut bits = vec![min_bits; layers.len()];
+    let mut remaining = budget - floor_cost;
+    // Greedy: repeatedly upgrade the layer with the best impact reduction
+    // per weight-bit spent.
+    loop {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, layer) in layers.iter().enumerate() {
+            if bits[i] >= max_bits || layer.numel as i64 > remaining {
+                continue;
+            }
+            let gain = layer.impact(bits[i]) - layer.impact(bits[i] + 1);
+            let per_cost = gain / layer.numel.max(1) as f32;
+            if best.map_or(true, |(_, g)| per_cost > g) {
+                best = Some((i, per_cost));
+            }
+        }
+        let Some((i, _)) = best else { break };
+        bits[i] += 1;
+        remaining -= layers[i].numel as i64;
+    }
+    Ok(bits)
+}
+
+/// Builds layer sensitivities from a network snapshot using the
+/// gradient-free proxy `curvature = 1` per layer (pure range/size
+/// allocation). Callers with curvature estimates (e.g. from
+/// `hero-hessian`) should overwrite the `curvature` fields.
+pub fn network_sensitivities(net: &Network) -> Vec<LayerSensitivity> {
+    let params = net.params();
+    let infos = net.param_infos();
+    params
+        .iter()
+        .zip(&infos)
+        .filter(|(_, info)| info.kind.is_quantizable())
+        .map(|(p, info)| LayerSensitivity {
+            name: info.name.clone(),
+            numel: p.numel(),
+            max_abs: p.norm_linf(),
+            curvature: 1.0,
+        })
+        .collect()
+}
+
+/// Quantizes the network's weight tensors at per-layer bit widths (aligned
+/// with the quantizable-tensor order of [`network_sensitivities`]),
+/// returning the new parameter list and a report.
+///
+/// # Errors
+///
+/// Returns an error if `bits` does not match the number of quantizable
+/// tensors.
+pub fn quantize_params_mixed(
+    net: &Network,
+    bits: &[u8],
+) -> Result<(Vec<Tensor>, ModelQuantReport)> {
+    let params = net.params();
+    let infos = net.param_infos();
+    let quantizable = infos.iter().filter(|i| i.kind.is_quantizable()).count();
+    if bits.len() != quantizable {
+        return Err(TensorError::InvalidArgument(format!(
+            "{} bit widths for {quantizable} quantizable tensors",
+            bits.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(params.len());
+    let mut report = ModelQuantReport {
+        scheme: QuantScheme::symmetric(bits.iter().copied().max().unwrap_or(8)),
+        quantized_tensors: 0,
+        skipped_tensors: 0,
+        worst_linf: 0.0,
+        max_bin_width: 0.0,
+        mean_mse: 0.0,
+    };
+    let mut mse_acc = 0.0;
+    let mut next_bit = bits.iter();
+    for (p, info) in params.iter().zip(&infos) {
+        if info.kind.is_quantizable() {
+            let b = *next_bit.next().expect("counted above");
+            let q = quantize_tensor(p, &QuantScheme::symmetric(b))?;
+            let err = quant_error(p, &q.values)?;
+            report.quantized_tensors += 1;
+            report.worst_linf = report.worst_linf.max(err.linf);
+            report.max_bin_width = report.max_bin_width.max(q.max_bin_width());
+            mse_acc += err.mse;
+            out.push(q.values);
+        } else {
+            report.skipped_tensors += 1;
+            out.push(p.clone());
+        }
+    }
+    if report.quantized_tensors > 0 {
+        report.mean_mse = mse_acc / report.quantized_tensors as f32;
+    }
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hero_nn::models::{mini_resnet, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(name: &str, numel: usize, max_abs: f32, curvature: f32) -> LayerSensitivity {
+        LayerSensitivity { name: name.into(), numel, max_abs, curvature }
+    }
+
+    #[test]
+    fn uniform_layers_get_uniform_bits() {
+        let layers = vec![
+            layer("a", 100, 1.0, 1.0),
+            layer("b", 100, 1.0, 1.0),
+            layer("c", 100, 1.0, 1.0),
+        ];
+        let bits = allocate_bits(&layers, 6.0, 2, 8).unwrap();
+        assert_eq!(bits, vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn sensitive_layers_get_more_bits() {
+        let layers = vec![
+            layer("robust", 100, 1.0, 0.01),
+            layer("fragile", 100, 1.0, 100.0),
+        ];
+        let bits = allocate_bits(&layers, 5.0, 2, 8).unwrap();
+        assert!(bits[1] > bits[0], "fragile {} should exceed robust {}", bits[1], bits[0]);
+        // Budget respected.
+        let spent: usize = layers
+            .iter()
+            .zip(&bits)
+            .map(|(l, &b)| l.numel * b as usize)
+            .sum();
+        assert!(spent <= (5.0 * 200.0) as usize);
+    }
+
+    #[test]
+    fn wide_range_layers_get_more_bits() {
+        // Same curvature, but one layer has a 10x larger range => bigger Δ.
+        let layers = vec![layer("narrow", 100, 0.1, 1.0), layer("wide", 100, 1.0, 1.0)];
+        let bits = allocate_bits(&layers, 5.0, 2, 8).unwrap();
+        assert!(bits[1] > bits[0]);
+    }
+
+    #[test]
+    fn respects_min_and_max_bounds() {
+        let layers = vec![layer("x", 10, 1.0, 1e9), layer("y", 10, 1.0, 1e-9)];
+        let bits = allocate_bits(&layers, 16.0, 3, 6).unwrap();
+        assert!(bits.iter().all(|&b| (3..=6).contains(&b)));
+        // Huge budget saturates everything at max.
+        assert_eq!(bits, vec![6, 6]);
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let layers = vec![layer("x", 10, 1.0, 1.0)];
+        assert!(allocate_bits(&layers, 4.0, 0, 8).is_err());
+        assert!(allocate_bits(&layers, 4.0, 6, 4).is_err());
+        assert!(allocate_bits(&layers, 1.0, 4, 8).is_err()); // below floor
+    }
+
+    #[test]
+    fn network_sensitivities_cover_weights_only() {
+        let net = mini_resnet(ModelConfig::default(), 1, &mut StdRng::seed_from_u64(0));
+        let sens = network_sensitivities(&net);
+        let weights = net
+            .param_infos()
+            .iter()
+            .filter(|i| i.kind.is_quantizable())
+            .count();
+        assert_eq!(sens.len(), weights);
+        assert!(sens.iter().all(|s| s.numel > 0 && s.max_abs > 0.0));
+        assert!(sens.iter().all(|s| s.name.ends_with("weight")));
+    }
+
+    #[test]
+    fn mixed_quantization_applies_per_layer_bits() {
+        let net = mini_resnet(ModelConfig::default(), 1, &mut StdRng::seed_from_u64(1));
+        let sens = network_sensitivities(&net);
+        let bits = allocate_bits(&sens, 5.0, 2, 8).unwrap();
+        let (qp, report) = quantize_params_mixed(&net, &bits).unwrap();
+        assert_eq!(qp.len(), net.params().len());
+        assert_eq!(report.quantized_tensors, sens.len());
+        assert!(report.worst_linf <= report.max_bin_width / 2.0 + 1e-6);
+        // Wrong arity is rejected.
+        assert!(quantize_params_mixed(&net, &bits[..1]).is_err());
+    }
+
+    #[test]
+    fn mixed_allocation_beats_uniform_at_equal_budget() {
+        // Construct a synthetic two-layer case where the error model is
+        // exact: impact ~ curvature * n * Δ²/24. Greedy should beat uniform.
+        let layers = vec![layer("a", 1000, 1.0, 10.0), layer("b", 1000, 1.0, 0.1)];
+        let mixed = allocate_bits(&layers, 4.0, 2, 8).unwrap();
+        let uniform = vec![4u8, 4];
+        let impact = |bits: &[u8]| -> f32 {
+            layers.iter().zip(bits).map(|(l, &b)| l.impact(b)).sum()
+        };
+        assert!(impact(&mixed) < impact(&uniform));
+    }
+}

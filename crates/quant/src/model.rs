@@ -1,0 +1,163 @@
+//! Post-training quantization of a whole network.
+
+use crate::quantizer::{quant_error, quantize_tensor, QuantError};
+use crate::scheme::QuantScheme;
+use hero_nn::Network;
+use hero_tensor::{Result, Tensor};
+
+/// Summary of quantizing one network snapshot.
+#[derive(Debug, Clone)]
+pub struct ModelQuantReport {
+    /// The scheme applied.
+    pub scheme: QuantScheme,
+    /// Number of weight tensors quantized.
+    pub quantized_tensors: usize,
+    /// Number of tensors left full-precision (biases, batch-norm params).
+    pub skipped_tensors: usize,
+    /// The worst per-tensor ℓ∞ perturbation — Theorem 2's ‖δ‖∞.
+    pub worst_linf: f32,
+    /// The largest bin width Δ across layers (`2ρ` in Theorem 2).
+    pub max_bin_width: f32,
+    /// Mean of per-tensor MSEs.
+    pub mean_mse: f32,
+}
+
+/// Returns a quantized copy of the network's parameters: weight tensors
+/// are fake-quantized under `scheme`, everything else passes through.
+///
+/// This is the paper's post-training setting — no finetuning, weights only,
+/// per-layer ranges.
+///
+/// # Errors
+///
+/// Propagates quantizer errors (invalid scheme).
+pub fn quantize_params(net: &Network, scheme: &QuantScheme) -> Result<(Vec<Tensor>, ModelQuantReport)> {
+    let params = net.params();
+    let infos = net.param_infos();
+    let mut out = Vec::with_capacity(params.len());
+    let mut report = ModelQuantReport {
+        scheme: *scheme,
+        quantized_tensors: 0,
+        skipped_tensors: 0,
+        worst_linf: 0.0,
+        max_bin_width: 0.0,
+        mean_mse: 0.0,
+    };
+    let mut mse_acc = 0.0;
+    for (p, info) in params.iter().zip(&infos) {
+        if info.kind.is_quantizable() {
+            let q = quantize_tensor(p, scheme)?;
+            let err: QuantError = quant_error(p, &q.values)?;
+            report.quantized_tensors += 1;
+            report.worst_linf = report.worst_linf.max(err.linf);
+            report.max_bin_width = report.max_bin_width.max(q.max_bin_width());
+            mse_acc += err.mse;
+            out.push(q.values);
+        } else {
+            report.skipped_tensors += 1;
+            out.push(p.clone());
+        }
+    }
+    if report.quantized_tensors > 0 {
+        report.mean_mse = mse_acc / report.quantized_tensors as f32;
+    }
+    Ok((out, report))
+}
+
+/// Applies post-training quantization to the network in place and returns
+/// the report. Use [`quantize_params`] plus [`Network::set_params`] to keep
+/// the original weights around.
+///
+/// # Errors
+///
+/// Propagates quantizer and shape errors.
+pub fn quantize_network(net: &mut Network, scheme: &QuantScheme) -> Result<ModelQuantReport> {
+    let (params, report) = quantize_params(net, scheme)?;
+    net.set_params(&params)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hero_nn::models::{mini_resnet, mlp, ModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn quantize_params_touches_only_weights() {
+        let net = mini_resnet(ModelConfig::default(), 1, &mut rng());
+        let (qp, report) = quantize_params(&net, &QuantScheme::symmetric(4)).unwrap();
+        let infos = net.param_infos();
+        let orig = net.params();
+        assert_eq!(qp.len(), orig.len());
+        for ((q, o), info) in qp.iter().zip(&orig).zip(&infos) {
+            if info.kind.is_quantizable() {
+                // 4-bit quantization of random weights changes something.
+                continue;
+            }
+            assert_eq!(q, o, "non-weight {} was modified", info.name);
+        }
+        assert!(report.quantized_tensors > 0);
+        assert!(report.skipped_tensors > 0);
+        assert_eq!(
+            report.quantized_tensors + report.skipped_tensors,
+            orig.len()
+        );
+    }
+
+    #[test]
+    fn theorem2_premise_holds_on_a_network() {
+        let net = mini_resnet(ModelConfig::default(), 1, &mut rng());
+        for bits in [2u8, 4, 8] {
+            let (_, report) = quantize_params(&net, &QuantScheme::symmetric(bits)).unwrap();
+            assert!(
+                report.worst_linf <= report.max_bin_width / 2.0 + 1e-6,
+                "{bits}-bit: ‖δ‖∞ {} exceeds Δ/2 {}",
+                report.worst_linf,
+                report.max_bin_width / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn lower_precision_means_larger_perturbation() {
+        let net = mini_resnet(ModelConfig::default(), 1, &mut rng());
+        let (_, r8) = quantize_params(&net, &QuantScheme::symmetric(8)).unwrap();
+        let (_, r4) = quantize_params(&net, &QuantScheme::symmetric(4)).unwrap();
+        let (_, r2) = quantize_params(&net, &QuantScheme::symmetric(2)).unwrap();
+        assert!(r2.worst_linf > r4.worst_linf);
+        assert!(r4.worst_linf > r8.worst_linf);
+        assert!(r2.mean_mse > r4.mean_mse);
+    }
+
+    #[test]
+    fn quantize_network_installs_quantized_weights() {
+        let cfg = ModelConfig { classes: 3, in_channels: 1, input_hw: 4, width: 4 };
+        let mut net = mlp(cfg, &[8], &mut rng());
+        let before = net.params();
+        let report = quantize_network(&mut net, &QuantScheme::symmetric(3)).unwrap();
+        let after = net.params();
+        assert_ne!(before, after);
+        assert!(report.worst_linf > 0.0);
+        // Quantizing again is a no-op (idempotence at network level).
+        let again = quantize_network(&mut net, &QuantScheme::symmetric(3)).unwrap();
+        assert!(again.worst_linf < 1e-5);
+    }
+
+    #[test]
+    fn predictions_survive_8bit_quantization() {
+        let cfg = ModelConfig { classes: 4, in_channels: 1, input_hw: 4, width: 4 };
+        let mut net = mlp(cfg, &[16], &mut rng());
+        let x = Tensor::from_fn([6, 1, 4, 4], |i| (i.iter().sum::<usize>() % 5) as f32 - 2.0);
+        let before = net.predict(&x).unwrap();
+        quantize_network(&mut net, &QuantScheme::symmetric(8)).unwrap();
+        let after = net.predict(&x).unwrap();
+        let drift = before.sub(&after).unwrap().norm_linf();
+        assert!(drift < 0.05, "8-bit drift {drift}");
+    }
+}

@@ -1,0 +1,309 @@
+//! Fake-quantization (quantize→dequantize) of weight tensors.
+
+use crate::scheme::{Calibration, Granularity, QuantMode, QuantScheme};
+use hero_tensor::{Result, Tensor, TensorError};
+
+/// Result of quantizing one tensor: the dequantized values plus the grid
+/// parameters, exposing the bin width Theorem 2 reasons about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    /// Dequantized (fake-quantized) values, same shape as the input.
+    pub values: Tensor,
+    /// Bin width Δ per range group (one entry per tensor, or per channel).
+    pub bin_widths: Vec<f32>,
+    /// The scheme used.
+    pub scheme: QuantScheme,
+}
+
+impl QuantizedTensor {
+    /// The largest bin width Δ across groups — the `2ρ` of Theorem 2.
+    pub fn max_bin_width(&self) -> f32 {
+        self.bin_widths.iter().copied().fold(0.0, f32::max)
+    }
+}
+
+/// Calibrated clipping range for a slice of values.
+fn calibrate_range(values: &[f32], calibration: Calibration) -> (f32, f32) {
+    match calibration {
+        Calibration::MinMax => {
+            let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            (lo.min(0.0).min(hi), hi.max(0.0).max(lo))
+        }
+        Calibration::Percentile(q) => {
+            let mut sorted: Vec<f32> = values.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let n = sorted.len();
+            if n == 0 {
+                return (0.0, 0.0);
+            }
+            let lo_idx = (((1.0 - q) * n as f32) as usize).min(n - 1);
+            let hi_idx = ((q * n as f32) as usize).min(n - 1);
+            (sorted[lo_idx].min(0.0), sorted[hi_idx].max(0.0))
+        }
+    }
+}
+
+/// Quantizes one contiguous group of values in place into `out`.
+/// Returns the bin width Δ.
+fn quantize_group(values: &[f32], out: &mut [f32], scheme: &QuantScheme) -> f32 {
+    let (lo, hi) = calibrate_range(values, scheme.calibration);
+    match scheme.mode {
+        QuantMode::Symmetric => {
+            let max_abs = lo.abs().max(hi.abs());
+            let half_levels = ((1u32 << scheme.bits) / 2 - 1).max(1) as f32; // 2^(n-1) - 1
+            if max_abs <= f32::MIN_POSITIVE {
+                out.fill(0.0);
+                return 0.0;
+            }
+            let scale = max_abs / half_levels;
+            for (o, &v) in out.iter_mut().zip(values) {
+                let q = (v / scale).round().clamp(-half_levels, half_levels);
+                *o = q * scale;
+            }
+            scale
+        }
+        QuantMode::Asymmetric => {
+            let levels = ((1u32 << scheme.bits) - 1) as f32;
+            let span = hi - lo;
+            if span <= f32::MIN_POSITIVE {
+                out.fill(lo);
+                return 0.0;
+            }
+            let scale = span / levels;
+            let zp = (-lo / scale).round();
+            for (o, &v) in out.iter_mut().zip(values) {
+                let q = ((v / scale) + zp).round().clamp(0.0, levels) - zp;
+                *o = q * scale;
+            }
+            scale
+        }
+    }
+}
+
+/// Fake-quantizes a weight tensor under `scheme`.
+///
+/// Per-channel granularity treats the leading axis as the channel axis
+/// (rows of a flattened convolution weight, rows of `(out,in)` layouts are
+/// columns — for the `(in, out)` dense layout the per-tensor path is the
+/// sensible choice; per-channel is primarily for conv weights).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for a zero bit width or a
+/// per-channel request on a rank-0 tensor.
+pub fn quantize_tensor(t: &Tensor, scheme: &QuantScheme) -> Result<QuantizedTensor> {
+    if scheme.bits == 0 || scheme.bits > 16 {
+        return Err(TensorError::InvalidArgument(format!(
+            "bit width {} out of supported range 1..=16",
+            scheme.bits
+        )));
+    }
+    if let Calibration::Percentile(q) = scheme.calibration {
+        if !(0.5..=1.0).contains(&q) {
+            return Err(TensorError::InvalidArgument(format!(
+                "percentile {q} must lie in [0.5, 1.0]"
+            )));
+        }
+    }
+    let mut out = vec![0.0f32; t.numel()];
+    let mut bin_widths = Vec::new();
+    match scheme.granularity {
+        Granularity::PerTensor => {
+            let delta = quantize_group(t.data(), &mut out, scheme);
+            bin_widths.push(delta);
+        }
+        Granularity::PerChannel => {
+            if t.rank() == 0 {
+                return Err(TensorError::InvalidArgument(
+                    "per-channel quantization needs rank >= 1".into(),
+                ));
+            }
+            let channels = t.dims()[0];
+            let chunk = t.numel() / channels.max(1);
+            for c in 0..channels {
+                let range = c * chunk..(c + 1) * chunk;
+                let delta =
+                    quantize_group(&t.data()[range.clone()], &mut out[range], scheme);
+                bin_widths.push(delta);
+            }
+        }
+    }
+    Ok(QuantizedTensor {
+        values: Tensor::from_vec(out, t.shape().clone())?,
+        bin_widths,
+        scheme: *scheme,
+    })
+}
+
+/// Quantization error statistics between an original and its quantized
+/// version.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantError {
+    /// ‖W_q − W‖∞ — the quantity Theorem 2 bounds by Δ/2.
+    pub linf: f32,
+    /// Mean squared error.
+    pub mse: f32,
+    /// ‖W_q − W‖₂.
+    pub l2: f32,
+}
+
+/// Computes error statistics for a quantization.
+///
+/// # Errors
+///
+/// Returns a shape error if the tensors differ in shape.
+pub fn quant_error(original: &Tensor, quantized: &Tensor) -> Result<QuantError> {
+    let diff = quantized.sub(original)?;
+    Ok(QuantError {
+        linf: diff.norm_linf(),
+        mse: diff.norm_l2_sq() / diff.numel().max(1) as f32,
+        l2: diff.norm_l2(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), [v.len()]).unwrap()
+    }
+
+    #[test]
+    fn symmetric_error_bounded_by_half_bin() {
+        // Theorem 2 premise: min-max symmetric quantization perturbs each
+        // weight by at most Δ/2.
+        let w = t(&[-1.0, -0.33, 0.0, 0.4, 0.77, 1.0]);
+        for bits in 2..=8 {
+            let q = quantize_tensor(&w, &QuantScheme::symmetric(bits)).unwrap();
+            let err = quant_error(&w, &q.values).unwrap();
+            assert!(
+                err.linf <= q.max_bin_width() / 2.0 + 1e-6,
+                "{bits}-bit: linf {} > Δ/2 {}",
+                err.linf,
+                q.max_bin_width() / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_error_bounded_by_half_bin() {
+        let w = t(&[0.1, 0.5, 0.9, 1.3, 2.0]); // strictly positive range
+        for bits in 2..=8 {
+            let q = quantize_tensor(&w, &QuantScheme::asymmetric(bits)).unwrap();
+            let err = quant_error(&w, &q.values).unwrap();
+            assert!(err.linf <= q.max_bin_width() / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn more_bits_reduce_error() {
+        let w = Tensor::from_fn([64], |i| ((i[0] * 37 % 64) as f32 / 32.0) - 1.0);
+        let mut prev = f32::INFINITY;
+        for bits in [2u8, 3, 4, 6, 8] {
+            let q = quantize_tensor(&w, &QuantScheme::symmetric(bits)).unwrap();
+            let err = quant_error(&w, &q.values).unwrap();
+            assert!(err.mse <= prev + 1e-9, "{bits}-bit mse {} > previous {prev}", err.mse);
+            prev = err.mse;
+        }
+    }
+
+    #[test]
+    fn high_precision_is_nearly_lossless() {
+        let w = Tensor::from_fn([32], |i| (i[0] as f32 / 16.0) - 1.0);
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(16)).unwrap();
+        let err = quant_error(&w, &q.values).unwrap();
+        assert!(err.linf < 1e-4);
+    }
+
+    #[test]
+    fn symmetric_preserves_exact_zero() {
+        let w = t(&[-1.0, 0.0, 1.0]);
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(3)).unwrap();
+        assert_eq!(q.values.data()[1], 0.0);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let w = Tensor::from_fn([40], |i| (i[0] as f32 * 0.37).sin());
+        let scheme = QuantScheme::symmetric(4);
+        let q1 = quantize_tensor(&w, &scheme).unwrap();
+        let q2 = quantize_tensor(&q1.values, &scheme).unwrap();
+        for (a, b) in q1.values.data().iter().zip(q2.values.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn values_lie_on_the_grid() {
+        let w = Tensor::from_fn([30], |i| (i[0] as f32 * 0.21).cos() * 2.0);
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(3)).unwrap();
+        let delta = q.bin_widths[0];
+        for &v in q.values.data() {
+            let steps = v / delta;
+            assert!((steps - steps.round()).abs() < 1e-4, "{v} not on grid Δ={delta}");
+        }
+    }
+
+    #[test]
+    fn constant_tensor_quantizes_cleanly() {
+        let w = Tensor::zeros([8]);
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(4)).unwrap();
+        assert_eq!(q.values.data(), w.data());
+        assert_eq!(q.max_bin_width(), 0.0);
+        let c = Tensor::full([8], 3.0);
+        let qa = quantize_tensor(&c, &QuantScheme::asymmetric(4)).unwrap();
+        // Range [0, 3]: representable, error within Δ/2.
+        let err = quant_error(&c, &qa.values).unwrap();
+        assert!(err.linf <= qa.max_bin_width() / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn per_channel_gives_one_bin_per_row() {
+        let w = Tensor::from_vec(vec![0.1, -0.1, 10.0, -10.0], [2, 2]).unwrap();
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(4).per_channel()).unwrap();
+        assert_eq!(q.bin_widths.len(), 2);
+        // Small-range channel gets a much finer grid.
+        assert!(q.bin_widths[0] < q.bin_widths[1] / 50.0);
+        // Per-channel is at least as accurate as per-tensor here.
+        let qt = quantize_tensor(&w, &QuantScheme::symmetric(4)).unwrap();
+        let err_c = quant_error(&w, &q.values).unwrap();
+        let err_t = quant_error(&w, &qt.values).unwrap();
+        assert!(err_c.mse <= err_t.mse + 1e-9);
+    }
+
+    #[test]
+    fn percentile_calibration_clips_outliers() {
+        let mut vals = vec![0.0f32; 99];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = (i as f32 / 99.0) - 0.5;
+        }
+        vals.push(100.0); // one huge outlier
+        let w = t(&vals);
+        let clipped =
+            quantize_tensor(&w, &QuantScheme::symmetric(4).with_percentile(0.95)).unwrap();
+        let minmax = quantize_tensor(&w, &QuantScheme::symmetric(4)).unwrap();
+        // The percentile grid is far finer than the outlier-dominated one.
+        assert!(clipped.bin_widths[0] < minmax.bin_widths[0] / 10.0);
+        // But the outlier itself is clipped hard.
+        let outlier_err = (clipped.values.data()[99] - 100.0).abs();
+        assert!(outlier_err > 50.0);
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let w = t(&[1.0]);
+        assert!(quantize_tensor(&w, &QuantScheme::symmetric(0)).is_err());
+        assert!(quantize_tensor(&w, &QuantScheme::symmetric(17)).is_err());
+        assert!(
+            quantize_tensor(&w, &QuantScheme::symmetric(4).with_percentile(0.3)).is_err()
+        );
+        assert!(quantize_tensor(
+            &Tensor::scalar(1.0),
+            &QuantScheme::symmetric(4).per_channel()
+        )
+        .is_err());
+        assert!(quant_error(&w, &t(&[1.0, 2.0])).is_err());
+    }
+}

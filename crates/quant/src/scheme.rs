@@ -1,0 +1,153 @@
+//! Quantization scheme description: precision, symmetry, granularity and
+//! range calibration.
+
+use std::fmt;
+
+/// Whether the quantization grid is centred on zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantMode {
+    /// Zero-centred grid `[-A, A]`; zero is exactly representable. The
+    /// common choice for weights and the paper's setting.
+    Symmetric,
+    /// Affine grid `[min, max]` with a zero point.
+    Asymmetric,
+}
+
+/// At what granularity ranges are calibrated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One range per weight tensor (the paper's per-layer setting).
+    PerTensor,
+    /// One range per output channel (row of the flattened weight) — the
+    /// scheme-design extension discussed in §2.2's related work.
+    PerChannel,
+}
+
+/// How the clipping range is chosen from the data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Calibration {
+    /// Use the exact min/max — nothing clips, so the Theorem 2 premise
+    /// `‖W_q − W‖∞ ≤ Δ/2` holds for every weight.
+    MinMax,
+    /// Clip to the given two-sided quantile (e.g. `0.999`), trading clipped
+    /// outliers for a finer grid on the bulk.
+    Percentile(f32),
+}
+
+/// A complete linear uniform quantization scheme.
+///
+/// # Examples
+///
+/// ```
+/// use hero_quant::QuantScheme;
+///
+/// let s = QuantScheme::symmetric(4);
+/// assert_eq!(s.bits, 4);
+/// assert_eq!(s.levels(), 15); // symmetric grid uses 2^n - 1 levels
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantScheme {
+    /// Bit width `n`; the grid has at most `2^n` levels.
+    pub bits: u8,
+    /// Symmetric or asymmetric grid.
+    pub mode: QuantMode,
+    /// Per-tensor or per-channel ranges.
+    pub granularity: Granularity,
+    /// Range calibration rule.
+    pub calibration: Calibration,
+}
+
+impl QuantScheme {
+    /// Symmetric per-tensor min-max scheme at `bits` — the paper's
+    /// post-training quantization setting.
+    pub fn symmetric(bits: u8) -> Self {
+        QuantScheme {
+            bits,
+            mode: QuantMode::Symmetric,
+            granularity: Granularity::PerTensor,
+            calibration: Calibration::MinMax,
+        }
+    }
+
+    /// Asymmetric per-tensor min-max scheme at `bits`.
+    pub fn asymmetric(bits: u8) -> Self {
+        QuantScheme { mode: QuantMode::Asymmetric, ..QuantScheme::symmetric(bits) }
+    }
+
+    /// Switches to per-channel granularity.
+    #[must_use]
+    pub fn per_channel(mut self) -> Self {
+        self.granularity = Granularity::PerChannel;
+        self
+    }
+
+    /// Switches to percentile calibration at quantile `q` (0.5 < q ≤ 1).
+    #[must_use]
+    pub fn with_percentile(mut self, q: f32) -> Self {
+        self.calibration = Calibration::Percentile(q);
+        self
+    }
+
+    /// Number of representable levels: `2^n - 1` for symmetric grids
+    /// (levels are mirrored around an exact zero), `2^n` for asymmetric.
+    pub fn levels(&self) -> u32 {
+        match self.mode {
+            QuantMode::Symmetric => (1u32 << self.bits) - 1,
+            QuantMode::Asymmetric => 1u32 << self.bits,
+        }
+    }
+}
+
+impl fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = match self.mode {
+            QuantMode::Symmetric => "sym",
+            QuantMode::Asymmetric => "asym",
+        };
+        let gran = match self.granularity {
+            Granularity::PerTensor => "per-tensor",
+            Granularity::PerChannel => "per-channel",
+        };
+        write!(f, "{}-bit {mode} {gran}", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let s = QuantScheme::symmetric(8);
+        assert_eq!(s.bits, 8);
+        assert_eq!(s.mode, QuantMode::Symmetric);
+        assert_eq!(s.granularity, Granularity::PerTensor);
+        assert_eq!(s.calibration, Calibration::MinMax);
+        let a = QuantScheme::asymmetric(4);
+        assert_eq!(a.mode, QuantMode::Asymmetric);
+    }
+
+    #[test]
+    fn levels_match_mode() {
+        assert_eq!(QuantScheme::symmetric(8).levels(), 255);
+        assert_eq!(QuantScheme::asymmetric(8).levels(), 256);
+        assert_eq!(QuantScheme::symmetric(2).levels(), 3);
+        assert_eq!(QuantScheme::asymmetric(1).levels(), 2);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = QuantScheme::symmetric(4).per_channel().with_percentile(0.99);
+        assert_eq!(s.granularity, Granularity::PerChannel);
+        assert_eq!(s.calibration, Calibration::Percentile(0.99));
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(QuantScheme::symmetric(4).to_string(), "4-bit sym per-tensor");
+        assert_eq!(
+            QuantScheme::asymmetric(8).per_channel().to_string(),
+            "8-bit asym per-channel"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # hero-tensor
+//!
+//! Dense `f32` n-dimensional tensors: the numerical substrate for the HERO
+//! (Hessian-Enhanced Robust Optimization, DAC 2022) reproduction.
+//!
+//! The crate provides exactly what a small CPU-trained deep-learning stack
+//! needs, with validated shapes and deterministic seeded initialization:
+//!
+//! - [`Tensor`]: contiguous row-major storage with shape-checked ops
+//! - element-wise math, broadcasting ([`Tensor::broadcast_op`]) and its
+//!   adjoint ([`Tensor::reduce_to_shape`])
+//! - cache-blocked [`Tensor::matmul`] plus transposed variants
+//! - convolution lowering ([`Tensor::im2col`] / [`Tensor::col2im`]) and
+//!   pooling with adjoints
+//! - the norms HERO's theory is stated in (ℓ1, ℓ2, ℓ∞, ℓ0)
+//! - seedable initializers ([`Init`])
+//!
+//! # Examples
+//!
+//! ```
+//! use hero_tensor::{Init, Tensor};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), hero_tensor::TensorError> {
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let w = Init::KaimingNormal { fan_in: 4 }.tensor([3, 4], &mut rng);
+//! let x = Tensor::ones([4, 2]);
+//! let y = w.matmul(&x)?;
+//! assert_eq!(y.dims(), &[3, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use init::{fill_standard_normal, random_unit_vector, Init};
+pub use ops::im2col::ConvGeometry;
+pub use ops::norm::{global_dot, global_norm_l1, global_norm_l2, global_norm_linf};
+pub use shape::Shape;
+pub use tensor::Tensor;

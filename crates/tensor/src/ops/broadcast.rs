@@ -1,0 +1,214 @@
+//! NumPy-style broadcasting for binary operations.
+
+use crate::error::Result;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Combines two tensors element-wise under NumPy broadcasting rules.
+    ///
+    /// Trailing axes are aligned; an axis of size 1 stretches to match its
+    /// counterpart. The output has the broadcast shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::BroadcastMismatch`] if the shapes are
+    /// incompatible.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hero_tensor::Tensor;
+    ///
+    /// # fn main() -> Result<(), hero_tensor::TensorError> {
+    /// let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+    /// let row = Tensor::from_vec(vec![10.0, 20.0], [2])?;
+    /// let out = m.broadcast_op(&row, |a, b| a + b)?;
+    /// assert_eq!(out.data(), &[11.0, 22.0, 13.0, 24.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn broadcast_op(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        // Fast path: identical shapes.
+        if self.shape() == other.shape() {
+            return self.zip(other, f);
+        }
+        let out_shape = self.shape().broadcast_with(other.shape())?;
+        let mut out = Vec::with_capacity(out_shape.numel());
+        let a_idx = BroadcastIndexer::new(self.shape(), &out_shape);
+        let b_idx = BroadcastIndexer::new(other.shape(), &out_shape);
+        for flat in 0..out_shape.numel() {
+            let idx = out_shape.unravel(flat);
+            let a = self.data()[a_idx.offset(&idx)];
+            let b = other.data()[b_idx.offset(&idx)];
+            out.push(f(a, b));
+        }
+        Tensor::from_vec(out, out_shape)
+    }
+
+    /// Broadcast addition.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::broadcast_op`].
+    pub fn badd(&self, other: &Tensor) -> Result<Tensor> {
+        self.broadcast_op(other, |a, b| a + b)
+    }
+
+    /// Broadcast subtraction.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::broadcast_op`].
+    pub fn bsub(&self, other: &Tensor) -> Result<Tensor> {
+        self.broadcast_op(other, |a, b| a - b)
+    }
+
+    /// Broadcast multiplication.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::broadcast_op`].
+    pub fn bmul(&self, other: &Tensor) -> Result<Tensor> {
+        self.broadcast_op(other, |a, b| a * b)
+    }
+
+    /// Broadcast division.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tensor::broadcast_op`].
+    pub fn bdiv(&self, other: &Tensor) -> Result<Tensor> {
+        self.broadcast_op(other, |a, b| a / b)
+    }
+
+    /// Reduces (sums) a broadcast-shaped gradient back down to `target`,
+    /// the adjoint of broadcasting. Axes that were stretched from size 1
+    /// are summed; leading axes that were added are summed away.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self`'s shape is not a valid broadcast of
+    /// `target`.
+    pub fn reduce_to_shape(&self, target: &Shape) -> Result<Tensor> {
+        if self.shape() == target {
+            return Ok(self.clone());
+        }
+        // Verify compatibility (target must broadcast to self's shape).
+        let check = target.broadcast_with(self.shape())?;
+        if &check != self.shape() {
+            return Err(crate::TensorError::BroadcastMismatch {
+                left: self.dims().to_vec(),
+                right: target.dims().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros(target.clone());
+        let indexer = BroadcastIndexer::new(target, self.shape());
+        for flat in 0..self.numel() {
+            let idx = self.shape().unravel(flat);
+            let off = indexer.offset(&idx);
+            out.data_mut()[off] += self.data()[flat];
+        }
+        Ok(out)
+    }
+}
+
+/// Maps multi-indices in an output (broadcast) shape to flat offsets in a
+/// smaller source shape.
+struct BroadcastIndexer {
+    /// Stride to apply per output axis (0 where the source axis is stretched
+    /// or absent).
+    strides: Vec<usize>,
+}
+
+impl BroadcastIndexer {
+    fn new(src: &Shape, out: &Shape) -> Self {
+        let src_strides = src.strides();
+        let pad = out.rank() - src.rank();
+        let mut strides = vec![0; out.rank()];
+        for i in 0..src.rank() {
+            let out_axis = i + pad;
+            strides[out_axis] = if src.dims()[i] == 1 { 0 } else { src_strides[i] };
+        }
+        BroadcastIndexer { strides }
+    }
+
+    fn offset(&self, out_index: &[usize]) -> usize {
+        out_index
+            .iter()
+            .zip(&self.strides)
+            .map(|(&i, &s)| i * s)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_row_over_matrix() {
+        let m = Tensor::arange(6).reshape([2, 3]).unwrap();
+        let row = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3]).unwrap();
+        let out = m.badd(&row).unwrap();
+        assert_eq!(out.data(), &[10.0, 21.0, 32.0, 13.0, 24.0, 35.0]);
+    }
+
+    #[test]
+    fn broadcast_column_over_matrix() {
+        let m = Tensor::arange(6).reshape([2, 3]).unwrap();
+        let col = Tensor::from_vec(vec![100.0, 200.0], [2, 1]).unwrap();
+        let out = m.badd(&col).unwrap();
+        assert_eq!(out.data(), &[100.0, 101.0, 102.0, 203.0, 204.0, 205.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar_tensor() {
+        let m = Tensor::arange(4).reshape([2, 2]).unwrap();
+        let s = Tensor::scalar(2.0);
+        assert_eq!(m.bmul(&s).unwrap().data(), &[0.0, 2.0, 4.0, 6.0]);
+        assert_eq!(m.bdiv(&s).unwrap().data(), &[0.0, 0.5, 1.0, 1.5]);
+        assert_eq!(m.bsub(&s).unwrap().data(), &[-2.0, -1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 2]);
+        assert!(a.badd(&b).is_err());
+    }
+
+    #[test]
+    fn reduce_to_shape_sums_stretched_axes() {
+        let g = Tensor::ones([2, 3]);
+        let red = g.reduce_to_shape(&Shape::from([3])).unwrap();
+        assert_eq!(red.data(), &[2.0, 2.0, 2.0]);
+        let red = g.reduce_to_shape(&Shape::from([2, 1])).unwrap();
+        assert_eq!(red.data(), &[3.0, 3.0]);
+        let red = g.reduce_to_shape(&Shape::scalar()).unwrap();
+        assert_eq!(red.item().unwrap(), 6.0);
+    }
+
+    #[test]
+    fn reduce_to_shape_is_identity_when_equal() {
+        let g = Tensor::arange(4).reshape([2, 2]).unwrap();
+        assert_eq!(g.reduce_to_shape(g.shape()).unwrap(), g);
+    }
+
+    #[test]
+    fn reduce_to_shape_rejects_incompatible() {
+        let g = Tensor::ones([2, 3]);
+        assert!(g.reduce_to_shape(&Shape::from([4])).is_err());
+    }
+
+    #[test]
+    fn broadcast_then_reduce_is_adjoint() {
+        // <broadcast(x), y> == <x, reduce(y)> for the sum-broadcast pair.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]).unwrap();
+        let y = Tensor::arange(6).reshape([2, 3]).unwrap();
+        let broadcast_x = Tensor::zeros([2, 3]).badd(&x).unwrap();
+        let lhs = broadcast_x.dot(&y).unwrap();
+        let rhs = x.dot(&y.reduce_to_shape(x.shape()).unwrap()).unwrap();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,278 @@
+//! Matrix multiplication kernels.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Blocking factor for the cache-tiled matmul kernel.
+const BLOCK: usize = 32;
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `(m, k) x (k, n) -> (m, n)`.
+    ///
+    /// Uses a cache-blocked i-k-j loop order, which is adequate for the
+    /// small CPU models this crate trains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if either operand is not 2-D,
+    /// or [`TensorError::MatmulDims`] if the inner dimensions disagree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hero_tensor::Tensor;
+    ///
+    /// # fn main() -> Result<(), hero_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+    /// let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2])?;
+    /// assert_eq!(a.matmul(&id)?, a);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank() });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: other.rank() });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDims { left_cols: k, right_rows: k2 });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut c = vec![0.0f32; m * n];
+        for ib in (0..m).step_by(BLOCK) {
+            for kb in (0..k).step_by(BLOCK) {
+                for jb in (0..n).step_by(BLOCK) {
+                    let i_end = (ib + BLOCK).min(m);
+                    let k_end = (kb + BLOCK).min(k);
+                    let j_end = (jb + BLOCK).min(n);
+                    for i in ib..i_end {
+                        for kk in kb..k_end {
+                            let aik = a[i * k + kk];
+                            if aik == 0.0 {
+                                continue;
+                            }
+                            let brow = &b[kk * n + jb..kk * n + j_end];
+                            let crow = &mut c[i * n + jb..i * n + j_end];
+                            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                                *cv += aik * bv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(c, [m, n])
+    }
+
+    /// `self^T x other` without materializing the transpose:
+    /// `(k, m)^T x (k, n) -> (m, n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Tensor::matmul`].
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+            });
+        }
+        let (k, m) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDims { left_cols: m, right_rows: k2 });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut c = vec![0.0f32; m * n];
+        for kk in 0..k {
+            for i in 0..m {
+                let aki = a[kk * m + i];
+                if aki == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aki * bv;
+                }
+            }
+        }
+        Tensor::from_vec(c, [m, n])
+    }
+
+    /// `self x other^T` without materializing the transpose:
+    /// `(m, k) x (n, k)^T -> (m, n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Tensor::matmul`].
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (n, k2) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDims { left_cols: k, right_rows: k2 });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(c, [m, n])
+    }
+
+    /// Matrix-vector product: `(m, k) x (k,) -> (m,)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/dimension errors mirroring [`Tensor::matmul`].
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank() });
+        }
+        if v.rank() != 1 {
+            return Err(TensorError::RankMismatch { expected: 1, actual: v.rank() });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        if v.dims()[0] != k {
+            return Err(TensorError::MatmulDims { left_cols: k, right_rows: v.dims()[0] });
+        }
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &self.data()[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(v.data()).map(|(&a, &b)| a * b).sum();
+        }
+        Tensor::from_vec(out, [m])
+    }
+
+    /// Outer product of two vectors: `(m,) x (n,) -> (m, n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are 1-D.
+    pub fn outer(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 1 || other.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: if self.rank() != 1 { self.rank() } else { other.rank() },
+            });
+        }
+        let (m, n) = (self.numel(), other.numel());
+        let mut out = Vec::with_capacity(m * n);
+        for &a in self.data() {
+            for &b in other.data() {
+                out.push(a * b);
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_validates_dims() {
+        let a = Tensor::zeros([2, 3]);
+        assert!(a.matmul(&Tensor::zeros([4, 2])).is_err());
+        assert!(a.matmul(&Tensor::zeros([3])).is_err());
+        assert!(Tensor::zeros([3]).matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::arange(9).reshape([3, 3]).unwrap();
+        let id = Tensor::from_fn([3, 3], |idx| if idx[0] == idx[1] { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id).unwrap(), a);
+        assert_eq!(id.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_on_larger_sizes() {
+        // Exercise sizes that are not multiples of the block size.
+        let m = 37;
+        let k = 41;
+        let n = 35;
+        let a = Tensor::from_fn([m, k], |i| ((i[0] * 7 + i[1] * 3) % 11) as f32 - 5.0);
+        let b = Tensor::from_fn([k, n], |i| ((i[0] * 5 + i[1] * 2) % 13) as f32 - 6.0);
+        let c = a.matmul(&b).unwrap();
+        // Naive reference
+        for i in (0..m).step_by(9) {
+            for j in (0..n).step_by(11) {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.get(&[i, kk]).unwrap() * b.get(&[kk, j]).unwrap();
+                }
+                assert!((c.get(&[i, j]).unwrap() - acc).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_fn([4, 3], |i| (i[0] + 2 * i[1]) as f32);
+        let b = Tensor::from_fn([4, 5], |i| (2 * i[0] + i[1]) as f32);
+        let expected = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(a.matmul_tn(&b).unwrap(), expected);
+        assert!(a.matmul_tn(&Tensor::zeros([3, 5])).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_fn([4, 3], |i| (i[0] + 2 * i[1]) as f32);
+        let b = Tensor::from_fn([5, 3], |i| (2 * i[0] + i[1]) as f32);
+        let expected = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(a.matmul_nt(&b).unwrap(), expected);
+        assert!(a.matmul_nt(&Tensor::zeros([5, 4])).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_fn([3, 4], |i| (i[0] * 4 + i[1]) as f32);
+        let v = Tensor::arange(4);
+        let got = a.matvec(&v).unwrap();
+        let expected = a.matmul(&v.reshape([4, 1]).unwrap()).unwrap();
+        assert_eq!(got.data(), expected.data());
+        assert!(a.matvec(&Tensor::arange(3)).is_err());
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], [3]).unwrap();
+        let o = a.outer(&b).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+        assert!(a.outer(&Tensor::zeros([2, 2])).is_err());
+    }
+}

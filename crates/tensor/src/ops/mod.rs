@@ -1,0 +1,10 @@
+//! Operation modules implementing `Tensor` methods.
+
+pub(crate) mod broadcast;
+pub(crate) mod elementwise;
+pub(crate) mod im2col;
+pub(crate) mod matmul;
+pub(crate) mod norm;
+pub(crate) mod pad;
+pub(crate) mod pool;
+pub(crate) mod reduce;

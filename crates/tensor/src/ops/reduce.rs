@@ -1,0 +1,212 @@
+//! Reductions: sums, means, extrema, argmax, softmax helpers.
+
+use crate::error::Result;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            0.0
+        } else {
+            self.sum() / self.numel() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Flat index of the maximum element (first occurrence).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data().iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sums along `axis`, dropping that axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::AxisOutOfRange`] for an invalid axis.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
+        let out_shape = self.shape().remove_axis(axis)?;
+        let mut out = Tensor::zeros(out_shape.clone());
+        let strides = self.shape().strides();
+        let dim = self.dims()[axis];
+        for flat in 0..out_shape.numel() {
+            let mut idx = out_shape.unravel(flat);
+            idx.insert(axis, 0);
+            let mut base = 0;
+            for (k, &i) in idx.iter().enumerate() {
+                base += i * strides[k];
+            }
+            let mut acc = 0.0;
+            for j in 0..dim {
+                acc += self.data()[base + j * strides[axis]];
+            }
+            out.data_mut()[flat] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Means along `axis`, dropping that axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::AxisOutOfRange`] for an invalid axis.
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor> {
+        let dim = self.shape().dim(axis)? as f32;
+        Ok(self.sum_axis(axis)?.scale(1.0 / dim))
+    }
+
+    /// Row-wise argmax of a 2-D tensor: returns the class index per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::RankMismatch`] unless the rank is 2.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.rank() != 2 {
+            return Err(crate::TensorError::RankMismatch { expected: 2, actual: self.rank() });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data()[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            let mut best_v = f32::NEG_INFINITY;
+            for (i, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Row-wise softmax of a 2-D tensor, numerically stabilized by
+    /// subtracting each row's max.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::RankMismatch`] unless the rank is 2.
+    pub fn softmax_rows(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(crate::TensorError::RankMismatch { expected: 2, actual: self.rank() });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            let row = &self.data()[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for (i, &v) in row.iter().enumerate() {
+                let e = (v - m).exp();
+                out[r * cols + i] = e;
+                denom += e;
+            }
+            for v in &mut out[r * cols..(r + 1) * cols] {
+                *v /= denom;
+            }
+        }
+        Tensor::from_vec(out, [rows, cols])
+    }
+
+    /// Population variance of all elements.
+    pub fn variance(&self) -> f32 {
+        if self.numel() == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.data().iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / self.numel() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], [2, 2]).unwrap();
+        assert_eq!(t.sum(), 2.5);
+        assert_eq!(t.mean(), 0.625);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+    }
+
+    #[test]
+    fn sum_axis_matches_manual() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        let s0 = t.sum_axis(0).unwrap();
+        assert_eq!(s0.dims(), &[3]);
+        assert_eq!(s0.data(), &[3.0, 5.0, 7.0]);
+        let s1 = t.sum_axis(1).unwrap();
+        assert_eq!(s1.dims(), &[2]);
+        assert_eq!(s1.data(), &[3.0, 12.0]);
+        assert!(t.sum_axis(2).is_err());
+    }
+
+    #[test]
+    fn sum_axis_rank3_middle() {
+        let t = Tensor::arange(24).reshape([2, 3, 4]).unwrap();
+        let s = t.sum_axis(1).unwrap();
+        assert_eq!(s.dims(), &[2, 4]);
+        // s[0,0] = t[0,0,0]+t[0,1,0]+t[0,2,0] = 0+4+8
+        assert_eq!(s.get(&[0, 0]).unwrap(), 12.0);
+        assert_eq!(s.get(&[1, 3]).unwrap(), (15 + 19 + 23) as f32);
+    }
+
+    #[test]
+    fn mean_axis_scales() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        assert_eq!(t.mean_axis(0).unwrap().data(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_per_row() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.0, 0.7, 0.2, 0.1], [2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+        assert!(Tensor::zeros([3]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_is_stable() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0, -1000.0, 0.0, 0.0, 0.0], [2, 3]).unwrap();
+        let s = t.softmax_rows().unwrap();
+        assert!(s.is_finite());
+        for r in 0..2 {
+            let row_sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // Uniform logits -> uniform probabilities.
+        assert!((s.get(&[1, 0]).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(Tensor::full([5], 3.0).variance(), 0.0);
+        let t = Tensor::from_vec(vec![1.0, 3.0], [2]).unwrap();
+        assert_eq!(t.variance(), 1.0);
+    }
+}

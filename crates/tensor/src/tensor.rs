@@ -1,0 +1,491 @@
+//! The dense, contiguous, row-major `f32` tensor.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense n-dimensional array of `f32` values in row-major order.
+///
+/// `Tensor` owns its storage and is always contiguous; transposes and
+/// reshapes either copy or reinterpret the buffer. This keeps the substrate
+/// simple and predictable for the single-threaded CPU training workloads the
+/// HERO reproduction runs.
+///
+/// # Examples
+///
+/// ```
+/// use hero_tensor::Tensor;
+///
+/// # fn main() -> Result<(), hero_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// assert_eq!(t.get(&[1, 0])?, 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat `Vec` and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if `data.len()` differs from the
+    /// shape's volume.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.numel() {
+            return Err(TensorError::DataLength { expected: shape.numel(), actual: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Creates a 1-D tensor `[0, 1, ..., n-1]` as `f32`.
+    pub fn arange(n: usize) -> Self {
+        Tensor { shape: Shape::from([n]), data: (0..n).map(|i| i as f32).collect() }
+    }
+
+    /// Creates a tensor whose element at multi-index `idx` is `f(idx)`.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        for flat in 0..n {
+            let idx = shape.unravel(flat);
+            data.push(f(&idx));
+        }
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimensions as a slice (shorthand for `shape().dims()`).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the flat row-major storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index rank or any coordinate is invalid.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Writes the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index rank or any coordinate is invalid.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the tensor holds more
+    /// than one element.
+    pub fn item(&self) -> Result<f32> {
+        if self.numel() != 1 {
+            return Err(TensorError::InvalidArgument(format!(
+                "item() requires exactly one element, tensor has {}",
+                self.numel()
+            )));
+        }
+        Ok(self.data[0])
+    }
+
+    /// Returns a tensor with the same data and a new shape of equal volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if the volumes differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::DataLength { expected: shape.numel(), actual: self.numel() });
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// In-place variant of [`reshape`](Tensor::reshape); avoids the copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] if the volumes differ.
+    pub fn reshape_in_place(&mut self, shape: impl Into<Shape>) -> Result<()> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::DataLength { expected: shape.numel(), actual: self.numel() });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Flattens to a 1-D tensor without copying semantics changes.
+    pub fn flatten(&self) -> Tensor {
+        Tensor { shape: Shape::from([self.numel()]), data: self.data.clone() }
+    }
+
+    /// Transposes a 2-D tensor (copies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the rank is 2.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank() });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, [c, r])
+    }
+
+    /// Permutes the axes according to `perm` (a permutation of `0..rank`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `perm` is not a valid permutation of the axes.
+    pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
+        if perm.len() != self.rank() {
+            return Err(TensorError::RankMismatch { expected: self.rank(), actual: perm.len() });
+        }
+        let mut seen = vec![false; self.rank()];
+        for &p in perm {
+            if p >= self.rank() || seen[p] {
+                return Err(TensorError::InvalidArgument(format!(
+                    "perm {perm:?} is not a permutation of 0..{}",
+                    self.rank()
+                )));
+            }
+            seen[p] = true;
+        }
+        let new_dims: Vec<usize> = perm.iter().map(|&p| self.dims()[p]).collect();
+        let new_shape = Shape::new(new_dims);
+        let old_strides = self.shape.strides();
+        let mut out = vec![0.0; self.numel()];
+        for (flat, slot) in out.iter_mut().enumerate() {
+            let new_idx = new_shape.unravel(flat);
+            let mut old_off = 0;
+            for (k, &p) in perm.iter().enumerate() {
+                old_off += new_idx[k] * old_strides[p];
+            }
+            *slot = self.data[old_off];
+        }
+        Ok(Tensor { shape: new_shape, data: out })
+    }
+
+    /// Extracts the `index`-th slice along `axis`, dropping that axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid axis or index.
+    pub fn select(&self, axis: usize, index: usize) -> Result<Tensor> {
+        let dim = self.shape.dim(axis)?;
+        if index >= dim {
+            return Err(TensorError::IndexOutOfRange { index, size: dim });
+        }
+        let out_shape = self.shape.remove_axis(axis)?;
+        let strides = self.shape.strides();
+        let mut out = Vec::with_capacity(out_shape.numel());
+        for flat in 0..out_shape.numel() {
+            let mut idx = out_shape.unravel(flat);
+            idx.insert(axis, index);
+            let mut off = 0;
+            for (k, &i) in idx.iter().enumerate() {
+                off += i * strides[k];
+            }
+            out.push(self.data[off]);
+        }
+        Ok(Tensor { shape: out_shape, data: out })
+    }
+
+    /// Returns the contiguous sub-tensor `[start, start+len)` along axis 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range exceeds the first dimension.
+    pub fn narrow(&self, start: usize, len: usize) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
+        }
+        let d0 = self.dims()[0];
+        if start + len > d0 {
+            return Err(TensorError::IndexOutOfRange { index: start + len, size: d0 });
+        }
+        let row = self.numel() / d0.max(1);
+        let mut dims = self.dims().to_vec();
+        dims[0] = len;
+        Tensor::from_vec(self.data[start * row..(start + len) * row].to_vec(), dims)
+    }
+
+    /// Stacks tensors of identical shape along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `parts` is empty or shapes disagree.
+    pub fn stack(parts: &[Tensor]) -> Result<Tensor> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("stack of zero tensors".into()))?;
+        let mut data = Vec::with_capacity(first.numel() * parts.len());
+        for p in parts {
+            if p.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.dims().to_vec(),
+                    right: p.dims().to_vec(),
+                });
+            }
+            data.extend_from_slice(&p.data);
+        }
+        let mut dims = vec![parts.len()];
+        dims.extend_from_slice(first.dims());
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Concatenates tensors along axis 0 (shapes must agree on other axes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `parts` is empty or trailing shapes disagree.
+    pub fn concat(parts: &[Tensor]) -> Result<Tensor> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?;
+        if first.rank() == 0 {
+            return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
+        }
+        let mut total0 = 0;
+        let mut data = Vec::new();
+        for p in parts {
+            if p.rank() != first.rank() || p.dims()[1..] != first.dims()[1..] {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.dims().to_vec(),
+                    right: p.dims().to_vec(),
+                });
+            }
+            total0 += p.dims()[0];
+            data.extend_from_slice(&p.data);
+        }
+        let mut dims = first.dims().to_vec();
+        dims[0] = total0;
+        Tensor::from_vec(data, dims)
+    }
+
+    /// True when every element is finite (no NaN or infinity).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Default for Tensor {
+    /// The default tensor is the scalar `0.0`.
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "[{:?}, ... {} elements]", &self.data[..8], self.numel())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], [2, 3]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 5], [2, 3]),
+            Err(TensorError::DataLength { expected: 6, actual: 5 })
+        ));
+    }
+
+    #[test]
+    fn constructors_fill_correctly() {
+        assert!(Tensor::zeros([3, 3]).data().iter().all(|&v| v == 0.0));
+        assert!(Tensor::ones([2]).data().iter().all(|&v| v == 1.0));
+        assert_eq!(Tensor::full([2], 7.5).data(), &[7.5, 7.5]);
+        assert_eq!(Tensor::arange(4).data(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(Tensor::scalar(2.0).item().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn from_fn_uses_multi_index() {
+        let t = Tensor::from_fn([2, 3], |idx| (idx[0] * 10 + idx[1]) as f32);
+        assert_eq!(t.get(&[1, 2]).unwrap(), 12.0);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros([2, 2]);
+        t.set(&[0, 1], 5.0).unwrap();
+        assert_eq!(t.get(&[0, 1]).unwrap(), 5.0);
+        assert!(t.set(&[2, 0], 1.0).is_err());
+    }
+
+    #[test]
+    fn item_rejects_multielement() {
+        assert!(Tensor::zeros([2]).item().is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        assert_eq!(t.get(&[1, 0]).unwrap(), 3.0);
+        assert!(t.reshape([4]).is_err());
+        let mut t2 = t.clone();
+        t2.reshape_in_place([3, 2]).unwrap();
+        assert_eq!(t2.dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.get(&[2, 1]).unwrap(), t.get(&[1, 2]).unwrap());
+        assert_eq!(tt.transpose().unwrap(), t);
+        assert!(Tensor::arange(3).transpose().is_err());
+    }
+
+    #[test]
+    fn permute_matches_transpose_for_rank2() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        assert_eq!(t.permute(&[1, 0]).unwrap(), t.transpose().unwrap());
+        assert_eq!(t.permute(&[0, 1]).unwrap(), t);
+        assert!(t.permute(&[0, 0]).is_err());
+        assert!(t.permute(&[0]).is_err());
+    }
+
+    #[test]
+    fn permute_rank3_moves_channels() {
+        // NCHW -> NHWC style permutation on a (1,2,2,2) tensor.
+        let t = Tensor::arange(8).reshape([1, 2, 2, 2]).unwrap();
+        let p = t.permute(&[0, 2, 3, 1]).unwrap();
+        assert_eq!(p.dims(), &[1, 2, 2, 2]);
+        assert_eq!(p.get(&[0, 1, 1, 0]).unwrap(), t.get(&[0, 0, 1, 1]).unwrap());
+    }
+
+    #[test]
+    fn select_drops_axis() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        let row = t.select(0, 1).unwrap();
+        assert_eq!(row.data(), &[3.0, 4.0, 5.0]);
+        let col = t.select(1, 2).unwrap();
+        assert_eq!(col.data(), &[2.0, 5.0]);
+        assert!(t.select(1, 3).is_err());
+        assert!(t.select(2, 0).is_err());
+    }
+
+    #[test]
+    fn narrow_takes_row_ranges() {
+        let t = Tensor::arange(6).reshape([3, 2]).unwrap();
+        let mid = t.narrow(1, 2).unwrap();
+        assert_eq!(mid.dims(), &[2, 2]);
+        assert_eq!(mid.data(), &[2.0, 3.0, 4.0, 5.0]);
+        assert!(t.narrow(2, 2).is_err());
+    }
+
+    #[test]
+    fn stack_and_concat() {
+        let a = Tensor::arange(2);
+        let b = Tensor::full([2], 9.0);
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.data(), &[0.0, 1.0, 9.0, 9.0]);
+        let c = Tensor::concat(&[a.clone(), b]).unwrap();
+        assert_eq!(c.dims(), &[4]);
+        assert!(Tensor::stack(&[]).is_err());
+        assert!(Tensor::stack(&[a, Tensor::zeros([3])]).is_err());
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut t = Tensor::zeros([2]);
+        assert!(t.is_finite());
+        t.data_mut()[0] = f32::NAN;
+        assert!(!t.is_finite());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Tensor::zeros([2, 2]).to_string().is_empty());
+        assert!(Tensor::zeros([100]).to_string().contains("100 elements"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for tensor invariants.
+
+use hero_tensor::{global_norm_l2, ConvGeometry, Shape, Tensor};
+use proptest::prelude::*;
+
+/// Strategy producing a small shape (rank 1..=4, dims 1..=6).
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=6, 1..=4)
+}
+
+/// Strategy producing a tensor with the given shape filled with small floats.
+fn tensor_of(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-100.0f32..100.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, dims.clone()).unwrap())
+}
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    small_shape().prop_flat_map(tensor_of)
+}
+
+proptest! {
+    #[test]
+    fn offset_unravel_roundtrip(dims in small_shape(), salt in 0usize..1000) {
+        let shape = Shape::new(dims);
+        let flat = salt % shape.numel();
+        let idx = shape.unravel(flat);
+        prop_assert_eq!(shape.offset(&idx).unwrap(), flat);
+    }
+
+    #[test]
+    fn add_is_commutative(t in arb_tensor()) {
+        let u = t.map(|v| v * 0.5 - 1.0);
+        let ab = t.add(&u).unwrap();
+        let ba = u.add(&t).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(t in arb_tensor()) {
+        let u = t.map(|v| v * 0.25 + 2.0);
+        let back = t.sub(&u).unwrap().add(&u).unwrap();
+        for (a, b) in back.data().iter().zip(t.data()) {
+            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn norm_inequality_chain(t in arb_tensor()) {
+        // ||x||_inf <= ||x||_2 <= ||x||_1
+        let eps = 1e-2;
+        prop_assert!(t.norm_linf() <= t.norm_l2() + eps);
+        prop_assert!(t.norm_l2() <= t.norm_l1() + eps);
+        // ||x||_1 <= sqrt(n) ||x||_2
+        prop_assert!(t.norm_l1() <= (t.numel() as f32).sqrt() * t.norm_l2() + eps);
+    }
+
+    #[test]
+    fn triangle_inequality_l2(t in arb_tensor()) {
+        let u = t.map(|v| 3.0 - v * 0.5);
+        let s = t.add(&u).unwrap();
+        prop_assert!(s.norm_l2() <= t.norm_l2() + u.norm_l2() + 1e-2);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in arb_tensor()) {
+        let flat = t.flatten();
+        prop_assert_eq!(flat.sum(), t.sum());
+        prop_assert_eq!(flat.numel(), t.numel());
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000
+    ) {
+        // (A)(B + C) == AB + AC
+        let f = |s: u64, r: usize, c: usize| {
+            Tensor::from_fn([r, c], |i| (((i[0] * 31 + i[1] * 17) as u64 + s) % 13) as f32 - 6.0)
+        };
+        let a = f(seed, m, k);
+        let b = f(seed + 1, k, n);
+        let c = f(seed + 2, k, n);
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..100) {
+        // (AB)^T == B^T A^T
+        let f = |s: u64, r: usize, c: usize| {
+            Tensor::from_fn([r, c], |i| (((i[0] * 7 + i[1] * 3) as u64 + s) % 11) as f32 - 5.0)
+        };
+        let a = f(seed, m, k);
+        let b = f(seed + 5, k, n);
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn softmax_rows_is_probability_distribution(rows in 1usize..5, cols in 1usize..6, seed in 0u64..100) {
+        let t = Tensor::from_fn([rows, cols], |i| {
+            (((i[0] * 13 + i[1] * 7) as u64 + seed) % 19) as f32 - 9.0
+        });
+        let s = t.softmax_rows().unwrap();
+        for r in 0..rows {
+            let sum: f32 = s.data()[r * cols..(r + 1) * cols].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.data()[r * cols..(r + 1) * cols].iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        hw in 3usize..7, k in 1usize..4, stride in 1usize..3, pad in 0usize..2, seed in 0u64..50
+    ) {
+        prop_assume!(k <= hw + 2 * pad);
+        let geom = ConvGeometry::new(hw, hw, k, stride, pad).unwrap();
+        let x = Tensor::from_fn([1, 2, hw, hw], |i| {
+            ((i.iter().sum::<usize>() as u64 + seed) % 9) as f32 - 4.0
+        });
+        let cols = x.im2col(&geom).unwrap();
+        let y = Tensor::from_fn([cols.dims()[0], cols.dims()[1]], |i| {
+            (((i[0] * 3 + i[1] * 5) as u64 + seed) % 7) as f32 - 3.0
+        });
+        let lhs = cols.dot(&y).unwrap();
+        let rhs = x.dot(&y.col2im(&geom, 1, 2).unwrap()).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-1 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn pad_crop_roundtrip(n in 1usize..3, c in 1usize..3, hw in 1usize..5, pad in 0usize..3) {
+        let t = Tensor::from_fn([n, c, hw, hw], |i| i.iter().sum::<usize>() as f32);
+        let roundtrip = t.pad2d(pad).unwrap().crop2d(pad).unwrap();
+        prop_assert_eq!(roundtrip, t);
+    }
+
+    #[test]
+    fn global_norm_matches_concat(a in arb_tensor(), b in arb_tensor()) {
+        let concat_sq = a.norm_l2_sq() + b.norm_l2_sq();
+        let g = global_norm_l2(&[a, b]);
+        prop_assert!((g * g - concat_sq).abs() < 1e-1 * (1.0 + concat_sq));
+    }
+
+    #[test]
+    fn broadcast_reduce_adjoint(rows in 1usize..5, cols in 1usize..5, seed in 0u64..100) {
+        // <broadcast(x), y> == <x, reduce(y)>
+        let x = Tensor::from_fn([cols], |i| ((i[0] as u64 + seed) % 5) as f32 - 2.0);
+        let y = Tensor::from_fn([rows, cols], |i| {
+            (((i[0] * 3 + i[1]) as u64 + seed) % 7) as f32 - 3.0
+        });
+        let bx = Tensor::zeros([rows, cols]).badd(&x).unwrap();
+        let lhs = bx.dot(&y).unwrap();
+        let rhs = x.dot(&y.reduce_to_shape(x.shape()).unwrap()).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: train the ResNet20 stand-in with HERO on the CIFAR-10
+//! preset, compare against SGD, and post-training-quantize both to 4 bits.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p hero-core --example quickstart
+//! ```
+
+use hero_core::experiment::{model_config, quant_sweep, MethodKind, Scale};
+use hero_core::{train, TrainConfig};
+use hero_data::Preset;
+use hero_nn::models::ModelKind;
+use hero_tensor::TensorError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), TensorError> {
+    // A small-but-real run: a few minutes on one CPU core.
+    let preset = Preset::C10;
+    let (train_set, test_set) = preset.load(1.0);
+    let epochs = 40;
+    println!(
+        "training on {} ({} train / {} test samples), {epochs} epochs\n",
+        preset.paper_name(),
+        train_set.len(),
+        test_set.len()
+    );
+
+    for method in [MethodKind::Hero, MethodKind::Sgd] {
+        // Identical initialization for a fair comparison.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut net = ModelKind::Resnet.build(model_config(preset), &mut rng);
+        let config = TrainConfig::new(method.tuned(), epochs);
+        let record = train(&mut net, &train_set, &test_set, &config)?;
+        println!(
+            "{:16}  train acc {:5.1}%  test acc {:5.1}%  (gap {:4.1}%)",
+            method.paper_name(),
+            100.0 * record.final_train_acc,
+            100.0 * record.final_test_acc,
+            100.0 * record.final_gap(),
+        );
+
+        // Post-training quantization, no finetuning (the paper's setting).
+        let mut trained = hero_core::experiment::TrainedModel { net, record, method };
+        let curve = quant_sweep(&mut trained, &test_set, &[3, 4, 6, 8])?;
+        for (bits, acc) in &curve.points {
+            println!("    {bits}-bit weights -> test acc {:5.1}%", 100.0 * acc);
+        }
+        println!();
+    }
+    println!("expect: HERO at or above SGD at full precision with a visibly smaller");
+    println!("train-test gap. For the full quantization-robustness comparison (more");
+    println!("epochs, all models, all precisions) run the repro_* binaries in hero-bench.");
+    Ok(())
+}
