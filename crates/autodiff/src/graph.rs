@@ -1,6 +1,6 @@
 //! Define-by-run computation graph with reverse-mode differentiation.
 
-use hero_tensor::{Result, Shape, Tensor, TensorError};
+use hero_tensor::{pool, Result, Shape, Tensor, TensorError};
 
 /// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
 /// that created it.
@@ -194,6 +194,16 @@ impl Gradients {
     pub fn take(&mut self, v: Var) -> Option<Tensor> {
         self.grads.get_mut(v.0).and_then(Option::take)
     }
+
+    /// Recycles every remaining gradient buffer into the thread-local
+    /// scratch pool. Call after [`Gradients::take`]-ing the gradients you
+    /// keep, so intermediate adjoints feed the next step's leases instead
+    /// of being freed.
+    pub fn recycle(self) {
+        for g in self.grads.into_iter().flatten() {
+            pool::recycle_tensor(g);
+        }
+    }
 }
 
 impl Graph {
@@ -215,6 +225,28 @@ impl Graph {
     /// Registers a leaf tensor (input or parameter) and returns its handle.
     pub fn input(&mut self, value: Tensor) -> Var {
         self.push(value, Op::Input)
+    }
+
+    /// Clears the tape, recycling every node's forward value and the
+    /// op-saved context tensors (im2col columns, softmax, dropout masks…)
+    /// into the thread-local scratch pool so the next step's forward pass
+    /// re-leases the same buffers.
+    ///
+    /// Invalidates every [`Var`] previously issued by this graph.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            pool::recycle_tensor(node.value);
+            match node.op {
+                Op::Conv2d { cols, .. } => pool::recycle_tensor(cols),
+                Op::BatchNorm { xhat, .. } => pool::recycle_tensor(xhat),
+                Op::CrossEntropy { softmax, .. } | Op::CrossEntropySmoothed { softmax, .. } => {
+                    pool::recycle_tensor(softmax)
+                }
+                Op::Dropout { scaled_mask, .. } => pool::recycle_tensor(scaled_mask),
+                Op::MseLoss { diff, .. } => pool::recycle_tensor(diff),
+                _ => {}
+            }
+        }
     }
 
     /// The forward value of a node.
@@ -337,7 +369,9 @@ impl Graph {
         grads[loss.0] = Some(Tensor::full(self.nodes[loss.0].value.shape().clone(), 1.0));
 
         for i in (0..=loss.0).rev() {
-            let Some(grad) = grads[i].take() else { continue };
+            let Some(grad) = grads[i].take() else {
+                continue;
+            };
             self.accumulate_parents(i, &grad, &mut grads)?;
             grads[i] = Some(grad);
         }
@@ -392,7 +426,9 @@ impl Graph {
                 add_grad(*b, gb, grads)?;
             }
             Op::Relu(a) => {
-                let mask = self.nodes[*a].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                let mask = self.nodes[*a]
+                    .value
+                    .map(|v| if v > 0.0 { 1.0 } else { 0.0 });
                 add_grad(*a, grad.mul(&mask)?, grads)?;
             }
             Op::Relu6(a) => {
@@ -510,7 +546,10 @@ mod tests {
             let c = g.matmul(av, bv).unwrap();
             let loss = g.sum(c);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(av).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(av).unwrap().clone(),
+            )
         });
         // Check dL/dB
         check_scalar_fn(&b0, 1e-2, 2e-2, |b| {
@@ -520,7 +559,10 @@ mod tests {
             let c = g.matmul(av, bv).unwrap();
             let loss = g.sum(c);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(bv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(bv).unwrap().clone(),
+            )
         });
     }
 
@@ -535,7 +577,10 @@ mod tests {
             let y = g.mul(xv, wv).unwrap(); // broadcasts w over rows
             let loss = g.sum(y);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(wv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(wv).unwrap().clone(),
+            )
         });
     }
 
@@ -550,7 +595,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
         check_scalar_fn(&x0, 1e-3, 1e-2, |x| {
             let mut g = Graph::new();
@@ -559,7 +607,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
     }
 
@@ -584,7 +635,10 @@ mod tests {
             let diff = g.sub(sq, xv).unwrap();
             let loss = g.mean(diff);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
     }
 

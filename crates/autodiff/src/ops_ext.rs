@@ -52,7 +52,13 @@ impl Graph {
         }
         let scaled_mask = mask.scale(1.0 / keep_prob);
         let value = self.value(a).mul(&scaled_mask)?;
-        Ok(self.push(value, Op::Dropout { x: a.0, scaled_mask }))
+        Ok(self.push(
+            value,
+            Op::Dropout {
+                x: a.0,
+                scaled_mask,
+            },
+        ))
     }
 
     /// Mean-squared-error loss against a constant target, producing a
@@ -94,7 +100,10 @@ impl Graph {
         }
         let lv = self.value(logits);
         if lv.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: lv.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: lv.rank(),
+            });
         }
         let (batch, classes) = (lv.dims()[0], lv.dims()[1]);
         if labels.len() != batch {
@@ -104,7 +113,10 @@ impl Graph {
             )));
         }
         if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
-            return Err(TensorError::IndexOutOfRange { index: bad, size: classes });
+            return Err(TensorError::IndexOutOfRange {
+                index: bad,
+                size: classes,
+            });
         }
         let softmax = lv.softmax_rows()?;
         // loss = -Σ_k q_k log p_k with q = smoothed one-hot.
@@ -112,7 +124,11 @@ impl Graph {
         let mut loss = 0.0;
         for (row, &label) in labels.iter().enumerate() {
             for k in 0..classes {
-                let q = if k == label { 1.0 - eps + uniform } else { uniform };
+                let q = if k == label {
+                    1.0 - eps + uniform
+                } else {
+                    uniform
+                };
                 let p = softmax.data()[row * classes + k].max(1e-12);
                 loss -= q * p.ln();
             }
@@ -120,7 +136,12 @@ impl Graph {
         loss /= batch as f32;
         Ok(self.push(
             Tensor::scalar(loss),
-            Op::CrossEntropySmoothed { logits: logits.0, softmax, labels: labels.to_vec(), eps },
+            Op::CrossEntropySmoothed {
+                logits: logits.0,
+                softmax,
+                labels: labels.to_vec(),
+                eps,
+            },
         ))
     }
 
@@ -166,7 +187,12 @@ impl Graph {
                 let scale = 2.0 * grad.data()[0] / diff.numel().max(1) as f32;
                 add_grad(*x, diff.scale(scale), grads)?;
             }
-            Op::CrossEntropySmoothed { logits, softmax, labels, eps } => {
+            Op::CrossEntropySmoothed {
+                logits,
+                softmax,
+                labels,
+                eps,
+            } => {
                 let batch = labels.len();
                 let classes = softmax.dims()[1];
                 let upstream = grad.data()[0] / batch as f32;
@@ -175,7 +201,11 @@ impl Graph {
                 let mut dl = softmax.scale(upstream);
                 for (row, &label) in labels.iter().enumerate() {
                     for k in 0..classes {
-                        let q = if k == label { 1.0 - eps + uniform } else { uniform };
+                        let q = if k == label {
+                            1.0 - eps + uniform
+                        } else {
+                            uniform
+                        };
                         dl.data_mut()[row * classes + k] -= upstream * q;
                     }
                 }
@@ -194,7 +224,9 @@ mod tests {
 
     fn probe(shape: &[usize], salt: usize) -> Tensor {
         Tensor::from_fn(shape.to_vec(), |i| {
-            let h = i.iter().fold(salt, |a, &v| a.wrapping_mul(37).wrapping_add(v + 3));
+            let h = i
+                .iter()
+                .fold(salt, |a, &v| a.wrapping_mul(37).wrapping_add(v + 3));
             ((h % 19) as f32 / 19.0) * 2.0 - 1.0
         })
     }
@@ -215,7 +247,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
     }
 
@@ -229,7 +264,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
     }
 
@@ -248,7 +286,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
     }
 
@@ -261,7 +302,10 @@ mod tests {
             let y = g.ln(xv);
             let loss = g.sum(y);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
     }
 
@@ -302,7 +346,10 @@ mod tests {
             let xv = g.input(x.clone());
             let loss = g.mse_loss(xv, &tgt).unwrap();
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
         let mut g2 = Graph::new();
         let x2 = g2.input(Tensor::zeros([2]));
@@ -333,7 +380,10 @@ mod tests {
             let lv = g.input(l.clone());
             let loss = g.cross_entropy_smoothed(lv, &labels, 0.1).unwrap();
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(lv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(lv).unwrap().clone(),
+            )
         });
     }
 
@@ -350,7 +400,9 @@ mod tests {
     fn smoothed_ce_gradient_rows_sum_to_zero() {
         let mut g = Graph::new();
         let logits = g.input(probe(&[4, 6], 9));
-        let loss = g.cross_entropy_smoothed(logits, &[0, 1, 2, 3], 0.2).unwrap();
+        let loss = g
+            .cross_entropy_smoothed(logits, &[0, 1, 2, 3], 0.2)
+            .unwrap();
         let grads = g.backward(loss).unwrap();
         let gl = grads.get(logits).unwrap();
         for row in 0..4 {

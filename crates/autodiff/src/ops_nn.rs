@@ -25,13 +25,19 @@ impl Graph {
     pub fn conv2d(&mut self, x: Var, w: Var, geom: ConvGeometry) -> Result<Var> {
         let xv = self.value(x);
         if xv.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: xv.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: xv.rank(),
+            });
         }
         let (n, c) = (xv.dims()[0], xv.dims()[1]);
         let wv = self.value(w);
         if wv.rank() != 2 || wv.dims()[1] != c * geom.kernel * geom.kernel {
             return Err(TensorError::ShapeMismatch {
-                left: vec![wv.dims().first().copied().unwrap_or(0), c * geom.kernel * geom.kernel],
+                left: vec![
+                    wv.dims().first().copied().unwrap_or(0),
+                    c * geom.kernel * geom.kernel,
+                ],
                 right: wv.dims().to_vec(),
             });
         }
@@ -50,7 +56,17 @@ impl Graph {
                     .copy_from_slice(&out2d.data()[src..src + spatial]);
             }
         }
-        Ok(self.push(out, Op::Conv2d { x: x.0, w: w.0, geom, cols, n, c }))
+        Ok(self.push(
+            out,
+            Op::Conv2d {
+                x: x.0,
+                w: w.0,
+                geom,
+                cols,
+                n,
+                c,
+            },
+        ))
     }
 
     /// Depthwise convolution: channel `ch` of the input is convolved with
@@ -62,7 +78,10 @@ impl Graph {
     pub fn depthwise_conv2d(&mut self, x: Var, w: Var, geom: ConvGeometry) -> Result<Var> {
         let xv = self.value(x);
         if xv.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: xv.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: xv.rank(),
+            });
         }
         let (n, c) = (xv.dims()[0], xv.dims()[1]);
         let wv = self.value(w);
@@ -74,7 +93,14 @@ impl Graph {
         }
         let out = depthwise_forward(xv, wv, &geom)?;
         let _ = n;
-        Ok(self.push(out, Op::DepthwiseConv2d { x: x.0, w: w.0, geom }))
+        Ok(self.push(
+            out,
+            Op::DepthwiseConv2d {
+                x: x.0,
+                w: w.0,
+                geom,
+            },
+        ))
     }
 
     /// Training-mode batch normalization over the (N, H, W) axes of an NCHW
@@ -95,7 +121,10 @@ impl Graph {
     ) -> Result<(Var, BatchStats)> {
         let xv = self.value(x);
         if xv.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: xv.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: xv.rank(),
+            });
         }
         let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
         let gv = self.value(gamma);
@@ -103,7 +132,11 @@ impl Graph {
         if gv.dims() != [c] || bv.dims() != [c] {
             return Err(TensorError::ShapeMismatch {
                 left: vec![c],
-                right: if gv.dims() != [c] { gv.dims().to_vec() } else { bv.dims().to_vec() },
+                right: if gv.dims() != [c] {
+                    gv.dims().to_vec()
+                } else {
+                    bv.dims().to_vec()
+                },
             });
         }
         let m = (n * h * w) as f32;
@@ -147,7 +180,13 @@ impl Graph {
         let stats = BatchStats { mean, var };
         let node = self.push(
             out,
-            Op::BatchNorm { x: x.0, gamma: gamma.0, beta: beta.0, xhat, inv_std },
+            Op::BatchNorm {
+                x: x.0,
+                gamma: gamma.0,
+                beta: beta.0,
+                xhat,
+                inv_std,
+            },
         );
         Ok((node, stats))
     }
@@ -192,7 +231,10 @@ impl Graph {
     pub fn cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Result<Var> {
         let lv = self.value(logits);
         if lv.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: lv.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: lv.rank(),
+            });
         }
         let (batch, classes) = (lv.dims()[0], lv.dims()[1]);
         if labels.len() != batch {
@@ -202,7 +244,10 @@ impl Graph {
             )));
         }
         if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
-            return Err(TensorError::IndexOutOfRange { index: bad, size: classes });
+            return Err(TensorError::IndexOutOfRange {
+                index: bad,
+                size: classes,
+            });
         }
         let softmax = lv.softmax_rows()?;
         let mut loss = 0.0;
@@ -213,7 +258,11 @@ impl Graph {
         loss /= batch as f32;
         Ok(self.push(
             Tensor::scalar(loss),
-            Op::CrossEntropy { logits: logits.0, softmax, labels: labels.to_vec() },
+            Op::CrossEntropy {
+                logits: logits.0,
+                softmax,
+                labels: labels.to_vec(),
+            },
         ))
     }
 
@@ -233,7 +282,14 @@ impl Graph {
             Ok(())
         };
         match op {
-            Op::Conv2d { x, w, geom, cols, n, c } => {
+            Op::Conv2d {
+                x,
+                w,
+                geom,
+                cols,
+                n,
+                c,
+            } => {
                 let out_c = self.nodes[*w].value.dims()[0];
                 let (oh, ow) = geom.out_hw();
                 let spatial = oh * ow;
@@ -260,10 +316,15 @@ impl Graph {
                 add_grad(*x, dx, grads)?;
                 add_grad(*w, dw, grads)?;
             }
-            Op::BatchNorm { x, gamma, beta, xhat, inv_std } => {
+            Op::BatchNorm {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            } => {
                 let xv = &self.nodes[*x].value;
-                let (n, c, h, w) =
-                    (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
+                let (n, c, h, w) = (xv.dims()[0], xv.dims()[1], xv.dims()[2], xv.dims()[3]);
                 let m = (n * h * w) as f32;
                 let gv = &self.nodes[*gamma].value;
                 let mut dgamma = vec![0.0f32; c];
@@ -330,7 +391,11 @@ impl Graph {
                 }
                 add_grad(*x, dx, grads)?;
             }
-            Op::CrossEntropy { logits, softmax, labels } => {
+            Op::CrossEntropy {
+                logits,
+                softmax,
+                labels,
+            } => {
                 let batch = labels.len();
                 let classes = softmax.dims()[1];
                 let upstream = grad.data()[0] / batch as f32;
@@ -442,10 +507,9 @@ mod tests {
 
     fn seeded(shape: &[usize], scale: f32, salt: usize) -> Tensor {
         Tensor::from_fn(shape.to_vec(), |i| {
-            let h = i
-                .iter()
-                .enumerate()
-                .fold(salt, |acc, (k, &v)| acc.wrapping_mul(31).wrapping_add(v * (k + 7)));
+            let h = i.iter().enumerate().fold(salt, |acc, (k, &v)| {
+                acc.wrapping_mul(31).wrapping_add(v * (k + 7))
+            });
             ((h % 17) as f32 / 17.0 - 0.5) * scale
         })
     }
@@ -485,7 +549,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(wv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(wv).unwrap().clone(),
+            )
         });
         check_scalar_fn(&x0, 1e-2, 3e-2, |x| {
             let mut g = Graph::new();
@@ -495,7 +562,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
     }
 
@@ -512,7 +582,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(wv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(wv).unwrap().clone(),
+            )
         });
         check_scalar_fn(&x0, 1e-2, 3e-2, |x| {
             let mut g = Graph::new();
@@ -522,7 +595,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
     }
 
@@ -626,7 +702,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
     }
 
@@ -640,7 +719,10 @@ mod tests {
             let sq = g.square(y);
             let loss = g.sum(sq);
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(xv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(xv).unwrap().clone(),
+            )
         });
     }
 
@@ -662,7 +744,10 @@ mod tests {
             let lv = g.input(l.clone());
             let loss = g.cross_entropy(lv, &labels).unwrap();
             let grads = g.backward(loss).unwrap();
-            (g.value(loss).item().unwrap(), grads.get(lv).unwrap().clone())
+            (
+                g.value(loss).item().unwrap(),
+                grads.get(lv).unwrap().clone(),
+            )
         });
     }
 

@@ -1,7 +1,7 @@
 //! Cost of the curvature machinery: finite-difference HVPs, the Fig. 2
 //! ‖Hz‖ probe, and power iteration for λ_max.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hero_bench::timing::{default_budget, time_op};
 use hero_core::experiment::model_config;
 use hero_data::Preset;
 use hero_hessian::{
@@ -9,47 +9,40 @@ use hero_hessian::{
 };
 use hero_nn::models::ModelKind;
 use hero_optim::BatchOracle;
+use hero_tensor::rng::StdRng;
 use hero_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_quadratic_hvp(c: &mut Criterion) {
+fn main() {
+    let budget = default_budget();
+
     let q = Quadratic::diag(&(0..64).map(|i| 0.1 * i as f32).collect::<Vec<_>>());
     let params = vec![Tensor::zeros([64])];
     let mut oracle = q.oracle();
     let (_, g0) = GradOracle::grad(&mut oracle, &params).unwrap();
     let v = vec![Tensor::ones([64])];
-    c.bench_function("fd_hvp_quadratic_64", |b| {
-        b.iter(|| fd_hvp(&mut oracle, &params, &g0, &v, 1e-3).unwrap())
+    time_op("fd_hvp_quadratic_64", budget, || {
+        std::hint::black_box(fd_hvp(&mut oracle, &params, &g0, &v, 1e-3).unwrap());
     });
-}
 
-fn bench_network_probe(c: &mut Criterion) {
     let preset = Preset::C10;
     let (train_set, _) = preset.load(0.2);
     let images = train_set.images.narrow(0, 16).unwrap();
     let labels = train_set.labels[..16].to_vec();
     let mut net = ModelKind::Resnet.build(model_config(preset), &mut StdRng::seed_from_u64(0));
     let params = net.params();
-    let mut group = c.benchmark_group("curvature");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.bench_function("hessian_norm_probe_resnet_b16", |b| {
-        b.iter(|| {
-            let mut oracle = BatchOracle::new(&mut net, &images, &labels);
-            hessian_norm_probe(&mut oracle, &params, 1e-3).unwrap()
-        })
+    time_op("hessian_norm_probe_resnet_b16", budget, || {
+        let mut oracle = BatchOracle::new(&mut net, &images, &labels);
+        std::hint::black_box(hessian_norm_probe(&mut oracle, &params, 1e-3).unwrap());
     });
-    group.bench_function("power_iteration_resnet_b16_5it", |b| {
-        b.iter(|| {
-            let mut oracle = BatchOracle::new(&mut net, &images, &labels);
-            let cfg = PowerIterConfig { max_iters: 5, tol: 1e-3, eps: 1e-3 };
-            power_iteration(&mut oracle, &params, cfg, &mut StdRng::seed_from_u64(1)).unwrap()
-        })
+    time_op("power_iteration_resnet_b16_5it", budget, || {
+        let mut oracle = BatchOracle::new(&mut net, &images, &labels);
+        let cfg = PowerIterConfig {
+            max_iters: 5,
+            tol: 1e-3,
+            eps: 1e-3,
+        };
+        std::hint::black_box(
+            power_iteration(&mut oracle, &params, cfg, &mut StdRng::seed_from_u64(1)).unwrap(),
+        );
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_quadratic_hvp, bench_network_probe);
-criterion_main!(benches);

@@ -1,51 +1,52 @@
 //! Quantization throughput: per-tensor and whole-network fake quantization
 //! across bit widths and schemes (the machinery behind Fig. 1 / Tables 3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hero_bench::timing::{default_budget, time_op};
 use hero_core::experiment::model_config;
 use hero_data::Preset;
 use hero_nn::models::ModelKind;
 use hero_quant::{quantize_params, quantize_tensor, QuantScheme};
+use hero_tensor::rng::StdRng;
 use hero_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_tensor_quantization(c: &mut Criterion) {
-    let w = Tensor::from_fn([64, 256], |i| ((i[0] * 31 + i[1] * 7) % 97) as f32 / 48.0 - 1.0);
-    let mut group = c.benchmark_group("quantize_tensor_16k");
+fn main() {
+    let budget = default_budget();
+
+    let w = Tensor::from_fn([64, 256], |i| {
+        ((i[0] * 31 + i[1] * 7) % 97) as f32 / 48.0 - 1.0
+    });
     for bits in [2u8, 4, 8] {
-        group.bench_function(BenchmarkId::new("symmetric", bits), |b| {
-            let scheme = QuantScheme::symmetric(bits);
-            b.iter(|| quantize_tensor(&w, &scheme).unwrap())
+        let scheme = QuantScheme::symmetric(bits);
+        time_op(
+            &format!("quantize_tensor_16k/symmetric_{bits}"),
+            budget,
+            || {
+                std::hint::black_box(quantize_tensor(&w, &scheme).unwrap());
+            },
+        );
+    }
+    for (name, scheme) in [
+        ("asymmetric_8", QuantScheme::asymmetric(8)),
+        ("per_channel_4", QuantScheme::symmetric(4).per_channel()),
+        (
+            "percentile_4",
+            QuantScheme::symmetric(4).with_percentile(0.999),
+        ),
+    ] {
+        time_op(&format!("quantize_tensor_16k/{name}"), budget, || {
+            std::hint::black_box(quantize_tensor(&w, &scheme).unwrap());
         });
     }
-    group.bench_function("asymmetric_8", |b| {
-        let scheme = QuantScheme::asymmetric(8);
-        b.iter(|| quantize_tensor(&w, &scheme).unwrap())
-    });
-    group.bench_function("per_channel_4", |b| {
-        let scheme = QuantScheme::symmetric(4).per_channel();
-        b.iter(|| quantize_tensor(&w, &scheme).unwrap())
-    });
-    group.bench_function("percentile_4", |b| {
-        let scheme = QuantScheme::symmetric(4).with_percentile(0.999);
-        b.iter(|| quantize_tensor(&w, &scheme).unwrap())
-    });
-    group.finish();
-}
 
-fn bench_network_quantization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quantize_network");
-    group.sample_size(20);
     for model in [ModelKind::Resnet, ModelKind::Mobilenet, ModelKind::Vgg] {
         let net = model.build(model_config(Preset::C10), &mut StdRng::seed_from_u64(0));
-        group.bench_function(BenchmarkId::from_parameter(model.paper_name()), |b| {
-            let scheme = QuantScheme::symmetric(4);
-            b.iter(|| quantize_params(&net, &scheme).unwrap())
-        });
+        let scheme = QuantScheme::symmetric(4);
+        time_op(
+            &format!("quantize_network/{}", model.paper_name()),
+            budget,
+            || {
+                std::hint::black_box(quantize_params(&net, &scheme).unwrap());
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_tensor_quantization, bench_network_quantization);
-criterion_main!(benches);

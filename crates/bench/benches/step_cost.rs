@@ -1,40 +1,54 @@
 //! Per-step cost of each training method (the paper's implicit §5.1 cost
-//! claim: SAM-style methods cost one extra backprop, HERO two).
+//! claim: SAM-style methods cost one extra backprop, HERO two) plus the
+//! raw GEMM that dominates it. Writes `results/BENCH_step.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hero_bench::timing::{default_budget, time_op, write_json};
 use hero_core::experiment::{model_config, MethodKind};
 use hero_data::Preset;
 use hero_nn::models::ModelKind;
 use hero_optim::{train_step, Optimizer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hero_tensor::rng::{Rng, StdRng};
+use hero_tensor::Tensor;
 
-fn bench_step_cost(c: &mut Criterion) {
+fn main() {
+    let budget = default_budget();
+    let mut rows = Vec::new();
+
+    // Raw kernel: the 256x256x256 product named in the bench methodology
+    // (DESIGN.md). `matmul` is the packed micro-kernel path; the
+    // `_reference` row is the pre-packing blocked kernel kept as oracle.
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Tensor::from_fn([256, 256], |_| rng.gen::<f32>() - 0.5);
+    let b = Tensor::from_fn([256, 256], |_| rng.gen::<f32>() - 0.5);
+    rows.push(time_op("matmul_256x256x256", budget, || {
+        std::hint::black_box(a.matmul(&b).unwrap());
+    }));
+    rows.push(time_op("matmul_256x256x256_reference", budget, || {
+        std::hint::black_box(hero_tensor::matmul_reference(&a, &b).unwrap());
+    }));
+
+    // Full training steps on the ResNet stand-in, batch 16 (matches the
+    // EXPERIMENTS.md training configuration).
     let preset = Preset::C10;
     let (train_set, _) = preset.load(0.2);
     let images = train_set.images.narrow(0, 16).unwrap();
     let labels = train_set.labels[..16].to_vec();
-    let mut group = c.benchmark_group("step_cost");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
     for method in [
         MethodKind::Sgd,
         MethodKind::GradL1,
         MethodKind::FirstOrder,
         MethodKind::Hero,
     ] {
-        let mut net =
-            ModelKind::Resnet.build(model_config(preset), &mut StdRng::seed_from_u64(0));
+        let mut net = ModelKind::Resnet.build(model_config(preset), &mut StdRng::seed_from_u64(0));
         let mut opt = Optimizer::new(method.tuned());
-        group.bench_function(BenchmarkId::from_parameter(method.paper_name()), |b| {
-            b.iter(|| {
-                train_step(&mut net, &mut opt, &images, &labels, 0.01).unwrap()
-            })
-        });
+        let name = format!("step_{}", method.paper_name());
+        rows.push(time_op(&name, budget, || {
+            train_step(&mut net, &mut opt, &images, &labels, 0.01).unwrap();
+        }));
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_step_cost);
-criterion_main!(benches);
+    // Anchor at the workspace root so `cargo bench` (which runs with the
+    // package dir as CWD) writes next to the repro_* outputs.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_step.json");
+    write_json(out, &rows).expect("write results");
+}

@@ -2,69 +2,49 @@
 //! reproduction stands on (matmul, im2col convolution, dataset generation,
 //! landscape scanning).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hero_autodiff::Graph;
+use hero_bench::timing::{default_budget, time_op};
 use hero_data::{SynthGenerator, SynthSpec};
 use hero_landscape::{filter_normalized_direction, scan_2d};
+use hero_tensor::rng::StdRng;
 use hero_tensor::{ConvGeometry, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn main() {
+    let budget = default_budget();
+
     for n in [32usize, 64, 128] {
         let a = Tensor::from_fn([n, n], |i| ((i[0] * 7 + i[1]) % 13) as f32 - 6.0);
         let b = Tensor::from_fn([n, n], |i| ((i[0] + i[1] * 5) % 11) as f32 - 5.0);
-        group.bench_function(BenchmarkId::from_parameter(n), |bench| {
-            bench.iter(|| a.matmul(&b).unwrap())
+        time_op(&format!("matmul_{n}"), budget, || {
+            std::hint::black_box(a.matmul(&b).unwrap());
         });
     }
-    group.finish();
-}
 
-fn bench_conv_forward_backward(c: &mut Criterion) {
     let x = Tensor::from_fn([8, 8, 8, 8], |i| (i.iter().sum::<usize>() % 7) as f32 * 0.2);
     let w = Tensor::from_fn([16, 8 * 9], |i| ((i[0] + i[1]) % 5) as f32 * 0.1 - 0.2);
-    c.bench_function("conv2d_fwd_bwd_8x8x8x8", |b| {
-        b.iter(|| {
-            let mut g = Graph::new();
-            let xv = g.input(x.clone());
-            let wv = g.input(w.clone());
-            let geom = ConvGeometry::new(8, 8, 3, 1, 1).unwrap();
-            let y = g.conv2d(xv, wv, geom).unwrap();
-            let sq = g.square(y);
-            let loss = g.sum(sq);
-            g.backward(loss).unwrap()
-        })
+    time_op("conv2d_fwd_bwd_8x8x8x8", budget, || {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let wv = g.input(w.clone());
+        let geom = ConvGeometry::new(8, 8, 3, 1, 1).unwrap();
+        let y = g.conv2d(xv, wv, geom).unwrap();
+        let sq = g.square(y);
+        let loss = g.sum(sq);
+        std::hint::black_box(g.backward(loss).unwrap());
     });
-}
 
-fn bench_dataset_generation(c: &mut Criterion) {
-    c.bench_function("synth_generate_200", |b| {
-        let gen = SynthGenerator::new(SynthSpec::default());
-        b.iter(|| gen.generate(200, 1))
+    let gen = SynthGenerator::new(SynthSpec::default());
+    time_op("synth_generate_200", budget, || {
+        std::hint::black_box(gen.generate(200, 1));
     });
-}
 
-fn bench_landscape_scan(c: &mut Criterion) {
     // A quadratic-surface scan: measures grid-evaluation machinery.
     let params = vec![Tensor::from_fn([256], |i| (i[0] as f32 * 0.01).sin())];
     let mut rng = StdRng::seed_from_u64(0);
     let d1 = filter_normalized_direction(&params, &mut rng).unwrap();
     let d2 = filter_normalized_direction(&params, &mut rng).unwrap();
-    c.bench_function("scan_2d_quadratic_17x17", |b| {
-        b.iter(|| {
-            let mut oracle = |ps: &[Tensor]| Ok(ps[0].norm_l2_sq());
-            scan_2d(&mut oracle, &params, &d1, &d2, 1.0, 17).unwrap()
-        })
+    time_op("scan_2d_quadratic_17x17", budget, || {
+        let mut oracle = |ps: &[Tensor]| Ok(ps[0].norm_l2_sq());
+        std::hint::black_box(scan_2d(&mut oracle, &params, &d1, &d2, 1.0, 17).unwrap());
     });
 }
-
-criterion_group!(
-    benches,
-    bench_matmul,
-    bench_conv_forward_backward,
-    bench_dataset_generation,
-    bench_landscape_scan
-);
-criterion_main!(benches);

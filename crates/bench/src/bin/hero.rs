@@ -21,9 +21,8 @@ use hero_optim::BatchOracle;
 use hero_quant::{
     allocate_bits, network_sensitivities, quantize_params, quantize_params_mixed, QuantScheme,
 };
+use hero_tensor::rng::StdRng;
 use hero_tensor::{global_norm_l1, global_norm_l2};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -112,10 +111,16 @@ fn method_of(opts: &HashMap<String, String>) -> Result<MethodKind, String> {
     }
 }
 
-fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn num<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse `{v}`")),
     }
 }
 
@@ -170,7 +175,9 @@ fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("full precision: test acc {:.2}%", 100.0 * full_acc);
 
     if let Some(avg) = opts.get("mixed") {
-        let avg: f32 = avg.parse().map_err(|_| "--mixed: cannot parse".to_string())?;
+        let avg: f32 = avg
+            .parse()
+            .map_err(|_| "--mixed: cannot parse".to_string())?;
         let sens = network_sensitivities(&net);
         let bits = allocate_bits(&sens, avg, 2, 8).map_err(|e| e.to_string())?;
         println!("mixed-precision allocation (avg {avg} bits):");
@@ -189,7 +196,10 @@ fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
         net.set_params(&full_params).map_err(|e| e.to_string())?;
     }
 
-    let bits_arg = opts.get("bits").cloned().unwrap_or_else(|| "3,4,6,8".into());
+    let bits_arg = opts
+        .get("bits")
+        .cloned()
+        .unwrap_or_else(|| "3,4,6,8".into());
     for token in bits_arg.split(',') {
         let b: u8 = token
             .trim()
@@ -221,8 +231,14 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut oracle = BatchOracle::new(&mut net, &images, &labels);
     let (loss, grads) = oracle.grad(&params).map_err(|e| e.to_string())?;
     let (hz, _) = hessian_norm_probe(&mut oracle, &params, 1e-3).map_err(|e| e.to_string())?;
-    let spectrum = lanczos_spectrum(&mut oracle, &params, 10, 1e-3, &mut StdRng::seed_from_u64(0))
-        .map_err(|e| e.to_string())?;
+    let spectrum = lanczos_spectrum(
+        &mut oracle,
+        &params,
+        10,
+        1e-3,
+        &mut StdRng::seed_from_u64(0),
+    )
+    .map_err(|e| e.to_string())?;
     let bounds = BoundInputs {
         grad_l2: global_norm_l2(&grads),
         grad_l1: global_norm_l1(&grads),
@@ -232,7 +248,10 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     println!("curvature analysis on {n} training samples:");
     println!("  loss                      {loss:.4}");
-    println!("  ‖g‖₂ / ‖g‖₁               {:.4} / {:.4}", bounds.grad_l2, bounds.grad_l1);
+    println!(
+        "  ‖g‖₂ / ‖g‖₁               {:.4} / {:.4}",
+        bounds.grad_l2, bounds.grad_l1
+    );
     println!("  ‖Hz‖ (Fig. 2 probe)       {hz:.4}");
     println!(
         "  λ_max / λ_min (Lanczos)   {:.4} / {:.4}",
@@ -241,6 +260,9 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     println!("  theorem 3 ‖δ*‖₂ bound     {:.5}", bounds.l2_bound());
     println!("  theorem 3 ‖δ*‖∞ bound     {:.6}", bounds.linf_bound());
-    println!("  max safe bin width Δ      {:.6}", bounds.max_safe_bin_width());
+    println!(
+        "  max safe bin width Δ      {:.6}",
+        bounds.max_safe_bin_width()
+    );
     Ok(())
 }

@@ -9,7 +9,11 @@ use hero_core::report::render_fig3;
 fn main() {
     let scale = scale_from_args();
     banner("Fig. 3 (loss contours)", scale);
-    let steps = if std::env::args().any(|a| a == "--fast") { 11 } else { 17 };
+    let steps = if std::env::args().any(|a| a == "--fast") {
+        11
+    } else {
+        17
+    };
     let fig = run_fig3(scale, 1.0, steps).expect("fig 3 runs");
     println!("{}", render_fig3(&fig));
 }

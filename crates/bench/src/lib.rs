@@ -3,19 +3,28 @@
 //! Benchmarks and reproduction binaries for the HERO (DAC 2022)
 //! reproduction. The `repro_*` binaries regenerate every table and figure
 //! of the paper's evaluation section (see DESIGN.md §3 for the index);
-//! the Criterion benches under `benches/` measure component costs (the
-//! per-step overhead of each training method, quantization throughput,
-//! curvature-probe cost).
+//! the plain-`fn main()` harnesses under `benches/` measure component
+//! costs (the per-step overhead of each training method, quantization
+//! throughput, curvature-probe cost) with the in-tree [`timing`] module —
+//! no external bench framework, so everything builds offline.
 //!
 //! Run a reproduction binary with:
 //!
 //! ```text
 //! cargo run --release -p hero-bench --bin repro_table1 [-- --fast]
 //! ```
+//!
+//! and a bench with:
+//!
+//! ```text
+//! cargo bench -p hero-bench --bench step_cost [-- --quick]
+//! ```
 
 #![warn(missing_docs)]
 
 use hero_core::experiment::Scale;
+
+pub mod timing;
 
 /// Parses the common `--fast` flag used by every reproduction binary.
 ///

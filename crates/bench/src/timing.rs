@@ -1,0 +1,177 @@
+//! Minimal wall-clock benchmarking: warm-up, a time-budgeted measurement
+//! loop, and JSON output.
+//!
+//! In-tree replacement for the Criterion dependency so the bench targets
+//! build with no network access. Each measurement runs the closure until a
+//! wall-clock budget is exhausted and reports the mean iteration time; the
+//! per-run variance machinery of a full bench framework is intentionally
+//! out of scope — the numbers feed coarse before/after comparisons
+//! (`results/BENCH_step.json`), not statistical regression gates.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One measured operation: the schema of a `results/BENCH_*.json` row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Identifier for the operation (stable across PRs so trajectories can
+    /// be compared).
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl fmt::Display for BenchRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let per = self.ns_per_iter;
+        let human = if per >= 1e9 {
+            format!("{:.3} s", per / 1e9)
+        } else if per >= 1e6 {
+            format!("{:.3} ms", per / 1e6)
+        } else if per >= 1e3 {
+            format!("{:.3} µs", per / 1e3)
+        } else {
+            format!("{per:.1} ns")
+        };
+        write!(
+            f,
+            "{:<40} {:>12}/iter  ({} iters)",
+            self.name, human, self.iters
+        )
+    }
+}
+
+/// True when the process was invoked with `--quick` (used by
+/// `scripts/verify.sh` to keep bench smoke runs under a few minutes).
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The per-operation measurement budget: 2 s normally, 200 ms under
+/// `--quick`.
+pub fn default_budget() -> Duration {
+    if quick_requested() {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_secs(2)
+    }
+}
+
+/// Times `f` under `budget`: one untimed call plus ~10% of the budget as
+/// warm-up, then repeated calls until the budget elapses.
+///
+/// The row is printed to stdout as a side effect so every bench shows
+/// progress as it runs.
+pub fn time_op(name: &str, budget: Duration, mut f: impl FnMut()) -> BenchRow {
+    f();
+    let warm_end = Instant::now() + budget / 10;
+    while Instant::now() < warm_end {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    let row = BenchRow {
+        name: name.to_string(),
+        iters,
+        ns_per_iter: start.elapsed().as_nanos() as f64 / iters as f64,
+    };
+    println!("{row}");
+    row
+}
+
+/// Serializes rows as a JSON array of `{name, iters, ns_per_iter}` objects
+/// (written by hand — the workspace carries no serde dependency).
+pub fn to_json(rows: &[BenchRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.1}}}{}\n",
+            r.name,
+            r.iters,
+            r.ns_per_iter,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes rows to `path` as JSON, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation or the write.
+pub fn write_json(path: impl AsRef<Path>, rows: &[BenchRow]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_json(rows).as_bytes())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_op_counts_iterations() {
+        let mut calls = 0u64;
+        let row = time_op("noop", Duration::from_millis(5), || calls += 1);
+        // warm-up calls + timed calls; the row only counts the timed ones.
+        assert!(calls > row.iters);
+        assert!(row.iters >= 1);
+        assert!(row.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let rows = vec![
+            BenchRow {
+                name: "a".into(),
+                iters: 10,
+                ns_per_iter: 123.4,
+            },
+            BenchRow {
+                name: "b".into(),
+                iters: 2,
+                ns_per_iter: 5e6,
+            },
+        ];
+        let json = to_json(&rows);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"name\"").count(), 2);
+        // Exactly one comma between the two objects.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        let ns = BenchRow {
+            name: "x".into(),
+            iters: 1,
+            ns_per_iter: 12.0,
+        };
+        let ms = BenchRow {
+            name: "x".into(),
+            iters: 1,
+            ns_per_iter: 3.2e6,
+        };
+        assert!(format!("{ns}").contains("ns"));
+        assert!(format!("{ms}").contains("ms"));
+    }
+}

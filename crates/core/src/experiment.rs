@@ -15,9 +15,8 @@ use hero_nn::models::{ModelConfig, ModelKind};
 use hero_nn::{evaluate_accuracy, Network};
 use hero_optim::Method;
 use hero_quant::{quantize_params, QuantScheme};
+use hero_tensor::rng::StdRng;
 use hero_tensor::Result;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The method variants evaluated across the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,9 +63,15 @@ impl MethodKind {
             }
             MethodKind::Hero => {
                 if strong {
-                    Method::Hero { h: 0.2, gamma: 0.01 }
+                    Method::Hero {
+                        h: 0.2,
+                        gamma: 0.01,
+                    }
                 } else {
-                    Method::Hero { h: 0.1, gamma: 0.005 }
+                    Method::Hero {
+                        h: 0.1,
+                        gamma: 0.005,
+                    }
                 }
             }
         }
@@ -92,12 +97,20 @@ pub struct Scale {
 impl Scale {
     /// The full reproduction scale used for EXPERIMENTS.md.
     pub fn full() -> Self {
-        Scale { data: 1.0, epochs_small: 60, epochs_large: 25 }
+        Scale {
+            data: 1.0,
+            epochs_small: 60,
+            epochs_large: 25,
+        }
     }
 
     /// A smoke-test scale for CI-speed runs.
     pub fn fast() -> Self {
-        Scale { data: 0.25, epochs_small: 6, epochs_large: 2 }
+        Scale {
+            data: 0.25,
+            epochs_small: 6,
+            epochs_large: 2,
+        }
     }
 
     /// Epoch budget for a preset.
@@ -179,7 +192,11 @@ pub fn train_on(
         .with_probe_every(probe_every)
         .with_seed(model_seed(preset, model) ^ 0x7EA7);
     let record = train(&mut net, train_set, test_set, &config)?;
-    Ok(TrainedModel { net, record, method })
+    Ok(TrainedModel {
+        net,
+        record,
+        method,
+    })
 }
 
 fn model_seed(preset: Preset, model: ModelKind) -> u64 {
@@ -261,7 +278,13 @@ pub fn run_table1(
         });
         all_models.push(cell_models);
     }
-    Ok((Table1 { methods: methods.to_vec(), rows }, all_models))
+    Ok((
+        Table1 {
+            methods: methods.to_vec(),
+            rows,
+        },
+        all_models,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -297,7 +320,10 @@ pub struct Table2 {
 pub fn run_table2(model: ModelKind, ratios: &[f32], scale: Scale) -> Result<Table2> {
     let methods = [MethodKind::Hero, MethodKind::GradL1, MethodKind::Sgd];
     let preset = Preset::C10;
-    let spec = hero_data::SynthSpec { sample_texture: 0.6, ..preset.spec() };
+    let spec = hero_data::SynthSpec {
+        sample_texture: 0.6,
+        ..preset.spec()
+    };
     let generator = hero_data::SynthGenerator::new(spec);
     let (train_n, test_n) = preset.sizes(scale.data);
     let (clean_train, test_set) = generator.train_test(train_n, test_n);
@@ -406,7 +432,11 @@ pub fn run_table3(scale: Scale) -> Result<Table3> {
         row.push(curve.full_acc);
         accs.push(row);
     }
-    Ok(Table3 { bits, methods: methods.to_vec(), accs })
+    Ok(Table3 {
+        bits,
+        methods: methods.to_vec(),
+        accs,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -437,12 +467,19 @@ pub fn run_fig2(scale: Scale) -> Result<Fig2> {
     let mut series = Vec::new();
     let mut gaps = Vec::new();
     for &method in &methods {
-        let trained =
-            train_cell(Preset::C10, ModelKind::Resnet, method, scale, probe_every)?;
+        let trained = train_cell(Preset::C10, ModelKind::Resnet, method, scale, probe_every)?;
         series.push(trained.record.hessian_series());
-        gaps.push(trained.record.mean_late_gap((scale.epochs_small / 4).max(1)));
+        gaps.push(
+            trained
+                .record
+                .mean_late_gap((scale.epochs_small / 4).max(1)),
+        );
     }
-    Ok(Fig2 { methods: methods.to_vec(), hessian_series: series, late_gaps: gaps })
+    Ok(Fig2 {
+        methods: methods.to_vec(),
+        hessian_series: series,
+        late_gaps: gaps,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -504,7 +541,11 @@ pub fn run_fig3(scale: Scale, radius: f32, steps: usize) -> Result<Fig3> {
     let mut sgd = train_cell(Preset::C10, ModelKind::Resnet, MethodKind::Sgd, scale, 0)?;
     let hero_scan = landscape_scan(&mut hero, &train_set, radius, steps, 0xF16_3)?;
     let sgd_scan = landscape_scan(&mut sgd, &train_set, radius, steps, 0xF16_3)?;
-    Ok(Fig3 { hero: hero_scan, sgd: sgd_scan, threshold: 0.1 })
+    Ok(Fig3 {
+        hero: hero_scan,
+        sgd: sgd_scan,
+        threshold: 0.1,
+    })
 }
 
 #[cfg(test)]
@@ -537,7 +578,11 @@ mod tests {
 
     #[test]
     fn train_cell_and_quant_sweep_smoke() {
-        let scale = Scale { data: 0.12, epochs_small: 2, epochs_large: 1 };
+        let scale = Scale {
+            data: 0.12,
+            epochs_small: 2,
+            epochs_large: 1,
+        };
         let mut trained =
             train_cell(Preset::C10, ModelKind::Resnet, MethodKind::Sgd, scale, 0).unwrap();
         assert!(trained.record.final_test_acc.is_finite());
@@ -553,7 +598,10 @@ mod tests {
     fn model_seeds_are_unique_per_cell() {
         let mut seen = std::collections::HashSet::new();
         for (p, m) in table1_matrix() {
-            assert!(seen.insert(model_seed(p, m)), "duplicate seed for {p:?}/{m:?}");
+            assert!(
+                seen.insert(model_seed(p, m)),
+                "duplicate seed for {p:?}/{m:?}"
+            );
         }
     }
 }

@@ -49,8 +49,11 @@ impl TrainRecord {
     /// Mean generalization gap over the last `k` evaluated epochs — the
     /// paper's Fig. 2(b) statistic ("final 50 training epochs").
     pub fn mean_late_gap(&self, k: usize) -> f32 {
-        let evaluated: Vec<&EpochMetrics> =
-            self.epochs.iter().filter(|e| !e.test_acc.is_nan()).collect();
+        let evaluated: Vec<&EpochMetrics> = self
+            .epochs
+            .iter()
+            .filter(|e| !e.test_acc.is_nan())
+            .collect();
         if evaluated.is_empty() {
             return f32::NAN;
         }

@@ -13,7 +13,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (missing cells render empty; extra cells are kept).
@@ -81,7 +84,10 @@ pub fn render_table1(t: &Table1) -> String {
         cells.extend(row.accs.iter().map(|&a| pct(a)));
         table.row(cells);
     }
-    format!("Table 1: Test accuracy on various models and datasets.\n{}", table.render())
+    format!(
+        "Table 1: Test accuracy on various models and datasets.\n{}",
+        table.render()
+    )
 }
 
 /// Renders Table 2 in the paper's layout.
@@ -139,7 +145,10 @@ pub fn render_fig1_panel(dataset: &str, model: &str, curves: &[QuantCurve]) -> S
     let mut full = vec!["Full".to_string()];
     full.extend(curves.iter().map(|c| pct(c.full_acc)));
     table.row(full);
-    format!("Fig 1 panel: {dataset} / {model} post-training quantization accuracy.\n{}", table.render())
+    format!(
+        "Fig 1 panel: {dataset} / {model} post-training quantization accuracy.\n{}",
+        table.render()
+    )
 }
 
 /// Renders Fig. 2 as two aligned series tables.
@@ -154,7 +163,9 @@ pub fn render_fig2(f: &Fig2) -> String {
             let mut cells = vec![epoch.to_string()];
             for s in &f.hessian_series {
                 cells.push(
-                    s.get(i).map(|&(_, v)| format!("{v:.4}")).unwrap_or_default(),
+                    s.get(i)
+                        .map(|&(_, v)| format!("{v:.4}"))
+                        .unwrap_or_default(),
                 );
             }
             table.row(cells);
@@ -288,7 +299,11 @@ mod render_fig_tests {
             let d2 = vec![Tensor::from_vec(vec![0.0, 1.0], [2]).unwrap()];
             scan_2d(&mut bowl as &mut dyn LossOracle, &params, &d1, &d2, 1.0, 5).unwrap()
         };
-        Fig3 { hero: flat, sgd: sharp, threshold: 0.1 }
+        Fig3 {
+            hero: flat,
+            sgd: sharp,
+            threshold: 0.1,
+        }
     }
 
     #[test]
@@ -309,7 +324,11 @@ mod render_fig_tests {
 
     #[test]
     fn render_fig2_handles_empty_series() {
-        let f = Fig2 { methods: vec![], hessian_series: vec![], late_gaps: vec![] };
+        let f = Fig2 {
+            methods: vec![],
+            hessian_series: vec![],
+            late_gaps: vec![],
+        };
         let s = render_fig2(&f);
         assert!(s.contains("Fig 2"));
     }

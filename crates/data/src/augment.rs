@@ -1,8 +1,8 @@
 //! Training-time data augmentation: pad-and-random-crop plus random
 //! horizontal flip — the paper's "basic data augmentations" (§5.1).
 
+use hero_tensor::rng::Rng;
 use hero_tensor::{Result, Tensor};
-use rand::Rng;
 
 /// Augmentation policy applied independently to each batch at training
 /// time.
@@ -18,12 +18,18 @@ pub struct Augment {
 impl Augment {
     /// The paper's CIFAR policy: pad-crop (1 pixel at our scale) + flip.
     pub fn standard() -> Self {
-        Augment { pad: 1, hflip: true }
+        Augment {
+            pad: 1,
+            hflip: true,
+        }
     }
 
     /// No augmentation.
     pub fn none() -> Self {
-        Augment { pad: 0, hflip: false }
+        Augment {
+            pad: 0,
+            hflip: false,
+        }
     }
 
     /// Applies the policy to an NCHW batch, randomizing per batch.
@@ -57,8 +63,7 @@ impl Augment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     fn batch() -> Tensor {
         Tensor::from_fn([2, 3, 4, 4], |i| (i.iter().sum::<usize>() % 7) as f32)
@@ -67,14 +72,18 @@ mod tests {
     #[test]
     fn none_policy_is_identity() {
         let b = batch();
-        let out = Augment::none().apply(&b, &mut StdRng::seed_from_u64(0)).unwrap();
+        let out = Augment::none()
+            .apply(&b, &mut StdRng::seed_from_u64(0))
+            .unwrap();
         assert_eq!(out, b);
     }
 
     #[test]
     fn apply_preserves_shape() {
         let b = batch();
-        let out = Augment::standard().apply(&b, &mut StdRng::seed_from_u64(1)).unwrap();
+        let out = Augment::standard()
+            .apply(&b, &mut StdRng::seed_from_u64(1))
+            .unwrap();
         assert_eq!(out.dims(), b.dims());
         assert!(out.is_finite());
     }
@@ -85,13 +94,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let aug = Augment::standard();
         let outs: Vec<Tensor> = (0..8).map(|_| aug.apply(&b, &mut rng).unwrap()).collect();
-        assert!(outs.iter().any(|o| o != &outs[0]), "no variation in 8 draws");
+        assert!(
+            outs.iter().any(|o| o != &outs[0]),
+            "no variation in 8 draws"
+        );
     }
 
     #[test]
     fn flip_only_policy_flips_half_the_time() {
         let b = batch();
-        let aug = Augment { pad: 0, hflip: true };
+        let aug = Augment {
+            pad: 0,
+            hflip: true,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let mut flipped = 0;
         for _ in 0..64 {
@@ -109,20 +124,28 @@ mod tests {
         // A single bright pixel moves by at most `pad` in each direction.
         let mut b = Tensor::zeros([1, 1, 5, 5]);
         b.set(&[0, 0, 2, 2], 1.0).unwrap();
-        let aug = Augment { pad: 1, hflip: false };
+        let aug = Augment {
+            pad: 1,
+            hflip: false,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..16 {
             let out = aug.apply(&b, &mut rng).unwrap();
             assert_eq!(out.sum(), 1.0);
             let idx = out.argmax();
             let (y, x) = (idx / 5 % 5, idx % 5);
-            assert!((1..=3).contains(&y) && (1..=3).contains(&x), "pixel at ({y},{x})");
+            assert!(
+                (1..=3).contains(&y) && (1..=3).contains(&x),
+                "pixel at ({y},{x})"
+            );
         }
     }
 
     #[test]
     fn rejects_non_image_batches() {
         let b = Tensor::zeros([2, 3]);
-        assert!(Augment::standard().apply(&b, &mut StdRng::seed_from_u64(5)).is_err());
+        assert!(Augment::standard()
+            .apply(&b, &mut StdRng::seed_from_u64(5))
+            .is_err());
     }
 }

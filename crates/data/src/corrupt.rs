@@ -6,8 +6,8 @@
 //! corruptions are deterministic given a seed so sweeps are reproducible.
 
 use crate::synth::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hero_tensor::rng::Rng;
+use hero_tensor::rng::StdRng;
 
 /// The supported corruption families.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,7 +38,10 @@ impl Corruption {
                 }
             }
             Corruption::PixelDropout(p) => {
-                assert!((0.0..=1.0).contains(&p), "dropout probability {p} out of range");
+                assert!(
+                    (0.0..=1.0).contains(&p),
+                    "dropout probability {p} out of range"
+                );
                 for v in out.images.data_mut() {
                     if rng.gen::<f32>() < p {
                         *v = 0.0;

@@ -1,9 +1,9 @@
 //! Shuffled mini-batch iteration over a [`Dataset`].
 
 use crate::synth::Dataset;
+use hero_tensor::rng::Rng;
+use hero_tensor::rng::StdRng;
 use hero_tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// One mini-batch: images and aligned labels.
 #[derive(Debug, Clone)]
@@ -29,7 +29,10 @@ impl Loader {
     /// Panics if `batch_size` is zero.
     pub fn new(batch_size: usize, seed: u64) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        Loader { batch_size, rng: StdRng::seed_from_u64(seed) }
+        Loader {
+            batch_size,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The configured batch size.
@@ -101,8 +104,16 @@ mod tests {
     fn shuffling_changes_across_epochs() {
         let d = data(40);
         let mut loader = Loader::new(8, 1);
-        let e1: Vec<usize> = loader.epoch(&d).iter().flat_map(|b| b.labels.clone()).collect();
-        let e2: Vec<usize> = loader.epoch(&d).iter().flat_map(|b| b.labels.clone()).collect();
+        let e1: Vec<usize> = loader
+            .epoch(&d)
+            .iter()
+            .flat_map(|b| b.labels.clone())
+            .collect();
+        let e2: Vec<usize> = loader
+            .epoch(&d)
+            .iter()
+            .flat_map(|b| b.labels.clone())
+            .collect();
         assert_ne!(e1, e2, "two epochs produced identical order");
     }
 
@@ -129,10 +140,16 @@ mod tests {
     #[test]
     fn seeded_loader_is_deterministic() {
         let d = data(30);
-        let a: Vec<usize> =
-            Loader::new(7, 9).epoch(&d).iter().flat_map(|b| b.labels.clone()).collect();
-        let b: Vec<usize> =
-            Loader::new(7, 9).epoch(&d).iter().flat_map(|b| b.labels.clone()).collect();
+        let a: Vec<usize> = Loader::new(7, 9)
+            .epoch(&d)
+            .iter()
+            .flat_map(|b| b.labels.clone())
+            .collect();
+        let b: Vec<usize> = Loader::new(7, 9)
+            .epoch(&d)
+            .iter()
+            .flat_map(|b| b.labels.clone())
+            .collect();
         assert_eq!(a, b);
     }
 

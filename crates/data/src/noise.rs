@@ -2,8 +2,8 @@
 //! following DivideMix's symmetric noise model).
 
 use crate::synth::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hero_tensor::rng::Rng;
+use hero_tensor::rng::StdRng;
 
 /// Replaces the labels of a uniformly-sampled `ratio` fraction of the
 /// dataset with uniform random classes (symmetric noise).

@@ -1,0 +1,86 @@
+//! Deterministic seeded-loop tests for dataset generation, label noise and
+//! loading (formerly a proptest suite; rewritten against the in-tree RNG so
+//! the workspace builds offline).
+
+use hero_data::{inject_symmetric_noise, Loader, SynthGenerator, SynthSpec};
+use hero_tensor::rng::{Rng, StdRng};
+
+fn arb_spec(rng: &mut StdRng) -> SynthSpec {
+    SynthSpec {
+        classes: rng.gen_range(2..8usize),
+        channels: 3,
+        hw: rng.gen_range(4..10usize),
+        noise_std: rng.gen_range(0.0f32..1.0),
+        max_shift: rng.gen_range(0..2usize),
+        superclasses: 0,
+        sample_texture: 0.0,
+        seed: rng.gen_range(0..1000u64),
+    }
+}
+
+#[test]
+fn generated_data_is_finite_and_balanced() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A01);
+    for _ in 0..16 {
+        let spec = arb_spec(&mut rng);
+        let n_mult = rng.gen_range(1..5usize);
+        let n = spec.classes * n_mult;
+        let d = SynthGenerator::new(spec).generate(n, 1);
+        assert_eq!(d.len(), n);
+        assert!(d.images.is_finite());
+        for class in 0..spec.classes {
+            assert_eq!(d.labels.iter().filter(|&&l| l == class).count(), n_mult);
+        }
+    }
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A02);
+    for _ in 0..8 {
+        let spec = arb_spec(&mut rng);
+        let g1 = SynthGenerator::new(spec);
+        let g2 = SynthGenerator::new(spec);
+        let a = g1.generate(spec.classes * 2, 7);
+        let b = g2.generate(spec.classes * 2, 7);
+        assert_eq!(a.images, b.images);
+    }
+}
+
+#[test]
+fn noise_injection_corrupts_requested_fraction() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A03);
+    for _ in 0..16 {
+        let spec = arb_spec(&mut rng);
+        let ratio = rng.gen_range(0.0f32..1.0);
+        let seed = rng.gen_range(0..100u64);
+        let n = spec.classes * 10;
+        let mut d = SynthGenerator::new(spec).generate(n, 1);
+        let chosen = inject_symmetric_noise(&mut d, ratio, seed);
+        assert_eq!(chosen.len(), (ratio * n as f32).round() as usize);
+        assert!(d.labels.iter().all(|&l| l < spec.classes));
+    }
+}
+
+#[test]
+fn loader_partitions_every_epoch() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A04);
+    for _ in 0..16 {
+        let spec = arb_spec(&mut rng);
+        let batch = rng.gen_range(1..20usize);
+        let seed = rng.gen_range(0..100u64);
+        let n = spec.classes * 7;
+        let d = SynthGenerator::new(spec).generate(n, 1);
+        let mut loader = Loader::new(batch, seed);
+        for _ in 0..3 {
+            let batches = loader.epoch(&d);
+            let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+            assert_eq!(total, n);
+            assert!(batches.iter().all(|b| b.labels.len() <= batch));
+            // All images keep the dataset's per-image shape.
+            for b in &batches {
+                assert_eq!(&b.images.dims()[1..], &[3, spec.hw, spec.hw]);
+            }
+        }
+    }
+}

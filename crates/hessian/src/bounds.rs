@@ -34,7 +34,11 @@ impl BoundInputs {
         let c = self.tolerance;
         if v <= f32::MIN_POSITIVE {
             // Limit v -> 0 of the bound is c / ||g||2.
-            return if g <= f32::MIN_POSITIVE { f32::INFINITY } else { c / g };
+            return if g <= f32::MIN_POSITIVE {
+                f32::INFINITY
+            } else {
+                c / g
+            };
         }
         if g <= f32::MIN_POSITIVE {
             // Limit g -> 0: sqrt(2c / v).
@@ -53,7 +57,11 @@ impl BoundInputs {
         let n = self.nonzeros.max(1) as f32;
         let c = self.tolerance;
         if v <= f32::MIN_POSITIVE {
-            return if g <= f32::MIN_POSITIVE { f32::INFINITY } else { c / g };
+            return if g <= f32::MIN_POSITIVE {
+                f32::INFINITY
+            } else {
+                c / g
+            };
         }
         if g <= f32::MIN_POSITIVE {
             return self.linf_bound_grad_free();
@@ -86,7 +94,13 @@ mod tests {
     use super::*;
 
     fn base() -> BoundInputs {
-        BoundInputs { grad_l2: 1.0, grad_l1: 4.0, eigenvalue: 2.0, nonzeros: 100, tolerance: 0.1 }
+        BoundInputs {
+            grad_l2: 1.0,
+            grad_l1: 4.0,
+            eigenvalue: 2.0,
+            nonzeros: 100,
+            tolerance: 0.1,
+        }
     }
 
     #[test]
@@ -103,7 +117,10 @@ mod tests {
         let mut prev_l2 = 0.0;
         let mut prev_linf = 0.0;
         for &v in &[8.0, 4.0, 2.0, 1.0, 0.5, 0.25] {
-            let b = BoundInputs { eigenvalue: v, ..base() };
+            let b = BoundInputs {
+                eigenvalue: v,
+                ..base()
+            };
             assert!(b.l2_bound() > prev_l2);
             assert!(b.linf_bound() > prev_linf);
             prev_l2 = b.l2_bound();
@@ -114,14 +131,23 @@ mod tests {
     #[test]
     fn linf_bound_increases_as_grad_l1_decreases() {
         // The secondary monotonicity that justifies GRAD-L1.
-        let lo = BoundInputs { grad_l1: 0.5, ..base() };
-        let hi = BoundInputs { grad_l1: 8.0, ..base() };
+        let lo = BoundInputs {
+            grad_l1: 0.5,
+            ..base()
+        };
+        let hi = BoundInputs {
+            grad_l1: 8.0,
+            ..base()
+        };
         assert!(lo.linf_bound() > hi.linf_bound());
     }
 
     #[test]
     fn grad_free_limit_matches_eq12() {
-        let b = BoundInputs { grad_l1: 0.0, ..base() };
+        let b = BoundInputs {
+            grad_l1: 0.0,
+            ..base()
+        };
         let expected = (2.0f32 * 0.1 / (100.0 * 2.0)).sqrt();
         assert!((b.linf_bound() - expected).abs() < 1e-6);
         assert!((b.linf_bound_grad_free() - expected).abs() < 1e-6);
@@ -131,13 +157,20 @@ mod tests {
     fn grad_free_limit_is_approached_continuously() {
         // As |g| -> 0 the general bound converges to Eq. 12.
         let limit = base().linf_bound_grad_free();
-        let near = BoundInputs { grad_l1: 1e-4, ..base() }.linf_bound();
+        let near = BoundInputs {
+            grad_l1: 1e-4,
+            ..base()
+        }
+        .linf_bound();
         assert!((near - limit).abs() / limit < 1e-2);
     }
 
     #[test]
     fn zero_curvature_gives_first_order_bound() {
-        let b = BoundInputs { eigenvalue: 0.0, ..base() };
+        let b = BoundInputs {
+            eigenvalue: 0.0,
+            ..base()
+        };
         assert!((b.l2_bound() - 0.1 / 1.0).abs() < 1e-6); // c / ||g||2
         assert!((b.linf_bound() - 0.1 / 4.0).abs() < 1e-6); // c / |g|
     }

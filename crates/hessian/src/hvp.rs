@@ -7,7 +7,7 @@
 //! gradient evaluation (the same cost profile) and avoids needing
 //! higher-order autodiff. See DESIGN.md §1 for the substitution note.
 
-use hero_tensor::{global_norm_l2, Result, Tensor, TensorError};
+use hero_tensor::{global_norm_l2, pool, Result, Tensor, TensorError};
 
 /// A differentiable objective over a list of parameter tensors.
 ///
@@ -38,6 +38,24 @@ where
 ///
 /// Returns a shape error if the lists are misaligned.
 pub fn perturbed(params: &[Tensor], v: &[Tensor], scale: f32) -> Result<Vec<Tensor>> {
+    let mut out = Vec::with_capacity(params.len());
+    perturbed_into(params, v, scale, &mut out)?;
+    Ok(out)
+}
+
+/// In-place [`perturbed`]: writes `params + scale * v` into `out`, reusing
+/// `out`'s buffers when its shapes already match (the steady-state case in
+/// HERO's step loop, where the same workspace is passed every step).
+///
+/// # Errors
+///
+/// Returns a shape error if the lists are misaligned.
+pub fn perturbed_into(
+    params: &[Tensor],
+    v: &[Tensor],
+    scale: f32,
+    out: &mut Vec<Tensor>,
+) -> Result<()> {
     if params.len() != v.len() {
         return Err(TensorError::InvalidArgument(format!(
             "{} parameter tensors but {} direction tensors",
@@ -45,13 +63,20 @@ pub fn perturbed(params: &[Tensor], v: &[Tensor], scale: f32) -> Result<Vec<Tens
             v.len()
         )));
     }
-    let mut out = Vec::with_capacity(params.len());
-    for (p, d) in params.iter().zip(v) {
-        let mut t = p.clone();
-        t.axpy(scale, d)?;
-        out.push(t);
+    let reuse =
+        out.len() == params.len() && out.iter().zip(params).all(|(o, p)| o.shape() == p.shape());
+    if reuse {
+        for (o, p) in out.iter_mut().zip(params) {
+            o.copy_from(p)?;
+        }
+    } else {
+        out.clear();
+        out.extend(params.iter().cloned());
     }
-    Ok(out)
+    for (o, d) in out.iter_mut().zip(v) {
+        o.axpy(scale, d)?;
+    }
+    Ok(())
 }
 
 /// Finite-difference Hessian-vector product at `params` along `v`.
@@ -72,20 +97,57 @@ pub fn fd_hvp(
     v: &[Tensor],
     eps: f32,
 ) -> Result<Vec<Tensor>> {
-    let norm = global_norm_l2(v);
-    if norm <= f32::MIN_POSITIVE {
-        return Ok(v.iter().map(|t| Tensor::zeros(t.shape().clone())).collect());
-    }
-    let scale = eps / norm;
-    let shifted = perturbed(params, v, scale)?;
-    let (_, grad_shifted) = oracle.grad(&shifted)?;
-    let mut out = Vec::with_capacity(v.len());
-    for (gs, g0) in grad_shifted.iter().zip(base_grad) {
-        let mut d = gs.sub(g0)?;
-        d.scale_in_place(norm / eps);
-        out.push(d);
+    let mut shifted = Vec::new();
+    let mut out = Vec::new();
+    fd_hvp_into(oracle, params, base_grad, v, eps, &mut shifted, &mut out)?;
+    for t in shifted.drain(..) {
+        pool::recycle_tensor(t);
     }
     Ok(out)
+}
+
+/// In-place [`fd_hvp`]: writes `H·v` into `out`, using `shifted` as the
+/// workspace for the perturbed parameters. Both vectors are reused across
+/// calls — previous contents of `out` are recycled into the scratch pool —
+/// so HERO's per-step HVP performs no fresh allocations after warm-up.
+///
+/// # Errors
+///
+/// Propagates oracle and shape errors.
+pub fn fd_hvp_into(
+    oracle: &mut dyn GradOracle,
+    params: &[Tensor],
+    base_grad: &[Tensor],
+    v: &[Tensor],
+    eps: f32,
+    shifted: &mut Vec<Tensor>,
+    out: &mut Vec<Tensor>,
+) -> Result<()> {
+    let norm = global_norm_l2(v);
+    if norm <= f32::MIN_POSITIVE {
+        let reuse = out.len() == v.len() && out.iter().zip(v).all(|(o, t)| o.shape() == t.shape());
+        if reuse {
+            for o in out.iter_mut() {
+                o.data_mut().fill(0.0);
+            }
+        } else {
+            out.clear();
+            out.extend(v.iter().map(|t| Tensor::zeros(t.shape().clone())));
+        }
+        return Ok(());
+    }
+    let scale = eps / norm;
+    perturbed_into(params, v, scale, shifted)?;
+    let (_, grad_shifted) = oracle.grad(shifted)?;
+    for t in out.drain(..) {
+        pool::recycle_tensor(t);
+    }
+    out.extend(grad_shifted);
+    for (o, g0) in out.iter_mut().zip(base_grad) {
+        o.axpy(-1.0, g0)?;
+        o.scale_in_place(norm / eps);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -156,8 +218,7 @@ mod tests {
         let q = Quadratic::diag(&[1.0, 2.0, 3.0, 4.0]);
         let mut oracle = move |ps: &[Tensor]| {
             // Concatenate blocks, evaluate, split back.
-            let flat: Vec<f32> =
-                ps.iter().flat_map(|t| t.data().iter().copied()).collect();
+            let flat: Vec<f32> = ps.iter().flat_map(|t| t.data().iter().copied()).collect();
             let x = vec![Tensor::from_vec(flat, [4])?];
             let (l, g) = q.oracle().grad(&x)?;
             let gd = g[0].data();

@@ -3,8 +3,8 @@
 //! single-eigenvalue power iteration to whole-spectrum summaries.
 
 use crate::hvp::{fd_hvp, GradOracle};
+use hero_tensor::rng::Rng;
 use hero_tensor::{fill_standard_normal, global_dot, global_norm_l2, Result, Tensor, TensorError};
-use rand::Rng;
 
 /// Result of a Lanczos run: Ritz values (eigenvalue estimates) and their
 /// quadrature weights.
@@ -35,13 +35,21 @@ impl LanczosResult {
     /// Quadrature estimate of `trace(H)/n ≈ Σ wᵢ λᵢ` (the first spectral
     /// moment under the probe distribution).
     pub fn mean_eigenvalue(&self) -> f32 {
-        self.ritz_values.iter().zip(&self.weights).map(|(&l, &w)| l * w).sum()
+        self.ritz_values
+            .iter()
+            .zip(&self.weights)
+            .map(|(&l, &w)| l * w)
+            .sum()
     }
 
     /// Quadrature estimate of the second spectral moment `Σ wᵢ λᵢ²` — the
     /// per-dimension analogue of HERO's regularizer Σλᵢ² (Eq. 13).
     pub fn second_moment(&self) -> f32 {
-        self.ritz_values.iter().zip(&self.weights).map(|(&l, &w)| l * l * w).sum()
+        self.ritz_values
+            .iter()
+            .zip(&self.weights)
+            .map(|(&l, &w)| l * l * w)
+            .sum()
     }
 }
 
@@ -61,7 +69,9 @@ pub fn lanczos_spectrum(
     rng: &mut impl Rng,
 ) -> Result<LanczosResult> {
     if steps == 0 {
-        return Err(TensorError::InvalidArgument("lanczos needs at least one step".into()));
+        return Err(TensorError::InvalidArgument(
+            "lanczos needs at least one step".into(),
+        ));
     }
     let (_, base_grad) = oracle.grad(params)?;
     // v1: random unit vector.
@@ -109,7 +119,11 @@ pub fn lanczos_spectrum(
     let k = alphas.len();
     betas.truncate(k.saturating_sub(1));
     let (ritz_values, weights) = tridiag_eigen(&alphas, &betas);
-    Ok(LanczosResult { ritz_values, weights, steps: k })
+    Ok(LanczosResult {
+        ritz_values,
+        weights,
+        steps: k,
+    })
 }
 
 fn normalize(v: &mut [Tensor]) {
@@ -197,8 +211,7 @@ fn tridiag_eigen(alphas: &[f32], betas: &[f32]) -> (Vec<f32>, Vec<f32>) {
 mod tests {
     use super::*;
     use crate::quadratic::Quadratic;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     #[test]
     fn tridiag_eigen_of_diagonal_matrix() {
@@ -225,16 +238,18 @@ mod tests {
         let q = Quadratic::diag(&[1.0, 2.0, 5.0, 9.0]);
         let mut oracle = q.oracle();
         let params = vec![Tensor::zeros([4])];
-        let res = lanczos_spectrum(
-            &mut oracle,
-            &params,
-            4,
-            1e-3,
-            &mut StdRng::seed_from_u64(3),
-        )
-        .unwrap();
-        assert!((res.lambda_max() - 9.0).abs() < 0.2, "λmax {}", res.lambda_max());
-        assert!((res.lambda_min() - 1.0).abs() < 0.2, "λmin {}", res.lambda_min());
+        let res =
+            lanczos_spectrum(&mut oracle, &params, 4, 1e-3, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert!(
+            (res.lambda_max() - 9.0).abs() < 0.2,
+            "λmax {}",
+            res.lambda_max()
+        );
+        assert!(
+            (res.lambda_min() - 1.0).abs() < 0.2,
+            "λmin {}",
+            res.lambda_min()
+        );
         // With the full Krylov space, all four eigenvalues appear.
         assert_eq!(res.ritz_values.len(), 4);
         for (got, want) in res.ritz_values.iter().zip(&[1.0, 2.0, 5.0, 9.0]) {
@@ -248,15 +263,13 @@ mod tests {
         let q = Quadratic::diag(&eigs);
         let mut oracle = q.oracle();
         let params = vec![Tensor::zeros([20])];
-        let res = lanczos_spectrum(
-            &mut oracle,
-            &params,
-            8,
-            1e-3,
-            &mut StdRng::seed_from_u64(5),
-        )
-        .unwrap();
-        assert!((res.lambda_max() - 10.0).abs() < 0.5, "λmax {}", res.lambda_max());
+        let res =
+            lanczos_spectrum(&mut oracle, &params, 8, 1e-3, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert!(
+            (res.lambda_max() - 10.0).abs() < 0.5,
+            "λmax {}",
+            res.lambda_max()
+        );
         assert!(res.lambda_min() < 1.5);
     }
 
@@ -287,14 +300,8 @@ mod tests {
         let q = Quadratic::diag(&[-2.0, 1.0, 4.0]);
         let mut oracle = q.oracle();
         let params = vec![Tensor::zeros([3])];
-        let res = lanczos_spectrum(
-            &mut oracle,
-            &params,
-            3,
-            1e-3,
-            &mut StdRng::seed_from_u64(7),
-        )
-        .unwrap();
+        let res =
+            lanczos_spectrum(&mut oracle, &params, 3, 1e-3, &mut StdRng::seed_from_u64(7)).unwrap();
         assert!(res.lambda_min() < -1.5, "λmin {}", res.lambda_min());
         assert!(res.lambda_max() > 3.5);
     }

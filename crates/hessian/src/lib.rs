@@ -15,8 +15,7 @@
 //! ```
 //! use hero_hessian::{power_iteration, PowerIterConfig, Quadratic};
 //! use hero_tensor::Tensor;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use hero_tensor::rng::StdRng;
 //!
 //! # fn main() -> Result<(), hero_tensor::TensorError> {
 //! let q = Quadratic::diag(&[1.0, 7.0]);
@@ -43,10 +42,11 @@ mod power;
 mod quadratic;
 
 pub use bounds::BoundInputs;
-pub use hvp::{fd_hvp, perturbed, GradOracle};
+pub use hvp::{fd_hvp, fd_hvp_into, perturbed, perturbed_into, GradOracle};
 pub use lanczos::{lanczos_spectrum, LanczosResult};
 pub use norm::{
     eigen_sq_sum_estimate, hessian_norm_probe, hutchinson_trace, layer_scaled_direction,
+    layer_scaled_direction_into,
 };
 pub use power::{power_iteration, PowerIterConfig, PowerIterResult};
 pub use quadratic::Quadratic;

@@ -2,8 +2,8 @@
 //! estimator.
 
 use crate::hvp::{fd_hvp, GradOracle};
+use hero_tensor::rng::Rng;
 use hero_tensor::{fill_standard_normal, global_dot, global_norm_l2, Result, Tensor};
-use rand::Rng;
 
 /// Computes the paper's layer-scaled perturbation direction (Eq. 15):
 /// `z_i = (W_i ⊙ W_i ⊙ g_i) / (‖W_i‖₂ · ‖g_i‖₂)` per parameter tensor,
@@ -22,24 +22,39 @@ use rand::Rng;
 /// Panics if the lists have different lengths (they always come from the
 /// same canonical parameter order).
 pub fn layer_scaled_direction(params: &[Tensor], grads: &[Tensor]) -> Vec<Tensor> {
+    let mut out = Vec::with_capacity(params.len());
+    layer_scaled_direction_into(params, grads, &mut out);
+    out
+}
+
+/// In-place [`layer_scaled_direction`]: writes `z` into `out`, reusing its
+/// buffers when the shapes already match so HERO's per-step direction
+/// computation allocates nothing after warm-up.
+///
+/// # Panics
+///
+/// Panics if the lists have different lengths (they always come from the
+/// same canonical parameter order).
+pub fn layer_scaled_direction_into(params: &[Tensor], grads: &[Tensor], out: &mut Vec<Tensor>) {
     assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
-    params
-        .iter()
-        .zip(grads)
-        .map(|(w, g)| {
-            let gn = g.norm_l2();
-            let wn = w.norm_l2();
-            if gn <= f32::MIN_POSITIVE || wn <= f32::MIN_POSITIVE {
-                Tensor::zeros(w.shape().clone())
-            } else {
-                let wsq_g = w
-                    .square()
-                    .mul(g)
-                    .expect("params and grads share shapes by construction");
-                wsq_g.scale(1.0 / (wn * gn))
+    let reuse =
+        out.len() == params.len() && out.iter().zip(params).all(|(o, p)| o.shape() == p.shape());
+    if !reuse {
+        out.clear();
+        out.extend(params.iter().map(|p| Tensor::zeros(p.shape().clone())));
+    }
+    for ((w, g), z) in params.iter().zip(grads).zip(out.iter_mut()) {
+        let gn = g.norm_l2();
+        let wn = w.norm_l2();
+        if gn <= f32::MIN_POSITIVE || wn <= f32::MIN_POSITIVE {
+            z.data_mut().fill(0.0);
+        } else {
+            let inv = 1.0 / (wn * gn);
+            for ((zd, &wd), &gd) in z.data_mut().iter_mut().zip(w.data()).zip(g.data()) {
+                *zd = wd * wd * gd * inv;
             }
-        })
-        .collect()
+        }
+    }
 }
 
 /// Evaluates the Hessian-norm probe ‖Hz‖₂ the paper plots in Fig. 2(a),
@@ -127,8 +142,7 @@ pub fn eigen_sq_sum_estimate(
 mod tests {
     use super::*;
     use crate::quadratic::Quadratic;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     #[test]
     fn layer_scaled_direction_matches_eq15() {
@@ -170,7 +184,10 @@ mod tests {
         let params = vec![Tensor::from_vec(vec![3.0, 4.0], [2]).unwrap()];
         let (hn, loss) = hessian_norm_probe(&mut oracle, &params, 1e-3).unwrap();
         let expected = (2.16f32 * 2.16 + 5.12 * 5.12).sqrt();
-        assert!((hn - expected).abs() < 0.05, "‖Hz‖={hn}, expected {expected}");
+        assert!(
+            (hn - expected).abs() < 0.05,
+            "‖Hz‖={hn}, expected {expected}"
+        );
         assert!((loss - 25.0).abs() < 1e-4);
     }
 
@@ -214,8 +231,7 @@ mod tests {
         let sharp = Quadratic::diag(&[10.0, 10.0]);
         let flat = Quadratic::diag(&[0.5, 0.5]);
         let params = vec![Tensor::from_vec(vec![1.0, 1.0], [2]).unwrap()];
-        let (hn_sharp, _) =
-            hessian_norm_probe(&mut sharp.oracle(), &params, 1e-3).unwrap();
+        let (hn_sharp, _) = hessian_norm_probe(&mut sharp.oracle(), &params, 1e-3).unwrap();
         let (hn_flat, _) = hessian_norm_probe(&mut flat.oracle(), &params, 1e-3).unwrap();
         assert!(hn_sharp > hn_flat * 10.0);
     }

@@ -1,8 +1,8 @@
 //! Power iteration for the dominant Hessian eigenvalue.
 
 use crate::hvp::{fd_hvp, GradOracle};
+use hero_tensor::rng::Rng;
 use hero_tensor::{fill_standard_normal, global_dot, global_norm_l2, Result, Tensor};
-use rand::Rng;
 
 /// Result of a power-iteration run.
 #[derive(Debug, Clone)]
@@ -33,7 +33,11 @@ pub struct PowerIterConfig {
 
 impl Default for PowerIterConfig {
     fn default() -> Self {
-        PowerIterConfig { max_iters: 30, tol: 1e-3, eps: 1e-3 }
+        PowerIterConfig {
+            max_iters: 30,
+            tol: 1e-3,
+            eps: 1e-3,
+        }
     }
 }
 
@@ -87,7 +91,12 @@ pub fn power_iteration(
             break;
         }
     }
-    Ok(PowerIterResult { eigenvalue, eigenvector: u, iterations, converged })
+    Ok(PowerIterResult {
+        eigenvalue,
+        eigenvector: u,
+        iterations,
+        converged,
+    })
 }
 
 fn normalize(v: &mut [Tensor]) {
@@ -103,8 +112,7 @@ fn normalize(v: &mut [Tensor]) {
 mod tests {
     use super::*;
     use crate::quadratic::Quadratic;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     #[test]
     fn recovers_dominant_eigenvalue_of_diagonal() {
@@ -144,9 +152,8 @@ mod tests {
     #[test]
     fn zero_hessian_reports_zero() {
         // Linear objective: gradient constant, Hessian zero.
-        let mut oracle = |ps: &[Tensor]| {
-            Ok((ps[0].sum(), vec![Tensor::ones(ps[0].shape().clone())]))
-        };
+        let mut oracle =
+            |ps: &[Tensor]| Ok((ps[0].sum(), vec![Tensor::ones(ps[0].shape().clone())]));
         let params = vec![Tensor::zeros([3])];
         let res = power_iteration(
             &mut oracle,
@@ -164,7 +171,11 @@ mod tests {
         let q = Quadratic::diag(&[4.0, 3.9]); // close eigenvalues converge slowly
         let mut oracle = q.oracle();
         let params = vec![Tensor::zeros([2])];
-        let cfg = PowerIterConfig { max_iters: 2, tol: 1e-12, eps: 1e-3 };
+        let cfg = PowerIterConfig {
+            max_iters: 2,
+            tol: 1e-12,
+            eps: 1e-3,
+        };
         let res =
             power_iteration(&mut oracle, &params, cfg, &mut StdRng::seed_from_u64(4)).unwrap();
         assert!(res.iterations <= 2);

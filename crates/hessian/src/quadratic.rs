@@ -41,7 +41,10 @@ impl Quadratic {
     pub fn diag(diag: &[f32]) -> Self {
         let n = diag.len();
         let a = Tensor::from_fn([n, n], |i| if i[0] == i[1] { diag[i[0]] } else { 0.0 });
-        Quadratic { a, b: Tensor::zeros([n]) }
+        Quadratic {
+            a,
+            b: Tensor::zeros([n]),
+        }
     }
 
     /// Problem dimension.

@@ -2,8 +2,8 @@
 //! normalization of Li et al. ("Visualizing the loss landscape of neural
 //! nets") that the paper's Fig. 3 uses.
 
+use hero_tensor::rng::Rng;
 use hero_tensor::{fill_standard_normal, Result, Tensor, TensorError};
-use rand::Rng;
 
 /// Samples a Gaussian direction shaped like `params`.
 pub fn random_direction(params: &[Tensor], rng: &mut impl Rng) -> Vec<Tensor> {
@@ -50,7 +50,11 @@ pub fn filter_normalize(direction: &mut [Tensor], params: &[Tensor]) -> Result<(
                 let range = r * chunk..(r + 1) * chunk;
                 let wn = norm_of(&p.data()[range.clone()]);
                 let dn = norm_of(&d.data()[range.clone()]);
-                let scale = if dn <= f32::MIN_POSITIVE { 0.0 } else { wn / dn };
+                let scale = if dn <= f32::MIN_POSITIVE {
+                    0.0
+                } else {
+                    wn / dn
+                };
                 for v in &mut d.data_mut()[range] {
                     *v *= scale;
                 }
@@ -58,7 +62,11 @@ pub fn filter_normalize(direction: &mut [Tensor], params: &[Tensor]) -> Result<(
         } else {
             let wn = p.norm_l2();
             let dn = d.norm_l2();
-            let scale = if dn <= f32::MIN_POSITIVE { 0.0 } else { wn / dn };
+            let scale = if dn <= f32::MIN_POSITIVE {
+                0.0
+            } else {
+                wn / dn
+            };
             d.scale_in_place(scale);
         }
     }
@@ -70,10 +78,7 @@ pub fn filter_normalize(direction: &mut [Tensor], params: &[Tensor]) -> Result<(
 /// # Errors
 ///
 /// Never fails for well-formed params; propagates internal shape errors.
-pub fn filter_normalized_direction(
-    params: &[Tensor],
-    rng: &mut impl Rng,
-) -> Result<Vec<Tensor>> {
+pub fn filter_normalized_direction(params: &[Tensor], rng: &mut impl Rng) -> Result<Vec<Tensor>> {
     let mut d = random_direction(params, rng);
     filter_normalize(&mut d, params)?;
     Ok(d)
@@ -86,8 +91,7 @@ fn norm_of(v: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)
@@ -143,7 +147,9 @@ mod tests {
     #[test]
     fn normalized_direction_scales_with_weights() {
         // Doubling the weights doubles the normalized direction.
-        let p1 = vec![Tensor::from_fn([4, 3], |i| (i[0] + i[1]) as f32 * 0.1 + 0.1)];
+        let p1 = vec![Tensor::from_fn([4, 3], |i| {
+            (i[0] + i[1]) as f32 * 0.1 + 0.1
+        })];
         let p2 = vec![p1[0].scale(2.0)];
         let d1 = filter_normalized_direction(&p1, &mut rng()).unwrap();
         let d2 = filter_normalized_direction(&p2, &mut rng()).unwrap();

@@ -5,8 +5,8 @@
 //! given radius.
 
 use crate::surface::LossOracle;
+use hero_tensor::rng::Rng;
 use hero_tensor::{fill_standard_normal, global_norm_l2, Result, Tensor};
-use rand::Rng;
 
 /// Which norm ball perturbations are drawn from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,7 +95,12 @@ pub fn probe_robustness(
         worst = worst.max(l);
     }
     mean /= samples.max(1) as f32;
-    Ok(RobustnessProbe { radius, base_loss, mean_loss: mean, max_loss: worst })
+    Ok(RobustnessProbe {
+        radius,
+        base_loss,
+        mean_loss: mean,
+        max_loss: worst,
+    })
 }
 
 /// Sweeps the probe over several radii, returning one probe per radius.
@@ -120,8 +125,7 @@ pub fn robustness_curve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     fn bowl(k: f32) -> impl FnMut(&[Tensor]) -> Result<f32> {
         move |ps: &[Tensor]| Ok(0.5 * k * ps[0].norm_l2_sq())
@@ -166,10 +170,24 @@ mod tests {
     fn sharper_bowl_is_less_robust() {
         let params = vec![Tensor::zeros([8])];
         let mut rng = StdRng::seed_from_u64(2);
-        let sharp = probe_robustness(&mut bowl(50.0), &params, PerturbNorm::Linf, 0.1, 16, &mut rng)
-            .unwrap();
-        let flat = probe_robustness(&mut bowl(0.5), &params, PerturbNorm::Linf, 0.1, 16, &mut rng)
-            .unwrap();
+        let sharp = probe_robustness(
+            &mut bowl(50.0),
+            &params,
+            PerturbNorm::Linf,
+            0.1,
+            16,
+            &mut rng,
+        )
+        .unwrap();
+        let flat = probe_robustness(
+            &mut bowl(0.5),
+            &params,
+            PerturbNorm::Linf,
+            0.1,
+            16,
+            &mut rng,
+        )
+        .unwrap();
         assert!(sharp.mean_increase() > 10.0 * flat.mean_increase());
     }
 

@@ -7,8 +7,8 @@
 //! regularization works.
 
 use crate::surface::LossOracle;
+use hero_tensor::rng::Rng;
 use hero_tensor::{Result, Tensor, TensorError};
-use rand::Rng;
 
 /// Keskar-style ε-sharpness estimate: the largest loss increase found by
 /// random search inside the box `|δ_j| ≤ eps · (|w_j| + 1)`, normalized by
@@ -64,7 +64,9 @@ pub fn sam_sharpness(
     rho: f32,
 ) -> Result<f32> {
     if rho <= 0.0 {
-        return Err(TensorError::InvalidArgument("sam_sharpness needs rho > 0".into()));
+        return Err(TensorError::InvalidArgument(
+            "sam_sharpness needs rho > 0".into(),
+        ));
     }
     let gnorm = hero_tensor::global_norm_l2(grads);
     if gnorm <= f32::MIN_POSITIVE {
@@ -84,8 +86,7 @@ pub fn sam_sharpness(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     fn bowl(k: f32) -> impl FnMut(&[Tensor]) -> Result<f32> {
         move |ps: &[Tensor]| Ok(0.5 * k * ps[0].norm_l2_sq())
@@ -95,8 +96,7 @@ mod tests {
     fn epsilon_sharpness_ranks_curvature() {
         let params = vec![Tensor::zeros([8])];
         let mut rng = StdRng::seed_from_u64(0);
-        let sharp =
-            epsilon_sharpness(&mut bowl(50.0), &params, 0.05, 32, &mut rng).unwrap();
+        let sharp = epsilon_sharpness(&mut bowl(50.0), &params, 0.05, 32, &mut rng).unwrap();
         let flat = epsilon_sharpness(&mut bowl(0.5), &params, 0.05, 32, &mut rng).unwrap();
         assert!(sharp > 10.0 * flat, "sharp {sharp} vs flat {flat}");
         assert!(flat >= 0.0);

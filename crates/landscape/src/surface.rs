@@ -67,16 +67,11 @@ impl SurfaceScan {
         radii.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
         radii.dedup();
         for &r in &radii {
-            let ok = self
-                .alphas
-                .iter()
-                .enumerate()
-                .all(|(i, &a)| {
-                    self.betas.iter().enumerate().all(|(j, &b)| {
-                        a.abs().max(b.abs()) > r
-                            || self.losses[i][j] <= self.center_loss + threshold
-                    })
-                });
+            let ok = self.alphas.iter().enumerate().all(|(i, &a)| {
+                self.betas.iter().enumerate().all(|(j, &b)| {
+                    a.abs().max(b.abs()) > r || self.losses[i][j] <= self.center_loss + threshold
+                })
+            });
             if ok {
                 best = r;
             } else {
@@ -124,7 +119,9 @@ pub fn scan_2d(
     steps: usize,
 ) -> Result<SurfaceScan> {
     if steps < 2 {
-        return Err(TensorError::InvalidArgument("surface scan needs >= 2 steps".into()));
+        return Err(TensorError::InvalidArgument(
+            "surface scan needs >= 2 steps".into(),
+        ));
     }
     if d1.len() != params.len() || d2.len() != params.len() {
         return Err(TensorError::InvalidArgument(
@@ -139,9 +136,7 @@ pub fn scan_2d(
     for &a in &coeffs {
         let mut row = Vec::with_capacity(steps);
         for &b in &coeffs {
-            for ((s, p), (v1, v2)) in
-                shifted.iter_mut().zip(params).zip(d1.iter().zip(d2))
-            {
+            for ((s, p), (v1, v2)) in shifted.iter_mut().zip(params).zip(d1.iter().zip(d2)) {
                 *s = p.clone();
                 s.axpy(a, v1)?;
                 s.axpy(b, v2)?;
@@ -151,7 +146,12 @@ pub fn scan_2d(
         losses.push(row);
     }
     let center_loss = oracle.loss(params)?;
-    Ok(SurfaceScan { alphas: coeffs.clone(), betas: coeffs, losses, center_loss })
+    Ok(SurfaceScan {
+        alphas: coeffs.clone(),
+        betas: coeffs,
+        losses,
+        center_loss,
+    })
 }
 
 /// Evaluates the loss along a single direction at the given coefficients.

@@ -14,7 +14,13 @@ pub enum Activation {
 }
 
 impl Layer for Activation {
-    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, _vars: &mut Vec<Var>) -> Result<Var> {
+    fn forward(
+        &mut self,
+        g: &mut Graph,
+        x: Var,
+        _train: bool,
+        _vars: &mut Vec<Var>,
+    ) -> Result<Var> {
         Ok(match self {
             Activation::Relu => g.relu(x),
             Activation::Relu6 => g.relu6(x),
@@ -38,7 +44,13 @@ pub struct MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, _vars: &mut Vec<Var>) -> Result<Var> {
+    fn forward(
+        &mut self,
+        g: &mut Graph,
+        x: Var,
+        _train: bool,
+        _vars: &mut Vec<Var>,
+    ) -> Result<Var> {
         g.max_pool2d(x, self.k)
     }
 
@@ -59,7 +71,13 @@ pub struct AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
-    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, _vars: &mut Vec<Var>) -> Result<Var> {
+    fn forward(
+        &mut self,
+        g: &mut Graph,
+        x: Var,
+        _train: bool,
+        _vars: &mut Vec<Var>,
+    ) -> Result<Var> {
         g.avg_pool2d(x, self.k)
     }
 
@@ -77,7 +95,13 @@ impl Layer for AvgPool2d {
 pub struct GlobalAvgPool2d;
 
 impl Layer for GlobalAvgPool2d {
-    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, _vars: &mut Vec<Var>) -> Result<Var> {
+    fn forward(
+        &mut self,
+        g: &mut Graph,
+        x: Var,
+        _train: bool,
+        _vars: &mut Vec<Var>,
+    ) -> Result<Var> {
         g.global_avg_pool2d(x)
     }
 
@@ -95,7 +119,13 @@ impl Layer for GlobalAvgPool2d {
 pub struct Flatten;
 
 impl Layer for Flatten {
-    fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, _vars: &mut Vec<Var>) -> Result<Var> {
+    fn forward(
+        &mut self,
+        g: &mut Graph,
+        x: Var,
+        _train: bool,
+        _vars: &mut Vec<Var>,
+    ) -> Result<Var> {
         let dims = g.value(x).dims().to_vec();
         let n = dims[0];
         let rest: usize = dims[1..].iter().product();
@@ -120,9 +150,13 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input(Tensor::from_vec(vec![-1.0, 3.0, 8.0], [3]).unwrap());
         let mut vars = Vec::new();
-        let y = Activation::Relu.forward(&mut g, x, true, &mut vars).unwrap();
+        let y = Activation::Relu
+            .forward(&mut g, x, true, &mut vars)
+            .unwrap();
         assert_eq!(g.value(y).data(), &[0.0, 3.0, 8.0]);
-        let y6 = Activation::Relu6.forward(&mut g, x, true, &mut vars).unwrap();
+        let y6 = Activation::Relu6
+            .forward(&mut g, x, true, &mut vars)
+            .unwrap();
         assert_eq!(g.value(y6).data(), &[0.0, 3.0, 6.0]);
         assert!(vars.is_empty());
     }
@@ -132,9 +166,13 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input(Tensor::arange(16).reshape([1, 1, 4, 4]).unwrap());
         let mut vars = Vec::new();
-        let m = MaxPool2d { k: 2 }.forward(&mut g, x, true, &mut vars).unwrap();
+        let m = MaxPool2d { k: 2 }
+            .forward(&mut g, x, true, &mut vars)
+            .unwrap();
         assert_eq!(g.value(m).dims(), &[1, 1, 2, 2]);
-        let a = AvgPool2d { k: 2 }.forward(&mut g, x, true, &mut vars).unwrap();
+        let a = AvgPool2d { k: 2 }
+            .forward(&mut g, x, true, &mut vars)
+            .unwrap();
         assert_eq!(g.value(a).data(), &[2.5, 4.5, 10.5, 12.5]);
         let gp = GlobalAvgPool2d.forward(&mut g, x, true, &mut vars).unwrap();
         assert_eq!(g.value(gp).dims(), &[1, 1]);

@@ -6,8 +6,8 @@ use crate::conv::{Conv2d, DepthwiseConv2d};
 use crate::module::{Layer, ParamInfo, ParamSource};
 use crate::norm::BatchNorm2d;
 use hero_autodiff::{Graph, Var};
+use hero_tensor::rng::Rng;
 use hero_tensor::{Result, Tensor};
-use rand::Rng;
 
 /// ResNet "basic block": two 3×3 conv-BN pairs with an identity (or 1×1
 /// projection) shortcut, post-activation ReLU.
@@ -26,7 +26,10 @@ impl BasicBlock {
     /// stride on the first convolution.
     pub fn new(in_c: usize, out_c: usize, stride: usize, rng: &mut impl Rng) -> Self {
         let downsample = if stride != 1 || in_c != out_c {
-            Some((Conv2d::new(in_c, out_c, 1, stride, 0, rng), BatchNorm2d::new(out_c)))
+            Some((
+                Conv2d::new(in_c, out_c, 1, stride, 0, rng),
+                BatchNorm2d::new(out_c),
+            ))
         } else {
             None
         };
@@ -123,7 +126,10 @@ impl InvertedResidual {
     ) -> Self {
         let hidden = in_c * expansion;
         let expand = if expansion != 1 {
-            Some((Conv2d::new(in_c, hidden, 1, 1, 0, rng), BatchNorm2d::new(hidden)))
+            Some((
+                Conv2d::new(in_c, hidden, 1, 1, 0, rng),
+                BatchNorm2d::new(hidden),
+            ))
         } else {
             None
         };
@@ -200,8 +206,7 @@ impl Layer for InvertedResidual {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)

@@ -20,7 +20,8 @@ pub fn save_params<W: Write>(net: &Network, mut w: W) -> Result<()> {
     let params = net.params();
     let io = |e: std::io::Error| TensorError::InvalidArgument(format!("checkpoint write: {e}"));
     w.write_all(MAGIC).map_err(io)?;
-    w.write_all(&(params.len() as u64).to_le_bytes()).map_err(io)?;
+    w.write_all(&(params.len() as u64).to_le_bytes())
+        .map_err(io)?;
     for p in &params {
         w.write_all(&(p.rank() as u64).to_le_bytes()).map_err(io)?;
         for &d in p.dims() {
@@ -105,9 +106,8 @@ pub fn load_params_from_file(net: &mut Network, path: &std::path::Path) -> Resul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models::{mlp, mini_resnet, ModelConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::models::{mini_resnet, mlp, ModelConfig};
+    use hero_tensor::rng::StdRng;
 
     #[test]
     fn round_trip_preserves_every_parameter() {
@@ -123,7 +123,12 @@ mod tests {
 
     #[test]
     fn predictions_survive_the_round_trip() {
-        let cfg = ModelConfig { classes: 3, in_channels: 1, input_hw: 4, width: 4 };
+        let cfg = ModelConfig {
+            classes: 3,
+            in_channels: 1,
+            input_hw: 4,
+            width: 4,
+        };
         let mut net = mlp(cfg, &[8], &mut StdRng::seed_from_u64(1));
         let x = Tensor::from_fn([2, 1, 4, 4], |i| i.iter().sum::<usize>() as f32 * 0.1);
         let before = net.predict(&x).unwrap();
@@ -136,7 +141,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_truncation() {
-        let cfg = ModelConfig { classes: 2, in_channels: 1, input_hw: 2, width: 4 };
+        let cfg = ModelConfig {
+            classes: 2,
+            in_channels: 1,
+            input_hw: 2,
+            width: 4,
+        };
         let mut net = mlp(cfg, &[4], &mut StdRng::seed_from_u64(3));
         assert!(load_params(&mut net, &b"NOTAHERO"[..]).is_err());
         let mut buf = Vec::new();
@@ -147,7 +157,12 @@ mod tests {
 
     #[test]
     fn rejects_architecture_mismatch() {
-        let cfg = ModelConfig { classes: 2, in_channels: 1, input_hw: 2, width: 4 };
+        let cfg = ModelConfig {
+            classes: 2,
+            in_channels: 1,
+            input_hw: 2,
+            width: 4,
+        };
         let small = mlp(cfg, &[4], &mut StdRng::seed_from_u64(4));
         let mut buf = Vec::new();
         save_params(&small, &mut buf).unwrap();
@@ -157,7 +172,12 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let cfg = ModelConfig { classes: 2, in_channels: 1, input_hw: 2, width: 4 };
+        let cfg = ModelConfig {
+            classes: 2,
+            in_channels: 1,
+            input_hw: 2,
+            width: 4,
+        };
         let net = mlp(cfg, &[4], &mut StdRng::seed_from_u64(6));
         let dir = std::env::temp_dir().join("hero_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();

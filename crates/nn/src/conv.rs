@@ -2,8 +2,8 @@
 
 use crate::module::{Layer, ParamInfo, ParamKind, ParamSource};
 use hero_autodiff::{Graph, Var};
+use hero_tensor::rng::Rng;
 use hero_tensor::{ConvGeometry, Init, Result, Tensor};
-use rand::Rng;
 
 /// 2-D convolution with a square kernel over NCHW inputs.
 ///
@@ -56,7 +56,7 @@ impl Layer for Conv2d {
     fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, vars: &mut Vec<Var>) -> Result<Var> {
         let dims = g.value(x).dims().to_vec();
         let geom = ConvGeometry::new(dims[2], dims[3], self.kernel, self.stride, self.pad)?;
-        let w = g.input(self.w.clone());
+        let w = g.input(self.w.clone_pooled());
         vars.push(w);
         g.conv2d(x, w, geom)
     }
@@ -66,12 +66,15 @@ impl Layer for Conv2d {
     }
 
     fn assign_params(&mut self, src: &mut ParamSource<'_>) -> Result<()> {
-        self.w = src.next_like(&self.w)?;
+        src.copy_into(&mut self.w)?;
         Ok(())
     }
 
     fn param_infos(&self, prefix: &str, out: &mut Vec<ParamInfo>) {
-        out.push(ParamInfo { name: format!("{prefix}.weight"), kind: ParamKind::Weight });
+        out.push(ParamInfo {
+            name: format!("{prefix}.weight"),
+            kind: ParamKind::Weight,
+        });
     }
 }
 
@@ -88,7 +91,13 @@ pub struct DepthwiseConv2d {
 
 impl DepthwiseConv2d {
     /// Creates a Kaiming-initialized depthwise convolution.
-    pub fn new(channels: usize, kernel: usize, stride: usize, pad: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let fan_in = kernel * kernel;
         DepthwiseConv2d {
             w: Init::KaimingNormal { fan_in }.tensor([channels, kernel, kernel], rng),
@@ -109,7 +118,7 @@ impl Layer for DepthwiseConv2d {
     fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, vars: &mut Vec<Var>) -> Result<Var> {
         let dims = g.value(x).dims().to_vec();
         let geom = ConvGeometry::new(dims[2], dims[3], self.kernel, self.stride, self.pad)?;
-        let w = g.input(self.w.clone());
+        let w = g.input(self.w.clone_pooled());
         vars.push(w);
         g.depthwise_conv2d(x, w, geom)
     }
@@ -119,20 +128,22 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn assign_params(&mut self, src: &mut ParamSource<'_>) -> Result<()> {
-        self.w = src.next_like(&self.w)?;
+        src.copy_into(&mut self.w)?;
         Ok(())
     }
 
     fn param_infos(&self, prefix: &str, out: &mut Vec<ParamInfo>) {
-        out.push(ParamInfo { name: format!("{prefix}.weight"), kind: ParamKind::Weight });
+        out.push(ParamInfo {
+            name: format!("{prefix}.weight"),
+            kind: ParamKind::Weight,
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     #[test]
     fn conv_preserves_spatial_with_same_padding() {

@@ -3,9 +3,9 @@
 
 use crate::module::{Layer, ParamInfo, ParamSource};
 use hero_autodiff::{Graph, Var};
+use hero_tensor::rng::Rng;
+use hero_tensor::rng::StdRng;
 use hero_tensor::{Result, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Inverted dropout: at training time each activation is kept with
 /// probability `keep_prob` and scaled by `1/keep_prob`; at eval time the
@@ -32,7 +32,10 @@ impl Dropout {
             keep_prob > 0.0 && keep_prob <= 1.0,
             "keep probability {keep_prob} must lie in (0, 1]"
         );
-        Dropout { keep_prob, rng: StdRng::seed_from_u64(seed) }
+        Dropout {
+            keep_prob,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The configured keep probability.
@@ -48,7 +51,11 @@ impl Layer for Dropout {
         }
         let mut mask = Tensor::zeros(g.value(x).shape().clone());
         for v in mask.data_mut() {
-            *v = if self.rng.gen::<f32>() < self.keep_prob { 1.0 } else { 0.0 };
+            *v = if self.rng.gen::<f32>() < self.keep_prob {
+                1.0
+            } else {
+                0.0
+            };
         }
         g.dropout(x, &mask, self.keep_prob)
     }

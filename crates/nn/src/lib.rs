@@ -16,8 +16,7 @@
 //! use hero_nn::models::{mlp, ModelConfig};
 //! use hero_nn::loss::loss_and_grads;
 //! use hero_tensor::Tensor;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use hero_tensor::rng::StdRng;
 //!
 //! # fn main() -> Result<(), hero_tensor::TensorError> {
 //! let mut rng = StdRng::seed_from_u64(0);
@@ -50,8 +49,7 @@ pub use conv::{Conv2d, DepthwiseConv2d};
 pub use dropout::Dropout;
 pub use linear::Linear;
 pub use loss::{
-    accuracy, eval_loss, evaluate_accuracy, loss_and_grads, loss_and_grads_smoothed,
-    LossAndGrads,
+    accuracy, eval_loss, evaluate_accuracy, loss_and_grads, loss_and_grads_smoothed, LossAndGrads,
 };
 pub use module::{Layer, Network, ParamInfo, ParamKind, ParamSource, Sequential};
 pub use norm::BatchNorm2d;

@@ -2,8 +2,8 @@
 
 use crate::module::{Layer, ParamInfo, ParamKind, ParamSource};
 use hero_autodiff::{Graph, Var};
+use hero_tensor::rng::Rng;
 use hero_tensor::{Init, Result, Tensor};
-use rand::Rng;
 
 /// Dense layer computing `y = x W + b` for `x` of shape `(batch, in_dim)`.
 ///
@@ -45,11 +45,11 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, g: &mut Graph, x: Var, _train: bool, vars: &mut Vec<Var>) -> Result<Var> {
-        let w = g.input(self.w.clone());
+        let w = g.input(self.w.clone_pooled());
         vars.push(w);
         let mut out = g.matmul(x, w)?;
         if let Some(b) = &self.b {
-            let bv = g.input(b.clone());
+            let bv = g.input(b.clone_pooled());
             vars.push(bv);
             out = g.add(out, bv)?; // broadcasts (out_dim,) over rows
         }
@@ -64,17 +64,23 @@ impl Layer for Linear {
     }
 
     fn assign_params(&mut self, src: &mut ParamSource<'_>) -> Result<()> {
-        self.w = src.next_like(&self.w)?;
+        src.copy_into(&mut self.w)?;
         if let Some(b) = &mut self.b {
-            *b = src.next_like(b)?;
+            src.copy_into(b)?;
         }
         Ok(())
     }
 
     fn param_infos(&self, prefix: &str, out: &mut Vec<ParamInfo>) {
-        out.push(ParamInfo { name: format!("{prefix}.weight"), kind: ParamKind::Weight });
+        out.push(ParamInfo {
+            name: format!("{prefix}.weight"),
+            kind: ParamKind::Weight,
+        });
         if self.b.is_some() {
-            out.push(ParamInfo { name: format!("{prefix}.bias"), kind: ParamKind::Bias });
+            out.push(ParamInfo {
+                name: format!("{prefix}.bias"),
+                kind: ParamKind::Bias,
+            });
         }
     }
 }
@@ -82,8 +88,7 @@ impl Layer for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     #[test]
     fn forward_computes_affine_map() {

@@ -18,7 +18,10 @@ pub struct LossAndGrads {
 ///
 /// This is the single gradient-evaluation primitive all training methods
 /// (SGD, SAM, GRAD-L1, HERO) are built from; HERO calls it up to three
-/// times per step.
+/// times per step. The graph and every intermediate adjoint are recycled
+/// into the thread-local scratch pool before returning, so repeated calls
+/// re-lease the same buffers instead of allocating (the zero-allocation
+/// hot path — see `hero_tensor::pool`).
 ///
 /// # Errors
 ///
@@ -34,9 +37,18 @@ pub fn loss_and_grads(net: &mut Network, x: &Tensor, labels: &[usize]) -> Result
     let grad_tensors = vars
         .iter()
         .zip(&params)
-        .map(|(v, p)| grads.take(*v).unwrap_or_else(|| Tensor::zeros(p.shape().clone())))
+        .map(|(v, p)| {
+            grads
+                .take(*v)
+                .unwrap_or_else(|| Tensor::zeros(p.shape().clone()))
+        })
         .collect();
-    Ok(LossAndGrads { loss: loss_value, grads: grad_tensors })
+    grads.recycle();
+    g.reset();
+    Ok(LossAndGrads {
+        loss: loss_value,
+        grads: grad_tensors,
+    })
 }
 
 /// Like [`loss_and_grads`] but with label smoothing `eps` (the target mixes
@@ -62,9 +74,18 @@ pub fn loss_and_grads_smoothed(
     let grad_tensors = vars
         .iter()
         .zip(&params)
-        .map(|(v, p)| grads.take(*v).unwrap_or_else(|| Tensor::zeros(p.shape().clone())))
+        .map(|(v, p)| {
+            grads
+                .take(*v)
+                .unwrap_or_else(|| Tensor::zeros(p.shape().clone()))
+        })
         .collect();
-    Ok(LossAndGrads { loss: loss_value, grads: grad_tensors })
+    grads.recycle();
+    g.reset();
+    Ok(LossAndGrads {
+        loss: loss_value,
+        grads: grad_tensors,
+    })
 }
 
 /// Computes the mean cross-entropy loss in eval mode (no gradients).
@@ -76,7 +97,9 @@ pub fn eval_loss(net: &mut Network, x: &Tensor, labels: &[usize]) -> Result<f32>
     let mut g = Graph::new();
     let (logits, _) = net.forward(&mut g, x, false)?;
     let loss = g.cross_entropy(logits, labels)?;
-    g.value(loss).item()
+    let value = g.value(loss).item();
+    g.reset();
+    value
 }
 
 /// Fraction of rows whose argmax matches the label.
@@ -131,11 +154,15 @@ pub fn evaluate_accuracy(
 mod tests {
     use super::*;
     use crate::models::{mlp, ModelConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     fn tiny_net() -> Network {
-        let cfg = ModelConfig { classes: 3, in_channels: 1, input_hw: 2, width: 4 };
+        let cfg = ModelConfig {
+            classes: 3,
+            in_channels: 1,
+            input_hw: 2,
+            width: 4,
+        };
         mlp(cfg, &[8], &mut StdRng::seed_from_u64(3))
     }
 
@@ -169,7 +196,12 @@ mod tests {
         }
         net.set_params(&params).unwrap();
         let second = loss_and_grads(&mut net, &x, &y).unwrap();
-        assert!(second.loss < first.loss, "{} !< {}", second.loss, first.loss);
+        assert!(
+            second.loss < first.loss,
+            "{} !< {}",
+            second.loss,
+            first.loss
+        );
     }
 
     #[test]
@@ -182,8 +214,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_matches() {
-        let logits =
-            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], [3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], [3, 2]).unwrap();
         assert_eq!(accuracy(&logits, &[0, 1, 1]).unwrap(), 2.0 / 3.0);
         assert_eq!(accuracy(&logits, &[0, 1, 0]).unwrap(), 1.0);
         assert!(accuracy(&logits, &[0, 1]).is_err());
@@ -206,12 +237,16 @@ mod tests {
 mod smoothing_tests {
     use super::*;
     use crate::models::{mlp, ModelConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     #[test]
     fn smoothed_loss_matches_plain_at_zero_eps() {
-        let cfg = ModelConfig { classes: 3, in_channels: 1, input_hw: 2, width: 4 };
+        let cfg = ModelConfig {
+            classes: 3,
+            in_channels: 1,
+            input_hw: 2,
+            width: 4,
+        };
         let mut net = mlp(cfg, &[8], &mut StdRng::seed_from_u64(3));
         let x = Tensor::from_fn([4, 1, 2, 2], |i| (i.iter().sum::<usize>() % 3) as f32 - 1.0);
         let y = vec![0, 1, 2, 0];
@@ -224,7 +259,12 @@ mod smoothing_tests {
     fn smoothing_raises_loss_on_confident_predictions() {
         // Train briefly, then the smoothed loss exceeds the plain loss
         // (confident correct predictions pay the uniform-mass penalty).
-        let cfg = ModelConfig { classes: 3, in_channels: 1, input_hw: 2, width: 4 };
+        let cfg = ModelConfig {
+            classes: 3,
+            in_channels: 1,
+            input_hw: 2,
+            width: 4,
+        };
         let mut net = mlp(cfg, &[12], &mut StdRng::seed_from_u64(4));
         let x = Tensor::from_fn([6, 1, 2, 2], |i| (i[0] % 3) as f32 - 1.0);
         let y: Vec<usize> = (0..6).map(|i| i % 3).collect();

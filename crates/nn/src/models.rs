@@ -8,7 +8,7 @@ use crate::conv::Conv2d;
 use crate::linear::Linear;
 use crate::module::{Network, Sequential};
 use crate::norm::BatchNorm2d;
-use rand::Rng;
+use hero_tensor::rng::Rng;
 
 /// Configuration shared by the model builders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +26,12 @@ pub struct ModelConfig {
 impl Default for ModelConfig {
     /// 10-class, 3×8×8 input, width 8 — the C10-preset default.
     fn default() -> Self {
-        ModelConfig { classes: 10, in_channels: 3, input_hw: 8, width: 8 }
+        ModelConfig {
+            classes: 10,
+            in_channels: 3,
+            input_hw: 8,
+            width: 8,
+        }
     }
 }
 
@@ -118,8 +123,13 @@ pub fn mini_mobilenet(cfg: ModelConfig, rng: &mut impl Rng) -> Network {
     seq.add("stem.bn", BatchNorm2d::new(w));
     seq.add("stem.act", Activation::Relu6);
     // (out_c, stride, expansion)
-    let blocks =
-        [(w, 1, 1), (2 * w, 2, 4), (2 * w, 1, 4), (3 * w, 2, 4), (3 * w, 1, 4)];
+    let blocks = [
+        (w, 1, 1),
+        (2 * w, 2, 4),
+        (2 * w, 1, 4),
+        (3 * w, 2, 4),
+        (3 * w, 1, 4),
+    ];
     let mut in_c = w;
     for (i, (out_c, stride, expansion)) in blocks.into_iter().enumerate() {
         seq.add(
@@ -172,9 +182,8 @@ impl ModelKind {
 mod tests {
     use super::*;
     use hero_autodiff::Graph;
+    use hero_tensor::rng::StdRng;
     use hero_tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)
@@ -235,7 +244,12 @@ mod tests {
 
     #[test]
     fn deeper_resnet_preset_works_on_16px() {
-        let cfg = ModelConfig { classes: 50, input_hw: 16, width: 8, in_channels: 3 };
+        let cfg = ModelConfig {
+            classes: 50,
+            input_hw: 16,
+            width: 8,
+            in_channels: 3,
+        };
         let mut net = mini_resnet(cfg, 2, &mut rng());
         check_model(&mut net, cfg);
     }

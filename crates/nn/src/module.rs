@@ -112,6 +112,25 @@ impl<'a> ParamSource<'a> {
         Ok(t.clone())
     }
 
+    /// Copies the next tensor into `dst` in place (no allocation) — the
+    /// hot-path counterpart of [`ParamSource::next_like`], used so
+    /// `set_params` inside the training loop reuses layer storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when exhausted or on a shape mismatch.
+    pub fn copy_into(&mut self, dst: &mut Tensor) -> Result<()> {
+        let t = self.tensors.get(self.cursor).ok_or_else(|| {
+            TensorError::InvalidArgument(format!(
+                "parameter source exhausted at index {}",
+                self.cursor
+            ))
+        })?;
+        dst.copy_from(t)?;
+        self.cursor += 1;
+        Ok(())
+    }
+
     /// Number of tensors consumed so far.
     pub fn consumed(&self) -> usize {
         self.cursor
@@ -185,7 +204,11 @@ impl Layer for Sequential {
 
     fn param_infos(&self, prefix: &str, out: &mut Vec<ParamInfo>) {
         for (layer, name) in self.layers.iter().zip(&self.names) {
-            let child = if prefix.is_empty() { name.clone() } else { format!("{prefix}.{name}") };
+            let child = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}.{name}")
+            };
             layer.param_infos(&child, out);
         }
     }
@@ -206,7 +229,10 @@ pub struct Network {
 impl Network {
     /// Wraps a sequential body as a named network.
     pub fn new(name: impl Into<String>, body: Sequential) -> Self {
-        Network { body, name: name.into() }
+        Network {
+            body,
+            name: name.into(),
+        }
     }
 
     /// The network's human-readable name.
@@ -220,13 +246,8 @@ impl Network {
     /// # Errors
     ///
     /// Returns shape errors if `x` is incompatible with the first layer.
-    pub fn forward(
-        &mut self,
-        g: &mut Graph,
-        x: &Tensor,
-        train: bool,
-    ) -> Result<(Var, Vec<Var>)> {
-        let input = g.input(x.clone());
+    pub fn forward(&mut self, g: &mut Graph, x: &Tensor, train: bool) -> Result<(Var, Vec<Var>)> {
+        let input = g.input(x.clone_pooled());
         let mut vars = Vec::new();
         let logits = self.body.forward(g, input, train, &mut vars)?;
         Ok((logits, vars))
@@ -277,7 +298,9 @@ impl Network {
     pub fn predict(&mut self, x: &Tensor) -> Result<Tensor> {
         let mut g = Graph::new();
         let (logits, _) = self.forward(&mut g, x, false)?;
-        Ok(g.value(logits).clone())
+        let out = g.value(logits).clone();
+        g.reset();
+        Ok(out)
     }
 }
 
@@ -314,14 +337,27 @@ mod tests {
         }
 
         fn param_infos(&self, prefix: &str, out: &mut Vec<ParamInfo>) {
-            out.push(ParamInfo { name: format!("{prefix}.weight"), kind: ParamKind::Weight });
+            out.push(ParamInfo {
+                name: format!("{prefix}.weight"),
+                kind: ParamKind::Weight,
+            });
         }
     }
 
     fn two_layer_network() -> Network {
         let body = Sequential::new()
-            .push("a", ScaleLayer { w: Tensor::full([3], 2.0) })
-            .push("b", ScaleLayer { w: Tensor::full([3], 0.5) });
+            .push(
+                "a",
+                ScaleLayer {
+                    w: Tensor::full([3], 2.0),
+                },
+            )
+            .push(
+                "b",
+                ScaleLayer {
+                    w: Tensor::full([3], 0.5),
+                },
+            );
         Network::new("test", body)
     }
 

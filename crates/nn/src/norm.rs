@@ -75,8 +75,8 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, g: &mut Graph, x: Var, train: bool, vars: &mut Vec<Var>) -> Result<Var> {
-        let gamma = g.input(self.gamma.clone());
-        let beta = g.input(self.beta.clone());
+        let gamma = g.input(self.gamma.clone_pooled());
+        let beta = g.input(self.beta.clone_pooled());
         vars.push(gamma);
         vars.push(beta);
         if train {
@@ -121,14 +121,20 @@ impl Layer for BatchNorm2d {
     }
 
     fn assign_params(&mut self, src: &mut ParamSource<'_>) -> Result<()> {
-        self.gamma = src.next_like(&self.gamma)?;
-        self.beta = src.next_like(&self.beta)?;
+        src.copy_into(&mut self.gamma)?;
+        src.copy_into(&mut self.beta)?;
         Ok(())
     }
 
     fn param_infos(&self, prefix: &str, out: &mut Vec<ParamInfo>) {
-        out.push(ParamInfo { name: format!("{prefix}.gamma"), kind: ParamKind::BnGamma });
-        out.push(ParamInfo { name: format!("{prefix}.beta"), kind: ParamKind::BnBeta });
+        out.push(ParamInfo {
+            name: format!("{prefix}.gamma"),
+            kind: ParamKind::BnGamma,
+        });
+        out.push(ParamInfo {
+            name: format!("{prefix}.beta"),
+            kind: ParamKind::BnBeta,
+        });
     }
 }
 

@@ -57,7 +57,10 @@ pub struct NesterovState {
 impl NesterovState {
     /// Creates a Nesterov momentum state.
     pub fn new(momentum: f32) -> Self {
-        NesterovState { momentum, buffers: None }
+        NesterovState {
+            momentum,
+            buffers: None,
+        }
     }
 
     /// Applies one Nesterov update in place.
@@ -74,7 +77,10 @@ impl NesterovState {
             )));
         }
         let buffers = self.buffers.get_or_insert_with(|| {
-            grads.iter().map(|g| Tensor::zeros(g.shape().clone())).collect()
+            grads
+                .iter()
+                .map(|g| Tensor::zeros(g.shape().clone()))
+                .collect()
         });
         for ((p, g), v) in params.iter_mut().zip(grads).zip(buffers.iter_mut()) {
             v.scale_in_place(self.momentum);
@@ -127,7 +133,11 @@ mod tests {
 
     #[test]
     fn warmup_zero_steps_is_passthrough() {
-        let base = LrSchedule::Cosine { lr: 0.1, min_lr: 0.0, total_steps: 10 };
+        let base = LrSchedule::Cosine {
+            lr: 0.1,
+            min_lr: 0.0,
+            total_steps: 10,
+        };
         let s = Warmup::new(base, 0);
         for step in [0usize, 3, 10] {
             assert_eq!(s.at(step), base.at(step));
@@ -148,9 +158,8 @@ mod tests {
     #[test]
     fn nesterov_converges_faster_than_heavy_ball_on_ill_conditioned() {
         // Minimize 0.5 * (x1^2 + 25 x2^2).
-        let grad = |p: &Tensor| {
-            Tensor::from_vec(vec![p.data()[0], 25.0 * p.data()[1]], [2]).unwrap()
-        };
+        let grad =
+            |p: &Tensor| Tensor::from_vec(vec![p.data()[0], 25.0 * p.data()[1]], [2]).unwrap();
         let run_nesterov = || {
             let mut s = NesterovState::new(0.9);
             let mut p = vec![Tensor::from_vec(vec![1.0, 1.0], [2]).unwrap()];

@@ -2,8 +2,8 @@
 //! (SAM), GRAD-L1 and HERO (Algorithm 1).
 
 use crate::sgd::SgdState;
-use hero_hessian::{fd_hvp, layer_scaled_direction, perturbed, GradOracle};
-use hero_tensor::{global_norm_l1, global_norm_l2, Result, Tensor, TensorError};
+use hero_hessian::{fd_hvp_into, layer_scaled_direction_into, perturbed_into, GradOracle};
+use hero_tensor::{global_norm_l1, global_norm_l2, pool, Result, Tensor, TensorError};
 
 /// Which gradient rule to use for each training step.
 ///
@@ -88,13 +88,88 @@ pub struct Optimizer {
     weight_decay: f32,
     /// Step size for the finite-difference HVPs inside HERO and GRAD-L1.
     fd_eps: f32,
+    /// Reusable per-step workspaces (sized on the first step).
+    scratch: StepScratch,
+}
+
+/// Workspaces for one optimization step. Each vector keeps its tensors
+/// across steps, so the HERO three-gradient step materializes no fresh
+/// parameter-sized vectors after warm-up; buffers absorbed from the oracle
+/// are recycled into the thread-local scratch pool when replaced.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    /// Clean gradient `g = ∇L(W)`.
+    g: Vec<Tensor>,
+    /// Layer-scaled direction `z` (Eq. 15); doubles as `sign(g)` for GRAD-L1.
+    z: Vec<Tensor>,
+    /// Perturbed parameters `W* = W + h·z`.
+    w_star: Vec<Tensor>,
+    /// Gradient at the perturbed point `∇L(W*)`.
+    g_star: Vec<Tensor>,
+    /// Gradient difference `d = ∇L(W*) − g`.
+    d: Vec<Tensor>,
+    /// Hessian-vector product `H·d` (or `H·sign(g)`).
+    hvp: Vec<Tensor>,
+    /// `fd_hvp_into`'s internal perturbation workspace.
+    fd_shift: Vec<Tensor>,
+    /// The gradient finally handed to the SGD update.
+    total: Vec<Tensor>,
+}
+
+/// Replaces `ws`'s contents with `new`, recycling the displaced tensors
+/// into the scratch pool so the next gradient evaluation re-leases them.
+fn absorb(ws: &mut Vec<Tensor>, new: Vec<Tensor>) {
+    for t in ws.drain(..) {
+        pool::recycle_tensor(t);
+    }
+    ws.extend(new);
+}
+
+/// Writes `a − b` element-wise into `out`, reusing its buffers when the
+/// shapes already match.
+fn diff_into(a: &[Tensor], b: &[Tensor], out: &mut Vec<Tensor>) -> Result<()> {
+    let reuse = out.len() == a.len() && out.iter().zip(a).all(|(o, t)| o.shape() == t.shape());
+    if reuse {
+        for (o, t) in out.iter_mut().zip(a) {
+            o.copy_from(t)?;
+        }
+    } else {
+        out.clear();
+        out.extend(a.iter().cloned());
+    }
+    for (o, t) in out.iter_mut().zip(b) {
+        o.axpy(-1.0, t)?;
+    }
+    Ok(())
+}
+
+/// Writes `sign(g)` element-wise into `out`, reusing its buffers when the
+/// shapes already match.
+fn sign_into(g: &[Tensor], out: &mut Vec<Tensor>) {
+    let reuse = out.len() == g.len() && out.iter().zip(g).all(|(o, t)| o.shape() == t.shape());
+    if !reuse {
+        out.clear();
+        out.extend(g.iter().map(Tensor::signum));
+        return;
+    }
+    for (o, t) in out.iter_mut().zip(g) {
+        for (od, &gd) in o.data_mut().iter_mut().zip(t.data()) {
+            *od = gd.signum();
+        }
+    }
 }
 
 impl Optimizer {
     /// Creates an optimizer with the paper's defaults: momentum 0.9 and
     /// weight decay 1e-4 (§5.1).
     pub fn new(method: Method) -> Self {
-        Optimizer { method, sgd: SgdState::new(0.9), weight_decay: 1e-4, fd_eps: 1e-3 }
+        Optimizer {
+            method,
+            sgd: SgdState::new(0.9),
+            weight_decay: 1e-4,
+            fd_eps: 1e-3,
+            scratch: StepScratch::default(),
+        }
     }
 
     /// Overrides the momentum coefficient.
@@ -146,65 +221,89 @@ impl Optimizer {
                 params.len()
             )));
         }
-        let (loss, g) = oracle.grad(params)?;
-        let grad_norm = global_norm_l2(&g);
+        let ws = &mut self.scratch;
+        let (loss, g_new) = oracle.grad(params)?;
+        absorb(&mut ws.g, g_new);
+        let grad_norm = global_norm_l2(&ws.g);
         let mut regularizer = 0.0;
         let mut grad_evals = 1;
 
-        let mut total: Vec<Tensor> = match self.method {
-            Method::Sgd => g.clone(),
+        // Each arm leaves the method's gradient in `ws.total` by swapping
+        // it with the workspace that holds it (a pointer swap, no copies).
+        match self.method {
+            Method::Sgd => {
+                std::mem::swap(&mut ws.total, &mut ws.g);
+            }
             Method::FirstOrderOnly { h } => {
-                let z = layer_scaled_direction(params, &g);
-                let w_star = perturbed(params, &z, h)?;
-                let (_, g_star) = oracle.grad(&w_star)?;
+                layer_scaled_direction_into(params, &ws.g, &mut ws.z);
+                perturbed_into(params, &ws.z, h, &mut ws.w_star)?;
+                let (_, g_star) = oracle.grad(&ws.w_star)?;
                 grad_evals += 1;
-                g_star
+                absorb(&mut ws.total, g_star);
             }
             Method::GradL1 { lambda } => {
-                regularizer = global_norm_l1(&g);
-                let sign: Vec<Tensor> = g.iter().map(Tensor::signum).collect();
-                let h_sign = fd_hvp(oracle, params, &g, &sign, self.fd_eps)?;
+                regularizer = global_norm_l1(&ws.g);
+                sign_into(&ws.g, &mut ws.z);
+                fd_hvp_into(
+                    oracle,
+                    params,
+                    &ws.g,
+                    &ws.z,
+                    self.fd_eps,
+                    &mut ws.fd_shift,
+                    &mut ws.hvp,
+                )?;
                 grad_evals += 1;
-                let mut total = g.clone();
-                for (t, hs) in total.iter_mut().zip(&h_sign) {
+                for (t, hs) in ws.g.iter_mut().zip(&ws.hvp) {
                     t.axpy(lambda, hs)?;
                 }
-                total
+                std::mem::swap(&mut ws.total, &mut ws.g);
             }
             Method::Hero { h, gamma } => {
                 // Algorithm 1, lines 6-11.
-                let z = layer_scaled_direction(params, &g);
-                let w_star = perturbed(params, &z, h)?;
-                let (_, g_star) = oracle.grad(&w_star)?;
+                layer_scaled_direction_into(params, &ws.g, &mut ws.z);
+                perturbed_into(params, &ws.z, h, &mut ws.w_star)?;
+                let (_, g_star) = oracle.grad(&ws.w_star)?;
                 grad_evals += 1;
+                absorb(&mut ws.g_star, g_star);
                 // d = ∇L(W*) - g ; G = Σ_i ‖d_i‖²
-                let mut d = Vec::with_capacity(g.len());
-                for (gs, g0) in g_star.iter().zip(&g) {
-                    d.push(gs.sub(g0)?);
-                }
-                regularizer = d.iter().map(Tensor::norm_l2_sq).sum();
+                diff_into(&ws.g_star, &ws.g, &mut ws.d)?;
+                regularizer = ws.d.iter().map(Tensor::norm_l2_sq).sum();
                 // ∇G(W*) = 2 H(W*) d, via FD-HVP around W*.
-                let hd = fd_hvp(oracle, &w_star, &g_star, &d, self.fd_eps)?;
+                fd_hvp_into(
+                    oracle,
+                    &ws.w_star,
+                    &ws.g_star,
+                    &ws.d,
+                    self.fd_eps,
+                    &mut ws.fd_shift,
+                    &mut ws.hvp,
+                )?;
                 grad_evals += 1;
-                let mut total = g_star;
-                for (t, hdi) in total.iter_mut().zip(&hd) {
+                for (t, hdi) in ws.g_star.iter_mut().zip(&ws.hvp) {
                     t.axpy(2.0 * gamma, hdi)?;
                 }
-                total
+                std::mem::swap(&mut ws.total, &mut ws.g_star);
             }
         };
 
-        // Weight decay αW on decayed tensors (Eq. 17's αW term).
+        // Weight decay αW on decayed tensors (Eq. 17's αW term), fused into
+        // the same buffer the SGD update reads.
         if self.weight_decay != 0.0 {
-            for ((t, p), &decay) in total.iter_mut().zip(params.iter()).zip(decay_mask) {
+            for ((t, p), &decay) in ws.total.iter_mut().zip(params.iter()).zip(decay_mask) {
                 if decay {
                     t.axpy(self.weight_decay, p)?;
                 }
             }
         }
 
-        self.sgd.update(params, &total, lr)?;
-        Ok(StepStats { loss, grad_norm, regularizer, grad_evals })
+        self.sgd.update(params, &ws.total, lr)?;
+        Ok(StepStats {
+            loss,
+            grad_norm,
+            regularizer,
+            grad_evals,
+        })
     }
 
     /// Clears the momentum state (e.g. between independent runs).
@@ -227,10 +326,17 @@ mod tests {
     ) -> (Vec<Tensor>, StepStats) {
         let n = x0.len();
         let mut params = vec![Tensor::from_vec(x0, [n]).unwrap()];
-        let mut opt = Optimizer::new(method).with_weight_decay(0.0).with_momentum(0.0);
+        let mut opt = Optimizer::new(method)
+            .with_weight_decay(0.0)
+            .with_momentum(0.0);
         let mut oracle = q.oracle();
         let mask = vec![false];
-        let mut last = StepStats { loss: 0.0, grad_norm: 0.0, regularizer: 0.0, grad_evals: 0 };
+        let mut last = StepStats {
+            loss: 0.0,
+            grad_norm: 0.0,
+            regularizer: 0.0,
+            grad_evals: 0,
+        };
         for _ in 0..steps {
             last = opt.step(&mut oracle, &mut params, &mask, lr).unwrap();
         }
@@ -244,7 +350,10 @@ mod tests {
             Method::Sgd,
             Method::FirstOrderOnly { h: 0.05 },
             Method::GradL1 { lambda: 0.01 },
-            Method::Hero { h: 0.05, gamma: 0.05 },
+            Method::Hero {
+                h: 0.05,
+                gamma: 0.05,
+            },
         ] {
             let (params, stats) = run_steps(method, &q, vec![1.0, -1.0], 150, 0.1);
             let final_loss = q.loss(&params[0]).unwrap();
@@ -283,12 +392,19 @@ mod tests {
     fn weight_decay_respects_mask() {
         // Zero objective: only decay moves the weights.
         let mut oracle = |ps: &[Tensor]| {
-            Ok((0.0, ps.iter().map(|p| Tensor::zeros(p.shape().clone())).collect()))
+            Ok((
+                0.0,
+                ps.iter()
+                    .map(|p| Tensor::zeros(p.shape().clone()))
+                    .collect(),
+            ))
         };
         let mut params = vec![Tensor::ones([2]), Tensor::ones([2])];
-        let mut opt =
-            Optimizer::new(Method::Sgd).with_weight_decay(0.5).with_momentum(0.0);
-        opt.step(&mut oracle, &mut params, &[true, false], 1.0).unwrap();
+        let mut opt = Optimizer::new(Method::Sgd)
+            .with_weight_decay(0.5)
+            .with_momentum(0.0);
+        opt.step(&mut oracle, &mut params, &[true, false], 1.0)
+            .unwrap();
         assert_eq!(params[0].data(), &[0.5, 0.5]); // decayed
         assert_eq!(params[1].data(), &[1.0, 1.0]); // untouched
     }
@@ -307,10 +423,20 @@ mod tests {
         // flat one it is small. Same starting point and h.
         let sharp = Quadratic::diag(&[50.0, 50.0]);
         let flat = Quadratic::diag(&[0.1, 0.1]);
-        let (_, s_sharp) =
-            run_steps(Method::Hero { h: 0.1, gamma: 0.0 }, &sharp, vec![1.0, 1.0], 1, 1e-6);
-        let (_, s_flat) =
-            run_steps(Method::Hero { h: 0.1, gamma: 0.0 }, &flat, vec![1.0, 1.0], 1, 1e-6);
+        let (_, s_sharp) = run_steps(
+            Method::Hero { h: 0.1, gamma: 0.0 },
+            &sharp,
+            vec![1.0, 1.0],
+            1,
+            1e-6,
+        );
+        let (_, s_flat) = run_steps(
+            Method::Hero { h: 0.1, gamma: 0.0 },
+            &flat,
+            vec![1.0, 1.0],
+            1,
+            1e-6,
+        );
         assert!(
             s_sharp.regularizer > 100.0 * s_flat.regularizer,
             "sharp G {} vs flat G {}",
@@ -322,8 +448,7 @@ mod tests {
     #[test]
     fn grad_l1_regularizer_is_gradient_l1_norm() {
         let q = Quadratic::diag(&[2.0, 4.0]);
-        let (_, stats) =
-            run_steps(Method::GradL1 { lambda: 0.0 }, &q, vec![1.0, 1.0], 1, 1e-6);
+        let (_, stats) = run_steps(Method::GradL1 { lambda: 0.0 }, &q, vec![1.0, 1.0], 1, 1e-6);
         // g = (2,4) -> ||g||_1 = 6.
         assert!((stats.regularizer - 6.0).abs() < 1e-4);
     }
@@ -345,9 +470,12 @@ mod tests {
         // Start in the sharp valley. HERO's regularizer pushes uphill out of
         // sharp regions when gamma is large enough.
         let mut params = vec![Tensor::from_vec(vec![-0.9], [1]).unwrap()];
-        let mut opt = Optimizer::new(Method::Hero { h: 0.02, gamma: 0.5 })
-            .with_weight_decay(0.0)
-            .with_momentum(0.9);
+        let mut opt = Optimizer::new(Method::Hero {
+            h: 0.02,
+            gamma: 0.5,
+        })
+        .with_weight_decay(0.0)
+        .with_momentum(0.9);
         let mask = [false];
         for _ in 0..400 {
             opt.step(&mut oracle, &mut params, &mask, 0.01).unwrap();
@@ -355,12 +483,17 @@ mod tests {
         let x_hero = params[0].data()[0];
         // Plain SGD stays in the sharp valley.
         let mut params_sgd = vec![Tensor::from_vec(vec![-0.9], [1]).unwrap()];
-        let mut sgd = Optimizer::new(Method::Sgd).with_weight_decay(0.0).with_momentum(0.9);
+        let mut sgd = Optimizer::new(Method::Sgd)
+            .with_weight_decay(0.0)
+            .with_momentum(0.9);
         for _ in 0..400 {
             sgd.step(&mut oracle, &mut params_sgd, &mask, 0.01).unwrap();
         }
         let x_sgd = params_sgd.first().unwrap().data()[0];
-        assert!(x_sgd < 0.0, "SGD should remain in the sharp valley, got {x_sgd}");
+        assert!(
+            x_sgd < 0.0,
+            "SGD should remain in the sharp valley, got {x_sgd}"
+        );
         assert!(
             x_hero > 0.0,
             "HERO should escape to the flat valley, got {x_hero}"

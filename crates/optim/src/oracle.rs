@@ -23,7 +23,12 @@ pub struct BatchOracle<'a> {
 impl<'a> BatchOracle<'a> {
     /// Binds a network to one mini-batch.
     pub fn new(net: &'a mut Network, x: &'a Tensor, labels: &'a [usize]) -> Self {
-        BatchOracle { net, x, labels, calls: 0 }
+        BatchOracle {
+            net,
+            x,
+            labels,
+            calls: 0,
+        }
     }
 
     /// Number of gradient evaluations performed so far.
@@ -65,8 +70,11 @@ pub fn train_step(
     lr: f32,
 ) -> Result<crate::method::StepStats> {
     let mut params = net.params();
-    let decay_mask: Vec<bool> =
-        net.param_infos().iter().map(|i| i.kind.is_decayed()).collect();
+    let decay_mask: Vec<bool> = net
+        .param_infos()
+        .iter()
+        .map(|i| i.kind.is_decayed())
+        .collect();
     let stats = {
         let mut oracle = BatchOracle::new(net, x, labels);
         optimizer.step(&mut oracle, &mut params, &decay_mask, lr)?
@@ -79,13 +87,17 @@ pub fn train_step(
 mod tests {
     use super::*;
     use crate::method::{Method, Optimizer};
-    use hero_nn::models::{mlp, ModelConfig};
     use hero_nn::evaluate_accuracy;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_nn::models::{mlp, ModelConfig};
+    use hero_tensor::rng::StdRng;
 
     fn toy_problem() -> (Network, Tensor, Vec<usize>) {
-        let cfg = ModelConfig { classes: 2, in_channels: 1, input_hw: 2, width: 4 };
+        let cfg = ModelConfig {
+            classes: 2,
+            in_channels: 1,
+            input_hw: 2,
+            width: 4,
+        };
         let net = mlp(cfg, &[12], &mut StdRng::seed_from_u64(5));
         // Linearly separable toy data: class = sign of first pixel.
         let n = 16;
@@ -113,7 +125,10 @@ mod tests {
             Method::Sgd,
             Method::FirstOrderOnly { h: 0.01 },
             Method::GradL1 { lambda: 0.01 },
-            Method::Hero { h: 0.01, gamma: 0.1 },
+            Method::Hero {
+                h: 0.01,
+                gamma: 0.1,
+            },
         ] {
             let (mut net, x, y) = toy_problem();
             let mut opt = Optimizer::new(method);
@@ -135,7 +150,10 @@ mod tests {
     #[test]
     fn training_reaches_high_accuracy_on_separable_data() {
         let (mut net, x, y) = toy_problem();
-        let mut opt = Optimizer::new(Method::Hero { h: 0.01, gamma: 0.05 });
+        let mut opt = Optimizer::new(Method::Hero {
+            h: 0.01,
+            gamma: 0.05,
+        });
         for _ in 0..60 {
             train_step(&mut net, &mut opt, &x, &y, 0.05).unwrap();
         }

@@ -36,7 +36,11 @@ pub enum LrSchedule {
 impl LrSchedule {
     /// The paper's default: cosine from 0.1 to 0 over the training run.
     pub fn paper_default(total_steps: usize) -> Self {
-        LrSchedule::Cosine { lr: 0.1, min_lr: 0.0, total_steps }
+        LrSchedule::Cosine {
+            lr: 0.1,
+            min_lr: 0.0,
+            total_steps,
+        }
     }
 
     /// Learning rate at `step` (0-based). Steps past the horizon clamp to
@@ -44,7 +48,11 @@ impl LrSchedule {
     pub fn at(&self, step: usize) -> f32 {
         match *self {
             LrSchedule::Constant { lr } => lr,
-            LrSchedule::Cosine { lr, min_lr, total_steps } => {
+            LrSchedule::Cosine {
+                lr,
+                min_lr,
+                total_steps,
+            } => {
                 if total_steps == 0 {
                     return min_lr;
                 }
@@ -72,7 +80,11 @@ mod tests {
 
     #[test]
     fn cosine_starts_high_ends_low() {
-        let s = LrSchedule::Cosine { lr: 0.1, min_lr: 0.0, total_steps: 100 };
+        let s = LrSchedule::Cosine {
+            lr: 0.1,
+            min_lr: 0.0,
+            total_steps: 100,
+        };
         assert!((s.at(0) - 0.1).abs() < 1e-6);
         assert!((s.at(50) - 0.05).abs() < 1e-6); // halfway is the midpoint
         assert!(s.at(100) < 1e-6);
@@ -92,19 +104,31 @@ mod tests {
 
     #[test]
     fn cosine_zero_horizon_is_min() {
-        let s = LrSchedule::Cosine { lr: 0.1, min_lr: 0.01, total_steps: 0 };
+        let s = LrSchedule::Cosine {
+            lr: 0.1,
+            min_lr: 0.01,
+            total_steps: 0,
+        };
         assert_eq!(s.at(0), 0.01);
     }
 
     #[test]
     fn step_decays_by_gamma() {
-        let s = LrSchedule::Step { lr: 1.0, gamma: 0.1, period: 10 };
+        let s = LrSchedule::Step {
+            lr: 1.0,
+            gamma: 0.1,
+            period: 10,
+        };
         assert_eq!(s.at(0), 1.0);
         assert_eq!(s.at(9), 1.0);
         assert!((s.at(10) - 0.1).abs() < 1e-7);
         assert!((s.at(25) - 0.01).abs() < 1e-7);
         // Zero period never decays rather than dividing by zero.
-        let s0 = LrSchedule::Step { lr: 1.0, gamma: 0.1, period: 0 };
+        let s0 = LrSchedule::Step {
+            lr: 1.0,
+            gamma: 0.1,
+            period: 0,
+        };
         assert_eq!(s0.at(100), 1.0);
     }
 

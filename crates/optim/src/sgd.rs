@@ -16,7 +16,10 @@ impl SgdState {
     /// Creates a state with the given momentum coefficient. Buffers are
     /// allocated lazily on the first update.
     pub fn new(momentum: f32) -> Self {
-        SgdState { momentum, buffers: None }
+        SgdState {
+            momentum,
+            buffers: None,
+        }
     }
 
     /// The momentum coefficient.
@@ -46,7 +49,10 @@ impl SgdState {
             return Ok(());
         }
         let buffers = self.buffers.get_or_insert_with(|| {
-            grads.iter().map(|g| Tensor::zeros(g.shape().clone())).collect()
+            grads
+                .iter()
+                .map(|g| Tensor::zeros(g.shape().clone()))
+                .collect()
         });
         if buffers.len() != grads.len() {
             return Err(TensorError::InvalidArgument(format!(

@@ -67,7 +67,10 @@ pub fn allocate_bits(
     }
     let total_weights: usize = layers.iter().map(|l| l.numel).sum();
     let budget = (avg_bits * total_weights as f32).floor() as i64;
-    let floor_cost: i64 = layers.iter().map(|l| l.numel as i64 * min_bits as i64).sum();
+    let floor_cost: i64 = layers
+        .iter()
+        .map(|l| l.numel as i64 * min_bits as i64)
+        .sum();
     if budget < floor_cost {
         return Err(TensorError::InvalidArgument(format!(
             "budget {avg_bits} avg bits is below the {min_bits}-bit floor"
@@ -173,11 +176,15 @@ pub fn quantize_params_mixed(
 mod tests {
     use super::*;
     use hero_nn::models::{mini_resnet, ModelConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hero_tensor::rng::StdRng;
 
     fn layer(name: &str, numel: usize, max_abs: f32, curvature: f32) -> LayerSensitivity {
-        LayerSensitivity { name: name.into(), numel, max_abs, curvature }
+        LayerSensitivity {
+            name: name.into(),
+            numel,
+            max_abs,
+            curvature,
+        }
     }
 
     #[test]
@@ -198,7 +205,12 @@ mod tests {
             layer("fragile", 100, 1.0, 100.0),
         ];
         let bits = allocate_bits(&layers, 5.0, 2, 8).unwrap();
-        assert!(bits[1] > bits[0], "fragile {} should exceed robust {}", bits[1], bits[0]);
+        assert!(
+            bits[1] > bits[0],
+            "fragile {} should exceed robust {}",
+            bits[1],
+            bits[0]
+        );
         // Budget respected.
         let spent: usize = layers
             .iter()
@@ -267,9 +279,8 @@ mod tests {
         let layers = vec![layer("a", 1000, 1.0, 10.0), layer("b", 1000, 1.0, 0.1)];
         let mixed = allocate_bits(&layers, 4.0, 2, 8).unwrap();
         let uniform = vec![4u8, 4];
-        let impact = |bits: &[u8]| -> f32 {
-            layers.iter().zip(bits).map(|(l, &b)| l.impact(b)).sum()
-        };
+        let impact =
+            |bits: &[u8]| -> f32 { layers.iter().zip(bits).map(|(l, &b)| l.impact(b)).sum() };
         assert!(impact(&mixed) < impact(&uniform));
     }
 }

@@ -123,8 +123,7 @@ pub fn quantize_tensor(t: &Tensor, scheme: &QuantScheme) -> Result<QuantizedTens
             let chunk = t.numel() / channels.max(1);
             for c in 0..channels {
                 let range = c * chunk..(c + 1) * chunk;
-                let delta =
-                    quantize_group(&t.data()[range.clone()], &mut out[range], scheme);
+                let delta = quantize_group(&t.data()[range.clone()], &mut out[range], scheme);
                 bin_widths.push(delta);
             }
         }
@@ -204,7 +203,11 @@ mod tests {
         for bits in [2u8, 3, 4, 6, 8] {
             let q = quantize_tensor(&w, &QuantScheme::symmetric(bits)).unwrap();
             let err = quant_error(&w, &q.values).unwrap();
-            assert!(err.mse <= prev + 1e-9, "{bits}-bit mse {} > previous {prev}", err.mse);
+            assert!(
+                err.mse <= prev + 1e-9,
+                "{bits}-bit mse {} > previous {prev}",
+                err.mse
+            );
             prev = err.mse;
         }
     }
@@ -242,7 +245,10 @@ mod tests {
         let delta = q.bin_widths[0];
         for &v in q.values.data() {
             let steps = v / delta;
-            assert!((steps - steps.round()).abs() < 1e-4, "{v} not on grid Δ={delta}");
+            assert!(
+                (steps - steps.round()).abs() < 1e-4,
+                "{v} not on grid Δ={delta}"
+            );
         }
     }
 
@@ -296,9 +302,7 @@ mod tests {
         let w = t(&[1.0]);
         assert!(quantize_tensor(&w, &QuantScheme::symmetric(0)).is_err());
         assert!(quantize_tensor(&w, &QuantScheme::symmetric(17)).is_err());
-        assert!(
-            quantize_tensor(&w, &QuantScheme::symmetric(4).with_percentile(0.3)).is_err()
-        );
+        assert!(quantize_tensor(&w, &QuantScheme::symmetric(4).with_percentile(0.3)).is_err());
         assert!(quantize_tensor(
             &Tensor::scalar(1.0),
             &QuantScheme::symmetric(4).per_channel()

@@ -71,7 +71,10 @@ impl QuantScheme {
 
     /// Asymmetric per-tensor min-max scheme at `bits`.
     pub fn asymmetric(bits: u8) -> Self {
-        QuantScheme { mode: QuantMode::Asymmetric, ..QuantScheme::symmetric(bits) }
+        QuantScheme {
+            mode: QuantMode::Asymmetric,
+            ..QuantScheme::symmetric(bits)
+        }
     }
 
     /// Switches to per-channel granularity.
@@ -137,14 +140,19 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let s = QuantScheme::symmetric(4).per_channel().with_percentile(0.99);
+        let s = QuantScheme::symmetric(4)
+            .per_channel()
+            .with_percentile(0.99);
         assert_eq!(s.granularity, Granularity::PerChannel);
         assert_eq!(s.calibration, Calibration::Percentile(0.99));
     }
 
     #[test]
     fn display_is_descriptive() {
-        assert_eq!(QuantScheme::symmetric(4).to_string(), "4-bit sym per-tensor");
+        assert_eq!(
+            QuantScheme::symmetric(4).to_string(),
+            "4-bit sym per-tensor"
+        );
         assert_eq!(
             QuantScheme::asymmetric(8).per_channel().to_string(),
             "8-bit asym per-channel"

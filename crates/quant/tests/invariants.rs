@@ -1,0 +1,138 @@
+//! Deterministic seeded-loop tests for the quantization invariants the
+//! paper's Theorem 2 relies on (formerly a proptest suite; rewritten
+//! against the in-tree RNG so the workspace builds offline).
+
+use hero_quant::{quant_error, quantize_tensor, QuantScheme};
+use hero_tensor::rng::{Rng, StdRng};
+use hero_tensor::Tensor;
+
+fn arb_weights(rng: &mut StdRng) -> Tensor {
+    let n = rng.gen_range(1..200usize);
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
+    Tensor::from_vec(data, [n]).unwrap()
+}
+
+fn arb_bits(rng: &mut StdRng, hi: usize) -> u8 {
+    rng.gen_range(2..=hi) as u8
+}
+
+/// Theorem 2's premise: min-max linear uniform quantization perturbs every
+/// weight by at most half a bin.
+#[test]
+fn symmetric_linf_error_at_most_half_bin() {
+    let mut rng = StdRng::seed_from_u64(0x9A01);
+    for _ in 0..32 {
+        let w = arb_weights(&mut rng);
+        let bits = arb_bits(&mut rng, 10);
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(bits)).unwrap();
+        let err = quant_error(&w, &q.values).unwrap();
+        assert!(err.linf <= q.max_bin_width() / 2.0 + 1e-5);
+    }
+}
+
+#[test]
+fn asymmetric_linf_error_at_most_half_bin() {
+    let mut rng = StdRng::seed_from_u64(0x9A02);
+    for _ in 0..32 {
+        let w = arb_weights(&mut rng);
+        let bits = arb_bits(&mut rng, 10);
+        let q = quantize_tensor(&w, &QuantScheme::asymmetric(bits)).unwrap();
+        let err = quant_error(&w, &q.values).unwrap();
+        assert!(err.linf <= q.max_bin_width() / 2.0 + 1e-5);
+    }
+}
+
+/// Quantization is idempotent: re-quantizing a quantized tensor under the
+/// same scheme is (numerically) a no-op.
+#[test]
+fn quantization_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x9A03);
+    for _ in 0..32 {
+        let w = arb_weights(&mut rng);
+        let bits = arb_bits(&mut rng, 8);
+        let scheme = QuantScheme::symmetric(bits);
+        let q1 = quantize_tensor(&w, &scheme).unwrap();
+        let q2 = quantize_tensor(&q1.values, &scheme).unwrap();
+        for (a, b) in q1.values.data().iter().zip(q2.values.data()) {
+            assert!((a - b).abs() <= 1e-4 * (1.0 + a.abs()));
+        }
+    }
+}
+
+/// The number of distinct dequantized values never exceeds the scheme's
+/// level count.
+#[test]
+fn level_count_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x9A04);
+    for _ in 0..32 {
+        let w = arb_weights(&mut rng);
+        let bits = arb_bits(&mut rng, 6);
+        let scheme = QuantScheme::symmetric(bits);
+        let q = quantize_tensor(&w, &scheme).unwrap();
+        let mut levels: Vec<f32> = q.values.data().to_vec();
+        levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        levels.dedup();
+        assert!(levels.len() as u32 <= scheme.levels());
+    }
+}
+
+/// More precision never increases the MSE.
+#[test]
+fn mse_is_monotone_in_bits() {
+    let mut rng = StdRng::seed_from_u64(0x9A05);
+    for _ in 0..32 {
+        let w = arb_weights(&mut rng);
+        let mut prev = f32::INFINITY;
+        for bits in [2u8, 4, 6, 8] {
+            let q = quantize_tensor(&w, &QuantScheme::symmetric(bits)).unwrap();
+            let err = quant_error(&w, &q.values).unwrap();
+            assert!(err.mse <= prev + 1e-6);
+            prev = err.mse;
+        }
+    }
+}
+
+/// Symmetric quantization is sign-preserving and odd:
+/// quantize(-w) == -quantize(w).
+#[test]
+fn symmetric_quantization_is_odd() {
+    let mut rng = StdRng::seed_from_u64(0x9A06);
+    for _ in 0..32 {
+        let w = arb_weights(&mut rng);
+        let bits = arb_bits(&mut rng, 8);
+        let scheme = QuantScheme::symmetric(bits);
+        let q_pos = quantize_tensor(&w, &scheme).unwrap();
+        let q_neg = quantize_tensor(&w.neg(), &scheme).unwrap();
+        for (a, b) in q_pos.values.data().iter().zip(q_neg.values.data()) {
+            assert!((a + b).abs() <= 1e-4 * (1.0 + a.abs()));
+        }
+    }
+}
+
+/// Per-channel ranges are subsets of the tensor range, so every channel's
+/// bin width is at most the per-tensor bin width — and the worst-case
+/// (half-bin) error bound therefore never degrades. (Pointwise MSE is *not*
+/// monotone — a value can sit exactly on the coarse grid — so the bin width
+/// is the right invariant.)
+#[test]
+fn per_channel_bins_never_exceed_per_tensor() {
+    let mut rng = StdRng::seed_from_u64(0x9A07);
+    for _ in 0..32 {
+        let rows = rng.gen_range(1..6usize);
+        let cols = rng.gen_range(1..12usize);
+        let seed = rng.gen_range(0..500u64);
+        let w = Tensor::from_fn([rows, cols], |i| {
+            let h = (i[0] * 131 + i[1] * 31) as u64 + seed;
+            ((h % 1000) as f32 / 50.0 - 10.0) * (1.0 + i[0] as f32)
+        });
+        let per_tensor = quantize_tensor(&w, &QuantScheme::symmetric(4)).unwrap();
+        let per_channel = quantize_tensor(&w, &QuantScheme::symmetric(4).per_channel()).unwrap();
+        let tensor_bin = per_tensor.max_bin_width();
+        for &bin in &per_channel.bin_widths {
+            assert!(bin <= tensor_bin + 1e-6);
+        }
+        // And the half-bin error bound holds per channel.
+        let e_c = quant_error(&w, &per_channel.values).unwrap();
+        assert!(e_c.linf <= per_channel.max_bin_width() / 2.0 + 1e-5);
+    }
+}

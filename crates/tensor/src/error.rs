@@ -73,13 +73,19 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::DataLength { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
             }
             TensorError::BroadcastMismatch { left, right } => {
-                write!(f, "shapes {left:?} and {right:?} cannot be broadcast together")
+                write!(
+                    f,
+                    "shapes {left:?} and {right:?} cannot be broadcast together"
+                )
             }
             TensorError::AxisOutOfRange { axis, rank } => {
                 write!(f, "axis {axis} out of range for rank {rank}")
@@ -90,8 +96,14 @@ impl fmt::Display for TensorError {
             TensorError::RankMismatch { expected, actual } => {
                 write!(f, "expected rank {expected}, found rank {actual}")
             }
-            TensorError::MatmulDims { left_cols, right_rows } => {
-                write!(f, "matmul inner dimensions disagree: {left_cols} vs {right_rows}")
+            TensorError::MatmulDims {
+                left_cols,
+                right_rows,
+            } => {
+                write!(
+                    f,
+                    "matmul inner dimensions disagree: {left_cols} vs {right_rows}"
+                )
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -107,9 +119,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = TensorError::DataLength { expected: 6, actual: 5 };
+        let e = TensorError::DataLength {
+            expected: 6,
+            actual: 5,
+        };
         assert_eq!(e.to_string(), "data length 5 does not match shape volume 6");
-        let e = TensorError::MatmulDims { left_cols: 3, right_rows: 4 };
+        let e = TensorError::MatmulDims {
+            left_cols: 3,
+            right_rows: 4,
+        };
         assert!(e.to_string().contains("3 vs 4"));
         let e = TensorError::AxisOutOfRange { axis: 2, rank: 2 };
         assert!(e.to_string().contains("axis 2"));

@@ -1,11 +1,11 @@
 //! Random tensor initialization schemes.
 //!
-//! All initializers draw from a caller-supplied [`rand::Rng`] so every
+//! All initializers draw from a caller-supplied [`crate::rng::Rng`] so every
 //! experiment in the HERO reproduction is seedable and deterministic.
 
+use crate::rng::Rng;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rand::Rng;
 
 /// Weight initialization schemes for network parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,9 +49,9 @@ impl Init {
         let data: Vec<f32> = match *self {
             Init::Constant(c) => vec![c; n],
             Init::Uniform { lo, hi } => (0..n).map(|_| rng.gen_range(lo..hi)).collect(),
-            Init::Normal { mean, std } => {
-                (0..n).map(|_| mean + std * sample_standard_normal(rng)).collect()
-            }
+            Init::Normal { mean, std } => (0..n)
+                .map(|_| mean + std * sample_standard_normal(rng))
+                .collect(),
             Init::KaimingNormal { fan_in } => {
                 let std = (2.0 / fan_in.max(1) as f32).sqrt();
                 (0..n).map(|_| std * sample_standard_normal(rng)).collect()
@@ -99,8 +99,7 @@ pub fn random_unit_vector(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)
@@ -122,7 +121,11 @@ mod tests {
 
     #[test]
     fn normal_has_requested_moments() {
-        let t = Init::Normal { mean: 2.0, std: 0.5 }.tensor([4000], &mut rng());
+        let t = Init::Normal {
+            mean: 2.0,
+            std: 0.5,
+        }
+        .tensor([4000], &mut rng());
         assert!((t.mean() - 2.0).abs() < 0.05);
         assert!((t.variance().sqrt() - 0.5).abs() < 0.05);
     }
@@ -145,8 +148,16 @@ mod tests {
 
     #[test]
     fn seeded_init_is_deterministic() {
-        let a = Init::Normal { mean: 0.0, std: 1.0 }.tensor([16], &mut rng());
-        let b = Init::Normal { mean: 0.0, std: 1.0 }.tensor([16], &mut rng());
+        let a = Init::Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .tensor([16], &mut rng());
+        let b = Init::Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .tensor([16], &mut rng());
         assert_eq!(a, b);
     }
 

@@ -9,18 +9,20 @@
 //! - [`Tensor`]: contiguous row-major storage with shape-checked ops
 //! - element-wise math, broadcasting ([`Tensor::broadcast_op`]) and its
 //!   adjoint ([`Tensor::reduce_to_shape`])
-//! - cache-blocked [`Tensor::matmul`] plus transposed variants
+//! - packed micro-kernel [`Tensor::matmul`] plus transposed variants
+//!   (with the old blocked kernel kept as [`matmul_reference`])
 //! - convolution lowering ([`Tensor::im2col`] / [`Tensor::col2im`]) and
 //!   pooling with adjoints
 //! - the norms HERO's theory is stated in (ℓ1, ℓ2, ℓ∞, ℓ0)
-//! - seedable initializers ([`Init`])
+//! - seedable initializers ([`Init`]) driven by the in-tree [`rng`] module
+//! - a [`ScratchPool`] buffer recycler backing the zero-allocation
+//!   training hot path
 //!
 //! # Examples
 //!
 //! ```
 //! use hero_tensor::{Init, Tensor};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use hero_tensor::rng::StdRng;
 //!
 //! # fn main() -> Result<(), hero_tensor::TensorError> {
 //! let mut rng = StdRng::seed_from_u64(7);
@@ -37,12 +39,16 @@
 mod error;
 mod init;
 mod ops;
+pub mod pool;
+pub mod rng;
 mod shape;
 mod tensor;
 
 pub use error::{Result, TensorError};
 pub use init::{fill_standard_normal, random_unit_vector, Init};
 pub use ops::im2col::ConvGeometry;
+pub use ops::matmul::matmul_reference;
 pub use ops::norm::{global_dot, global_norm_l1, global_norm_l2, global_norm_linf};
+pub use pool::{PoolStats, ScratchPool};
 pub use shape::Shape;
 pub use tensor::Tensor;

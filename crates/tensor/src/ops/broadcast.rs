@@ -1,6 +1,7 @@
 //! NumPy-style broadcasting for binary operations.
 
 use crate::error::Result;
+use crate::pool;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -34,14 +35,28 @@ impl Tensor {
             return self.zip(other, f);
         }
         let out_shape = self.shape().broadcast_with(other.shape())?;
-        let mut out = Vec::with_capacity(out_shape.numel());
+        let mut out = pool::lease_raw(out_shape.numel());
         let a_idx = BroadcastIndexer::new(self.shape(), &out_shape);
         let b_idx = BroadcastIndexer::new(other.shape(), &out_shape);
-        for flat in 0..out_shape.numel() {
-            let idx = out_shape.unravel(flat);
-            let a = self.data()[a_idx.offset(&idx)];
-            let b = other.data()[b_idx.offset(&idx)];
-            out.push(f(a, b));
+        // Odometer walk: offsets advance incrementally instead of being
+        // recomputed (and a multi-index allocated) per element.
+        let dims = out_shape.dims();
+        let rank = out_shape.rank();
+        let mut idx = vec![0usize; rank];
+        let (mut a_off, mut b_off) = (0usize, 0usize);
+        for _ in 0..out_shape.numel() {
+            out.push(f(self.data()[a_off], other.data()[b_off]));
+            for ax in (0..rank).rev() {
+                idx[ax] += 1;
+                a_off += a_idx.strides[ax];
+                b_off += b_idx.strides[ax];
+                if idx[ax] < dims[ax] {
+                    break;
+                }
+                a_off -= dims[ax] * a_idx.strides[ax];
+                b_off -= dims[ax] * b_idx.strides[ax];
+                idx[ax] = 0;
+            }
         }
         Tensor::from_vec(out, out_shape)
     }
@@ -102,14 +117,25 @@ impl Tensor {
                 right: target.dims().to_vec(),
             });
         }
-        let mut out = Tensor::zeros(target.clone());
+        let mut out = pool::lease(target.numel());
         let indexer = BroadcastIndexer::new(target, self.shape());
+        let dims = self.dims();
+        let rank = self.rank();
+        let mut idx = vec![0usize; rank];
+        let mut off = 0usize;
         for flat in 0..self.numel() {
-            let idx = self.shape().unravel(flat);
-            let off = indexer.offset(&idx);
-            out.data_mut()[off] += self.data()[flat];
+            out[off] += self.data()[flat];
+            for ax in (0..rank).rev() {
+                idx[ax] += 1;
+                off += indexer.strides[ax];
+                if idx[ax] < dims[ax] {
+                    break;
+                }
+                off -= dims[ax] * indexer.strides[ax];
+                idx[ax] = 0;
+            }
         }
-        Ok(out)
+        Tensor::from_vec(out, target.clone())
     }
 }
 
@@ -128,17 +154,13 @@ impl BroadcastIndexer {
         let mut strides = vec![0; out.rank()];
         for i in 0..src.rank() {
             let out_axis = i + pad;
-            strides[out_axis] = if src.dims()[i] == 1 { 0 } else { src_strides[i] };
+            strides[out_axis] = if src.dims()[i] == 1 {
+                0
+            } else {
+                src_strides[i]
+            };
         }
         BroadcastIndexer { strides }
-    }
-
-    fn offset(&self, out_index: &[usize]) -> usize {
-        out_index
-            .iter()
-            .zip(&self.strides)
-            .map(|(&i, &s)| i * s)
-            .sum()
     }
 }
 

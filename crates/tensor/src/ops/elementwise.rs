@@ -1,12 +1,15 @@
 //! Element-wise arithmetic and transcendental operations.
 
 use crate::error::{Result, TensorError};
+use crate::pool;
 use crate::tensor::Tensor;
 
 impl Tensor {
-    /// Applies `f` to every element, producing a new tensor.
+    /// Applies `f` to every element, producing a new tensor (storage leased
+    /// from the scratch pool).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.data().iter().map(|&v| f(v)).collect();
+        let mut data = pool::lease_raw(self.numel());
+        data.extend(self.data().iter().map(|&v| f(v)));
         Tensor::from_vec(data, self.shape().clone()).expect("same volume")
     }
 
@@ -30,12 +33,8 @@ impl Tensor {
                 right: other.dims().to_vec(),
             });
         }
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = pool::lease_raw(self.numel());
+        data.extend(self.data().iter().zip(other.data()).map(|(&a, &b)| f(a, b)));
         Tensor::from_vec(data, self.shape().clone())
     }
 

@@ -1,6 +1,7 @@
 //! `im2col`/`col2im` lowering used to express convolution as matmul.
 
 use crate::error::{Result, TensorError};
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// Geometry of a 2-D convolution window over an NCHW input.
@@ -50,7 +51,13 @@ impl ConvGeometry {
                 in_w + 2 * pad
             )));
         }
-        Ok(ConvGeometry { in_h, in_w, kernel, stride, pad })
+        Ok(ConvGeometry {
+            in_h,
+            in_w,
+            kernel,
+            stride,
+            pad,
+        })
     }
 
     /// Output spatial size `(out_h, out_w)`.
@@ -74,9 +81,17 @@ impl Tensor {
     /// geometry error if `geom` disagrees with the input's spatial size.
     pub fn im2col(&self, geom: &ConvGeometry) -> Result<Tensor> {
         if self.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
         }
-        let (n, c, h, w) = (self.dims()[0], self.dims()[1], self.dims()[2], self.dims()[3]);
+        let (n, c, h, w) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
         if h != geom.in_h || w != geom.in_w {
             return Err(TensorError::InvalidGeometry(format!(
                 "geometry expects {}x{}, input is {h}x{w}",
@@ -87,28 +102,37 @@ impl Tensor {
         let (oh, ow) = geom.out_hw();
         let rows = c * k * k;
         let cols = n * oh * ow;
-        let mut out = vec![0.0f32; rows * cols];
-        let pad = geom.pad as isize;
-        for in_ in 0..n {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let col = (in_ * oh + oy) * ow + ox;
-                    let base_y = (oy * geom.stride) as isize - pad;
-                    let base_x = (ox * geom.stride) as isize - pad;
-                    for ch in 0..c {
-                        for ky in 0..k {
-                            let y = base_y + ky as isize;
-                            if y < 0 || y >= h as isize {
-                                continue; // leave zeros (padding)
-                            }
-                            for kx in 0..k {
-                                let x = base_x + kx as isize;
-                                if x < 0 || x >= w as isize {
-                                    continue;
-                                }
-                                let row = (ch * k + ky) * k + kx;
-                                let src = (((in_ * c) + ch) * h + y as usize) * w + x as usize;
-                                out[row * cols + col] = self.data()[src];
+        let mut out = pool::lease(rows * cols);
+        // One (ch, ky, kx) kernel tap per output row: writes stream
+        // sequentially through `out` while reads revisit the (smaller,
+        // cache-resident) input. For stride 1 the in-bounds span of each
+        // output row is one contiguous copy.
+        let stride = geom.stride;
+        let pad = geom.pad;
+        for row in 0..rows {
+            let (ch, ky, kx) = (row / (k * k), (row / k) % k, row % k);
+            let out_row = &mut out[row * cols..][..cols];
+            for in_ in 0..n {
+                let img = &self.data()[(in_ * c + ch) * h * w..][..h * w];
+                for oy in 0..oh {
+                    let y = oy * stride + ky;
+                    if y < pad || y >= h + pad {
+                        continue; // leave zeros (padding)
+                    }
+                    let src_row = &img[(y - pad) * w..][..w];
+                    let dst = &mut out_row[(in_ * oh + oy) * ow..][..ow];
+                    if stride == 1 {
+                        // x = ox + kx - pad must land in [0, w).
+                        let ox0 = pad.saturating_sub(kx);
+                        let ox1 = (w + pad).saturating_sub(kx).min(ow);
+                        if ox0 < ox1 {
+                            dst[ox0..ox1].copy_from_slice(&src_row[ox0 + kx - pad..ox1 + kx - pad]);
+                        }
+                    } else {
+                        for (ox, slot) in dst.iter_mut().enumerate() {
+                            let x = ox * stride + kx;
+                            if x >= pad && x < w + pad {
+                                *slot = src_row[x - pad];
                             }
                         }
                     }
@@ -127,7 +151,10 @@ impl Tensor {
     /// Returns shape errors if `self` is not `(c*k*k, n*out_h*out_w)`.
     pub fn col2im(&self, geom: &ConvGeometry, n: usize, c: usize) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let k = geom.kernel;
         let (oh, ow) = geom.out_hw();
@@ -140,35 +167,42 @@ impl Tensor {
             });
         }
         let (h, w) = (geom.in_h, geom.in_w);
-        let mut out = Tensor::zeros([n, c, h, w]);
-        let pad = geom.pad as isize;
-        for in_ in 0..n {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let col = (in_ * oh + oy) * ow + ox;
-                    let base_y = (oy * geom.stride) as isize - pad;
-                    let base_x = (ox * geom.stride) as isize - pad;
-                    for ch in 0..c {
-                        for ky in 0..k {
-                            let y = base_y + ky as isize;
-                            if y < 0 || y >= h as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let x = base_x + kx as isize;
-                                if x < 0 || x >= w as isize {
-                                    continue;
-                                }
-                                let row = (ch * k + ky) * k + kx;
-                                let dst = (((in_ * c) + ch) * h + y as usize) * w + x as usize;
-                                out.data_mut()[dst] += self.data()[row * cols + col];
+        let mut out_vec = pool::lease(n * c * h * w);
+        // Mirror of im2col's loop order: each (ch, ky, kx) row of the column
+        // matrix is read sequentially and accumulated into the (smaller,
+        // cache-resident) image.
+        let stride = geom.stride;
+        let pad = geom.pad;
+        for row in 0..rows {
+            let (ch, ky, kx) = (row / (k * k), (row / k) % k, row % k);
+            let col_row = &self.data()[row * cols..][..cols];
+            for in_ in 0..n {
+                let img = &mut out_vec[(in_ * c + ch) * h * w..][..h * w];
+                for oy in 0..oh {
+                    let y = oy * stride + ky;
+                    if y < pad || y >= h + pad {
+                        continue;
+                    }
+                    let dst_row = &mut img[(y - pad) * w..][..w];
+                    let src = &col_row[(in_ * oh + oy) * ow..][..ow];
+                    if stride == 1 {
+                        let ox0 = pad.saturating_sub(kx);
+                        let ox1 = (w + pad).saturating_sub(kx).min(ow);
+                        for ox in ox0..ox1 {
+                            dst_row[ox + kx - pad] += src[ox];
+                        }
+                    } else {
+                        for (ox, &v) in src.iter().enumerate() {
+                            let x = ox * stride + kx;
+                            if x >= pad && x < w + pad {
+                                dst_row[x - pad] += v;
                             }
                         }
                     }
                 }
             }
         }
-        Ok(out)
+        Tensor::from_vec(out_vec, [n, c, h, w])
     }
 }
 
@@ -230,7 +264,9 @@ mod tests {
     #[test]
     fn conv_via_matmul_matches_direct_convolution() {
         // 2-channel input, 3 output channels, 3x3 kernel, stride 1, pad 1.
-        let x = Tensor::from_fn([2, 2, 4, 4], |i| ((i[0] + 2 * i[1] + i[2] * 3 + i[3]) % 7) as f32);
+        let x = Tensor::from_fn([2, 2, 4, 4], |i| {
+            ((i[0] + 2 * i[1] + i[2] * 3 + i[3]) % 7) as f32
+        });
         let wgt = Tensor::from_fn([3, 2 * 3 * 3], |i| ((i[0] * 5 + i[1]) % 5) as f32 - 2.0);
         let geom = ConvGeometry::new(4, 4, 3, 1, 1).unwrap();
         let cols = x.im2col(&geom).unwrap();

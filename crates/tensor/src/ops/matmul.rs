@@ -1,16 +1,102 @@
 //! Matrix multiplication kernels.
+//!
+//! All three product variants route through the packed micro-kernel in
+//! [`super::gemm`]; the previous cache-blocked triple loop survives as
+//! [`matmul_reference`], the correctness oracle and bench baseline.
 
 use crate::error::{Result, TensorError};
+use crate::ops::gemm::gemm;
+use crate::pool;
 use crate::tensor::Tensor;
 
-/// Blocking factor for the cache-tiled matmul kernel.
+/// Blocking factor for the reference matmul kernel.
 const BLOCK: usize = 32;
+
+/// The pre-packing cache-blocked i-k-j kernel, kept as the correctness
+/// oracle for the packed GEMM's shape-grid tests and as the baseline the
+/// `step_cost` bench compares against.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not 2-D, or
+/// [`TensorError::MatmulDims`] if the inner dimensions disagree.
+pub fn matmul_reference(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor> {
+    let (m, n, k) = check_dims(lhs, rhs, false, false)?;
+    let a = lhs.data();
+    let b = rhs.data();
+    let mut c = vec![0.0f32; m * n];
+    for ib in (0..m).step_by(BLOCK) {
+        for kb in (0..k).step_by(BLOCK) {
+            for jb in (0..n).step_by(BLOCK) {
+                let i_end = (ib + BLOCK).min(m);
+                let k_end = (kb + BLOCK).min(k);
+                let j_end = (jb + BLOCK).min(n);
+                for i in ib..i_end {
+                    for kk in kb..k_end {
+                        let aik = a[i * k + kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n + jb..kk * n + j_end];
+                        let crow = &mut c[i * n + jb..i * n + j_end];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(c, [m, n])
+}
+
+/// Validates ranks/inner dims and returns the logical `(m, n, k)` of
+/// `op(lhs) · op(rhs)` under the given transpose flags.
+fn check_dims(lhs: &Tensor, rhs: &Tensor, lt: bool, rt: bool) -> Result<(usize, usize, usize)> {
+    if lhs.rank() != 2 || rhs.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: if lhs.rank() != 2 {
+                lhs.rank()
+            } else {
+                rhs.rank()
+            },
+        });
+    }
+    let (m, k) = if lt {
+        (lhs.dims()[1], lhs.dims()[0])
+    } else {
+        (lhs.dims()[0], lhs.dims()[1])
+    };
+    let (k2, n) = if rt {
+        (rhs.dims()[1], rhs.dims()[0])
+    } else {
+        (rhs.dims()[0], rhs.dims()[1])
+    };
+    if k != k2 {
+        return Err(TensorError::MatmulDims {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    Ok((m, n, k))
+}
+
+/// Shared entry: validates, leases the output from the scratch pool, and
+/// runs the packed kernel with transposition handled during packing.
+fn gemm_tensor(lhs: &Tensor, rhs: &Tensor, lt: bool, rt: bool) -> Result<Tensor> {
+    let (m, n, k) = check_dims(lhs, rhs, lt, rt)?;
+    let mut c = pool::lease(m * n);
+    gemm(m, n, k, lhs.data(), lt, rhs.data(), rt, &mut c);
+    Tensor::from_vec(c, [m, n])
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `(m, k) x (k, n) -> (m, n)`.
     ///
-    /// Uses a cache-blocked i-k-j loop order, which is adequate for the
-    /// small CPU models this crate trains.
+    /// Runs the packed register-blocked micro-kernel GEMM (see
+    /// `ops::gemm`); the output buffer is leased from the thread-local
+    /// scratch pool.
     ///
     /// # Errors
     ///
@@ -30,43 +116,7 @@ impl Tensor {
     /// # }
     /// ```
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank() });
-        }
-        if other.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: other.rank() });
-        }
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let (k2, n) = (other.dims()[0], other.dims()[1]);
-        if k != k2 {
-            return Err(TensorError::MatmulDims { left_cols: k, right_rows: k2 });
-        }
-        let a = self.data();
-        let b = other.data();
-        let mut c = vec![0.0f32; m * n];
-        for ib in (0..m).step_by(BLOCK) {
-            for kb in (0..k).step_by(BLOCK) {
-                for jb in (0..n).step_by(BLOCK) {
-                    let i_end = (ib + BLOCK).min(m);
-                    let k_end = (kb + BLOCK).min(k);
-                    let j_end = (jb + BLOCK).min(n);
-                    for i in ib..i_end {
-                        for kk in kb..k_end {
-                            let aik = a[i * k + kk];
-                            if aik == 0.0 {
-                                continue;
-                            }
-                            let brow = &b[kk * n + jb..kk * n + j_end];
-                            let crow = &mut c[i * n + jb..i * n + j_end];
-                            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                                *cv += aik * bv;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(c, [m, n])
+        gemm_tensor(self, other, false, false)
     }
 
     /// `self^T x other` without materializing the transpose:
@@ -76,34 +126,7 @@ impl Tensor {
     ///
     /// Returns the same errors as [`Tensor::matmul`].
     pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 || other.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
-            });
-        }
-        let (k, m) = (self.dims()[0], self.dims()[1]);
-        let (k2, n) = (other.dims()[0], other.dims()[1]);
-        if k != k2 {
-            return Err(TensorError::MatmulDims { left_cols: m, right_rows: k2 });
-        }
-        let a = self.data();
-        let b = other.data();
-        let mut c = vec![0.0f32; m * n];
-        for kk in 0..k {
-            for i in 0..m {
-                let aki = a[kk * m + i];
-                if aki == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                let crow = &mut c[i * n..(i + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aki * bv;
-                }
-            }
-        }
-        Tensor::from_vec(c, [m, n])
+        gemm_tensor(self, other, true, false)
     }
 
     /// `self x other^T` without materializing the transpose:
@@ -113,32 +136,7 @@ impl Tensor {
     ///
     /// Returns the same errors as [`Tensor::matmul`].
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 || other.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                expected: 2,
-                actual: if self.rank() != 2 { self.rank() } else { other.rank() },
-            });
-        }
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let (n, k2) = (other.dims()[0], other.dims()[1]);
-        if k != k2 {
-            return Err(TensorError::MatmulDims { left_cols: k, right_rows: k2 });
-        }
-        let a = self.data();
-        let b = other.data();
-        let mut c = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                c[i * n + j] = acc;
-            }
-        }
-        Tensor::from_vec(c, [m, n])
+        gemm_tensor(self, other, false, true)
     }
 
     /// Matrix-vector product: `(m, k) x (k,) -> (m,)`.
@@ -148,19 +146,28 @@ impl Tensor {
     /// Returns rank/dimension errors mirroring [`Tensor::matmul`].
     pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         if v.rank() != 1 {
-            return Err(TensorError::RankMismatch { expected: 1, actual: v.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: v.rank(),
+            });
         }
         let (m, k) = (self.dims()[0], self.dims()[1]);
         if v.dims()[0] != k {
-            return Err(TensorError::MatmulDims { left_cols: k, right_rows: v.dims()[0] });
+            return Err(TensorError::MatmulDims {
+                left_cols: k,
+                right_rows: v.dims()[0],
+            });
         }
-        let mut out = vec![0.0f32; m];
+        let mut out = pool::lease_raw(m);
         for i in 0..m {
             let row = &self.data()[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(v.data()).map(|(&a, &b)| a * b).sum();
+            out.push(row.iter().zip(v.data()).map(|(&a, &b)| a * b).sum());
         }
         Tensor::from_vec(out, [m])
     }
@@ -174,11 +181,15 @@ impl Tensor {
         if self.rank() != 1 || other.rank() != 1 {
             return Err(TensorError::RankMismatch {
                 expected: 1,
-                actual: if self.rank() != 1 { self.rank() } else { other.rank() },
+                actual: if self.rank() != 1 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
             });
         }
         let (m, n) = (self.numel(), other.numel());
-        let mut out = Vec::with_capacity(m * n);
+        let mut out = pool::lease_raw(m * n);
         for &a in self.data() {
             for &b in other.data() {
                 out.push(a * b);
@@ -217,42 +228,67 @@ mod tests {
         assert_eq!(id.matmul(&a).unwrap(), a);
     }
 
-    #[test]
-    fn blocked_kernel_matches_naive_on_larger_sizes() {
-        // Exercise sizes that are not multiples of the block size.
-        let m = 37;
-        let k = 41;
-        let n = 35;
-        let a = Tensor::from_fn([m, k], |i| ((i[0] * 7 + i[1] * 3) % 11) as f32 - 5.0);
-        let b = Tensor::from_fn([k, n], |i| ((i[0] * 5 + i[1] * 2) % 13) as f32 - 6.0);
-        let c = a.matmul(&b).unwrap();
-        // Naive reference
-        for i in (0..m).step_by(9) {
-            for j in (0..n).step_by(11) {
-                let mut acc = 0.0;
-                for kk in 0..k {
-                    acc += a.get(&[i, kk]).unwrap() * b.get(&[kk, j]).unwrap();
-                }
-                assert!((c.get(&[i, j]).unwrap() - acc).abs() < 1e-3);
-            }
+    fn assert_close(got: &Tensor, want: &Tensor) {
+        assert_eq!(got.dims(), want.dims());
+        for (i, (&g, &w)) in got.data().iter().zip(want.data()).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-5 * w.abs().max(1.0),
+                "idx {i}: {g} vs {w}"
+            );
         }
     }
 
     #[test]
+    fn packed_kernel_matches_reference_across_shape_grid() {
+        // 1x1, primes straddling MR/NR, tall/skinny, wide, and block-edge
+        // sizes — the acceptance grid for the packed kernel.
+        let shapes = [
+            (1, 1, 1),
+            (1, 8, 3),
+            (5, 7, 3),
+            (13, 11, 17),
+            (37, 41, 35),
+            (3, 200, 2),
+            (200, 3, 2),
+            (64, 96, 300),
+        ];
+        for &(m, n, k) in &shapes {
+            let a = Tensor::from_fn([m, k], |i| ((i[0] * 7 + i[1] * 3) % 11) as f32 - 5.0);
+            let b = Tensor::from_fn([k, n], |i| ((i[0] * 5 + i[1] * 2) % 13) as f32 - 6.0);
+            let packed = a.matmul(&b).unwrap();
+            let reference = matmul_reference(&a, &b).unwrap();
+            assert_close(&packed, &reference);
+        }
+    }
+
+    #[test]
+    fn reference_kernel_validates_dims() {
+        let a = Tensor::zeros([2, 3]);
+        assert!(matmul_reference(&a, &Tensor::zeros([4, 2])).is_err());
+        assert!(matmul_reference(&a, &Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
     fn matmul_tn_matches_explicit_transpose() {
+        for (k, m, n) in [(4, 3, 5), (17, 13, 9), (33, 2, 70)] {
+            let a = Tensor::from_fn([k, m], |i| (i[0] + 2 * i[1]) as f32);
+            let b = Tensor::from_fn([k, n], |i| (2 * i[0] + i[1]) as f32);
+            let expected = a.transpose().unwrap().matmul(&b).unwrap();
+            assert_close(&a.matmul_tn(&b).unwrap(), &expected);
+        }
         let a = Tensor::from_fn([4, 3], |i| (i[0] + 2 * i[1]) as f32);
-        let b = Tensor::from_fn([4, 5], |i| (2 * i[0] + i[1]) as f32);
-        let expected = a.transpose().unwrap().matmul(&b).unwrap();
-        assert_eq!(a.matmul_tn(&b).unwrap(), expected);
         assert!(a.matmul_tn(&Tensor::zeros([3, 5])).is_err());
     }
 
     #[test]
     fn matmul_nt_matches_explicit_transpose() {
+        for (m, k, n) in [(4, 3, 5), (13, 17, 9), (2, 33, 70)] {
+            let a = Tensor::from_fn([m, k], |i| (i[0] + 2 * i[1]) as f32);
+            let b = Tensor::from_fn([n, k], |i| (2 * i[0] + i[1]) as f32);
+            let expected = a.matmul(&b.transpose().unwrap()).unwrap();
+            assert_close(&a.matmul_nt(&b).unwrap(), &expected);
+        }
         let a = Tensor::from_fn([4, 3], |i| (i[0] + 2 * i[1]) as f32);
-        let b = Tensor::from_fn([5, 3], |i| (2 * i[0] + i[1]) as f32);
-        let expected = a.matmul(&b.transpose().unwrap()).unwrap();
-        assert_eq!(a.matmul_nt(&b).unwrap(), expected);
         assert!(a.matmul_nt(&Tensor::zeros([5, 4])).is_err());
     }
 

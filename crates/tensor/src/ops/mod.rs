@@ -2,6 +2,7 @@
 
 pub(crate) mod broadcast;
 pub(crate) mod elementwise;
+pub(crate) mod gemm;
 pub(crate) mod im2col;
 pub(crate) mod matmul;
 pub(crate) mod norm;

@@ -12,12 +12,20 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] unless the rank is 4.
     pub fn pad2d(&self, pad: usize) -> Result<Tensor> {
         if self.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
         }
         if pad == 0 {
             return Ok(self.clone());
         }
-        let (n, c, h, w) = (self.dims()[0], self.dims()[1], self.dims()[2], self.dims()[3]);
+        let (n, c, h, w) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
         let (ho, wo) = (h + 2 * pad, w + 2 * pad);
         let mut out = Tensor::zeros([n, c, ho, wo]);
         for in_ in 0..n {
@@ -41,12 +49,20 @@ impl Tensor {
     /// [`TensorError::InvalidGeometry`] if the crop exceeds the extent.
     pub fn crop2d(&self, pad: usize) -> Result<Tensor> {
         if self.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
         }
         if pad == 0 {
             return Ok(self.clone());
         }
-        let (n, c, h, w) = (self.dims()[0], self.dims()[1], self.dims()[2], self.dims()[3]);
+        let (n, c, h, w) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
         if 2 * pad >= h || 2 * pad >= w {
             return Err(TensorError::InvalidGeometry(format!(
                 "crop of {pad} exceeds spatial extent {h}x{w}"
@@ -75,9 +91,17 @@ impl Tensor {
     /// Returns rank/geometry errors if the window exceeds the extent.
     pub fn crop_window2d(&self, top: usize, left: usize, h: usize, w: usize) -> Result<Tensor> {
         if self.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
         }
-        let (n, c, hin, win) = (self.dims()[0], self.dims()[1], self.dims()[2], self.dims()[3]);
+        let (n, c, hin, win) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
         if top + h > hin || left + w > win {
             return Err(TensorError::InvalidGeometry(format!(
                 "window {h}x{w} at ({top},{left}) exceeds input {hin}x{win}"
@@ -103,9 +127,17 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] unless the rank is 4.
     pub fn flip_horizontal(&self) -> Result<Tensor> {
         if self.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
         }
-        let (n, c, h, w) = (self.dims()[0], self.dims()[1], self.dims()[2], self.dims()[3]);
+        let (n, c, h, w) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
         let mut out = Tensor::zeros([n, c, h, w]);
         for in_ in 0..n {
             for ch in 0..c {

@@ -12,9 +12,17 @@ impl Tensor {
     /// divisible by `k`.
     pub fn avg_pool2d(&self, k: usize) -> Result<Tensor> {
         if self.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
         }
-        let (n, c, h, w) = (self.dims()[0], self.dims()[1], self.dims()[2], self.dims()[3]);
+        let (n, c, h, w) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
         if k == 0 || h % k != 0 || w % k != 0 {
             return Err(TensorError::InvalidGeometry(format!(
                 "pool window {k} does not divide {h}x{w}"
@@ -30,8 +38,7 @@ impl Tensor {
                         let mut acc = 0.0;
                         for ky in 0..k {
                             for kx in 0..k {
-                                let src =
-                                    (((in_ * c) + ch) * h + oy * k + ky) * w + ox * k + kx;
+                                let src = (((in_ * c) + ch) * h + oy * k + ky) * w + ox * k + kx;
                                 acc += self.data()[src];
                             }
                         }
@@ -52,9 +59,17 @@ impl Tensor {
     /// Returns shape/geometry errors mirroring the forward op.
     pub fn avg_unpool2d(&self, k: usize, h: usize, w: usize) -> Result<Tensor> {
         if self.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
         }
-        let (n, c, oh, ow) = (self.dims()[0], self.dims()[1], self.dims()[2], self.dims()[3]);
+        let (n, c, oh, ow) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
         if k == 0 || oh * k != h || ow * k != w {
             return Err(TensorError::InvalidGeometry(format!(
                 "unpool target {h}x{w} is not {oh}x{ow} scaled by {k}"
@@ -69,8 +84,7 @@ impl Tensor {
                         let g = self.data()[(((in_ * c) + ch) * oh + oy) * ow + ox] * inv;
                         for ky in 0..k {
                             for kx in 0..k {
-                                let dst =
-                                    (((in_ * c) + ch) * h + oy * k + ky) * w + ox * k + kx;
+                                let dst = (((in_ * c) + ch) * h + oy * k + ky) * w + ox * k + kx;
                                 out.data_mut()[dst] += g;
                             }
                         }
@@ -91,9 +105,17 @@ impl Tensor {
     /// divisible by `k`.
     pub fn max_pool2d(&self, k: usize) -> Result<(Tensor, Vec<usize>)> {
         if self.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
         }
-        let (n, c, h, w) = (self.dims()[0], self.dims()[1], self.dims()[2], self.dims()[3]);
+        let (n, c, h, w) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
         if k == 0 || h % k != 0 || w % k != 0 {
             return Err(TensorError::InvalidGeometry(format!(
                 "pool window {k} does not divide {h}x{w}"
@@ -110,8 +132,7 @@ impl Tensor {
                         let mut best_src = 0;
                         for ky in 0..k {
                             for kx in 0..k {
-                                let src =
-                                    (((in_ * c) + ch) * h + oy * k + ky) * w + ox * k + kx;
+                                let src = (((in_ * c) + ch) * h + oy * k + ky) * w + ox * k + kx;
                                 if self.data()[src] > best {
                                     best = self.data()[src];
                                     best_src = src;
@@ -135,9 +156,17 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] unless the rank is 4.
     pub fn global_avg_pool2d(&self) -> Result<Tensor> {
         if self.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
         }
-        let (n, c, h, w) = (self.dims()[0], self.dims()[1], self.dims()[2], self.dims()[3]);
+        let (n, c, h, w) = (
+            self.dims()[0],
+            self.dims()[1],
+            self.dims()[2],
+            self.dims()[3],
+        );
         let mut out = Tensor::zeros([n, c]);
         let inv = 1.0 / (h * w) as f32;
         for in_ in 0..n {

@@ -1,6 +1,7 @@
 //! Reductions: sums, means, extrema, argmax, softmax helpers.
 
 use crate::error::Result;
+use crate::pool;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -20,7 +21,10 @@ impl Tensor {
 
     /// Maximum element (negative infinity for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (positive infinity for empty tensors).
@@ -48,23 +52,27 @@ impl Tensor {
     /// Returns [`crate::TensorError::AxisOutOfRange`] for an invalid axis.
     pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
         let out_shape = self.shape().remove_axis(axis)?;
-        let mut out = Tensor::zeros(out_shape.clone());
-        let strides = self.shape().strides();
+        let mut out = pool::lease_raw(out_shape.numel());
+        // Row-major: elements split into `outer` blocks of `dim * inner`,
+        // with the reduced axis striding by `inner` inside each block.
         let dim = self.dims()[axis];
-        for flat in 0..out_shape.numel() {
-            let mut idx = out_shape.unravel(flat);
-            idx.insert(axis, 0);
-            let mut base = 0;
-            for (k, &i) in idx.iter().enumerate() {
-                base += i * strides[k];
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let outer = if self.numel() == 0 {
+            0
+        } else {
+            self.numel() / (dim * inner)
+        };
+        for o in 0..outer {
+            let block = &self.data()[o * dim * inner..][..dim * inner];
+            for i in 0..inner {
+                let mut acc = 0.0;
+                for j in 0..dim {
+                    acc += block[j * inner + i];
+                }
+                out.push(acc);
             }
-            let mut acc = 0.0;
-            for j in 0..dim {
-                acc += self.data()[base + j * strides[axis]];
-            }
-            out.data_mut()[flat] = acc;
         }
-        Ok(out)
+        Tensor::from_vec(out, out_shape)
     }
 
     /// Means along `axis`, dropping that axis.
@@ -84,7 +92,10 @@ impl Tensor {
     /// Returns [`crate::TensorError::RankMismatch`] unless the rank is 2.
     pub fn argmax_rows(&self) -> Result<Vec<usize>> {
         if self.rank() != 2 {
-            return Err(crate::TensorError::RankMismatch { expected: 2, actual: self.rank() });
+            return Err(crate::TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
         let mut out = Vec::with_capacity(rows);
@@ -111,10 +122,13 @@ impl Tensor {
     /// Returns [`crate::TensorError::RankMismatch`] unless the rank is 2.
     pub fn softmax_rows(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(crate::TensorError::RankMismatch { expected: 2, actual: self.rank() });
+            return Err(crate::TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (rows, cols) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; rows * cols];
+        let mut out = pool::lease(rows * cols);
         for r in 0..rows {
             let row = &self.data()[r * cols..(r + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);

@@ -1,0 +1,285 @@
+//! Scratch-buffer pooling for the training hot path.
+//!
+//! Every HERO step costs three gradient evaluations, and the naive
+//! implementation re-`vec![0.0; …]`-allocated every matmul output, packed
+//! GEMM panel, im2col column matrix and gradient tensor on every one of
+//! them. [`ScratchPool`] is a free-list of `Vec<f32>` buffers that lets
+//! those allocations be *leased* and *recycled* instead: after one warm-up
+//! step the same buffers cycle through the graph forever and the pool
+//! performs zero new heap allocations ([`PoolStats::fresh_allocs`] is the
+//! proof — see `crates/autodiff/tests/pool_reuse.rs`).
+//!
+//! A thread-local default pool backs the tensor kernels and the autodiff
+//! graph so no `&mut pool` needs to be threaded through every op signature
+//! (the same pattern the batch-norm running-stat switch uses). All
+//! accounting is per-thread.
+//!
+//! # Examples
+//!
+//! ```
+//! use hero_tensor::pool;
+//!
+//! pool::reset_stats();
+//! let buf = pool::lease(1024);            // fresh allocation
+//! pool::recycle(buf);
+//! let again = pool::lease(1024);          // served from the free list
+//! assert_eq!(pool::stats().fresh_allocs, 1);
+//! assert_eq!(again.len(), 1024);
+//! pool::recycle(again);
+//! ```
+
+use std::cell::RefCell;
+
+/// Upper bound on buffers the free list retains; recycles beyond this are
+/// dropped so donated one-off buffers cannot grow the pool without bound.
+const MAX_HELD: usize = 1024;
+
+/// Counters describing a pool's lifetime activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Leases that had to perform a fresh heap allocation (or grow a
+    /// recycled buffer, which reallocates). Zero across a steady-state
+    /// training step is the "O(1) allocations after warm-up" proof.
+    pub fresh_allocs: usize,
+    /// Total buffers handed out.
+    pub leases: usize,
+    /// Total buffers returned.
+    pub recycles: usize,
+    /// Buffers currently sitting in the free list.
+    pub held: usize,
+}
+
+/// A free-list recycler for `Vec<f32>` scratch buffers.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Vec<Vec<f32>>,
+    fresh_allocs: usize,
+    leases: usize,
+    recycles: usize,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Leases a zeroed buffer of exactly `len` elements.
+    ///
+    /// Reuses the best-fitting free buffer when one exists; otherwise (or
+    /// when the best fit would have to grow) counts a fresh allocation.
+    pub fn lease(&mut self, len: usize) -> Vec<f32> {
+        // Best fit: smallest capacity that can hold `len` without growing.
+        let mut buf = self.lease_raw(len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Leases a buffer holding a copy of `src` (like [`ScratchPool::lease`]
+    /// but skips the intermediate zeroing).
+    pub fn lease_copy(&mut self, src: &[f32]) -> Vec<f32> {
+        let mut buf = self.lease_raw(src.len());
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// Best-fit lookup shared by [`ScratchPool::lease`] and
+    /// [`ScratchPool::lease_copy`]: returns an empty buffer with capacity
+    /// for at least `len` elements.
+    pub(crate) fn lease_raw(&mut self, len: usize) -> Vec<f32> {
+        self.leases += 1;
+        let mut best: Option<(usize, usize)> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.map_or(true, |(_, bc)| cap < bc) {
+                best = Some((i, cap));
+                if cap == len {
+                    break;
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                buf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                Vec::with_capacity(len)
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list (dropped if the pool is full or
+    /// the buffer has no capacity).
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.recycles += 1;
+        if self.free.len() < MAX_HELD {
+            self.free.push(buf);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            fresh_allocs: self.fresh_allocs,
+            leases: self.leases,
+            recycles: self.recycles,
+            held: self.free.len(),
+        }
+    }
+
+    /// Zeroes the counters (the free list is kept).
+    pub fn reset_stats(&mut self) {
+        self.fresh_allocs = 0;
+        self.leases = 0;
+        self.recycles = 0;
+    }
+
+    /// Drops every held buffer and zeroes the counters.
+    pub fn clear(&mut self) {
+        self.free.clear();
+        self.reset_stats();
+    }
+}
+
+thread_local! {
+    static GLOBAL: RefCell<ScratchPool> = RefCell::new(ScratchPool::new());
+}
+
+/// Runs `f` with exclusive access to this thread's default pool.
+///
+/// Keep the closure allocation-only: re-entering the pool from inside `f`
+/// panics (`RefCell` double borrow).
+pub fn with<R>(f: impl FnOnce(&mut ScratchPool) -> R) -> R {
+    GLOBAL.with(|p| f(&mut p.borrow_mut()))
+}
+
+/// Leases a zeroed buffer from this thread's default pool.
+pub fn lease(len: usize) -> Vec<f32> {
+    with(|p| p.lease(len))
+}
+
+/// Leases a buffer holding a copy of `src` from this thread's default pool.
+pub fn lease_copy(src: &[f32]) -> Vec<f32> {
+    with(|p| p.lease_copy(src))
+}
+
+/// Leases an *empty* buffer with capacity for `len` elements — for ops that
+/// fill the buffer by `extend`ing, skipping the zeroing pass of [`lease`].
+pub(crate) fn lease_raw(len: usize) -> Vec<f32> {
+    with(|p| p.lease_raw(len))
+}
+
+/// Recycles a buffer into this thread's default pool.
+pub fn recycle(buf: Vec<f32>) {
+    with(|p| p.recycle(buf));
+}
+
+/// Recycles a tensor's storage into this thread's default pool.
+pub fn recycle_tensor(t: crate::Tensor) {
+    recycle(t.into_vec());
+}
+
+/// Counters for this thread's default pool.
+pub fn stats() -> PoolStats {
+    with(|p| p.stats())
+}
+
+/// Zeroes this thread's default-pool counters (free list kept) — call at
+/// the start of a measurement window.
+pub fn reset_stats() {
+    with(|p| p.reset_stats());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_recycle_round_trip_reuses_capacity() {
+        let mut pool = ScratchPool::new();
+        let a = pool.lease(100);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&v| v == 0.0));
+        pool.recycle(a);
+        let b = pool.lease(64); // smaller fits in the same buffer
+        assert_eq!(b.len(), 64);
+        let s = pool.stats();
+        assert_eq!(s.fresh_allocs, 1);
+        assert_eq!(s.leases, 2);
+        assert_eq!(s.recycles, 1);
+    }
+
+    #[test]
+    fn lease_zeroes_recycled_contents() {
+        let mut pool = ScratchPool::new();
+        let mut a = pool.lease(8);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        pool.recycle(a);
+        let b = pool.lease(8);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn growing_counts_as_fresh_alloc() {
+        let mut pool = ScratchPool::new();
+        let a = pool.lease(10);
+        pool.recycle(a);
+        let _big = pool.lease(1000); // cannot be served without growing
+        assert_eq!(pool.stats().fresh_allocs, 2);
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_buffer() {
+        let mut pool = ScratchPool::new();
+        let big = pool.lease(1000);
+        let small = pool.lease(10);
+        pool.recycle(big);
+        pool.recycle(small);
+        let b = pool.lease(10);
+        assert!(b.capacity() < 1000, "picked the oversized buffer");
+        assert_eq!(pool.stats().fresh_allocs, 2);
+    }
+
+    #[test]
+    fn free_list_is_capped() {
+        let mut pool = ScratchPool::new();
+        for _ in 0..(MAX_HELD + 10) {
+            pool.recycle(vec![0.0; 4]);
+        }
+        assert_eq!(pool.stats().held, MAX_HELD);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_dropped() {
+        let mut pool = ScratchPool::new();
+        pool.recycle(Vec::new());
+        assert_eq!(pool.stats().held, 0);
+        assert_eq!(pool.stats().recycles, 0);
+    }
+
+    #[test]
+    fn global_pool_round_trips() {
+        reset_stats();
+        let before = stats();
+        let buf = lease(32);
+        recycle(buf);
+        let after = stats();
+        assert_eq!(after.leases, before.leases + 1);
+        assert_eq!(after.recycles, before.recycles + 1);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut pool = ScratchPool::new();
+        pool.recycle(vec![0.0; 8]);
+        pool.clear();
+        let s = pool.stats();
+        assert_eq!(s, PoolStats::default());
+    }
+}

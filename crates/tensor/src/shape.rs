@@ -57,7 +57,10 @@ impl Shape {
         self.0
             .get(axis)
             .copied()
-            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.rank() })
+            .ok_or(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
     }
 
     /// Row-major strides, in elements.
@@ -77,12 +80,17 @@ impl Shape {
     /// out of bounds.
     pub fn offset(&self, index: &[usize]) -> Result<usize> {
         if index.len() != self.rank() {
-            return Err(TensorError::RankMismatch { expected: self.rank(), actual: index.len() });
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                actual: index.len(),
+            });
         }
         let strides = self.strides();
         let mut off = 0;
-        for (axis, (&i, (&d, &s))) in
-            index.iter().zip(self.0.iter().zip(strides.iter())).enumerate()
+        for (axis, (&i, (&d, &s))) in index
+            .iter()
+            .zip(self.0.iter().zip(strides.iter()))
+            .enumerate()
         {
             let _ = axis;
             if i >= d {
@@ -119,8 +127,16 @@ impl Shape {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0; rank];
         for i in 0..rank {
-            let a = if i < rank - self.rank() { 1 } else { self.0[i - (rank - self.rank())] };
-            let b = if i < rank - other.rank() { 1 } else { other.0[i - (rank - other.rank())] };
+            let a = if i < rank - self.rank() {
+                1
+            } else {
+                self.0[i - (rank - self.rank())]
+            };
+            let b = if i < rank - other.rank() {
+                1
+            } else {
+                other.0[i - (rank - other.rank())]
+            };
             dims[i] = match (a, b) {
                 (x, y) if x == y => x,
                 (1, y) => y,
@@ -143,7 +159,10 @@ impl Shape {
     /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
     pub fn remove_axis(&self, axis: usize) -> Result<Shape> {
         if axis >= self.rank() {
-            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
         }
         let mut dims = self.0.clone();
         dims.remove(axis);
@@ -215,7 +234,10 @@ mod tests {
             s.offset(&[2, 0]),
             Err(TensorError::IndexOutOfRange { index: 2, size: 2 })
         );
-        assert!(matches!(s.offset(&[0]), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            s.offset(&[0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

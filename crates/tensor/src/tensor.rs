@@ -29,6 +29,16 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+/// Dropping a tensor donates its storage to the thread-local scratch pool,
+/// so temporaries produced on the training hot path (op outputs, graph
+/// values, gradients) recycle instead of round-tripping the allocator. The
+/// pool's free list is capped, so this cannot grow memory without bound.
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        crate::pool::recycle(std::mem::take(&mut self.data));
+    }
+}
+
 impl Tensor {
     /// Creates a tensor from a flat `Vec` and a shape.
     ///
@@ -39,21 +49,31 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self> {
         let shape = shape.into();
         if data.len() != shape.numel() {
-            return Err(TensorError::DataLength { expected: shape.numel(), actual: data.len() });
+            return Err(TensorError::DataLength {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
-    /// Creates a tensor filled with zeros.
+    /// Creates a tensor filled with zeros (storage leased from the scratch
+    /// pool, so hot-path zero tensors recycle instead of reallocating).
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: crate::pool::lease(n),
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -65,12 +85,18 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Creates a 1-D tensor `[0, 1, ..., n-1]` as `f32`.
     pub fn arange(n: usize) -> Self {
-        Tensor { shape: Shape::from([n]), data: (0..n).map(|i| i as f32).collect() }
+        Tensor {
+            shape: Shape::from([n]),
+            data: (0..n).map(|i| i as f32).collect(),
+        }
     }
 
     /// Creates a tensor whose element at multi-index `idx` is `f(idx)`.
@@ -115,9 +141,38 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor and returns its flat storage.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor and returns its flat storage (bypassing the
+    /// recycling `Drop`).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
+    }
+
+    /// Clones this tensor into storage leased from the thread-local scratch
+    /// pool. Used where a clone is handed to a recycling consumer (e.g. a
+    /// `Graph` input), so steady-state clones reuse pooled buffers instead
+    /// of allocating.
+    pub fn clone_pooled(&self) -> Tensor {
+        Tensor {
+            data: crate::pool::lease_copy(&self.data),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Copies `src`'s contents into this tensor without reallocating — the
+    /// in-place building block of the zero-allocation training hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error unless the shapes match exactly.
+    pub fn copy_from(&mut self, src: &Tensor) -> Result<()> {
+        if self.shape != src.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: src.dims().to_vec(),
+            });
+        }
+        self.data.copy_from_slice(&src.data);
+        Ok(())
     }
 
     /// Reads the element at a multi-index.
@@ -164,9 +219,15 @@ impl Tensor {
     pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
         let shape = shape.into();
         if shape.numel() != self.numel() {
-            return Err(TensorError::DataLength { expected: shape.numel(), actual: self.numel() });
+            return Err(TensorError::DataLength {
+                expected: shape.numel(),
+                actual: self.numel(),
+            });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// In-place variant of [`reshape`](Tensor::reshape); avoids the copy.
@@ -177,7 +238,10 @@ impl Tensor {
     pub fn reshape_in_place(&mut self, shape: impl Into<Shape>) -> Result<()> {
         let shape = shape.into();
         if shape.numel() != self.numel() {
-            return Err(TensorError::DataLength { expected: shape.numel(), actual: self.numel() });
+            return Err(TensorError::DataLength {
+                expected: shape.numel(),
+                actual: self.numel(),
+            });
         }
         self.shape = shape;
         Ok(())
@@ -185,7 +249,10 @@ impl Tensor {
 
     /// Flattens to a 1-D tensor without copying semantics changes.
     pub fn flatten(&self) -> Tensor {
-        Tensor { shape: Shape::from([self.numel()]), data: self.data.clone() }
+        Tensor {
+            shape: Shape::from([self.numel()]),
+            data: self.data.clone(),
+        }
     }
 
     /// Transposes a 2-D tensor (copies).
@@ -195,10 +262,13 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] unless the rank is 2.
     pub fn transpose(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (r, c) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0; r * c];
+        let mut out = crate::pool::lease(r * c);
         for i in 0..r {
             for j in 0..c {
                 out[j * r + i] = self.data[i * c + j];
@@ -214,7 +284,10 @@ impl Tensor {
     /// Returns an error if `perm` is not a valid permutation of the axes.
     pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
         if perm.len() != self.rank() {
-            return Err(TensorError::RankMismatch { expected: self.rank(), actual: perm.len() });
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                actual: perm.len(),
+            });
         }
         let mut seen = vec![false; self.rank()];
         for &p in perm {
@@ -229,16 +302,30 @@ impl Tensor {
         let new_dims: Vec<usize> = perm.iter().map(|&p| self.dims()[p]).collect();
         let new_shape = Shape::new(new_dims);
         let old_strides = self.shape.strides();
-        let mut out = vec![0.0; self.numel()];
-        for (flat, slot) in out.iter_mut().enumerate() {
-            let new_idx = new_shape.unravel(flat);
-            let mut old_off = 0;
-            for (k, &p) in perm.iter().enumerate() {
-                old_off += new_idx[k] * old_strides[p];
+        // Source stride for each output axis; walk the output row-major with
+        // an odometer so the source offset updates incrementally.
+        let strides: Vec<usize> = perm.iter().map(|&p| old_strides[p]).collect();
+        let dims = new_shape.dims().to_vec();
+        let rank = dims.len();
+        let mut out = crate::pool::lease_raw(self.numel());
+        let mut idx = vec![0usize; rank];
+        let mut off = 0usize;
+        for _ in 0..self.numel() {
+            out.push(self.data[off]);
+            for ax in (0..rank).rev() {
+                idx[ax] += 1;
+                off += strides[ax];
+                if idx[ax] < dims[ax] {
+                    break;
+                }
+                off -= dims[ax] * strides[ax];
+                idx[ax] = 0;
             }
-            *slot = self.data[old_off];
         }
-        Ok(Tensor { shape: new_shape, data: out })
+        Ok(Tensor {
+            shape: new_shape,
+            data: out,
+        })
     }
 
     /// Extracts the `index`-th slice along `axis`, dropping that axis.
@@ -252,18 +339,22 @@ impl Tensor {
             return Err(TensorError::IndexOutOfRange { index, size: dim });
         }
         let out_shape = self.shape.remove_axis(axis)?;
-        let strides = self.shape.strides();
-        let mut out = Vec::with_capacity(out_shape.numel());
-        for flat in 0..out_shape.numel() {
-            let mut idx = out_shape.unravel(flat);
-            idx.insert(axis, index);
-            let mut off = 0;
-            for (k, &i) in idx.iter().enumerate() {
-                off += i * strides[k];
-            }
-            out.push(self.data[off]);
+        // Row-major: the slice is `outer` runs of `inner` contiguous
+        // elements, one run per block of the leading axes.
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let outer = if self.numel() == 0 {
+            0
+        } else {
+            self.numel() / (dim * inner)
+        };
+        let mut out = crate::pool::lease_raw(out_shape.numel());
+        for o in 0..outer {
+            out.extend_from_slice(&self.data[(o * dim + index) * inner..][..inner]);
         }
-        Ok(Tensor { shape: out_shape, data: out })
+        Ok(Tensor {
+            shape: out_shape,
+            data: out,
+        })
     }
 
     /// Returns the contiguous sub-tensor `[start, start+len)` along axis 0.
@@ -273,16 +364,25 @@ impl Tensor {
     /// Returns an error if the range exceeds the first dimension.
     pub fn narrow(&self, start: usize, len: usize) -> Result<Tensor> {
         if self.rank() == 0 {
-            return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
         }
         let d0 = self.dims()[0];
         if start + len > d0 {
-            return Err(TensorError::IndexOutOfRange { index: start + len, size: d0 });
+            return Err(TensorError::IndexOutOfRange {
+                index: start + len,
+                size: d0,
+            });
         }
         let row = self.numel() / d0.max(1);
         let mut dims = self.dims().to_vec();
         dims[0] = len;
-        Tensor::from_vec(self.data[start * row..(start + len) * row].to_vec(), dims)
+        Tensor::from_vec(
+            crate::pool::lease_copy(&self.data[start * row..(start + len) * row]),
+            dims,
+        )
     }
 
     /// Stacks tensors of identical shape along a new leading axis.
@@ -319,7 +419,10 @@ impl Tensor {
             .first()
             .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?;
         if first.rank() == 0 {
-            return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
         }
         let mut total0 = 0;
         let mut data = Vec::new();
@@ -371,7 +474,10 @@ mod tests {
         assert!(Tensor::from_vec(vec![1.0; 6], [2, 3]).is_ok());
         assert!(matches!(
             Tensor::from_vec(vec![1.0; 5], [2, 3]),
-            Err(TensorError::DataLength { expected: 6, actual: 5 })
+            Err(TensorError::DataLength {
+                expected: 6,
+                actual: 5
+            })
         ));
     }
 

@@ -18,9 +18,8 @@ use hero_data::{Corruption, Preset};
 use hero_landscape::epsilon_sharpness;
 use hero_nn::evaluate_accuracy;
 use hero_nn::models::ModelKind;
+use hero_tensor::rng::StdRng;
 use hero_tensor::TensorError;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), TensorError> {
     let preset = Preset::C10;
@@ -33,8 +32,12 @@ fn main() -> Result<(), TensorError> {
     for method in [MethodKind::Hero, MethodKind::Sgd] {
         let mut rng = StdRng::seed_from_u64(123);
         let mut net = ModelKind::Resnet.build(model_config(preset), &mut rng);
-        let record =
-            train(&mut net, &train_set, &test_set, &TrainConfig::new(method.tuned(), epochs))?;
+        let record = train(
+            &mut net,
+            &train_set,
+            &test_set,
+            &TrainConfig::new(method.tuned(), epochs),
+        )?;
         print!(
             "{:8} (clean test {:5.1}%):",
             method.paper_name(),
@@ -42,8 +45,7 @@ fn main() -> Result<(), TensorError> {
         );
         for &std in &severities {
             let corrupted = Corruption::GaussianNoise(std).apply(&test_set, 9);
-            let acc =
-                evaluate_accuracy(&mut net, &corrupted.images, &corrupted.labels, 64)?;
+            let acc = evaluate_accuracy(&mut net, &corrupted.images, &corrupted.labels, 64)?;
             print!("  σ={std}: {:5.1}%", 100.0 * acc);
         }
         println!();

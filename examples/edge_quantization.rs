@@ -20,9 +20,8 @@ use hero_data::Preset;
 use hero_nn::evaluate_accuracy;
 use hero_nn::models::ModelKind;
 use hero_quant::{quantize_params, QuantScheme};
+use hero_tensor::rng::StdRng;
 use hero_tensor::TensorError;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), TensorError> {
     let preset = Preset::C10;
@@ -40,7 +39,12 @@ fn main() -> Result<(), TensorError> {
     for method in [MethodKind::Hero, MethodKind::GradL1, MethodKind::Sgd] {
         let mut rng = StdRng::seed_from_u64(7);
         let mut net = ModelKind::Mobilenet.build(model_config(preset), &mut rng);
-        let record = train(&mut net, &train_set, &test_set, &TrainConfig::new(method.tuned(), epochs))?;
+        let record = train(
+            &mut net,
+            &train_set,
+            &test_set,
+            &TrainConfig::new(method.tuned(), epochs),
+        )?;
         println!(
             "{} (full-precision test acc {:.1}%):",
             method.paper_name(),

@@ -15,28 +15,39 @@ use hero_hessian::{power_iteration, BoundInputs, PowerIterConfig};
 use hero_landscape::{probe_robustness, PerturbNorm};
 use hero_nn::models::ModelKind;
 use hero_optim::BatchOracle;
+use hero_tensor::rng::StdRng;
 use hero_tensor::{global_norm_l1, global_norm_l2, TensorError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), TensorError> {
     let preset = Preset::C10;
     let (train_set, test_set) = preset.load(0.5);
     let epochs = 25;
-    let scale = Scale { data: 0.5, epochs_small: epochs, epochs_large: epochs };
+    let scale = Scale {
+        data: 0.5,
+        epochs_small: epochs,
+        epochs_large: epochs,
+    };
     let _ = scale;
 
     for method in [MethodKind::Hero, MethodKind::Sgd] {
         let mut rng = StdRng::seed_from_u64(11);
         let mut net = ModelKind::Resnet.build(model_config(preset), &mut rng);
-        let record =
-            train(&mut net, &train_set, &test_set, &TrainConfig::new(method.tuned(), epochs))?;
+        let record = train(
+            &mut net,
+            &train_set,
+            &test_set,
+            &TrainConfig::new(method.tuned(), epochs),
+        )?;
         println!(
             "== {} (test acc {:.1}%) ==",
             method.paper_name(),
             100.0 * record.final_test_acc
         );
-        let mut trained = TrainedModel { net, record, method };
+        let mut trained = TrainedModel {
+            net,
+            record,
+            method,
+        };
 
         // (1) Fig. 3-style contour along shared filter-normalized directions.
         let scan = landscape_scan(&mut trained, &train_set, 1.0, 13, 99)?;
@@ -74,7 +85,11 @@ fn main() -> Result<(), TensorError> {
         let eig = power_iteration(
             &mut grad_oracle,
             &params,
-            PowerIterConfig { max_iters: 10, tol: 1e-2, eps: 1e-3 },
+            PowerIterConfig {
+                max_iters: 10,
+                tol: 1e-2,
+                eps: 1e-3,
+            },
             &mut StdRng::seed_from_u64(17),
         )?;
         let nonzeros: usize = params.iter().map(|p| p.norm_l0()).sum();

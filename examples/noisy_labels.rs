@@ -16,15 +16,17 @@ use hero_core::experiment::{model_config, MethodKind};
 use hero_core::{train, TrainConfig};
 use hero_data::{inject_symmetric_noise, label_disagreement, Preset, SynthGenerator, SynthSpec};
 use hero_nn::models::ModelKind;
+use hero_tensor::rng::StdRng;
 use hero_tensor::TensorError;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), TensorError> {
     let preset = Preset::C10;
     // Give every sample a private texture so wrong labels are memorizable,
     // as in real photographs.
-    let spec = SynthSpec { sample_texture: 0.6, ..preset.spec() };
+    let spec = SynthSpec {
+        sample_texture: 0.6,
+        ..preset.spec()
+    };
     let generator = SynthGenerator::new(spec);
     let (clean_train, test_set) = generator.train_test(200, 400);
 

@@ -11,9 +11,8 @@ use hero_core::experiment::{model_config, quant_sweep, MethodKind, Scale};
 use hero_core::{train, TrainConfig};
 use hero_data::Preset;
 use hero_nn::models::ModelKind;
+use hero_tensor::rng::StdRng;
 use hero_tensor::TensorError;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), TensorError> {
     // A small-but-real run: a few minutes on one CPU core.
@@ -42,7 +41,11 @@ fn main() -> Result<(), TensorError> {
         );
 
         // Post-training quantization, no finetuning (the paper's setting).
-        let mut trained = hero_core::experiment::TrainedModel { net, record, method };
+        let mut trained = hero_core::experiment::TrainedModel {
+            net,
+            record,
+            method,
+        };
         let curve = quant_sweep(&mut trained, &test_set, &[3, 4, 6, 8])?;
         for (bits, acc) in &curve.points {
             println!("    {bits}-bit weights -> test acc {:5.1}%", 100.0 * acc);

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, full test suite, formatting, and a quick
+# bench smoke run. Everything runs offline. Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> bench smoke (step_cost --quick)"
+cargo bench -p hero-bench --bench step_cost -- --quick
+
+echo "verify.sh: all gates passed"

@@ -7,11 +7,10 @@ use hero_core::experiment::{
 use hero_core::{train, TrainConfig};
 use hero_data::{inject_symmetric_noise, Preset, SynthGenerator, SynthSpec};
 use hero_nn::evaluate_accuracy;
-use hero_nn::models::{ModelKind, ModelConfig};
+use hero_nn::models::{ModelConfig, ModelKind};
 use hero_optim::Method;
 use hero_quant::{quantize_network, QuantScheme};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hero_tensor::rng::StdRng;
 
 /// A tiny-but-real task every integration test shares.
 fn tiny_task() -> (hero_data::Dataset, hero_data::Dataset) {
@@ -28,7 +27,12 @@ fn tiny_task() -> (hero_data::Dataset, hero_data::Dataset) {
 }
 
 fn tiny_config() -> ModelConfig {
-    ModelConfig { classes: 4, in_channels: 3, input_hw: 8, width: 6 }
+    ModelConfig {
+        classes: 4,
+        in_channels: 3,
+        input_hw: 8,
+        width: 6,
+    }
 }
 
 #[test]
@@ -39,7 +43,10 @@ fn every_method_trains_every_model_family() {
             Method::Sgd,
             Method::FirstOrderOnly { h: 0.2 },
             Method::GradL1 { lambda: 1e-4 },
-            Method::Hero { h: 0.2, gamma: 0.01 },
+            Method::Hero {
+                h: 0.2,
+                gamma: 0.01,
+            },
         ] {
             let mut net = model.build(tiny_config(), &mut StdRng::seed_from_u64(1));
             let config = TrainConfig::new(method, 2).with_batch_size(16);
@@ -58,13 +65,14 @@ fn trained_model_beats_chance_and_survives_8bit_quantization() {
     let mut net = ModelKind::Resnet.build(tiny_config(), &mut StdRng::seed_from_u64(2));
     let config = TrainConfig::new(Method::Sgd, 12).with_batch_size(16);
     train(&mut net, &train_set, &test_set, &config).unwrap();
-    let acc_fp =
-        evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 32).unwrap();
-    assert!(acc_fp > 0.5, "full-precision acc {acc_fp} barely above 4-class chance");
+    let acc_fp = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 32).unwrap();
+    assert!(
+        acc_fp > 0.5,
+        "full-precision acc {acc_fp} barely above 4-class chance"
+    );
     let report = quantize_network(&mut net, &QuantScheme::symmetric(8)).unwrap();
     assert!(report.worst_linf <= report.max_bin_width / 2.0 + 1e-6);
-    let acc_q8 =
-        evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 32).unwrap();
+    let acc_q8 = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 32).unwrap();
     assert!(
         (acc_fp - acc_q8).abs() < 0.1,
         "8-bit quantization moved accuracy {acc_fp} -> {acc_q8}"
@@ -77,11 +85,18 @@ fn low_precision_hurts_more_than_high_precision() {
     let mut net = ModelKind::Resnet.build(tiny_config(), &mut StdRng::seed_from_u64(3));
     let config = TrainConfig::new(Method::Sgd, 12).with_batch_size(16);
     let record = train(&mut net, &train_set, &test_set, &config).unwrap();
-    let mut trained = TrainedModel { net, record, method: MethodKind::Sgd };
+    let mut trained = TrainedModel {
+        net,
+        record,
+        method: MethodKind::Sgd,
+    };
     let curve = quant_sweep(&mut trained, &test_set, &[2, 8]).unwrap();
     let acc2 = curve.points[0].1;
     let acc8 = curve.points[1].1;
-    assert!(acc8 >= acc2, "8-bit acc {acc8} should be >= 2-bit acc {acc2}");
+    assert!(
+        acc8 >= acc2,
+        "8-bit acc {acc8} should be >= 2-bit acc {acc2}"
+    );
     assert!(acc8 > 0.5);
 }
 
@@ -89,8 +104,14 @@ fn low_precision_hurts_more_than_high_precision() {
 fn hero_records_nonzero_regularizer_on_real_networks() {
     let (train_set, test_set) = tiny_task();
     let mut net = ModelKind::Resnet.build(tiny_config(), &mut StdRng::seed_from_u64(4));
-    let config =
-        TrainConfig::new(Method::Hero { h: 0.2, gamma: 0.01 }, 2).with_batch_size(16);
+    let config = TrainConfig::new(
+        Method::Hero {
+            h: 0.2,
+            gamma: 0.01,
+        },
+        2,
+    )
+    .with_batch_size(16);
     let rec = train(&mut net, &train_set, &test_set, &config).unwrap();
     // G = ||∇L(W+hz) - g||² must be positive on a curved loss surface.
     assert!(rec.epochs.iter().all(|e| e.regularizer > 0.0));
@@ -107,7 +128,9 @@ fn label_noise_reduces_clean_test_accuracy() {
     let run = |data: &hero_data::Dataset| {
         let mut net = ModelKind::Resnet.build(tiny_config(), &mut StdRng::seed_from_u64(5));
         let config = TrainConfig::new(Method::Sgd, 10).with_batch_size(16);
-        train(&mut net, data, &test_set, &config).unwrap().final_test_acc
+        train(&mut net, data, &test_set, &config)
+            .unwrap()
+            .final_test_acc
     };
     let acc_clean = run(&clean);
     let acc_noisy = run(&noisy);
@@ -119,7 +142,11 @@ fn label_noise_reduces_clean_test_accuracy() {
 
 #[test]
 fn landscape_scan_centers_on_trained_minimum() {
-    let scale = Scale { data: 0.12, epochs_small: 4, epochs_large: 1 };
+    let scale = Scale {
+        data: 0.12,
+        epochs_small: 4,
+        epochs_large: 1,
+    };
     let mut trained =
         train_cell(Preset::C10, ModelKind::Resnet, MethodKind::Sgd, scale, 0).unwrap();
     let (train_set, _) = Preset::C10.load(scale.data);
@@ -143,7 +170,11 @@ fn landscape_scan_centers_on_trained_minimum() {
 
 #[test]
 fn experiment_cells_are_reproducible() {
-    let scale = Scale { data: 0.12, epochs_small: 2, epochs_large: 1 };
+    let scale = Scale {
+        data: 0.12,
+        epochs_small: 2,
+        epochs_large: 1,
+    };
     let a = train_cell(Preset::C10, ModelKind::Resnet, MethodKind::Hero, scale, 0).unwrap();
     let b = train_cell(Preset::C10, ModelKind::Resnet, MethodKind::Hero, scale, 0).unwrap();
     assert_eq!(a.record.final_test_acc, b.record.final_test_acc);
