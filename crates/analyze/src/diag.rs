@@ -1,0 +1,192 @@
+//! Structured diagnostics emitted by the tape verifier.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The tape is inefficient or suspicious but executable (dead nodes,
+    /// unused parameters, constant-foldable subgraphs).
+    Warning,
+    /// The tape is malformed: executing or differentiating it would panic,
+    /// corrupt gradients, or silently produce wrong values.
+    Error,
+}
+
+/// Machine-readable defect category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DiagCode {
+    /// A parent index is `>=` the tape length.
+    ParentOutOfRange,
+    /// A parent index is `>=` the node's own index (topological-order
+    /// violation; the tape must be append-ordered).
+    ForwardReference,
+    /// A node's recorded `index` disagrees with its tape position.
+    IndexMismatch,
+    /// An operand has the wrong rank.
+    RankMismatch,
+    /// Matmul inner dimensions disagree.
+    MatmulDimMismatch,
+    /// Binary-op operand shapes cannot broadcast together.
+    BroadcastIncompatible,
+    /// Reshape does not conserve the element count.
+    ReshapeCountMismatch,
+    /// The recorded output shape disagrees with the shape implied by the
+    /// op and its operands.
+    ShapeMismatch,
+    /// Convolution geometry disagrees with the operand shapes.
+    ConvGeometryMismatch,
+    /// Pooling geometry disagrees with the operand shapes.
+    PoolGeometryMismatch,
+    /// A classification loss recorded a label count that differs from the
+    /// logits batch.
+    LabelCountMismatch,
+    /// A saved routing index (max-pool argmax) points outside its source.
+    ArgIndexOutOfRange,
+    /// The node cannot reach any root (its value is computed and thrown
+    /// away).
+    DeadNode,
+    /// A leaf that nothing consumes.
+    UnusedParameter,
+    /// The subgraph rooted here depends on no variable input and could be
+    /// computed once instead of every step.
+    ConstantFoldable,
+}
+
+impl DiagCode {
+    /// Stable kebab-case name used in rendered diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagCode::ParentOutOfRange => "parent-out-of-range",
+            DiagCode::ForwardReference => "forward-reference",
+            DiagCode::IndexMismatch => "index-mismatch",
+            DiagCode::RankMismatch => "rank-mismatch",
+            DiagCode::MatmulDimMismatch => "matmul-dim-mismatch",
+            DiagCode::BroadcastIncompatible => "broadcast-incompatible",
+            DiagCode::ReshapeCountMismatch => "reshape-count-mismatch",
+            DiagCode::ShapeMismatch => "shape-mismatch",
+            DiagCode::ConvGeometryMismatch => "conv-geometry-mismatch",
+            DiagCode::PoolGeometryMismatch => "pool-geometry-mismatch",
+            DiagCode::LabelCountMismatch => "label-count-mismatch",
+            DiagCode::ArgIndexOutOfRange => "arg-index-out-of-range",
+            DiagCode::DeadNode => "dead-node",
+            DiagCode::UnusedParameter => "unused-parameter",
+            DiagCode::ConstantFoldable => "constant-foldable",
+        }
+    }
+
+    /// The severity class this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::DeadNode | DiagCode::UnusedParameter | DiagCode::ConstantFoldable => {
+                Severity::Warning
+            }
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One verifier finding, pinned to a tape node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Tape index of the offending node.
+    pub node: usize,
+    /// Op name of the offending node.
+    pub op: String,
+    /// Defect category.
+    pub code: DiagCode,
+    /// Human-readable explanation with the offending values.
+    pub message: String,
+    /// Chain of node indices from the offending node toward a leaf
+    /// (first-parent walk, bounded length) — the op pipeline that produced
+    /// the bad operand.
+    pub provenance: Vec<usize>,
+}
+
+impl Diagnostic {
+    /// The severity implied by the diagnostic's code.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{kind}[{}] node #{} ({}): {}",
+            self.code.name(),
+            self.node,
+            self.op,
+            self.message
+        )?;
+        if self.provenance.len() > 1 {
+            let chain: Vec<String> = self.provenance.iter().map(|i| format!("#{i}")).collect();
+            write!(f, " [provenance: {}]", chain.join(" <- "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything the analyzer found on one tape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// All findings, in tape order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of nodes inspected.
+    pub nodes: usize,
+}
+
+impl Report {
+    /// Findings that make the tape unexecutable or numerically wrong.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// Efficiency/suspicion findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+    }
+
+    /// True if at least one error-severity finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// True if nothing at all was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True if a finding with the given code exists on the given node.
+    pub fn flags(&self, node: usize, code: DiagCode) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.node == node && d.code == code)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "tape report: {} nodes, {} errors, {} warnings",
+            self.nodes,
+            self.errors().count(),
+            self.warnings().count()
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}

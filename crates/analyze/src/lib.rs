@@ -1,0 +1,184 @@
+//! # hero-analyze
+//!
+//! Static analysis for [`hero_autodiff`] tapes.
+//!
+//! HERO's training step is a long op pipeline — tape-recorded forward ops,
+//! finite-difference Hessian-vector products, perturbed SAM steps — where a
+//! silent shape mismatch corrupts curvature estimates without failing any
+//! test. This crate walks the tape's lowered trace IR
+//! ([`hero_autodiff::NodeTrace`]) *before* relying on a model and checks,
+//! statically:
+//!
+//! * **Structure** — parent indices in range, tape topologically ordered.
+//! * **Shapes** — matmul inner-dim agreement, broadcast compatibility,
+//!   reshape element-count conservation, conv/pool geometry, batch-norm
+//!   parameter shapes, loss label counts.
+//! * **Dataflow** — dead nodes, unused parameters, constant-foldable
+//!   subgraphs.
+//!
+//! Findings come back as structured [`Diagnostic`]s (node index, op name,
+//! provenance chain) in a [`Report`] instead of a panic mid-step.
+//!
+//! # Examples
+//!
+//! ```
+//! use hero_analyze::{verify_graph, AnalyzeOptions};
+//! use hero_autodiff::Graph;
+//! use hero_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::arange(4));
+//! let y = g.square(x);
+//! let loss = g.sum(y);
+//! let report = verify_graph(&g, &[loss]);
+//! assert!(report.is_clean(), "{report}");
+//! ```
+
+#![warn(missing_docs)]
+
+mod diag;
+mod liveness;
+mod verify;
+
+pub use diag::{DiagCode, Diagnostic, Report, Severity};
+
+use hero_autodiff::{Graph, NodeTrace, Var};
+
+/// What the analyzer should treat as outputs and as per-step-varying
+/// inputs.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Output nodes (e.g. the loss). Empty means "every sink is an
+    /// output", which disables dead-node detection for sinks.
+    pub roots: Vec<usize>,
+    /// Input nodes whose values change every step (batch data, trainable
+    /// parameters). `None` treats every input as variable, disabling
+    /// constant-folding detection; `Some(vec![])` treats every input as
+    /// constant.
+    pub variable_inputs: Option<Vec<usize>>,
+}
+
+impl AnalyzeOptions {
+    /// Options with the given output nodes and all inputs variable.
+    pub fn with_roots(roots: Vec<usize>) -> Self {
+        AnalyzeOptions {
+            roots,
+            variable_inputs: None,
+        }
+    }
+}
+
+/// Runs every pass over a lowered tape and collects the findings.
+pub fn analyze(tape: &[NodeTrace], opts: &AnalyzeOptions) -> Report {
+    let mut diagnostics = verify::structural_and_shape_pass(tape);
+    // The dataflow passes assume backward edges; they skip malformed ones
+    // themselves, so they can run even when structure errors exist.
+    diagnostics.extend(liveness::liveness_pass(tape, opts));
+    diagnostics.sort_by_key(|d| d.node);
+    Report {
+        diagnostics,
+        nodes: tape.len(),
+    }
+}
+
+/// Verifies a live [`Graph`] with the given output variables as roots.
+pub fn verify_graph(g: &Graph, roots: &[Var]) -> Report {
+    let opts = AnalyzeOptions::with_roots(roots.iter().map(Var::index).collect());
+    analyze(&g.trace(), &opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hero_tensor::{ConvGeometry, Tensor};
+
+    #[test]
+    fn clean_mlp_tape_produces_no_findings() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_fn([4, 8], |i| 0.1 * (i[0] + i[1]) as f32));
+        let w = g.input(Tensor::from_fn([8, 3], |i| 0.01 * (i[0] * 3 + i[1]) as f32));
+        let b = g.input(Tensor::from_fn([3], |_| 0.1));
+        let h = g.matmul(x, w).unwrap();
+        let z = g.add(h, b).unwrap();
+        let a = g.relu(z);
+        let loss = g.cross_entropy(a, &[0, 1, 2, 0]).unwrap();
+        let report = verify_graph(&g, &[loss]);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.nodes, 7);
+    }
+
+    #[test]
+    fn clean_conv_tape_produces_no_findings() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_fn([2, 3, 8, 8], |i| {
+            0.01 * (i[2] + i[3]) as f32
+        }));
+        let w = g.input(Tensor::from_fn([4, 3 * 3 * 3], |_| 0.02));
+        let geom = ConvGeometry::new(8, 8, 3, 1, 1).unwrap();
+        let y = g.conv2d(x, w, geom).unwrap();
+        let r = g.relu6(y);
+        let p = g.max_pool2d(r, 2).unwrap();
+        let q = g.avg_pool2d(p, 2).unwrap();
+        let gap = g.global_avg_pool2d(q).unwrap();
+        let loss = g.cross_entropy(gap, &[1, 3]).unwrap();
+        let report = verify_graph(&g, &[loss]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn dead_branch_and_unused_input_are_flagged() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(4));
+        let unused = g.input(Tensor::arange(2));
+        let y = g.square(x);
+        let dead = g.scale(y, 2.0); // computed, never used by the loss
+        let loss = g.sum(y);
+        let report = verify_graph(&g, &[loss]);
+        assert!(!report.has_errors(), "{report}");
+        assert!(report.flags(unused.index(), DiagCode::UnusedParameter));
+        assert!(report.flags(dead.index(), DiagCode::DeadNode));
+    }
+
+    #[test]
+    fn constant_subgraph_is_flagged_at_its_fold_boundary() {
+        let mut g = Graph::new();
+        let data = g.input(Tensor::arange(4));
+        let frozen = g.input(Tensor::from_fn([4], |_| 2.0));
+        let fold_a = g.square(frozen); // constant
+        let fold_b = g.scale(fold_a, 0.5); // constant — the boundary
+        let mixed = g.mul(data, fold_b).unwrap();
+        let loss = g.sum(mixed);
+        let opts = AnalyzeOptions {
+            roots: vec![loss.index()],
+            variable_inputs: Some(vec![data.index()]),
+        };
+        let report = analyze(&g.trace(), &opts);
+        assert!(!report.has_errors(), "{report}");
+        assert!(report.flags(fold_b.index(), DiagCode::ConstantFoldable));
+        // Interior constant nodes are not re-reported.
+        assert!(!report.flags(fold_a.index(), DiagCode::ConstantFoldable));
+    }
+
+    #[test]
+    fn all_variable_inputs_disable_constant_folding() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(4));
+        let y = g.square(x);
+        let loss = g.sum(y);
+        let report = verify_graph(&g, &[loss]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn report_renders_findings_with_provenance() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(4));
+        let y = g.square(x);
+        let dead = g.scale(y, 3.0);
+        let loss = g.sum(y);
+        let report = verify_graph(&g, &[loss]);
+        let text = report.to_string();
+        assert!(text.contains("dead-node"), "{text}");
+        assert!(text.contains(&format!("#{}", dead.index())), "{text}");
+    }
+}

@@ -1,0 +1,510 @@
+//! Structural and shape verification of a lowered tape.
+//!
+//! Every check here is *static*: it re-derives what each op's output shape
+//! must be from its operands' recorded shapes and compares against what the
+//! tape actually recorded. A disagreement means the tape was built by code
+//! whose shape arithmetic is wrong — exactly the class of defect that
+//! corrupts λmax estimates without failing a loss-goes-down test.
+
+use crate::diag::{DiagCode, Diagnostic};
+use hero_autodiff::{NodeTrace, TraceDetail};
+
+/// Longest provenance chain attached to a diagnostic.
+const MAX_PROVENANCE: usize = 8;
+
+/// Walks first parents from `node` toward a leaf, stopping at malformed
+/// links, to give a diagnostic its op-pipeline context.
+pub(crate) fn provenance(tape: &[NodeTrace], node: usize) -> Vec<usize> {
+    let mut chain = vec![node];
+    let mut cur = node;
+    while chain.len() < MAX_PROVENANCE {
+        let Some(&parent) = tape.get(cur).and_then(|n| n.parents.first()) else {
+            break;
+        };
+        if parent >= cur {
+            break; // malformed link; structural pass reports it
+        }
+        chain.push(parent);
+        cur = parent;
+    }
+    chain
+}
+
+fn diag(tape: &[NodeTrace], node: usize, code: DiagCode, message: String) -> Diagnostic {
+    Diagnostic {
+        node,
+        op: tape[node].op.to_string(),
+        code,
+        message,
+        provenance: provenance(tape, node),
+    }
+}
+
+/// NumPy-style broadcast of two shapes (trailing axes aligned, size-1 axes
+/// stretch); `None` when incompatible.
+fn broadcast(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0; rank];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let ad = if i < rank - a.len() {
+            1
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let bd = if i < rank - b.len() {
+            1
+        } else {
+            b[i - (rank - b.len())]
+        };
+        *slot = if ad == bd || bd == 1 {
+            ad
+        } else if ad == 1 {
+            bd
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Runs the structural checks (parent validity, topological order, index
+/// agreement) and, for structurally sound nodes, the per-op shape checks.
+pub(crate) fn structural_and_shape_pass(tape: &[NodeTrace]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, node) in tape.iter().enumerate() {
+        if node.index != i {
+            out.push(diag(
+                tape,
+                i,
+                DiagCode::IndexMismatch,
+                format!(
+                    "recorded index {} but sits at tape position {i}",
+                    node.index
+                ),
+            ));
+        }
+        let mut structurally_sound = true;
+        for (slot, &p) in node.parents.iter().enumerate() {
+            if p >= tape.len() {
+                structurally_sound = false;
+                out.push(diag(
+                    tape,
+                    i,
+                    DiagCode::ParentOutOfRange,
+                    format!(
+                        "operand {slot} refers to node #{p}, but the tape has {} nodes",
+                        tape.len()
+                    ),
+                ));
+            } else if p >= i {
+                structurally_sound = false;
+                out.push(diag(
+                    tape,
+                    i,
+                    DiagCode::ForwardReference,
+                    format!("operand {slot} refers to node #{p}, which does not precede #{i} in tape order"),
+                ));
+            }
+        }
+        if structurally_sound {
+            check_shapes(tape, i, &mut out);
+        }
+    }
+    out
+}
+
+/// Convenience accessors over a structurally sound node.
+struct Operands<'a> {
+    tape: &'a [NodeTrace],
+    node: &'a NodeTrace,
+}
+
+impl Operands<'_> {
+    fn parent_shape(&self, slot: usize) -> &[usize] {
+        &self.tape[self.node.parents[slot]].shape
+    }
+}
+
+fn check_shapes(tape: &[NodeTrace], i: usize, out: &mut Vec<Diagnostic>) {
+    let node = &tape[i];
+    let ops = Operands { tape, node };
+    let recorded = &node.shape;
+    // The shape the op must produce, derived from the operands; `None`
+    // when an operand-level error was already reported.
+    let expected: Option<Vec<usize>> = match node.op {
+        "input" => None,
+        "add" | "sub" | "mul" => {
+            let (a, b) = (ops.parent_shape(0), ops.parent_shape(1));
+            match broadcast(a, b) {
+                Some(s) => Some(s),
+                None => {
+                    out.push(diag(
+                        tape,
+                        i,
+                        DiagCode::BroadcastIncompatible,
+                        format!("operand shapes {a:?} and {b:?} cannot broadcast together"),
+                    ));
+                    None
+                }
+            }
+        }
+        "scale" | "add_scalar" | "relu" | "relu6" | "square" | "sigmoid" | "tanh"
+        | "leaky_relu" | "ln" | "dropout" => Some(ops.parent_shape(0).to_vec()),
+        "matmul" => check_matmul(tape, i, &ops, out),
+        "reshape" => check_reshape(tape, i, &ops, out),
+        "sum" | "mean" | "mse_loss" => Some(vec![]),
+        "cross_entropy" | "cross_entropy_smoothed" => check_loss(tape, i, &ops, out),
+        "conv2d" => check_conv2d(tape, i, &ops, out),
+        "depthwise_conv2d" => check_depthwise(tape, i, &ops, out),
+        "batch_norm" => check_batch_norm(tape, i, &ops, out),
+        "max_pool2d" => check_max_pool(tape, i, &ops, out),
+        "avg_pool2d" => check_avg_pool(tape, i, &ops, out),
+        "global_avg_pool2d" => check_global_pool(tape, i, &ops, out),
+        // Unknown op: nothing to derive; skip rather than guess.
+        _ => None,
+    };
+    if let Some(expected) = expected {
+        // Scalar-producing ops record rank-0 values; accept any recorded
+        // one-element shape so a `[1]` scalar is not a false positive.
+        let scalar_ok = expected.is_empty() && numel(recorded) == 1;
+        if *recorded != expected && !scalar_ok {
+            out.push(diag(
+                tape,
+                i,
+                DiagCode::ShapeMismatch,
+                format!("recorded output shape {recorded:?}, but operands imply {expected:?}"),
+            ));
+        }
+    }
+}
+
+fn check_rank(
+    tape: &[NodeTrace],
+    i: usize,
+    shape: &[usize],
+    want: usize,
+    what: &str,
+    out: &mut Vec<Diagnostic>,
+) -> bool {
+    if shape.len() != want {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::RankMismatch,
+            format!("{what} must have rank {want}, got shape {shape:?}"),
+        ));
+        return false;
+    }
+    true
+}
+
+fn check_matmul(
+    tape: &[NodeTrace],
+    i: usize,
+    ops: &Operands,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Vec<usize>> {
+    let (a, b) = (ops.parent_shape(0), ops.parent_shape(1));
+    let rank_ok =
+        check_rank(tape, i, a, 2, "matmul lhs", out) & check_rank(tape, i, b, 2, "matmul rhs", out);
+    if !rank_ok {
+        return None;
+    }
+    if a[1] != b[0] {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::MatmulDimMismatch,
+            format!(
+                "inner dimensions disagree: lhs {a:?} contracts over {}, rhs {b:?} over {}",
+                a[1], b[0]
+            ),
+        ));
+        return None;
+    }
+    Some(vec![a[0], b[1]])
+}
+
+fn check_reshape(
+    tape: &[NodeTrace],
+    i: usize,
+    ops: &Operands,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Vec<usize>> {
+    let parent = ops.parent_shape(0);
+    let TraceDetail::Reshape { from } = &ops.node.detail else {
+        return None;
+    };
+    if from != parent {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::ShapeMismatch,
+            format!("reshape recorded source shape {from:?}, but its operand has shape {parent:?}"),
+        ));
+    }
+    if numel(&ops.node.shape) != numel(parent) {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::ReshapeCountMismatch,
+            format!(
+                "reshape changes the element count: {parent:?} has {} elements, output {:?} has {}",
+                numel(parent),
+                ops.node.shape,
+                numel(&ops.node.shape)
+            ),
+        ));
+    }
+    None // both checks above are authoritative; no further comparison
+}
+
+fn check_loss(
+    tape: &[NodeTrace],
+    i: usize,
+    ops: &Operands,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Vec<usize>> {
+    let logits = ops.parent_shape(0);
+    if !check_rank(tape, i, logits, 2, "cross-entropy logits", out) {
+        return None;
+    }
+    if let TraceDetail::Loss { labels } = ops.node.detail {
+        if labels != logits[0] {
+            out.push(diag(
+                tape,
+                i,
+                DiagCode::LabelCountMismatch,
+                format!(
+                    "{labels} labels recorded for a logits batch of {}",
+                    logits[0]
+                ),
+            ));
+        }
+    }
+    Some(vec![])
+}
+
+fn check_conv2d(
+    tape: &[NodeTrace],
+    i: usize,
+    ops: &Operands,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Vec<usize>> {
+    let (x, w) = (ops.parent_shape(0), ops.parent_shape(1));
+    let rank_ok = check_rank(tape, i, x, 4, "conv2d input", out)
+        & check_rank(tape, i, w, 2, "conv2d weight", out);
+    if !rank_ok {
+        return None;
+    }
+    let TraceDetail::Conv { geom } = ops.node.detail else {
+        return None;
+    };
+    let (n, c, h, wd) = (x[0], x[1], x[2], x[3]);
+    if geom.in_h != h || geom.in_w != wd {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::ConvGeometryMismatch,
+            format!(
+                "geometry expects a {}x{} input, but the operand is {h}x{wd}",
+                geom.in_h, geom.in_w
+            ),
+        ));
+        return None;
+    }
+    let patch = c * geom.kernel * geom.kernel;
+    if w[1] != patch {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::ConvGeometryMismatch,
+            format!(
+                "weight {w:?} must have {patch} columns (in_c {c} x {k} x {k})",
+                k = geom.kernel
+            ),
+        ));
+        return None;
+    }
+    let (oh, ow) = geom.out_hw();
+    Some(vec![n, w[0], oh, ow])
+}
+
+fn check_depthwise(
+    tape: &[NodeTrace],
+    i: usize,
+    ops: &Operands,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Vec<usize>> {
+    let (x, w) = (ops.parent_shape(0), ops.parent_shape(1));
+    if !check_rank(tape, i, x, 4, "depthwise input", out) {
+        return None;
+    }
+    let TraceDetail::Conv { geom } = ops.node.detail else {
+        return None;
+    };
+    let (n, c, h, wd) = (x[0], x[1], x[2], x[3]);
+    if geom.in_h != h || geom.in_w != wd {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::ConvGeometryMismatch,
+            format!(
+                "geometry expects a {}x{} input, but the operand is {h}x{wd}",
+                geom.in_h, geom.in_w
+            ),
+        ));
+        return None;
+    }
+    if w != [c, geom.kernel, geom.kernel] {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::ConvGeometryMismatch,
+            format!(
+                "depthwise weight must be [{c}, {k}, {k}], got {w:?}",
+                k = geom.kernel
+            ),
+        ));
+        return None;
+    }
+    let (oh, ow) = geom.out_hw();
+    Some(vec![n, c, oh, ow])
+}
+
+fn check_batch_norm(
+    tape: &[NodeTrace],
+    i: usize,
+    ops: &Operands,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Vec<usize>> {
+    let x = ops.parent_shape(0);
+    if !check_rank(tape, i, x, 4, "batch-norm input", out) {
+        return None;
+    }
+    let c = x[1];
+    for (slot, name) in [(1usize, "gamma"), (2, "beta")] {
+        let s = ops.parent_shape(slot);
+        if s != [c] {
+            out.push(diag(
+                tape,
+                i,
+                DiagCode::ShapeMismatch,
+                format!("batch-norm {name} must be [{c}], got {s:?}"),
+            ));
+        }
+    }
+    Some(x.to_vec())
+}
+
+fn check_max_pool(
+    tape: &[NodeTrace],
+    i: usize,
+    ops: &Operands,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Vec<usize>> {
+    let x = ops.parent_shape(0);
+    if !check_rank(tape, i, x, 4, "max-pool input", out) {
+        return None;
+    }
+    let rec = &ops.node.shape;
+    if !check_rank(tape, i, rec, 4, "max-pool output", out) {
+        return None;
+    }
+    // Window side is not stored on the tape; recover it from the recorded
+    // output and cross-check divisibility and the argmax routing.
+    if rec[0] != x[0] || rec[1] != x[1] || rec[2] == 0 || rec[3] == 0 {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::PoolGeometryMismatch,
+            format!("max-pool output {rec:?} incompatible with input {x:?}"),
+        ));
+        return None;
+    }
+    let (kh, kw) = (x[2] / rec[2], x[3] / rec[3]);
+    if kh == 0 || kh != kw || rec[2] * kh != x[2] || rec[3] * kw != x[3] {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::PoolGeometryMismatch,
+            format!(
+                "max-pool output {rec:?} does not evenly tile input {x:?} with a square window"
+            ),
+        ));
+        return None;
+    }
+    if let TraceDetail::MaxPool {
+        outputs,
+        max_source,
+    } = ops.node.detail
+    {
+        if outputs != numel(rec) {
+            out.push(diag(
+                tape,
+                i,
+                DiagCode::PoolGeometryMismatch,
+                format!(
+                    "max-pool saved {outputs} argmax entries for {} output elements",
+                    numel(rec)
+                ),
+            ));
+        }
+        if let Some(src) = max_source {
+            if src >= numel(x) {
+                out.push(diag(
+                    tape,
+                    i,
+                    DiagCode::ArgIndexOutOfRange,
+                    format!(
+                        "max-pool argmax routes from flat index {src}, but the input has only {} elements",
+                        numel(x)
+                    ),
+                ));
+            }
+        }
+    }
+    None // geometry checks above already compared the recorded shape
+}
+
+fn check_avg_pool(
+    tape: &[NodeTrace],
+    i: usize,
+    ops: &Operands,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Vec<usize>> {
+    let x = ops.parent_shape(0);
+    if !check_rank(tape, i, x, 4, "avg-pool input", out) {
+        return None;
+    }
+    let TraceDetail::AvgPool { k } = ops.node.detail else {
+        return None;
+    };
+    if k == 0 || !x[2].is_multiple_of(k) || !x[3].is_multiple_of(k) {
+        out.push(diag(
+            tape,
+            i,
+            DiagCode::PoolGeometryMismatch,
+            format!("window side {k} does not evenly tile input {x:?}"),
+        ));
+        return None;
+    }
+    Some(vec![x[0], x[1], x[2] / k, x[3] / k])
+}
+
+fn check_global_pool(
+    tape: &[NodeTrace],
+    i: usize,
+    ops: &Operands,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Vec<usize>> {
+    let x = ops.parent_shape(0);
+    if !check_rank(tape, i, x, 4, "global-avg-pool input", out) {
+        return None;
+    }
+    Some(vec![x[0], x[1]])
+}

@@ -1,0 +1,285 @@
+//! Seeded-defect corpus for the tape verifier.
+//!
+//! Each case hand-builds a malformed trace — the kind of tape a buggy op
+//! builder would record — and asserts the verifier pins the *right*
+//! diagnostic on the *right* node. The `Graph` API cannot produce these
+//! tapes (it validates eagerly), which is exactly why the verifier works on
+//! the plain-data trace IR.
+
+use hero_analyze::{analyze, AnalyzeOptions, DiagCode, Report};
+use hero_autodiff::{NodeTrace, TraceDetail};
+use hero_tensor::ConvGeometry;
+
+fn node(
+    index: usize,
+    op: &'static str,
+    parents: &[usize],
+    shape: &[usize],
+    detail: TraceDetail,
+) -> NodeTrace {
+    NodeTrace {
+        index,
+        op,
+        parents: parents.to_vec(),
+        shape: shape.to_vec(),
+        detail,
+    }
+}
+
+fn input(index: usize, shape: &[usize]) -> NodeTrace {
+    node(index, "input", &[], shape, TraceDetail::None)
+}
+
+fn run(tape: &[NodeTrace]) -> Report {
+    analyze(tape, &AnalyzeOptions::default())
+}
+
+#[test]
+fn matmul_inner_dim_mismatch() {
+    let tape = vec![
+        input(0, &[2, 3]),
+        input(1, &[4, 5]),
+        node(2, "matmul", &[0, 1], &[2, 5], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(2, DiagCode::MatmulDimMismatch), "{report}");
+}
+
+#[test]
+fn matmul_operand_rank_mismatch() {
+    let tape = vec![
+        input(0, &[2, 3, 4]),
+        input(1, &[3, 5]),
+        node(2, "matmul", &[0, 1], &[2, 5], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(2, DiagCode::RankMismatch), "{report}");
+}
+
+#[test]
+fn matmul_lying_output_shape() {
+    // Inner dims agree, but the recorded output shape is transposed.
+    let tape = vec![
+        input(0, &[2, 3]),
+        input(1, &[3, 4]),
+        node(2, "matmul", &[0, 1], &[4, 2], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(2, DiagCode::ShapeMismatch), "{report}");
+}
+
+#[test]
+fn reshape_element_count_mismatch() {
+    let tape = vec![
+        input(0, &[6]),
+        node(
+            1,
+            "reshape",
+            &[0],
+            &[2, 2],
+            TraceDetail::Reshape { from: vec![6] },
+        ),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::ReshapeCountMismatch), "{report}");
+}
+
+#[test]
+fn reshape_with_stale_source_shape() {
+    // The recorded "from" shape disagrees with the actual operand.
+    let tape = vec![
+        input(0, &[2, 3]),
+        node(
+            1,
+            "reshape",
+            &[0],
+            &[4],
+            TraceDetail::Reshape { from: vec![4] },
+        ),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::ShapeMismatch), "{report}");
+}
+
+#[test]
+fn broadcast_incompatible_operands() {
+    let tape = vec![
+        input(0, &[2, 3]),
+        input(1, &[4]),
+        node(2, "add", &[0, 1], &[2, 3], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(2, DiagCode::BroadcastIncompatible), "{report}");
+}
+
+#[test]
+fn dangling_parent_reference() {
+    let tape = vec![
+        input(0, &[3]),
+        node(1, "square", &[7], &[3], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::ParentOutOfRange), "{report}");
+}
+
+#[test]
+fn forward_reference_breaks_topological_order() {
+    let tape = vec![
+        input(0, &[3]),
+        node(1, "add", &[0, 2], &[3], TraceDetail::None),
+        node(2, "square", &[0], &[3], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::ForwardReference), "{report}");
+}
+
+#[test]
+fn node_index_disagrees_with_position() {
+    let tape = vec![
+        input(0, &[3]),
+        node(5, "square", &[0], &[3], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::IndexMismatch), "{report}");
+}
+
+#[test]
+fn conv_geometry_disagrees_with_input() {
+    let geom = ConvGeometry::new(8, 8, 3, 1, 1).unwrap();
+    let tape = vec![
+        input(0, &[1, 3, 6, 6]), // 6x6, geometry says 8x8
+        input(1, &[4, 27]),
+        node(
+            2,
+            "conv2d",
+            &[0, 1],
+            &[1, 4, 8, 8],
+            TraceDetail::Conv { geom },
+        ),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(2, DiagCode::ConvGeometryMismatch), "{report}");
+}
+
+#[test]
+fn conv_weight_patch_width_mismatch() {
+    let geom = ConvGeometry::new(8, 8, 3, 1, 1).unwrap();
+    let tape = vec![
+        input(0, &[1, 3, 8, 8]),
+        input(1, &[4, 25]), // must be 3*3*3 = 27 columns
+        node(
+            2,
+            "conv2d",
+            &[0, 1],
+            &[1, 4, 8, 8],
+            TraceDetail::Conv { geom },
+        ),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(2, DiagCode::ConvGeometryMismatch), "{report}");
+}
+
+#[test]
+fn avg_pool_window_does_not_tile_input() {
+    let tape = vec![
+        input(0, &[1, 2, 8, 8]),
+        node(
+            1,
+            "avg_pool2d",
+            &[0],
+            &[1, 2, 2, 2],
+            TraceDetail::AvgPool { k: 3 },
+        ),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::PoolGeometryMismatch), "{report}");
+}
+
+#[test]
+fn max_pool_argmax_routes_outside_input() {
+    let tape = vec![
+        input(0, &[1, 1, 4, 4]),
+        node(
+            1,
+            "max_pool2d",
+            &[0],
+            &[1, 1, 2, 2],
+            TraceDetail::MaxPool {
+                outputs: 4,
+                max_source: Some(99), // input has 16 elements
+            },
+        ),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::ArgIndexOutOfRange), "{report}");
+}
+
+#[test]
+fn loss_label_count_mismatch() {
+    let tape = vec![
+        input(0, &[4, 10]),
+        node(
+            1,
+            "cross_entropy",
+            &[0],
+            &[],
+            TraceDetail::Loss { labels: 3 },
+        ),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::LabelCountMismatch), "{report}");
+}
+
+#[test]
+fn dead_subgraph_behind_explicit_root() {
+    // Nodes 3 and 4 form a branch the loss never consumes.
+    let tape = vec![
+        input(0, &[4]),
+        node(1, "square", &[0], &[4], TraceDetail::None),
+        node(2, "sum", &[1], &[], TraceDetail::None),
+        node(3, "scale", &[1], &[4], TraceDetail::None),
+        node(4, "add", &[3, 0], &[4], TraceDetail::None),
+    ];
+    let report = analyze(&tape, &AnalyzeOptions::with_roots(vec![2]));
+    assert!(!report.has_errors(), "{report}");
+    assert!(report.flags(3, DiagCode::DeadNode), "{report}");
+    assert!(report.flags(4, DiagCode::DeadNode), "{report}");
+}
+
+#[test]
+fn elementwise_op_shape_drift() {
+    // A unary op whose recorded output silently changed shape.
+    let tape = vec![
+        input(0, &[2, 3]),
+        node(1, "relu", &[0], &[3, 2], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::ShapeMismatch), "{report}");
+}
+
+#[test]
+fn diagnostics_carry_provenance_chains() {
+    let tape = vec![
+        input(0, &[2, 3]),
+        node(1, "relu", &[0], &[2, 3], TraceDetail::None),
+        node(2, "square", &[1], &[2, 3], TraceDetail::None),
+        input(3, &[4, 5]),
+        node(4, "matmul", &[2, 3], &[2, 5], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == DiagCode::MatmulDimMismatch)
+        .expect("matmul defect not flagged");
+    // Chain walks first parents: matmul <- square <- relu <- input.
+    assert_eq!(d.provenance, vec![4, 2, 1, 0]);
+    assert_eq!(d.op, "matmul");
+}
+
+#[test]
+fn empty_tape_is_clean() {
+    let report = run(&[]);
+    assert!(report.is_clean());
+    assert_eq!(report.nodes, 0);
+}

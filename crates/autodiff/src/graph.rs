@@ -255,8 +255,46 @@ impl Graph {
     }
 
     pub(crate) fn push(&mut self, value: Tensor, op: Op) -> Var {
+        #[cfg(feature = "sanitize")]
+        self.taint_check(&value, &op);
         self.nodes.push(Node { value, op });
         Var(self.nodes.len() - 1)
+    }
+
+    /// NaN/Inf taint checker (sanitize builds only): every recorded forward
+    /// value must be finite. Because the check runs at push time, the first
+    /// node to fail *is* the origin of the taint — its parents were all
+    /// validated when they were pushed — so the panic message pins the
+    /// defect to one op and its provenance chain.
+    #[cfg(feature = "sanitize")]
+    fn taint_check(&self, value: &Tensor, op: &Op) {
+        if value.data().iter().all(|v| v.is_finite()) {
+            return;
+        }
+        let bad = value
+            .data()
+            .iter()
+            .position(|v| !v.is_finite())
+            .unwrap_or(0);
+        let mut chain = Vec::new();
+        let mut next = op.parents().first().copied();
+        while let Some(i) = next {
+            let node = &self.nodes[i];
+            chain.push(format!("#{i} {} {:?}", node.op.name(), node.value.dims()));
+            next = node.op.parents().first().copied();
+            if chain.len() >= 8 {
+                chain.push("…".to_string());
+                break;
+            }
+        }
+        panic!(
+            "hero-autodiff sanitize: non-finite value {} at flat index {bad} produced by \
+             op `{}` (would be tape node #{}); provenance: [{}]",
+            value.data()[bad],
+            op.name(),
+            self.nodes.len(),
+            chain.join(" <- ")
+        );
     }
 
     /// Broadcast element-wise sum.
@@ -640,6 +678,15 @@ mod tests {
                 grads.get(xv).unwrap().clone(),
             )
         });
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn taint_checker_pins_nan_to_originating_op() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![-1.0, 2.0], [2]).unwrap());
+        let _ = g.ln(x); // ln(-1) = NaN — flagged at push time
     }
 
     #[test]

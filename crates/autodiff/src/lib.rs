@@ -36,6 +36,8 @@ pub mod gradcheck;
 mod graph;
 mod ops_ext;
 mod ops_nn;
+pub mod trace;
 
 pub use graph::{Gradients, Graph, Var};
 pub use ops_nn::BatchStats;
+pub use trace::{NodeTrace, TraceDetail};

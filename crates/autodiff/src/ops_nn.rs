@@ -142,15 +142,15 @@ impl Graph {
         let m = (n * h * w) as f32;
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
-        for ch in 0..c {
+        for (ch, mean_ch) in mean.iter_mut().enumerate() {
             let mut acc = 0.0;
             for in_ in 0..n {
                 let base = (in_ * c + ch) * h * w;
                 acc += xv.data()[base..base + h * w].iter().sum::<f32>();
             }
-            mean[ch] = acc / m;
+            *mean_ch = acc / m;
         }
-        for ch in 0..c {
+        for (ch, var_ch) in var.iter_mut().enumerate() {
             let mu = mean[ch];
             let mut acc = 0.0;
             for in_ in 0..n {
@@ -160,7 +160,7 @@ impl Graph {
                     .map(|&v| (v - mu) * (v - mu))
                     .sum::<f32>();
             }
-            var[ch] = acc / m;
+            *var_ch = acc / m;
         }
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
         let mut xhat = Tensor::zeros([n, c, h, w]);

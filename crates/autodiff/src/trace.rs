@@ -1,0 +1,273 @@
+//! Read-only introspection of a recorded tape.
+//!
+//! [`Graph::trace`] lowers the private [`Op`](crate::graph) tape into a
+//! flat, owned intermediate representation — one [`NodeTrace`] per node —
+//! that static-analysis tooling (the `hero-analyze` verifier) can inspect
+//! without access to the graph internals or the saved backward context
+//! tensors. [`Graph::to_dot`] renders the same view as Graphviz for
+//! debugging.
+//!
+//! The IR is deliberately plain data: a tape verifier must be able to
+//! build *malformed* tapes for its own tests (dangling parents, lying
+//! shapes), which the `Graph` builder API makes impossible by
+//! construction.
+
+use crate::graph::{Graph, Op};
+use hero_tensor::ConvGeometry;
+
+/// One tape node, lowered to plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTrace {
+    /// Position in the tape (parents must refer to smaller indices).
+    pub index: usize,
+    /// Stable op name (e.g. `"matmul"`, `"conv2d"`).
+    pub op: &'static str,
+    /// Parent node indices, in operand order.
+    pub parents: Vec<usize>,
+    /// Dimensions of the recorded forward value.
+    pub shape: Vec<usize>,
+    /// Op-specific metadata needed for static shape checking.
+    pub detail: TraceDetail,
+}
+
+/// Extra per-op metadata carried by a [`NodeTrace`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceDetail {
+    /// The op needs no extra metadata.
+    None,
+    /// Reshape: the parent shape recorded at build time.
+    Reshape {
+        /// Dimensions of the parent value when the op was recorded.
+        from: Vec<usize>,
+    },
+    /// Convolution (regular or depthwise): the window geometry.
+    Conv {
+        /// Window geometry recorded at build time.
+        geom: ConvGeometry,
+    },
+    /// Average pooling: the window side.
+    AvgPool {
+        /// Window side length.
+        k: usize,
+    },
+    /// Max pooling: the saved argmax routing summarized.
+    MaxPool {
+        /// Number of saved argmax entries (one per output element).
+        outputs: usize,
+        /// Largest saved flat source index, if any entries exist.
+        max_source: Option<usize>,
+    },
+    /// Classification loss: how many labels were recorded.
+    Loss {
+        /// Length of the recorded label vector.
+        labels: usize,
+    },
+}
+
+impl Op {
+    /// Stable, lowercase op name used in diagnostics and DOT output.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Op::Input => "input",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::Matmul(..) => "matmul",
+            Op::Relu(..) => "relu",
+            Op::Relu6(..) => "relu6",
+            Op::Square(..) => "square",
+            Op::Reshape(..) => "reshape",
+            Op::Sum(..) => "sum",
+            Op::Mean(..) => "mean",
+            Op::Conv2d { .. } => "conv2d",
+            Op::DepthwiseConv2d { .. } => "depthwise_conv2d",
+            Op::BatchNorm { .. } => "batch_norm",
+            Op::MaxPool { .. } => "max_pool2d",
+            Op::AvgPool { .. } => "avg_pool2d",
+            Op::GlobalAvgPool(..) => "global_avg_pool2d",
+            Op::CrossEntropy { .. } => "cross_entropy",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Ln(..) => "ln",
+            Op::Dropout { .. } => "dropout",
+            Op::MseLoss { .. } => "mse_loss",
+            Op::CrossEntropySmoothed { .. } => "cross_entropy_smoothed",
+        }
+    }
+
+    /// Parent node indices in operand order.
+    pub(crate) fn parents(&self) -> Vec<usize> {
+        match self {
+            Op::Input => vec![],
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Matmul(a, b) => vec![*a, *b],
+            Op::Scale(a, _)
+            | Op::AddScalar(a)
+            | Op::Relu(a)
+            | Op::Relu6(a)
+            | Op::Square(a)
+            | Op::Reshape(a, _)
+            | Op::Sum(a)
+            | Op::Mean(a)
+            | Op::GlobalAvgPool(a)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::LeakyRelu(a, _)
+            | Op::Ln(a) => vec![*a],
+            Op::Conv2d { x, w, .. } | Op::DepthwiseConv2d { x, w, .. } => vec![*x, *w],
+            Op::BatchNorm { x, gamma, beta, .. } => vec![*x, *gamma, *beta],
+            Op::MaxPool { x, .. }
+            | Op::AvgPool { x, .. }
+            | Op::Dropout { x, .. }
+            | Op::MseLoss { x, .. } => vec![*x],
+            Op::CrossEntropy { logits, .. } | Op::CrossEntropySmoothed { logits, .. } => {
+                vec![*logits]
+            }
+        }
+    }
+
+    fn detail(&self) -> TraceDetail {
+        match self {
+            Op::Reshape(_, from) => TraceDetail::Reshape {
+                from: from.dims().to_vec(),
+            },
+            Op::Conv2d { geom, .. } | Op::DepthwiseConv2d { geom, .. } => {
+                TraceDetail::Conv { geom: *geom }
+            }
+            Op::AvgPool { k, .. } => TraceDetail::AvgPool { k: *k },
+            Op::MaxPool { arg, .. } => TraceDetail::MaxPool {
+                outputs: arg.len(),
+                max_source: arg.iter().copied().max(),
+            },
+            Op::CrossEntropy { labels, .. } | Op::CrossEntropySmoothed { labels, .. } => {
+                TraceDetail::Loss {
+                    labels: labels.len(),
+                }
+            }
+            _ => TraceDetail::None,
+        }
+    }
+}
+
+impl Graph {
+    /// Lowers the tape into the plain-data trace IR, one [`NodeTrace`] per
+    /// recorded node in tape order.
+    pub fn trace(&self) -> Vec<NodeTrace> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(index, node)| NodeTrace {
+                index,
+                op: node.op.name(),
+                parents: node.op.parents(),
+                shape: node.value.dims().to_vec(),
+                detail: node.op.detail(),
+            })
+            .collect()
+    }
+
+    /// Renders the tape as a Graphviz `digraph` (nodes labelled with index,
+    /// op name and value shape; edges point from parent to child).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hero_autodiff::Graph;
+    /// use hero_tensor::Tensor;
+    ///
+    /// let mut g = Graph::new();
+    /// let x = g.input(Tensor::arange(4));
+    /// let y = g.square(x);
+    /// let _loss = g.sum(y);
+    /// let dot = g.to_dot();
+    /// assert!(dot.starts_with("digraph tape {"));
+    /// assert!(dot.contains("square"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph tape {\n  rankdir=TB;\n  node [shape=box];\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let shape = node.value.dims();
+            let style = if matches!(node.op, Op::Input) {
+                ", style=filled, fillcolor=lightgray"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  n{i} [label=\"#{i} {}\\n{:?}\"{style}];",
+                node.op.name(),
+                shape
+            );
+            for p in node.op.parents() {
+                let _ = writeln!(out, "  n{p} -> n{i};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hero_tensor::Tensor;
+
+    #[test]
+    fn trace_reflects_tape_order_and_parents() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::arange(6));
+        let m = g.reshape(a, [2, 3]).unwrap();
+        let b = g.input(Tensor::from_fn([3, 2], |_| 0.5));
+        let c = g.matmul(m, b).unwrap();
+        let loss = g.sum(c);
+        let tape = g.trace();
+        assert_eq!(tape.len(), 5);
+        assert_eq!(tape[0].op, "input");
+        assert_eq!(tape[1].op, "reshape");
+        assert_eq!(tape[1].parents, vec![a.index()]);
+        assert_eq!(tape[1].detail, TraceDetail::Reshape { from: vec![6] });
+        assert_eq!(tape[3].op, "matmul");
+        assert_eq!(tape[3].parents, vec![m.index(), b.index()]);
+        assert_eq!(tape[3].shape, vec![2, 2]);
+        assert_eq!(tape[loss.index()].shape, vec![] as Vec<usize>);
+    }
+
+    #[test]
+    fn trace_captures_pool_and_loss_detail() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_fn([1, 1, 4, 4], |i| (i[2] * 4 + i[3]) as f32));
+        let p = g.max_pool2d(x, 2).unwrap();
+        let flat = g.reshape(p, [1, 4]).unwrap();
+        let loss = g.cross_entropy(flat, &[1]).unwrap();
+        let tape = g.trace();
+        match &tape[p.index()].detail {
+            TraceDetail::MaxPool {
+                outputs,
+                max_source,
+            } => {
+                assert_eq!(*outputs, 4);
+                assert_eq!(*max_source, Some(15));
+            }
+            other => panic!("unexpected detail {other:?}"),
+        }
+        assert_eq!(tape[loss.index()].detail, TraceDetail::Loss { labels: 1 });
+    }
+
+    #[test]
+    fn dot_output_lists_every_node_and_edge() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(3));
+        let y = g.square(x);
+        let s = g.sum(y);
+        let dot = g.to_dot();
+        assert!(dot.contains("n0 [label=\"#0 input"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.ends_with("}\n"));
+        let _ = s;
+    }
+}

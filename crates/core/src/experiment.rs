@@ -377,6 +377,14 @@ pub fn quant_sweep(
     test_set: &Dataset,
     bits: &[u8],
 ) -> Result<QuantCurve> {
+    // The sweep evaluates many quantized parameter sets on the same tape;
+    // statically verify that tape once up front so a malformed model fails
+    // with a report rather than skewing every point of the curve.
+    let probe = test_set.len().min(64);
+    if probe > 0 {
+        let images = test_set.images.narrow(0, probe)?;
+        crate::trainer::verify_network_tape(&mut trained.net, &images, &test_set.labels[..probe])?;
+    }
     let full_params = trained.net.params();
     let mut points = Vec::with_capacity(bits.len());
     for &b in bits {
@@ -539,8 +547,8 @@ pub fn run_fig3(scale: Scale, radius: f32, steps: usize) -> Result<Fig3> {
     let (train_set, _) = Preset::C10.load(scale.data);
     let mut hero = train_cell(Preset::C10, ModelKind::Resnet, MethodKind::Hero, scale, 0)?;
     let mut sgd = train_cell(Preset::C10, ModelKind::Resnet, MethodKind::Sgd, scale, 0)?;
-    let hero_scan = landscape_scan(&mut hero, &train_set, radius, steps, 0xF16_3)?;
-    let sgd_scan = landscape_scan(&mut sgd, &train_set, radius, steps, 0xF16_3)?;
+    let hero_scan = landscape_scan(&mut hero, &train_set, radius, steps, 0xF163)?;
+    let sgd_scan = landscape_scan(&mut sgd, &train_set, radius, steps, 0xF163)?;
     Ok(Fig3 {
         hero: hero_scan,
         sgd: sgd_scan,

@@ -42,4 +42,4 @@ pub mod trainer;
 
 pub use config::TrainConfig;
 pub use metrics::{EpochMetrics, TrainRecord};
-pub use trainer::{probe_hessian_norm, train};
+pub use trainer::{probe_hessian_norm, train, verify_network_tape};

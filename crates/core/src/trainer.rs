@@ -2,12 +2,14 @@
 
 use crate::config::TrainConfig;
 use crate::metrics::{EpochMetrics, TrainRecord};
+use hero_analyze::Report;
+use hero_autodiff::Graph;
 use hero_data::{Dataset, Loader};
 use hero_hessian::hessian_norm_probe;
 use hero_nn::{evaluate_accuracy, Network};
 use hero_optim::{train_step, BatchOracle, Optimizer};
 use hero_tensor::rng::StdRng;
-use hero_tensor::Result;
+use hero_tensor::{Result, Tensor, TensorError};
 
 /// Number of samples used for the ‖Hz‖ curvature probe (kept small — the
 /// probe costs two gradient evaluations).
@@ -34,6 +36,15 @@ pub fn train(
     let mut optimizer = Optimizer::new(config.method)
         .with_momentum(config.momentum)
         .with_weight_decay(config.weight_decay);
+    // Statically verify the tape this model records — once per build,
+    // before spending epochs on it. A malformed tape fails here with a
+    // structured report instead of corrupting λmax estimates silently.
+    let probe = train_set.len().min(config.batch_size);
+    if probe > 0 {
+        let images = train_set.images.narrow(0, probe)?;
+        verify_network_tape(net, &images, &train_set.labels[..probe])?;
+    }
+
     let mut aug_rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xA06));
     let mut epochs = Vec::with_capacity(config.epochs);
     let mut grad_evals = 0usize;
@@ -96,6 +107,38 @@ pub fn train(
         final_train_acc,
         grad_evals,
     })
+}
+
+/// Records one train-mode forward/loss tape for `net` on the given batch
+/// and runs the `hero-analyze` static verifier over it (structure, shapes,
+/// conv/pool geometry, liveness).
+///
+/// Batch-norm running statistics are frozen around the probe forward so
+/// verification never contaminates eval-time behaviour; the tape and its
+/// buffers are recycled into the scratch pool afterwards.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] carrying the rendered report if
+/// any error-severity diagnostic is found, or shape errors if the batch is
+/// incompatible with the network.
+pub fn verify_network_tape(net: &mut Network, images: &Tensor, labels: &[usize]) -> Result<Report> {
+    let prev = hero_nn::norm::set_bn_running_stat_updates(false);
+    let mut g = Graph::new();
+    let built = net
+        .forward(&mut g, images, true)
+        .and_then(|(logits, _vars)| g.cross_entropy(logits, labels));
+    hero_nn::norm::set_bn_running_stat_updates(prev);
+    let loss = built?;
+    let report = hero_analyze::verify_graph(&g, &[loss]);
+    g.reset();
+    if report.has_errors() {
+        return Err(TensorError::InvalidArgument(format!(
+            "static tape verification failed for `{}`:\n{report}",
+            net.name()
+        )));
+    }
+    Ok(report)
 }
 
 /// Evaluates the paper's Fig. 2(a) probe ‖Hz‖ on a fixed training
@@ -204,6 +247,24 @@ mod tests {
         let before = net.params();
         probe_hessian_norm(&mut net, &train_set, &config).unwrap();
         assert_eq!(net.params(), before);
+    }
+
+    #[test]
+    fn network_tapes_pass_static_verification() {
+        let (mut net, train_set, _) = setup();
+        let labels = &train_set.labels[..8];
+        let images = train_set.images.narrow(0, 8).unwrap();
+        let report = verify_network_tape(&mut net, &images, labels).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.nodes > 0);
+    }
+
+    #[test]
+    fn verification_rejects_mismatched_batches() {
+        let (mut net, train_set, _) = setup();
+        // 8 images but only 3 labels: the tape cannot be built cleanly.
+        let images = train_set.images.narrow(0, 8).unwrap();
+        assert!(verify_network_tape(&mut net, &images, &train_set.labels[..3]).is_err());
     }
 
     #[test]

@@ -170,7 +170,7 @@ mod tests {
             p[0].norm_l2()
         };
         let run_plain = || {
-            let mut p = vec![Tensor::from_vec(vec![1.0, 1.0], [2]).unwrap()];
+            let mut p = [Tensor::from_vec(vec![1.0, 1.0], [2]).unwrap()];
             for _ in 0..60 {
                 let g = grad(&p[0]);
                 p[0].axpy(-0.02, &g).unwrap();

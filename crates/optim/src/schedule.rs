@@ -60,7 +60,7 @@ impl LrSchedule {
                 min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
             }
             LrSchedule::Step { lr, gamma, period } => {
-                let k = if period == 0 { 0 } else { step / period };
+                let k = step.checked_div(period).unwrap_or(0);
                 lr * gamma.powi(k as i32)
             }
         }

@@ -88,7 +88,7 @@ pub fn allocate_bits(
             }
             let gain = layer.impact(bits[i]) - layer.impact(bits[i] + 1);
             let per_cost = gain / layer.numel.max(1) as f32;
-            if best.map_or(true, |(_, g)| per_cost > g) {
+            if best.is_none_or(|(_, g)| per_cost > g) {
                 best = Some((i, per_cost));
             }
         }

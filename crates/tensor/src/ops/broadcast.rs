@@ -152,13 +152,8 @@ impl BroadcastIndexer {
         let src_strides = src.strides();
         let pad = out.rank() - src.rank();
         let mut strides = vec![0; out.rank()];
-        for i in 0..src.rank() {
-            let out_axis = i + pad;
-            strides[out_axis] = if src.dims()[i] == 1 {
-                0
-            } else {
-                src_strides[i]
-            };
+        for (i, &stride) in src_strides.iter().enumerate() {
+            strides[i + pad] = if src.dims()[i] == 1 { 0 } else { stride };
         }
         BroadcastIndexer { strides }
     }

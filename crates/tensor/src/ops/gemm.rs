@@ -6,11 +6,11 @@
 //! contiguous panels:
 //!
 //! * **Packing** — for each KC-deep slice of the reduction dimension, a
-//!   block of A is repacked into MR-row strips (`strip · kc · MR + kk · MR
-//!   + r`) and a block of B into NR-column strips (`strip · kc · NR + kk ·
-//!   NR + j`), both zero-padded to full strip width. The micro-kernel then
-//!   streams both panels sequentially — unit stride, no index arithmetic
-//!   per element, and edge handling is hoisted out of the hot loop.
+//!   block of A is repacked into MR-row strips (`strip·kc·MR + kk·MR + r`)
+//!   and a block of B into NR-column strips (`strip·kc·NR + kk·NR + j`),
+//!   both zero-padded to full strip width. The micro-kernel then streams
+//!   both panels sequentially — unit stride, no index arithmetic per
+//!   element, and edge handling is hoisted out of the hot loop.
 //! * **Micro-kernel** — an MR×NR accumulator block held in locals, with
 //!   the k-loop unrolled 4×. Each k-step is `acc[r][j] += a[r] * b[j]`,
 //!   which the compiler auto-vectorizes to FMA over the NR lanes.
@@ -46,6 +46,7 @@ fn round_up(v: usize, to: usize) -> usize {
 /// A, `m` when `trans` reads the stored `k × m` matrix as Aᵀ). The final
 /// partial strip is zero-padded so the micro-kernel never needs a row
 /// bounds check.
+#[allow(clippy::too_many_arguments)]
 fn pack_a(
     dst: &mut [f32],
     a: &[f32],
@@ -82,6 +83,7 @@ fn pack_a(
 /// `ldb` is the leading dimension of the stored matrix (`n` for row-major
 /// B, `k` when `trans` reads the stored `n × k` matrix as Bᵀ). The final
 /// partial strip is zero-padded.
+#[allow(clippy::too_many_arguments)]
 fn pack_b(
     dst: &mut [f32],
     b: &[f32],
@@ -151,6 +153,7 @@ fn micro_kernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
 /// `c` must hold exactly `m * n` elements and is accumulated into (callers
 /// lease it zeroed from the pool). Transposition is absorbed by the packing
 /// routines, so every variant shares the same micro-kernel.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm(
     m: usize,
     n: usize,

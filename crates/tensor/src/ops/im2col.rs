@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn im2col_1x1_kernel_is_reshape() {
-        let t = Tensor::arange(1 * 2 * 2 * 2).reshape([1, 2, 2, 2]).unwrap();
+        let t = Tensor::arange(2 * 2 * 2).reshape([1, 2, 2, 2]).unwrap();
         let geom = ConvGeometry::new(2, 2, 1, 1, 0).unwrap();
         let cols = t.im2col(&geom).unwrap();
         assert_eq!(cols.dims(), &[2, 4]);
@@ -280,7 +280,7 @@ mod tests {
                     for kx in 0..3 {
                         let y = oy as isize + ky as isize - 1;
                         let xx = ox as isize + kx as isize - 1;
-                        if y < 0 || y >= 4 || xx < 0 || xx >= 4 {
+                        if !(0..4).contains(&y) || !(0..4).contains(&xx) {
                             continue;
                         }
                         let xv = x.get(&[n_i, ic, y as usize, xx as usize]).unwrap();

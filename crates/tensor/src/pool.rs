@@ -34,6 +34,34 @@ use std::cell::RefCell;
 /// dropped so donated one-off buffers cannot grow the pool without bound.
 const MAX_HELD: usize = 1024;
 
+/// Number of canary words placed past each lease's live region under the
+/// `sanitize` feature.
+#[cfg(feature = "sanitize")]
+const CANARY_WORDS: usize = 4;
+
+/// Bit pattern written into canary words at lease time.
+#[cfg(feature = "sanitize")]
+const CANARY: u32 = 0xCAFE_F00D;
+
+/// Bit pattern every recycled buffer is filled with; a free-list buffer
+/// whose contents deviate from it was written through a stale pointer.
+#[cfg(feature = "sanitize")]
+const POISON: u32 = 0xDEAD_BEEF;
+
+/// Bookkeeping for one outstanding lease (sanitize builds only), keyed by
+/// the buffer's base address.
+#[cfg(feature = "sanitize")]
+#[derive(Debug, Clone, Copy)]
+struct LeaseRecord {
+    /// Requested element count (the live region is `[0, len)`).
+    len: usize,
+    /// Capacity at lease time; a capacity change means the lessee grew the
+    /// buffer, which relocates it and invalidates the canary region.
+    cap: usize,
+    /// Pool generation when the lease was issued.
+    gen: u64,
+}
+
 /// Counters describing a pool's lifetime activity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
@@ -56,6 +84,17 @@ pub struct ScratchPool {
     fresh_allocs: usize,
     leases: usize,
     recycles: usize,
+    /// Generation stamped on each free-list entry, parallel to `free`.
+    #[cfg(feature = "sanitize")]
+    free_gens: Vec<u64>,
+    /// Monotonic recycle counter used to label sanitizer reports.
+    #[cfg(feature = "sanitize")]
+    generation: u64,
+    /// Outstanding leases by base address. Entries for buffers that never
+    /// return (e.g. leases that become long-lived tensor storage) are
+    /// overwritten when the allocator reuses the address.
+    #[cfg(feature = "sanitize")]
+    outstanding: std::collections::HashMap<usize, LeaseRecord>,
 }
 
 impl ScratchPool {
@@ -88,27 +127,110 @@ impl ScratchPool {
     /// for at least `len` elements.
     pub(crate) fn lease_raw(&mut self, len: usize) -> Vec<f32> {
         self.leases += 1;
+        // Under sanitize every lease reserves room for trailing canaries.
+        #[cfg(feature = "sanitize")]
+        let need = len + CANARY_WORDS;
+        #[cfg(not(feature = "sanitize"))]
+        let need = len;
         let mut best: Option<(usize, usize)> = None;
         for (i, buf) in self.free.iter().enumerate() {
             let cap = buf.capacity();
-            if cap >= len && best.map_or(true, |(_, bc)| cap < bc) {
+            if cap >= need && best.is_none_or(|(_, bc)| cap < bc) {
                 best = Some((i, cap));
-                if cap == len {
+                if cap == need {
                     break;
                 }
             }
         }
-        match best {
+        #[allow(unused_mut)]
+        let mut buf = match best {
             Some((i, _)) => {
                 let mut buf = self.free.swap_remove(i);
+                #[cfg(feature = "sanitize")]
+                {
+                    let gen = self.free_gens.swap_remove(i);
+                    if let Some(pos) = buf.iter().position(|v| v.to_bits() != POISON) {
+                        panic!(
+                            "hero-tensor sanitize: use-after-recycle — free buffer {:p} \
+                             (recycle generation {gen}) was written at element {pos} after \
+                             being recycled (found {:#010x}, expected poison {POISON:#010x})",
+                            buf.as_ptr(),
+                            buf[pos].to_bits()
+                        );
+                    }
+                }
                 buf.clear();
                 buf
             }
             None => {
                 self.fresh_allocs += 1;
-                Vec::with_capacity(len)
+                Vec::with_capacity(need)
+            }
+        };
+        #[cfg(feature = "sanitize")]
+        self.arm_lease(&mut buf, len);
+        buf
+    }
+
+    /// Writes canary words past the live region and records the lease
+    /// (sanitize builds only).
+    #[cfg(feature = "sanitize")]
+    fn arm_lease(&mut self, buf: &mut Vec<f32>, len: usize) {
+        buf.reserve(len + CANARY_WORDS); // no-op unless the buffer was donated small
+        let spare = buf.spare_capacity_mut();
+        for slot in &mut spare[len..len + CANARY_WORDS] {
+            slot.write(f32::from_bits(CANARY));
+        }
+        self.generation += 1;
+        self.outstanding.insert(
+            buf.as_ptr() as usize,
+            LeaseRecord {
+                len,
+                cap: buf.capacity(),
+                gen: self.generation,
+            },
+        );
+    }
+
+    /// Validates a returning buffer and poisons its contents (sanitize
+    /// builds only). Catches double-recycles (the address is already in the
+    /// free list) and out-of-bounds writes (a canary word past the live
+    /// region was overwritten). Buffers the pool never leased — donations
+    /// from plain allocations — are poisoned but not checked.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_recycle(&mut self, mut buf: Vec<f32>) -> Vec<f32> {
+        let ptr = buf.as_ptr() as usize;
+        if self.free.iter().any(|b| b.as_ptr() as usize == ptr) {
+            panic!(
+                "hero-tensor sanitize: double-recycle — buffer {ptr:#x} is already in the \
+                 free list"
+            );
+        }
+        if let Some(rec) = self.outstanding.remove(&ptr) {
+            // A length or capacity change means the lessee resized the
+            // buffer, relocating the canary region; skip the check then.
+            if buf.len() == rec.len && buf.capacity() == rec.cap {
+                let spare = buf.spare_capacity_mut();
+                for (i, slot) in spare[..CANARY_WORDS].iter().enumerate() {
+                    // Sound: arm_lease initialized these words and the
+                    // capacity has not changed since.
+                    let bits = unsafe { slot.assume_init() }.to_bits();
+                    if bits != CANARY {
+                        panic!(
+                            "hero-tensor sanitize: out-of-bounds write — canary word {i} \
+                             past the live region of buffer {ptr:#x} (lease generation {}, \
+                             len {}) holds {bits:#010x}, expected {CANARY:#010x}",
+                            rec.gen, rec.len
+                        );
+                    }
+                }
             }
         }
+        self.generation += 1;
+        for v in buf.iter_mut() {
+            *v = f32::from_bits(POISON);
+        }
+        buf
     }
 
     /// Returns a buffer to the free list (dropped if the pool is full or
@@ -117,8 +239,12 @@ impl ScratchPool {
         if buf.capacity() == 0 {
             return;
         }
+        #[cfg(feature = "sanitize")]
+        let buf = self.sanitize_recycle(buf);
         self.recycles += 1;
         if self.free.len() < MAX_HELD {
+            #[cfg(feature = "sanitize")]
+            self.free_gens.push(self.generation);
             self.free.push(buf);
         }
     }
@@ -143,6 +269,11 @@ impl ScratchPool {
     /// Drops every held buffer and zeroes the counters.
     pub fn clear(&mut self) {
         self.free.clear();
+        #[cfg(feature = "sanitize")]
+        {
+            self.free_gens.clear();
+            self.outstanding.clear();
+        }
         self.reset_stats();
     }
 }
@@ -281,5 +412,64 @@ mod tests {
         pool.clear();
         let s = pool.stats();
         assert_eq!(s, PoolStats::default());
+    }
+}
+
+/// Defect-injection tests for the sanitizer: each simulates one of the
+/// memory bugs the instrumentation exists to catch and asserts the pool
+/// reports it.
+#[cfg(all(test, feature = "sanitize"))]
+mod sanitize_tests {
+    use super::*;
+
+    #[test]
+    fn clean_round_trips_pass_the_sanitizer() {
+        let mut pool = ScratchPool::new();
+        for _ in 0..3 {
+            let a = pool.lease(32);
+            let b = pool.lease_copy(&[1.0, 2.0, 3.0]);
+            pool.recycle(a);
+            pool.recycle(b);
+        }
+        assert_eq!(pool.stats().fresh_allocs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "use-after-recycle")]
+    fn stale_write_after_recycle_is_caught() {
+        let mut pool = ScratchPool::new();
+        let mut a = pool.lease(16);
+        let stale = a.as_mut_ptr();
+        pool.recycle(a);
+        // Defect injection: a pointer kept across the recycle writes into
+        // the buffer while it sits in the free list.
+        unsafe { stale.write(1.0) };
+        let _ = pool.lease(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds write")]
+    fn canary_overwrite_is_caught() {
+        let mut pool = ScratchPool::new();
+        let mut a = pool.lease(8);
+        // Defect injection: a kernel writing one element past the live
+        // region (within capacity, so nothing else would ever notice).
+        unsafe { a.as_mut_ptr().add(8).write(0.0) };
+        pool.recycle(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-recycle")]
+    fn double_recycle_is_caught() {
+        // Leaked so the aliased free-list entry is never dropped: the
+        // duplicate handle is freed during unwind, and freeing it again
+        // from the pool's destructor would abort the test process.
+        let pool: &'static mut ScratchPool = Box::leak(Box::default());
+        let a = pool.lease(8);
+        let (ptr, len, cap) = (a.as_ptr() as *mut f32, a.len(), a.capacity());
+        pool.recycle(a);
+        // Defect injection: a second handle to the same allocation.
+        let dup = unsafe { Vec::from_raw_parts(ptr, len, cap) };
+        pool.recycle(dup);
     }
 }

@@ -126,7 +126,7 @@ impl Shape {
     pub fn broadcast_with(&self, other: &Shape) -> Result<Shape> {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0; rank];
-        for i in 0..rank {
+        for (i, dim) in dims.iter_mut().enumerate() {
             let a = if i < rank - self.rank() {
                 1
             } else {
@@ -137,7 +137,7 @@ impl Shape {
             } else {
                 other.0[i - (rank - other.rank())]
             };
-            dims[i] = match (a, b) {
+            *dim = match (a, b) {
                 (x, y) if x == y => x,
                 (1, y) => y,
                 (x, 1) => x,

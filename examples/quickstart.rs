@@ -7,7 +7,7 @@
 //! cargo run --release -p hero-core --example quickstart
 //! ```
 
-use hero_core::experiment::{model_config, quant_sweep, MethodKind, Scale};
+use hero_core::experiment::{model_config, quant_sweep, MethodKind};
 use hero_core::{train, TrainConfig};
 use hero_data::Preset;
 use hero_nn::models::ModelKind;

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Lint gate for the workspace: clippy at -D warnings (default and `sanitize`
+# feature builds) plus two repo-specific grep lints over library code:
+#
+#   1. no `.unwrap()` in non-test library code — fallible paths must use
+#      `?`/`expect` with context or handle the error;
+#   2. no float `==` / `!=` against literals — exact-zero fast paths that
+#      are genuinely intended go in scripts/lint-allow.txt.
+#
+# Test modules (everything from the first `#[cfg(test)]` / `#[cfg(all(test,
+# ...))]` line to end of file — the repo convention is tail-positioned test
+# modules) and comment lines are exempt. The allowlist is tab-separated
+# `file<TAB>substring`; a flagged line is waived when an entry's file matches
+# and the line contains the substring.
+#
+# Usage: scripts/lint.sh  (invoked by scripts/verify.sh)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLIPPY_LINTS=(
+  -D warnings
+  -D clippy::dbg_macro
+  -D clippy::todo
+  -D clippy::unimplemented
+)
+
+echo "==> clippy -D warnings (default features)"
+cargo clippy --workspace --all-targets -- "${CLIPPY_LINTS[@]}"
+
+echo "==> clippy -D warnings (sanitize feature)"
+cargo clippy -p hero-tensor -p hero-autodiff --all-targets --features sanitize \
+  -- "${CLIPPY_LINTS[@]}"
+
+ALLOW=scripts/lint-allow.txt
+
+allowed() { # $1 = file, $2 = offending line
+  local f pat
+  while IFS=$'\t' read -r f pat; do
+    [[ -z "$f" || "$f" == \#* ]] && continue
+    if [[ "$1" == "$f" && "$2" == *"$pat"* ]]; then
+      return 0
+    fi
+  done <"$ALLOW"
+  return 1
+}
+
+# scan <regex> <description> — greps non-test library code, honouring the
+# allowlist. Prints violations and returns nonzero if any survive.
+scan() {
+  local re="$1" desc="$2" bad=0 file cut content hits hit line
+  for file in crates/*/src/*.rs crates/*/src/**/*.rs; do
+    [[ -e "$file" ]] || continue
+    cut=$(grep -n -m1 '^#\[cfg(.*test' "$file" | cut -d: -f1 || true)
+    if [[ -n "$cut" ]]; then
+      content=$(head -n $((cut - 1)) "$file")
+    else
+      content=$(cat "$file")
+    fi
+    hits=$(printf '%s\n' "$content" | grep -nE "$re" |
+      grep -vE '^[0-9]+:[[:space:]]*//' || true)
+    [[ -z "$hits" ]] && continue
+    while IFS= read -r hit; do
+      line="${hit#*:}"
+      if ! allowed "$file" "$line"; then
+        echo "lint.sh: $desc: $file:$hit"
+        bad=1
+      fi
+    done <<<"$hits"
+  done
+  return $bad
+}
+
+fail=0
+echo "==> grep lint: no .unwrap() in library code"
+scan '\.unwrap\(\)' 'forbidden .unwrap() in library code' || fail=1
+
+echo "==> grep lint: no float literal == / != comparisons"
+scan '(==|!=)[[:space:]]*-?[0-9]+\.[0-9]|[0-9]+\.[0-9]*[[:space:]]*(==|!=)' \
+  'float equality against a literal' || fail=1
+
+if [[ $fail -ne 0 ]]; then
+  echo "lint.sh: grep lints FAILED (add a scripts/lint-allow.txt entry only" \
+    "for intentional exact comparisons)"
+  exit 1
+fi
+
+echo "lint.sh: all lint gates passed"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: build, full test suite, formatting, and a quick
-# bench smoke run. Everything runs offline. Usage: scripts/verify.sh
+# Tier-1 verification gate: build, full test suite, sanitizer test suite,
+# formatting, lints, and a quick bench smoke run. Everything runs offline.
+# Usage: scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,8 +11,15 @@ cargo build --workspace --release
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo test -q (sanitize feature: pool + tape sanitizers)"
+cargo test -q -p hero-tensor --features sanitize
+cargo test -q -p hero-autodiff --features sanitize
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+
+echo "==> scripts/lint.sh"
+scripts/lint.sh
 
 echo "==> bench smoke (step_cost --quick)"
 cargo bench -p hero-bench --bench step_cost -- --quick
