@@ -271,6 +271,7 @@ impl Graph {
         if value.data().iter().all(|v| v.is_finite()) {
             return;
         }
+        hero_obs::counters::NAN_TAINT_TRIPS.incr();
         let bad = value
             .data()
             .iter()

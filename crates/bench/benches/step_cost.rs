@@ -1,16 +1,47 @@
 //! Per-step cost of each training method (the paper's implicit §5.1 cost
 //! claim: SAM-style methods cost one extra backprop, HERO two) plus the
-//! raw GEMM that dominates it. Writes `results/BENCH_step.json`.
+//! raw GEMM that dominates it. Writes `results/BENCH_step.json` (override
+//! the destination with `HERO_BENCH_OUT`).
+//!
+//! Timing runs with tracing *disabled* — the steady-state configuration —
+//! then each operation is replayed briefly with counters enabled to attach
+//! pool-hit-rate, GEMM-flops and gradient-evaluation extras to its row.
 
-use hero_bench::timing::{default_budget, time_op, write_json};
+use hero_bench::timing::{bench_out_path, default_budget, time_op, write_json, BenchRow};
 use hero_core::experiment::{model_config, MethodKind};
 use hero_data::Preset;
 use hero_nn::models::ModelKind;
+use hero_obs::counters;
 use hero_optim::{train_step, Optimizer};
 use hero_tensor::rng::{Rng, StdRng};
 use hero_tensor::Tensor;
 
+/// Replays `f` a few times with counters enabled and attaches the mean
+/// per-iteration counter readings to the row.
+fn with_counter_extras(row: BenchRow, mut f: impl FnMut()) -> BenchRow {
+    const SAMPLE_ITERS: u64 = 5;
+    hero_obs::enable();
+    counters::reset_all();
+    for _ in 0..SAMPLE_ITERS {
+        f();
+    }
+    let hits = counters::POOL_HITS.get() as f64;
+    let fresh = counters::POOL_FRESH_ALLOCS.get() as f64;
+    let flops = counters::GEMM_FLOPS.get() as f64 / SAMPLE_ITERS as f64;
+    let evals = counters::GRAD_EVALS.get() as f64 / SAMPLE_ITERS as f64;
+    hero_obs::disable();
+    let mut row = row.with_extra("gemm_flops_per_iter", flops);
+    if hits + fresh > 0.0 {
+        row = row.with_extra("pool_hit_rate", hits / (hits + fresh));
+    }
+    if evals > 0.0 {
+        row = row.with_extra("grad_evals_per_iter", evals);
+    }
+    row
+}
+
 fn main() {
+    hero_obs::disable();
     let budget = default_budget();
     let mut rows = Vec::new();
 
@@ -20,7 +51,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let a = Tensor::from_fn([256, 256], |_| rng.gen::<f32>() - 0.5);
     let b = Tensor::from_fn([256, 256], |_| rng.gen::<f32>() - 0.5);
-    rows.push(time_op("matmul_256x256x256", budget, || {
+    let row = time_op("matmul_256x256x256", budget, || {
+        std::hint::black_box(a.matmul(&b).unwrap());
+    });
+    rows.push(with_counter_extras(row, || {
         std::hint::black_box(a.matmul(&b).unwrap());
     }));
     rows.push(time_op("matmul_256x256x256_reference", budget, || {
@@ -42,13 +76,19 @@ fn main() {
         let mut net = ModelKind::Resnet.build(model_config(preset), &mut StdRng::seed_from_u64(0));
         let mut opt = Optimizer::new(method.tuned());
         let name = format!("step_{}", method.paper_name());
-        rows.push(time_op(&name, budget, || {
+        let row = time_op(&name, budget, || {
+            train_step(&mut net, &mut opt, &images, &labels, 0.01).unwrap();
+        });
+        rows.push(with_counter_extras(row, || {
             train_step(&mut net, &mut opt, &images, &labels, 0.01).unwrap();
         }));
     }
 
     // Anchor at the workspace root so `cargo bench` (which runs with the
     // package dir as CWD) writes next to the repro_* outputs.
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_step.json");
+    let out = bench_out_path(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_step.json"
+    ));
     write_json(out, &rows).expect("write results");
 }

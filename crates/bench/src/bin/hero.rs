@@ -40,6 +40,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    hero_obs::init_from_env(&format!("hero_{cmd}"));
     let result = match cmd.as_str() {
         "train" => cmd_train(&opts),
         "quantize" => cmd_quantize(&opts),
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
+    hero_obs::finish();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -137,23 +139,36 @@ fn obtain_model(
     let mut net = model.build(model_config(preset), &mut StdRng::seed_from_u64(seed));
     if let Some(ckpt) = opts.get("ckpt") {
         load_params_from_file(&mut net, &PathBuf::from(ckpt)).map_err(|e| e.to_string())?;
-        println!("loaded checkpoint {ckpt}");
+        hero_obs::Event::new("checkpoint_loaded")
+            .str("path", ckpt)
+            .human(format!("loaded checkpoint {ckpt}"))
+            .emit();
     } else {
         let method = method_of(opts)?;
         let epochs: usize = num(opts, "epochs", 20)?;
-        println!(
-            "training {} with {} for {epochs} epochs on {} ...",
-            model.paper_name(),
-            method.paper_name(),
-            preset.paper_name()
-        );
+        hero_obs::Event::new("train_start")
+            .str("model", model.paper_name())
+            .str("method", method.paper_name())
+            .str("preset", preset.paper_name())
+            .u64("epochs", epochs as u64)
+            .human(format!(
+                "training {} with {} for {epochs} epochs on {} ...",
+                model.paper_name(),
+                method.paper_name(),
+                preset.paper_name()
+            ))
+            .emit();
         let config = TrainConfig::new(method.tuned(), epochs).with_seed(seed);
         let rec = train(&mut net, &train_set, &test_set, &config).map_err(|e| e.to_string())?;
-        println!(
-            "trained: train acc {:.2}%, test acc {:.2}%",
-            100.0 * rec.final_train_acc,
-            100.0 * rec.final_test_acc
-        );
+        hero_obs::Event::new("train_result")
+            .f64("train_acc", f64::from(rec.final_train_acc))
+            .f64("test_acc", f64::from(rec.final_test_acc))
+            .human(format!(
+                "trained: train acc {:.2}%, test acc {:.2}%",
+                100.0 * rec.final_train_acc,
+                100.0 * rec.final_test_acc
+            ))
+            .emit();
     }
     Ok((net, preset, train_set, test_set))
 }
@@ -162,7 +177,10 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     let (net, _, _, _) = obtain_model(opts)?;
     if let Some(out) = opts.get("out") {
         save_params_to_file(&net, &PathBuf::from(out)).map_err(|e| e.to_string())?;
-        println!("checkpoint written to {out}");
+        hero_obs::Event::new("checkpoint_written")
+            .str("path", out)
+            .human(format!("checkpoint written to {out}"))
+            .emit();
     }
     Ok(())
 }
@@ -172,7 +190,11 @@ fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
     let full_params = net.params();
     let full_acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
         .map_err(|e| e.to_string())?;
-    println!("full precision: test acc {:.2}%", 100.0 * full_acc);
+    hero_obs::Event::new("quant_eval")
+        .str("scheme", "full_precision")
+        .f64("accuracy", f64::from(full_acc))
+        .human(format!("full precision: test acc {:.2}%", 100.0 * full_acc))
+        .emit();
 
     if let Some(avg) = opts.get("mixed") {
         let avg: f32 = avg
@@ -182,17 +204,28 @@ fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
         let bits = allocate_bits(&sens, avg, 2, 8).map_err(|e| e.to_string())?;
         println!("mixed-precision allocation (avg {avg} bits):");
         for (s, b) in sens.iter().zip(&bits) {
-            println!("  {:40} {} bits ({} weights)", s.name, b, s.numel);
+            hero_obs::Event::new("bit_allocation")
+                .str("tensor", &s.name)
+                .u64("bits", u64::from(*b))
+                .u64("weights", s.numel as u64)
+                .human(format!("  {:40} {} bits ({} weights)", s.name, b, s.numel))
+                .emit();
         }
         let (qp, report) = quantize_params_mixed(&net, &bits).map_err(|e| e.to_string())?;
         net.set_params(&qp).map_err(|e| e.to_string())?;
         let acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
             .map_err(|e| e.to_string())?;
-        println!(
-            "mixed {avg}-bit: test acc {:.2}%  (‖δ‖∞ {:.4})",
-            100.0 * acc,
-            report.worst_linf
-        );
+        hero_obs::Event::new("quant_eval")
+            .str("scheme", "mixed")
+            .f64("avg_bits", f64::from(avg))
+            .f64("accuracy", f64::from(acc))
+            .f64("worst_linf", f64::from(report.worst_linf))
+            .human(format!(
+                "mixed {avg}-bit: test acc {:.2}%  (‖δ‖∞ {:.4})",
+                100.0 * acc,
+                report.worst_linf
+            ))
+            .emit();
         net.set_params(&full_params).map_err(|e| e.to_string())?;
     }
 
@@ -210,12 +243,19 @@ fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
         net.set_params(&qp).map_err(|e| e.to_string())?;
         let acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
             .map_err(|e| e.to_string())?;
-        println!(
-            "{b}-bit uniform: test acc {:.2}%  (‖δ‖∞ {:.4} ≤ Δ/2 {:.4})",
-            100.0 * acc,
-            report.worst_linf,
-            report.max_bin_width / 2.0
-        );
+        hero_obs::Event::new("quant_eval")
+            .str("scheme", "uniform")
+            .u64("bits", u64::from(b))
+            .f64("accuracy", f64::from(acc))
+            .f64("worst_linf", f64::from(report.worst_linf))
+            .f64("max_bin_width", f64::from(report.max_bin_width))
+            .human(format!(
+                "{b}-bit uniform: test acc {:.2}%  (‖δ‖∞ {:.4} ≤ Δ/2 {:.4})",
+                100.0 * acc,
+                report.worst_linf,
+                report.max_bin_width / 2.0
+            ))
+            .emit();
         net.set_params(&full_params).map_err(|e| e.to_string())?;
     }
     Ok(())
@@ -246,23 +286,35 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
         nonzeros,
         tolerance: 0.1,
     };
-    println!("curvature analysis on {n} training samples:");
-    println!("  loss                      {loss:.4}");
-    println!(
-        "  ‖g‖₂ / ‖g‖₁               {:.4} / {:.4}",
-        bounds.grad_l2, bounds.grad_l1
-    );
-    println!("  ‖Hz‖ (Fig. 2 probe)       {hz:.4}");
-    println!(
-        "  λ_max / λ_min (Lanczos)   {:.4} / {:.4}",
+    let report = format!(
+        "curvature analysis on {n} training samples:\n\
+         \x20 loss                      {loss:.4}\n\
+         \x20 ‖g‖₂ / ‖g‖₁               {:.4} / {:.4}\n\
+         \x20 ‖Hz‖ (Fig. 2 probe)       {hz:.4}\n\
+         \x20 λ_max / λ_min (Lanczos)   {:.4} / {:.4}\n\
+         \x20 theorem 3 ‖δ*‖₂ bound     {:.5}\n\
+         \x20 theorem 3 ‖δ*‖∞ bound     {:.6}\n\
+         \x20 max safe bin width Δ      {:.6}",
+        bounds.grad_l2,
+        bounds.grad_l1,
         spectrum.lambda_max(),
-        spectrum.lambda_min()
-    );
-    println!("  theorem 3 ‖δ*‖₂ bound     {:.5}", bounds.l2_bound());
-    println!("  theorem 3 ‖δ*‖∞ bound     {:.6}", bounds.linf_bound());
-    println!(
-        "  max safe bin width Δ      {:.6}",
+        spectrum.lambda_min(),
+        bounds.l2_bound(),
+        bounds.linf_bound(),
         bounds.max_safe_bin_width()
     );
+    hero_obs::Event::new("analysis")
+        .u64("samples", n as u64)
+        .f64("loss", f64::from(loss))
+        .f64("grad_l2", f64::from(bounds.grad_l2))
+        .f64("grad_l1", f64::from(bounds.grad_l1))
+        .f64("hz_norm", f64::from(hz))
+        .f64("lambda_max", f64::from(spectrum.lambda_max()))
+        .f64("lambda_min", f64::from(spectrum.lambda_min()))
+        .f64("l2_bound", f64::from(bounds.l2_bound()))
+        .f64("linf_bound", f64::from(bounds.linf_bound()))
+        .f64("max_safe_bin_width", f64::from(bounds.max_safe_bin_width()))
+        .human(report)
+        .emit();
     Ok(())
 }

@@ -2,13 +2,14 @@
 //! families) — a focused subset of `repro_fig1` for quick iteration on
 //! per-architecture hyper-parameters.
 
-use hero_bench::{banner, scale_from_args};
+use hero_bench::{banner, emit_artifact, scale_from_args};
 use hero_core::experiment::{fig1_bits, quant_sweep, run_table1};
 use hero_core::report::{render_fig1_panel, render_table1};
 use hero_data::Preset;
 use hero_nn::models::ModelKind;
 
 fn main() {
+    hero_obs::init_from_env("repro_c10_row");
     let scale = scale_from_args();
     banner("Table 1 / Fig. 1, CIFAR-10 row", scale);
     let matrix = vec![
@@ -17,7 +18,7 @@ fn main() {
         (Preset::C10, ModelKind::Vgg),
     ];
     let (table, mut models) = run_table1(&matrix, scale).expect("training");
-    println!("{}", render_table1(&table));
+    emit_artifact("table1_c10_row", render_table1(&table));
     let bits = fig1_bits();
     for ((preset, model), cell) in matrix.iter().zip(models.iter_mut()) {
         let (_, test_set) = preset.load(scale.data);
@@ -25,9 +26,10 @@ fn main() {
             .iter_mut()
             .map(|t| quant_sweep(t, &test_set, &bits).expect("quant sweep"))
             .collect();
-        println!(
-            "{}",
-            render_fig1_panel(preset.paper_name(), model.paper_name(), &curves)
+        emit_artifact(
+            &format!("fig1_{}_{}", preset.paper_name(), model.paper_name()),
+            render_fig1_panel(preset.paper_name(), model.paper_name(), &curves),
         );
     }
+    hero_obs::finish();
 }

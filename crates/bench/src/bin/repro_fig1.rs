@@ -5,16 +5,17 @@
 //! trains the matrix and prints both the Table 1 row and the Fig. 1 panel
 //! for each cell.
 
-use hero_bench::{banner, scale_from_args};
+use hero_bench::{banner, emit_artifact, scale_from_args};
 use hero_core::experiment::{fig1_bits, quant_sweep, run_table1, table1_matrix};
 use hero_core::report::{render_fig1_panel, render_table1};
 
 fn main() {
+    hero_obs::init_from_env("repro_fig1");
     let scale = scale_from_args();
     banner("Fig. 1 (post-training quantization sweeps)", scale);
     let matrix = table1_matrix();
     let (table, mut models) = run_table1(&matrix, scale).expect("matrix training");
-    println!("{}", render_table1(&table));
+    emit_artifact("table1", render_table1(&table));
     let bits = fig1_bits();
     for ((preset, model), cell) in matrix.iter().zip(models.iter_mut()) {
         let (_, test_set) = preset.load(scale.data);
@@ -22,9 +23,10 @@ fn main() {
             .iter_mut()
             .map(|t| quant_sweep(t, &test_set, &bits).expect("quant sweep"))
             .collect();
-        println!(
-            "{}",
-            render_fig1_panel(preset.paper_name(), model.paper_name(), &curves)
+        emit_artifact(
+            &format!("fig1_{}_{}", preset.paper_name(), model.paper_name()),
+            render_fig1_panel(preset.paper_name(), model.paper_name(), &curves),
         );
     }
+    hero_obs::finish();
 }

@@ -2,13 +2,15 @@
 //! training (a) and the late-training generalization gap (b) for HERO,
 //! GRAD-L1 and SGD.
 
-use hero_bench::{banner, scale_from_args};
+use hero_bench::{banner, emit_artifact, scale_from_args};
 use hero_core::experiment::run_fig2;
 use hero_core::report::render_fig2;
 
 fn main() {
+    hero_obs::init_from_env("repro_fig2");
     let scale = scale_from_args();
     banner("Fig. 2 (Hessian norm and generalization gap)", scale);
     let fig = run_fig2(scale).expect("fig 2 runs");
-    println!("{}", render_fig2(&fig));
+    emit_artifact("fig2", render_fig2(&fig));
+    hero_obs::finish();
 }

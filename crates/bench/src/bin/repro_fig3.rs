@@ -2,11 +2,12 @@
 //! and SGD-trained ResNet20 stand-ins, along the same filter-normalized
 //! random directions and at the same scale.
 
-use hero_bench::{banner, scale_from_args};
+use hero_bench::{banner, emit_artifact, scale_from_args};
 use hero_core::experiment::run_fig3;
 use hero_core::report::render_fig3;
 
 fn main() {
+    hero_obs::init_from_env("repro_fig3");
     let scale = scale_from_args();
     banner("Fig. 3 (loss contours)", scale);
     let steps = if std::env::args().any(|a| a == "--fast") {
@@ -15,5 +16,6 @@ fn main() {
         17
     };
     let fig = run_fig3(scale, 1.0, steps).expect("fig 3 runs");
-    println!("{}", render_fig3(&fig));
+    emit_artifact("fig3", render_fig3(&fig));
+    hero_obs::finish();
 }

@@ -1,13 +1,15 @@
 //! Reproduces Table 1: clean test accuracy for HERO / GRAD-L1 / SGD over
 //! the full (dataset, model) matrix.
 
-use hero_bench::{banner, scale_from_args};
+use hero_bench::{banner, emit_artifact, scale_from_args};
 use hero_core::experiment::{run_table1, table1_matrix};
 use hero_core::report::render_table1;
 
 fn main() {
+    hero_obs::init_from_env("repro_table1");
     let scale = scale_from_args();
     banner("Table 1 (test accuracy)", scale);
     let (table, _) = run_table1(&table1_matrix(), scale).expect("table 1 runs");
-    println!("{}", render_table1(&table));
+    emit_artifact("table1", render_table1(&table));
+    hero_obs::finish();
 }

@@ -1,17 +1,22 @@
 //! Reproduces Table 2: test accuracy under symmetric label noise (20-80%)
 //! for the ResNet20 and MobileNetV2 stand-ins on the CIFAR-10 preset.
 
-use hero_bench::{banner, scale_from_args};
+use hero_bench::{banner, emit_artifact, scale_from_args};
 use hero_core::experiment::run_table2;
 use hero_core::report::render_table2;
 use hero_nn::models::ModelKind;
 
 fn main() {
+    hero_obs::init_from_env("repro_table2");
     let scale = scale_from_args();
     banner("Table 2 (noisy-label training)", scale);
     let ratios = [0.2, 0.4, 0.6, 0.8];
     for model in [ModelKind::Resnet, ModelKind::Mobilenet] {
         let table = run_table2(model, &ratios, scale).expect("table 2 runs");
-        println!("{}", render_table2(&table));
+        emit_artifact(
+            &format!("table2_{}", model.paper_name()),
+            render_table2(&table),
+        );
     }
+    hero_obs::finish();
 }

@@ -2,13 +2,15 @@
 //! SGD on the MobileNetV2 stand-in / CIFAR-10 preset, evaluated at 4/6/8
 //! bits and full precision.
 
-use hero_bench::{banner, scale_from_args};
+use hero_bench::{banner, emit_artifact, scale_from_args};
 use hero_core::experiment::run_table3;
 use hero_core::report::render_table3;
 
 fn main() {
+    hero_obs::init_from_env("repro_table3");
     let scale = scale_from_args();
     banner("Table 3 (Hessian-term ablation)", scale);
     let table = run_table3(scale).expect("table 3 runs");
-    println!("{}", render_table3(&table));
+    emit_artifact("table3", render_table3(&table));
+    hero_obs::finish();
 }

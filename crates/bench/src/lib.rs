@@ -38,14 +38,31 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
-/// Prints a standard header for a reproduction binary.
+/// Emits the standard header for a reproduction binary: a `banner` event
+/// whose human rendering is the familiar console header.
 pub fn banner(what: &str, scale: Scale) {
-    println!("== HERO reproduction: {what} ==");
-    println!(
-        "scale: data x{:.2}, {} epochs (8x8 presets) / {} epochs (16x16)",
-        scale.data, scale.epochs_small, scale.epochs_large
-    );
-    println!();
+    hero_obs::Event::new("banner")
+        .str("what", what)
+        .f64("data_scale", f64::from(scale.data))
+        .u64("epochs_small", scale.epochs_small as u64)
+        .u64("epochs_large", scale.epochs_large as u64)
+        .human(format!(
+            "== HERO reproduction: {what} ==\n\
+             scale: data x{:.2}, {} epochs (8x8 presets) / {} epochs (16x16)\n",
+            scale.data, scale.epochs_small, scale.epochs_large
+        ))
+        .emit();
+}
+
+/// Emits a rendered table / figure as a structured `artifact` event; the
+/// console sees the rendering unchanged, and a `HERO_TRACE=1` run also
+/// records which artifact was produced (the rendering itself lives in the
+/// stdout log, not the trace stream).
+pub fn emit_artifact(name: &str, rendered: impl Into<String>) {
+    hero_obs::Event::new("artifact")
+        .str("name", name)
+        .human(rendered)
+        .emit();
 }
 
 #[cfg(test)]

@@ -7,14 +7,22 @@
 //! per-run variance machinery of a full bench framework is intentionally
 //! out of scope — the numbers feed coarse before/after comparisons
 //! (`results/BENCH_step.json`), not statistical regression gates.
+//!
+//! Rows are serialized with the shared `hero_obs::json` writer — the same
+//! one behind the trace stream and run-summary artifacts — so every JSON
+//! file under `results/` speaks one dialect, and each measured row is also
+//! emitted as a structured `bench_row` event (the console line is its
+//! human rendering).
 
+use hero_obs::json::JsonObj;
+use hero_obs::Event;
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// One measured operation: the schema of a `results/BENCH_*.json` row.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchRow {
     /// Identifier for the operation (stable across PRs so trajectories can
     /// be compared).
@@ -23,6 +31,43 @@ pub struct BenchRow {
     pub iters: u64,
     /// Mean wall-clock nanoseconds per iteration.
     pub ns_per_iter: f64,
+    /// Optional named extras (e.g. per-iteration counter readings such as
+    /// `pool_hit_rate` or `gemm_flops`), serialized as additional fields.
+    pub extras: Vec<(String, f64)>,
+}
+
+impl BenchRow {
+    /// Attaches a named extra value to the row.
+    #[must_use]
+    pub fn with_extra(mut self, key: &str, value: f64) -> Self {
+        self.extras.push((key.to_string(), value));
+        self
+    }
+
+    /// Serializes the row as one JSON object via the shared writer.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("name", &self.name)
+            .u64("iters", self.iters)
+            .f64("ns_per_iter", self.ns_per_iter);
+        for (k, v) in &self.extras {
+            o.f64(k, *v);
+        }
+        o.finish()
+    }
+
+    /// Emits the row as a structured `bench_row` event whose human
+    /// rendering is the usual console line.
+    pub fn emit(&self) {
+        let mut ev = Event::new("bench_row")
+            .str("name", &self.name)
+            .u64("iters", self.iters)
+            .f64("ns_per_iter", self.ns_per_iter);
+        for (k, v) in &self.extras {
+            ev = ev.f64(k, *v);
+        }
+        ev.human(self.to_string()).emit();
+    }
 }
 
 impl fmt::Display for BenchRow {
@@ -64,8 +109,9 @@ pub fn default_budget() -> Duration {
 /// Times `f` under `budget`: one untimed call plus ~10% of the budget as
 /// warm-up, then repeated calls until the budget elapses.
 ///
-/// The row is printed to stdout as a side effect so every bench shows
-/// progress as it runs.
+/// The row is emitted as a `bench_row` event as a side effect (printing
+/// to stdout, and into the trace stream when one is active) so every
+/// bench shows progress as it runs.
 pub fn time_op(name: &str, budget: Duration, mut f: impl FnMut()) -> BenchRow {
     f();
     let warm_end = Instant::now() + budget / 10;
@@ -85,26 +131,23 @@ pub fn time_op(name: &str, budget: Duration, mut f: impl FnMut()) -> BenchRow {
         name: name.to_string(),
         iters,
         ns_per_iter: start.elapsed().as_nanos() as f64 / iters as f64,
+        extras: Vec::new(),
     };
-    println!("{row}");
+    row.emit();
     row
 }
 
-/// Serializes rows as a JSON array of `{name, iters, ns_per_iter}` objects
-/// (written by hand — the workspace carries no serde dependency).
+/// Serializes rows as a JSON array of `{name, iters, ns_per_iter, ...}`
+/// objects through the shared `hero_obs::json` writer.
 pub fn to_json(rows: &[BenchRow]) -> String {
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.1}}}{}\n",
-            r.name,
-            r.iters,
-            r.ns_per_iter,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("]\n");
-    out
+    hero_obs::json::array_lines(rows.iter().map(BenchRow::to_json))
+}
+
+/// Resolves the output path for a bench results file: `HERO_BENCH_OUT`
+/// when set (so CI and the verify script can redirect runs without
+/// touching the committed baselines), else `default`.
+pub fn bench_out_path(default: &str) -> std::path::PathBuf {
+    std::env::var("HERO_BENCH_OUT").map_or_else(|_| default.into(), Into::into)
 }
 
 /// Writes rows to `path` as JSON, creating parent directories as needed.
@@ -126,6 +169,7 @@ pub fn write_json(path: impl AsRef<Path>, rows: &[BenchRow]) -> std::io::Result<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hero_obs::json::{parse, Value};
 
     #[test]
     fn time_op_counts_iterations() {
@@ -144,19 +188,40 @@ mod tests {
                 name: "a".into(),
                 iters: 10,
                 ns_per_iter: 123.4,
+                extras: Vec::new(),
             },
             BenchRow {
                 name: "b".into(),
                 iters: 2,
                 ns_per_iter: 5e6,
+                extras: Vec::new(),
             },
         ];
         let json = to_json(&rows);
-        assert!(json.starts_with("[\n"));
-        assert!(json.trim_end().ends_with(']'));
-        assert_eq!(json.matches("\"name\"").count(), 2);
-        // Exactly one comma between the two objects.
-        assert_eq!(json.matches("},").count(), 1);
+        let v = parse(&json).expect("parses");
+        let arr = v.as_arr().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("name").and_then(Value::as_str), Some("a"));
+        let ns = arr[1]
+            .get("ns_per_iter")
+            .and_then(Value::as_f64)
+            .expect("ns");
+        assert!((ns - 5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn extras_round_trip_through_json() {
+        let row = BenchRow {
+            name: "step".into(),
+            iters: 3,
+            ns_per_iter: 10.0,
+            extras: Vec::new(),
+        }
+        .with_extra("pool_hit_rate", 0.75)
+        .with_extra("gemm_flops", 1024.0);
+        let v = parse(&row.to_json()).expect("parses");
+        assert_eq!(v.get("pool_hit_rate").and_then(Value::as_f64), Some(0.75));
+        assert_eq!(v.get("gemm_flops").and_then(Value::as_f64), Some(1024.0));
     }
 
     #[test]
@@ -165,13 +230,29 @@ mod tests {
             name: "x".into(),
             iters: 1,
             ns_per_iter: 12.0,
+            extras: Vec::new(),
         };
         let ms = BenchRow {
             name: "x".into(),
             iters: 1,
             ns_per_iter: 3.2e6,
+            extras: Vec::new(),
         };
         assert!(format!("{ns}").contains("ns"));
         assert!(format!("{ms}").contains("ms"));
+    }
+
+    #[test]
+    fn bench_out_path_honors_override() {
+        // Serialized by the single-threaded nature of this assertion: the
+        // variable is restored before returning.
+        std::env::set_var("HERO_BENCH_OUT", "/tmp/override.json");
+        let p = bench_out_path("default.json");
+        std::env::remove_var("HERO_BENCH_OUT");
+        assert_eq!(p, std::path::PathBuf::from("/tmp/override.json"));
+        assert_eq!(
+            bench_out_path("default.json"),
+            std::path::PathBuf::from("default.json")
+        );
     }
 }

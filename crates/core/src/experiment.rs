@@ -385,12 +385,20 @@ pub fn quant_sweep(
         let images = test_set.images.narrow(0, probe)?;
         crate::trainer::verify_network_tape(&mut trained.net, &images, &test_set.labels[..probe])?;
     }
+    let _sweep = hero_obs::span("quant_sweep");
     let full_params = trained.net.params();
     let mut points = Vec::with_capacity(bits.len());
     for &b in bits {
         let (qp, _) = quantize_params(&trained.net, &QuantScheme::symmetric(b))?;
         trained.net.set_params(&qp)?;
         let acc = evaluate_accuracy(&mut trained.net, &test_set.images, &test_set.labels, 64)?;
+        if hero_obs::run_active() {
+            hero_obs::Event::new("quant")
+                .str("method", trained.method.paper_name())
+                .u64("bits", u64::from(b))
+                .f64("accuracy", f64::from(acc))
+                .emit();
+        }
         points.push((b, acc));
         trained.net.set_params(&full_params)?;
     }

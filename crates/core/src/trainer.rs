@@ -53,11 +53,14 @@ pub fn train(
     let mut final_train_acc = f32::NAN;
 
     for epoch in 0..config.epochs {
+        let _epoch_span = hero_obs::span("epoch");
         let mut loss_acc = 0.0;
         let mut reg_acc = 0.0;
         let mut batches = 0usize;
         for batch in loader.epoch(train_set) {
+            let aug = hero_obs::span("augment");
             let images = config.augment.apply(&batch.images, &mut aug_rng)?;
+            drop(aug);
             let lr = schedule.at(step);
             let stats = train_step(net, &mut optimizer, &images, &batch.labels, lr)?;
             loss_acc += stats.loss;
@@ -72,6 +75,7 @@ pub fn train(
         let evaluate =
             config.eval_every > 0 && (epoch % config.eval_every == 0 || epoch + 1 == config.epochs);
         let (train_acc, test_acc) = if evaluate {
+            let _eval = hero_obs::span("eval");
             let tr =
                 evaluate_accuracy(net, &train_set.images, &train_set.labels, config.batch_size)?;
             let te = evaluate_accuracy(net, &test_set.images, &test_set.labels, config.batch_size)?;
@@ -90,14 +94,18 @@ pub fn train(
             f32::NAN
         };
 
-        epochs.push(EpochMetrics {
+        let metrics = EpochMetrics {
             epoch,
             train_loss,
             train_acc,
             test_acc,
             hessian_norm,
             regularizer,
-        });
+        };
+        if hero_obs::run_active() {
+            metrics.to_event().emit();
+        }
+        epochs.push(metrics);
     }
 
     Ok(TrainRecord {

@@ -1,0 +1,48 @@
+//! End-to-end span-attribution check: with the tracer enabled, a short
+//! training run must attribute at least 90% of `train_step` wall-clock to
+//! named child phases, and the phase tree must contain every span the
+//! training loop is instrumented with.
+//!
+//! Lives in its own integration-test binary because the tracer state is
+//! process-global; unit tests elsewhere in the workspace must not see the
+//! spans this run records.
+
+use hero_core::experiment::{model_config, MethodKind};
+use hero_core::{train, TrainConfig};
+use hero_data::Preset;
+use hero_nn::models::ModelKind;
+use hero_tensor::rng::StdRng;
+
+#[test]
+fn named_phases_cover_ninety_percent_of_train_step() {
+    hero_obs::enable();
+    hero_obs::span::reset();
+    let (train_set, test_set) = Preset::C10.load(0.1);
+    let mut net = ModelKind::Resnet.build(model_config(Preset::C10), &mut StdRng::seed_from_u64(0));
+    let config = TrainConfig::new(MethodKind::Hero.tuned(), 1).with_seed(0);
+    train(&mut net, &train_set, &test_set, &config).expect("training");
+    hero_obs::disable();
+
+    let rows = hero_obs::summary_rows();
+    let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+    for expected in [
+        "epoch",
+        "train_step",
+        "sync",
+        "forward",
+        "backward",
+        "perturb",
+        "hvp",
+        "apply",
+        "eval",
+    ] {
+        assert!(names.contains(&expected), "missing span `{expected}`");
+    }
+
+    let coverage = hero_obs::child_coverage(&rows, "train_step");
+    assert!(
+        coverage >= 0.9,
+        "named child spans cover only {:.1}% of train_step wall-clock",
+        100.0 * coverage
+    );
+}

@@ -123,6 +123,7 @@ pub fn fd_hvp_into(
     shifted: &mut Vec<Tensor>,
     out: &mut Vec<Tensor>,
 ) -> Result<()> {
+    let _obs = hero_obs::span("hvp");
     let norm = global_norm_l2(v);
     if norm <= f32::MIN_POSITIVE {
         let reuse = out.len() == v.len() && out.iter().zip(v).all(|(o, t)| o.shape() == t.shape());

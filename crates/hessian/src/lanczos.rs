@@ -73,6 +73,7 @@ pub fn lanczos_spectrum(
             "lanczos needs at least one step".into(),
         ));
     }
+    let _obs = hero_obs::span("lanczos");
     let (_, base_grad) = oracle.grad(params)?;
     // v1: random unit vector.
     let mut v: Vec<Tensor> = params

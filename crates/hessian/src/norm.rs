@@ -70,6 +70,7 @@ pub fn hessian_norm_probe(
     params: &[Tensor],
     eps: f32,
 ) -> Result<(f32, f32)> {
+    let _obs = hero_obs::span("probe");
     let (loss, grads) = oracle.grad(params)?;
     let z = layer_scaled_direction(params, &grads);
     let hz = fd_hvp(oracle, params, &grads, &z, eps)?;

@@ -57,6 +57,7 @@ pub fn power_iteration(
     cfg: PowerIterConfig,
     rng: &mut impl Rng,
 ) -> Result<PowerIterResult> {
+    let _obs = hero_obs::span("power");
     let (_, base_grad) = oracle.grad(params)?;
     // Random unit start direction.
     let mut u: Vec<Tensor> = params

@@ -29,9 +29,12 @@ pub struct LossAndGrads {
 /// labels are invalid.
 pub fn loss_and_grads(net: &mut Network, x: &Tensor, labels: &[usize]) -> Result<LossAndGrads> {
     let mut g = Graph::new();
+    let fwd = hero_obs::span("forward");
     let (logits, vars) = net.forward(&mut g, x, true)?;
     let loss = g.cross_entropy(logits, labels)?;
     let loss_value = g.value(loss).item()?;
+    drop(fwd);
+    let _bwd = hero_obs::span("backward");
     let mut grads = g.backward(loss)?;
     let params = net.params();
     let grad_tensors = vars
@@ -66,9 +69,12 @@ pub fn loss_and_grads_smoothed(
     eps: f32,
 ) -> Result<LossAndGrads> {
     let mut g = Graph::new();
+    let fwd = hero_obs::span("forward");
     let (logits, vars) = net.forward(&mut g, x, true)?;
     let loss = g.cross_entropy_smoothed(logits, labels, eps)?;
     let loss_value = g.value(loss).item()?;
+    drop(fwd);
+    let _bwd = hero_obs::span("backward");
     let mut grads = g.backward(loss)?;
     let params = net.params();
     let grad_tensors = vars
@@ -94,6 +100,7 @@ pub fn loss_and_grads_smoothed(
 ///
 /// Returns shape errors if the batch is incompatible with the network.
 pub fn eval_loss(net: &mut Network, x: &Tensor, labels: &[usize]) -> Result<f32> {
+    let _obs = hero_obs::span("forward");
     let mut g = Graph::new();
     let (logits, _) = net.forward(&mut g, x, false)?;
     let loss = g.cross_entropy(logits, labels)?;

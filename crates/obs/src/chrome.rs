@@ -1,0 +1,60 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) exporter.
+//!
+//! Serializes captured span events as the Trace Event Format's simple JSON
+//! array of complete (`"ph": "X"`) events. Load the written file via
+//! `chrome://tracing` → Load, or <https://ui.perfetto.dev>.
+
+use crate::json::JsonObj;
+use crate::span::SpanEvent;
+
+/// Serializes events as a Chrome-trace JSON array (timestamps and
+/// durations in microseconds, as the format requires).
+pub fn to_chrome_json(events: &[SpanEvent]) -> String {
+    crate::json::array_lines(events.iter().map(|e| {
+        let mut o = JsonObj::new();
+        o.str("name", e.name)
+            .str("cat", "hero")
+            .str("ph", "X")
+            .f64("ts", e.start_us as f64)
+            .f64("dur", e.dur_ns as f64 / 1e3)
+            .u64("pid", 1)
+            .u64("tid", e.tid as u64);
+        o.finish()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    #[test]
+    fn export_is_a_valid_event_array() {
+        let events = vec![
+            SpanEvent {
+                name: "forward",
+                tid: 0,
+                start_us: 10,
+                dur_ns: 2500,
+            },
+            SpanEvent {
+                name: "backward",
+                tid: 1,
+                start_us: 13,
+                dur_ns: 1000,
+            },
+        ];
+        let v = parse(&to_chrome_json(&events)).expect("parse");
+        let arr = v.as_arr().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("name").and_then(Value::as_str), Some("forward"));
+        assert_eq!(arr[0].get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(arr[0].get("dur").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(arr[1].get("tid").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn empty_export_is_an_empty_array() {
+        assert_eq!(to_chrome_json(&[]), "[\n]\n");
+    }
+}

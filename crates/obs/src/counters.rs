@@ -1,0 +1,201 @@
+//! Lock-free hot-path counters and the global counter registry.
+//!
+//! A [`Counter`] is a named `AtomicU64` declared as a `static`. The hot
+//! paths of the workspace increment the built-in counters below (gradient
+//! evaluations, scratch-pool hits vs. fresh allocations, packed-GEMM
+//! flops, NaN-taint trips from the `sanitize` feature); downstream crates
+//! can add their own with [`register`]. Increments are relaxed atomic
+//! adds, gated on the tracer's enable flag so a disabled build pays one
+//! relaxed load per site; under `obs-off` the increment compiles away
+//! entirely.
+
+#[cfg(not(feature = "obs-off"))]
+use crate::span::is_enabled;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// A named monotonic counter (or gauge, via [`Counter::set`]).
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Declares a counter. Use in a `static`, then [`register`] it (the
+    /// built-ins below are pre-registered).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` when tracing is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        if is_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
+    /// Adds one when tracing is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the value (gauge semantics) when tracing is enabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        if is_enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+        #[cfg(feature = "obs-off")]
+        let _ = v;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Gradient evaluations (one forward+backward pass each).
+pub static GRAD_EVALS: Counter = Counter::new("grad_evals");
+/// Scratch-pool leases served from the free list.
+pub static POOL_HITS: Counter = Counter::new("pool_hits");
+/// Scratch-pool leases that performed a fresh heap allocation.
+pub static POOL_FRESH_ALLOCS: Counter = Counter::new("pool_fresh_allocs");
+/// Buffers recycled into the scratch pool.
+pub static POOL_RECYCLES: Counter = Counter::new("pool_recycles");
+/// Packed micro-kernel GEMM invocations.
+pub static GEMM_CALLS: Counter = Counter::new("gemm_calls");
+/// Floating-point operations issued through the packed GEMM (2·m·n·k per
+/// call).
+pub static GEMM_FLOPS: Counter = Counter::new("gemm_flops");
+/// `im2col`/`col2im` lowerings performed.
+pub static IM2COL_CALLS: Counter = Counter::new("im2col_calls");
+/// Non-finite forward values caught by the `sanitize` NaN-taint checker.
+pub static NAN_TAINT_TRIPS: Counter = Counter::new("nan_taint_trips");
+/// Parameter tensors passed through the post-training quantizer.
+pub static QUANT_TENSORS: Counter = Counter::new("quant_tensors");
+
+const BUILTINS: [&Counter; 9] = [
+    &GRAD_EVALS,
+    &POOL_HITS,
+    &POOL_FRESH_ALLOCS,
+    &POOL_RECYCLES,
+    &GEMM_CALLS,
+    &GEMM_FLOPS,
+    &IM2COL_CALLS,
+    &NAN_TAINT_TRIPS,
+    &QUANT_TENSORS,
+];
+
+fn registry() -> &'static Mutex<Vec<&'static Counter>> {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static Counter>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BUILTINS.to_vec()))
+}
+
+/// Registers an additional counter so it appears in [`snapshot`] (and thus
+/// in every emitted `counters` event). Registering the same counter twice
+/// is a no-op.
+pub fn register(c: &'static Counter) {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    if !reg.iter().any(|r| std::ptr::eq(*r, c)) {
+        reg.push(c);
+    }
+}
+
+/// A point-in-time reading of every registered counter.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|c| (c.name(), c.get()))
+        .collect()
+}
+
+/// Resets every registered counter to zero (start of a measurement
+/// window).
+pub fn reset_all() {
+    for c in registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        c.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_counters_are_registered() {
+        let names: Vec<&str> = snapshot().into_iter().map(|(n, _)| n).collect();
+        for c in BUILTINS {
+            assert!(names.contains(&c.name()), "missing {}", c.name());
+        }
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        static EXTRA: Counter = Counter::new("test_extra_counter");
+        register(&EXTRA);
+        register(&EXTRA);
+        let hits = snapshot()
+            .iter()
+            .filter(|(n, _)| *n == "test_extra_counter")
+            .count();
+        assert_eq!(hits, 1);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn add_is_gated_on_enable() {
+        let _l = crate::testutil::locked();
+        static GATED: Counter = Counter::new("test_gated_counter");
+        crate::span::disable();
+        GATED.add(5);
+        assert_eq!(GATED.get(), 0);
+        crate::span::enable();
+        GATED.add(5);
+        GATED.incr();
+        assert_eq!(GATED.get(), 6);
+        GATED.set(2);
+        assert_eq!(GATED.get(), 2);
+        GATED.reset();
+        crate::span::disable();
+        assert_eq!(GATED.get(), 0);
+    }
+
+    #[cfg(feature = "obs-off")]
+    #[test]
+    fn obs_off_increments_compile_to_nothing() {
+        static OFF: Counter = Counter::new("test_off_counter");
+        crate::span::enable();
+        OFF.add(5);
+        OFF.incr();
+        OFF.set(9);
+        assert_eq!(OFF.get(), 0);
+    }
+}

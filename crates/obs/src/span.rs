@@ -1,0 +1,589 @@
+//! The span tracer: RAII scope guards over thread-local span stacks with a
+//! global self/total-time aggregation tree and an optional raw-event buffer
+//! for the Chrome-trace exporter.
+//!
+//! Design constraints (see DESIGN.md §10):
+//!
+//! * **Disabled cost is a few atomic loads.** [`span`] checks one relaxed
+//!   atomic and returns an inert guard when tracing is off; no clock read,
+//!   no thread-local access, no allocation.
+//! * **Enabled cost is thread-local.** Each guard pushes a frame onto this
+//!   thread's stack and folds its elapsed time into a per-thread tree node
+//!   on drop. The global mutex is taken only when a *root* span closes
+//!   (once per training step), merging the thread's tree and draining its
+//!   event buffer.
+//! * **Unbalanced guards are safe.** Guards carry a monotonically
+//!   increasing token; dropping a guard closes every deeper frame first
+//!   (as if those spans ended now), and dropping a guard whose frame was
+//!   already closed by an outer guard is a no-op.
+//!
+//! The `obs-off` feature replaces this entire module with inline no-op
+//! stubs, collapsing every call site to nothing at compile time.
+
+/// One completed span occurrence, as captured for the Chrome-trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static span name (e.g. `"forward"`).
+    pub name: &'static str,
+    /// Small sequential id of the thread that ran the span.
+    pub tid: u32,
+    /// Start time in microseconds since the process trace clock started.
+    pub start_us: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[cfg(not(feature = "obs-off"))]
+mod imp {
+    use super::SpanEvent;
+    use crate::summary::SummaryRow;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+    use std::sync::{Mutex, OnceLock, PoisonError};
+    use std::time::Instant;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static EVENTS_ON: AtomicBool = AtomicBool::new(false);
+    static EVENT_CAP: AtomicUsize = AtomicUsize::new(200_000);
+    static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+    /// The process-wide trace clock; all event timestamps are relative to
+    /// the first call (made by [`enable`]).
+    pub(crate) fn trace_clock() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    /// Microseconds since the trace clock started.
+    pub fn now_us() -> u64 {
+        trace_clock().elapsed().as_micros() as u64
+    }
+
+    /// Turns span aggregation and counters on.
+    pub fn enable() {
+        trace_clock();
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Turns tracing off (in-flight guards become inert on drop only if
+    /// they were created disabled; already-open spans still close). Also
+    /// stops raw-event capture.
+    pub fn disable() {
+        ENABLED.store(false, Ordering::SeqCst);
+        EVENTS_ON.store(false, Ordering::SeqCst);
+    }
+
+    /// True when tracing is on. One relaxed atomic load — this is the
+    /// entire disabled-path cost of every span and counter site.
+    #[inline]
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Additionally records raw span events (for the Chrome trace) up to
+    /// `cap` occurrences; implies [`enable`].
+    pub fn enable_events(cap: usize) {
+        EVENT_CAP.store(cap, Ordering::SeqCst);
+        EVENTS_ON.store(true, Ordering::SeqCst);
+        enable();
+    }
+
+    /// One node of a span-aggregation tree; index 0 is a synthetic root.
+    #[derive(Debug, Clone)]
+    struct Node {
+        name: &'static str,
+        children: Vec<usize>,
+        calls: u64,
+        total_ns: u64,
+        self_ns: u64,
+    }
+
+    impl Node {
+        fn new(name: &'static str) -> Self {
+            Node {
+                name,
+                children: Vec::new(),
+                calls: 0,
+                total_ns: 0,
+                self_ns: 0,
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct Frame {
+        node: usize,
+        token: u64,
+        start: Instant,
+        start_us: u64,
+        child_ns: u64,
+    }
+
+    #[derive(Debug)]
+    struct Local {
+        tid: u32,
+        next_token: u64,
+        stack: Vec<Frame>,
+        nodes: Vec<Node>,
+        events: Vec<SpanEvent>,
+    }
+
+    impl Local {
+        fn new() -> Self {
+            Local {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                next_token: 0,
+                stack: Vec::new(),
+                nodes: vec![Node::new("")],
+                events: Vec::new(),
+            }
+        }
+
+        /// Finds or creates the child of `parent` named `name`.
+        fn child(&mut self, parent: usize, name: &'static str) -> usize {
+            if let Some(&c) = self.nodes[parent]
+                .children
+                .iter()
+                .find(|&&c| self.nodes[c].name == name)
+            {
+                return c;
+            }
+            let idx = self.nodes.len();
+            self.nodes.push(Node::new(name));
+            self.nodes[parent].children.push(idx);
+            idx
+        }
+    }
+
+    thread_local! {
+        static LOCAL: RefCell<Local> = RefCell::new(Local::new());
+    }
+
+    /// Global aggregation tree, merged from per-thread trees whenever a
+    /// thread's root span closes.
+    #[derive(Debug, Default)]
+    struct Global {
+        /// Keyed by (parent index, name); index 0 is the synthetic root.
+        nodes: Vec<Node>,
+        index: HashMap<(usize, &'static str), usize>,
+        events: Vec<SpanEvent>,
+        events_dropped: u64,
+    }
+
+    fn with_global<R>(f: impl FnOnce(&mut Global) -> R) -> R {
+        static GLOBAL: OnceLock<Mutex<Global>> = OnceLock::new();
+        let m = GLOBAL.get_or_init(|| {
+            Mutex::new(Global {
+                nodes: vec![Node::new("")],
+                ..Global::default()
+            })
+        });
+        f(&mut m.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// An RAII guard for one span; closing it (or letting it drop) folds
+    /// the elapsed time into the aggregation tree.
+    #[derive(Debug)]
+    #[must_use = "a span measures the scope that holds its guard"]
+    pub struct SpanGuard {
+        /// 0 = inert (tracing was disabled at creation).
+        token: u64,
+    }
+
+    /// Opens a span named `name` on this thread.
+    #[inline]
+    pub fn span(name: &'static str) -> SpanGuard {
+        if !is_enabled() {
+            return SpanGuard { token: 0 };
+        }
+        let token = LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            l.next_token += 1;
+            let token = l.next_token;
+            let parent = l.stack.last().map_or(0, |f| f.node);
+            let node = l.child(parent, name);
+            let start = Instant::now();
+            let start_us = start.duration_since(trace_clock()).as_micros() as u64;
+            l.stack.push(Frame {
+                node,
+                token,
+                start,
+                start_us,
+                child_ns: 0,
+            });
+            token
+        });
+        SpanGuard { token }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if self.token == 0 {
+                return;
+            }
+            let token = self.token;
+            LOCAL.with(|l| close_to_token(&mut l.borrow_mut(), token));
+        }
+    }
+
+    /// Closes frames from the top of the stack down to (and including) the
+    /// frame holding `token`. Deeper frames — guards that were leaked or
+    /// dropped out of order — are closed at the same instant.
+    fn close_to_token(l: &mut Local, token: u64) {
+        if !l.stack.iter().any(|f| f.token == token) {
+            return; // already closed by an outer guard
+        }
+        let now = Instant::now();
+        let record_events = EVENTS_ON.load(Ordering::Relaxed);
+        while let Some(frame) = l.stack.pop() {
+            let elapsed = now.duration_since(frame.start).as_nanos() as u64;
+            let name = {
+                let node = &mut l.nodes[frame.node];
+                node.calls += 1;
+                node.total_ns += elapsed;
+                node.self_ns += elapsed.saturating_sub(frame.child_ns);
+                node.name
+            };
+            if record_events {
+                let tid = l.tid;
+                l.events.push(SpanEvent {
+                    name,
+                    tid,
+                    start_us: frame.start_us,
+                    dur_ns: elapsed,
+                });
+            }
+            if let Some(parent) = l.stack.last_mut() {
+                parent.child_ns += elapsed;
+            }
+            if frame.token == token {
+                break;
+            }
+        }
+        if l.stack.is_empty() {
+            flush_local(l);
+        }
+    }
+
+    /// Merges this thread's tree and events into the global aggregate and
+    /// resets the local tree.
+    fn flush_local(l: &mut Local) {
+        let cap = EVENT_CAP.load(Ordering::Relaxed);
+        with_global(|g| {
+            merge(g, &l.nodes, 0, 0);
+            let room = cap.saturating_sub(g.events.len());
+            let take = l.events.len().min(room);
+            g.events.extend(l.events.drain(..take));
+            g.events_dropped += l.events.len() as u64;
+        });
+        l.events.clear();
+        l.nodes.clear();
+        l.nodes.push(Node::new(""));
+    }
+
+    fn merge(g: &mut Global, nodes: &[Node], local: usize, global: usize) {
+        for &lc in &nodes[local].children {
+            let child = &nodes[lc];
+            let gc = match g.index.get(&(global, child.name)) {
+                Some(&gc) => gc,
+                None => {
+                    let gc = g.nodes.len();
+                    g.nodes.push(Node::new(child.name));
+                    g.nodes[global].children.push(gc);
+                    g.index.insert((global, child.name), gc);
+                    gc
+                }
+            };
+            g.nodes[gc].calls += child.calls;
+            g.nodes[gc].total_ns += child.total_ns;
+            g.nodes[gc].self_ns += child.self_ns;
+            merge(g, nodes, lc, gc);
+        }
+    }
+
+    /// Flushes any completed-but-unmerged spans on *this* thread (a safety
+    /// valve for callers that want a summary while a root span is still
+    /// open elsewhere; normally unnecessary).
+    pub fn flush_thread() {
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            if l.stack.is_empty() {
+                flush_local(&mut l);
+            }
+        });
+    }
+
+    /// Clears the global aggregation tree, event buffer and this thread's
+    /// local state. Counters are not touched.
+    pub fn reset() {
+        with_global(|g| {
+            g.nodes.clear();
+            g.nodes.push(Node::new(""));
+            g.index.clear();
+            g.events.clear();
+            g.events_dropped = 0;
+        });
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            l.stack.clear();
+            l.events.clear();
+            l.nodes.clear();
+            l.nodes.push(Node::new(""));
+        });
+    }
+
+    /// Snapshot of the merged aggregation tree as depth-first summary rows.
+    pub fn summary_rows() -> Vec<SummaryRow> {
+        flush_thread();
+        with_global(|g| {
+            let mut rows = Vec::new();
+            walk(g, 0, "", 0, 0, &mut rows);
+            rows
+        })
+    }
+
+    fn walk(
+        g: &Global,
+        node: usize,
+        prefix: &str,
+        depth: usize,
+        parent_total_ns: u64,
+        rows: &mut Vec<SummaryRow>,
+    ) {
+        for &c in &g.nodes[node].children {
+            let n = &g.nodes[c];
+            let path = if prefix.is_empty() {
+                n.name.to_string()
+            } else {
+                format!("{prefix}/{}", n.name)
+            };
+            rows.push(SummaryRow {
+                path: path.clone(),
+                name: n.name.to_string(),
+                depth,
+                calls: n.calls,
+                self_ns: n.self_ns,
+                total_ns: n.total_ns,
+                parent_total_ns,
+            });
+            walk(g, c, &path, depth + 1, n.total_ns, rows);
+        }
+    }
+
+    /// Snapshot of the raw span events captured so far (Chrome-trace feed).
+    pub fn events_snapshot() -> Vec<SpanEvent> {
+        flush_thread();
+        with_global(|g| g.events.clone())
+    }
+
+    /// Number of span events discarded after the event buffer filled.
+    pub fn events_dropped() -> u64 {
+        with_global(|g| g.events_dropped)
+    }
+}
+
+#[cfg(feature = "obs-off")]
+mod imp {
+    //! No-op stand-ins: every function is inline and empty so the whole
+    //! instrumentation layer vanishes from optimized builds.
+    use super::SpanEvent;
+    use crate::summary::SummaryRow;
+
+    /// Inert guard — a zero-sized type with no `Drop` impl.
+    #[derive(Debug, Clone, Copy)]
+    #[must_use = "a span measures the scope that holds its guard"]
+    pub struct SpanGuard;
+
+    /// No-op (obs-off build).
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// No-op (obs-off build).
+    #[inline(always)]
+    pub fn enable() {}
+
+    /// No-op (obs-off build).
+    #[inline(always)]
+    pub fn disable() {}
+
+    /// Always false (obs-off build).
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// No-op (obs-off build).
+    #[inline(always)]
+    pub fn enable_events(_cap: usize) {}
+
+    /// Always zero (obs-off build).
+    #[inline(always)]
+    pub fn now_us() -> u64 {
+        0
+    }
+
+    /// No-op (obs-off build).
+    #[inline(always)]
+    pub fn flush_thread() {}
+
+    /// No-op (obs-off build).
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Always empty (obs-off build).
+    #[inline(always)]
+    pub fn summary_rows() -> Vec<SummaryRow> {
+        Vec::new()
+    }
+
+    /// Always empty (obs-off build).
+    #[inline(always)]
+    pub fn events_snapshot() -> Vec<SpanEvent> {
+        Vec::new()
+    }
+
+    /// Always zero (obs-off build).
+    #[inline(always)]
+    pub fn events_dropped() -> u64 {
+        0
+    }
+}
+
+pub use imp::{
+    disable, enable, enable_events, events_dropped, events_snapshot, flush_thread, is_enabled,
+    now_us, reset, span, summary_rows, SpanGuard,
+};
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+    use crate::testutil::locked;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _l = locked();
+        disable();
+        reset();
+        {
+            let _a = span("a");
+            let _b = span("b");
+        }
+        assert!(summary_rows().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_aggregate_self_and_total() {
+        let _l = locked();
+        enable();
+        reset();
+        {
+            let _outer = span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+        }
+        disable();
+        let rows = summary_rows();
+        let outer = rows.iter().find(|r| r.path == "outer").expect("outer row");
+        let inner = rows
+            .iter()
+            .find(|r| r.path == "outer/inner")
+            .expect("inner row");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(outer.total_ns >= inner.total_ns + outer.self_ns);
+        assert!(outer.self_ns < outer.total_ns);
+        assert_eq!(inner.parent_total_ns, outer.total_ns);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_calls() {
+        let _l = locked();
+        enable();
+        reset();
+        for _ in 0..5 {
+            let _s = span("step");
+        }
+        disable();
+        let rows = summary_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].calls, 5);
+    }
+
+    #[test]
+    fn unbalanced_drop_order_is_safe() {
+        let _l = locked();
+        enable();
+        reset();
+        {
+            let a = span("a");
+            let b = span("b");
+            // Drop the *outer* guard first: `b` must be closed implicitly,
+            // and `b`'s own drop afterwards must be a no-op.
+            drop(a);
+            drop(b);
+        }
+        {
+            // A leaked guard's frame is closed when its parent closes.
+            let a = span("a");
+            let b = span("b");
+            std::mem::forget(b);
+            drop(a);
+        }
+        disable();
+        let rows = summary_rows();
+        let a = rows.iter().find(|r| r.path == "a").expect("a row");
+        let b = rows.iter().find(|r| r.path == "a/b").expect("b row");
+        assert_eq!(a.calls, 2);
+        assert_eq!(b.calls, 2);
+    }
+
+    #[test]
+    fn events_respect_cap() {
+        let _l = locked();
+        enable_events(3);
+        reset();
+        for _ in 0..10 {
+            let _s = span("e");
+        }
+        disable();
+        let events = events_snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events_dropped(), 7);
+        assert!(events.iter().all(|e| e.name == "e"));
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_into_one_tree() {
+        let _l = locked();
+        enable();
+        reset();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10 {
+                        let _root = span("work");
+                        let _leaf = span("leaf");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        disable();
+        let rows = summary_rows();
+        let work = rows.iter().find(|r| r.path == "work").expect("work row");
+        let leaf = rows
+            .iter()
+            .find(|r| r.path == "work/leaf")
+            .expect("leaf row");
+        assert_eq!(work.calls, 40);
+        assert_eq!(leaf.calls, 40);
+    }
+}

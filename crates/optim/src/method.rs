@@ -224,7 +224,9 @@ impl Optimizer {
         let ws = &mut self.scratch;
         let (loss, g_new) = oracle.grad(params)?;
         absorb(&mut ws.g, g_new);
+        let reduce = hero_obs::span("reduce");
         let grad_norm = global_norm_l2(&ws.g);
+        drop(reduce);
         let mut regularizer = 0.0;
         let mut grad_evals = 1;
 
@@ -235,15 +237,19 @@ impl Optimizer {
                 std::mem::swap(&mut ws.total, &mut ws.g);
             }
             Method::FirstOrderOnly { h } => {
+                let perturb = hero_obs::span("perturb");
                 layer_scaled_direction_into(params, &ws.g, &mut ws.z);
                 perturbed_into(params, &ws.z, h, &mut ws.w_star)?;
+                drop(perturb);
                 let (_, g_star) = oracle.grad(&ws.w_star)?;
                 grad_evals += 1;
                 absorb(&mut ws.total, g_star);
             }
             Method::GradL1 { lambda } => {
+                let perturb = hero_obs::span("perturb");
                 regularizer = global_norm_l1(&ws.g);
                 sign_into(&ws.g, &mut ws.z);
+                drop(perturb);
                 fd_hvp_into(
                     oracle,
                     params,
@@ -254,21 +260,27 @@ impl Optimizer {
                     &mut ws.hvp,
                 )?;
                 grad_evals += 1;
+                let apply = hero_obs::span("apply");
                 for (t, hs) in ws.g.iter_mut().zip(&ws.hvp) {
                     t.axpy(lambda, hs)?;
                 }
                 std::mem::swap(&mut ws.total, &mut ws.g);
+                drop(apply);
             }
             Method::Hero { h, gamma } => {
                 // Algorithm 1, lines 6-11.
+                let perturb = hero_obs::span("perturb");
                 layer_scaled_direction_into(params, &ws.g, &mut ws.z);
                 perturbed_into(params, &ws.z, h, &mut ws.w_star)?;
+                drop(perturb);
                 let (_, g_star) = oracle.grad(&ws.w_star)?;
                 grad_evals += 1;
                 absorb(&mut ws.g_star, g_star);
                 // d = ∇L(W*) - g ; G = Σ_i ‖d_i‖²
+                let reduce = hero_obs::span("reduce");
                 diff_into(&ws.g_star, &ws.g, &mut ws.d)?;
                 regularizer = ws.d.iter().map(Tensor::norm_l2_sq).sum();
+                drop(reduce);
                 // ∇G(W*) = 2 H(W*) d, via FD-HVP around W*.
                 fd_hvp_into(
                     oracle,
@@ -280,15 +292,18 @@ impl Optimizer {
                     &mut ws.hvp,
                 )?;
                 grad_evals += 1;
+                let apply = hero_obs::span("apply");
                 for (t, hdi) in ws.g_star.iter_mut().zip(&ws.hvp) {
                     t.axpy(2.0 * gamma, hdi)?;
                 }
                 std::mem::swap(&mut ws.total, &mut ws.g_star);
+                drop(apply);
             }
         };
 
         // Weight decay αW on decayed tensors (Eq. 17's αW term), fused into
         // the same buffer the SGD update reads.
+        let _apply = hero_obs::span("apply");
         if self.weight_decay != 0.0 {
             for ((t, p), &decay) in ws.total.iter_mut().zip(params.iter()).zip(decay_mask) {
                 if decay {

@@ -39,7 +39,10 @@ impl<'a> BatchOracle<'a> {
 
 impl GradOracle for BatchOracle<'_> {
     fn grad(&mut self, params: &[Tensor]) -> Result<(f32, Vec<Tensor>)> {
+        hero_obs::counters::GRAD_EVALS.incr();
+        let sync = hero_obs::span("sync");
         self.net.set_params(params)?;
+        drop(sync);
         // Only the first evaluation of a step sees the unperturbed weights;
         // SAM/GRAD-L1/HERO evaluate additional gradients at *shifted*
         // weights, which must not contaminate the batch-norm running
@@ -69,16 +72,20 @@ pub fn train_step(
     labels: &[usize],
     lr: f32,
 ) -> Result<crate::method::StepStats> {
+    let _step = hero_obs::span("train_step");
+    let sync = hero_obs::span("sync");
     let mut params = net.params();
     let decay_mask: Vec<bool> = net
         .param_infos()
         .iter()
         .map(|i| i.kind.is_decayed())
         .collect();
+    drop(sync);
     let stats = {
         let mut oracle = BatchOracle::new(net, x, labels);
         optimizer.step(&mut oracle, &mut params, &decay_mask, lr)?
     };
+    let _sync = hero_obs::span("sync");
     net.set_params(&params)?;
     Ok(stats)
 }

@@ -104,6 +104,7 @@ pub fn allocate_bits(
 /// allocation). Callers with curvature estimates (e.g. from
 /// `hero-hessian`) should overwrite the `curvature` fields.
 pub fn network_sensitivities(net: &Network) -> Vec<LayerSensitivity> {
+    let _obs = hero_obs::span("quant_sens");
     let params = net.params();
     let infos = net.param_infos();
     params
@@ -131,6 +132,7 @@ pub fn quantize_params_mixed(
     net: &Network,
     bits: &[u8],
 ) -> Result<(Vec<Tensor>, ModelQuantReport)> {
+    let _obs = hero_obs::span("quantize");
     let params = net.params();
     let infos = net.param_infos();
     let quantizable = infos.iter().filter(|i| i.kind.is_quantizable()).count();
@@ -156,6 +158,7 @@ pub fn quantize_params_mixed(
             let b = *next_bit.next().expect("counted above");
             let q = quantize_tensor(p, &QuantScheme::symmetric(b))?;
             let err = quant_error(p, &q.values)?;
+            hero_obs::counters::QUANT_TENSORS.incr();
             report.quantized_tensors += 1;
             report.worst_linf = report.worst_linf.max(err.linf);
             report.max_bin_width = report.max_bin_width.max(q.max_bin_width());

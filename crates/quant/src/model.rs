@@ -35,6 +35,7 @@ pub fn quantize_params(
     net: &Network,
     scheme: &QuantScheme,
 ) -> Result<(Vec<Tensor>, ModelQuantReport)> {
+    let _obs = hero_obs::span("quantize");
     let params = net.params();
     let infos = net.param_infos();
     let mut out = Vec::with_capacity(params.len());
@@ -51,6 +52,7 @@ pub fn quantize_params(
         if info.kind.is_quantizable() {
             let q = quantize_tensor(p, scheme)?;
             let err: QuantError = quant_error(p, &q.values)?;
+            hero_obs::counters::QUANT_TENSORS.incr();
             report.quantized_tensors += 1;
             report.worst_linf = report.worst_linf.max(err.linf);
             report.max_bin_width = report.max_bin_width.max(q.max_bin_width());

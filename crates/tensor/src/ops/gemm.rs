@@ -170,6 +170,9 @@ pub(crate) fn gemm(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let _obs = hero_obs::span("gemm");
+    hero_obs::counters::GEMM_CALLS.incr();
+    hero_obs::counters::GEMM_FLOPS.add(2 * (m as u64) * (n as u64) * (k as u64));
     let lda = if a_trans { m } else { k };
     let ldb = if b_trans { k } else { n };
     // Exact panel capacities so repeat leases hit the pool's free list.

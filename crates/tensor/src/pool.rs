@@ -145,6 +145,7 @@ impl ScratchPool {
         #[allow(unused_mut)]
         let mut buf = match best {
             Some((i, _)) => {
+                hero_obs::counters::POOL_HITS.incr();
                 let mut buf = self.free.swap_remove(i);
                 #[cfg(feature = "sanitize")]
                 {
@@ -164,6 +165,7 @@ impl ScratchPool {
             }
             None => {
                 self.fresh_allocs += 1;
+                hero_obs::counters::POOL_FRESH_ALLOCS.incr();
                 Vec::with_capacity(need)
             }
         };
@@ -242,6 +244,7 @@ impl ScratchPool {
         #[cfg(feature = "sanitize")]
         let buf = self.sanitize_recycle(buf);
         self.recycles += 1;
+        hero_obs::counters::POOL_RECYCLES.incr();
         if self.free.len() < MAX_HELD {
             #[cfg(feature = "sanitize")]
             self.free_gens.push(self.generation);

@@ -15,6 +15,10 @@ echo "==> cargo test -q (sanitize feature: pool + tape sanitizers)"
 cargo test -q -p hero-tensor --features sanitize
 cargo test -q -p hero-autodiff --features sanitize
 
+echo "==> cargo test -q (obs-off feature: instrumentation compiled out)"
+cargo test -q -p hero-obs --features obs-off
+cargo test -q -p hero-bench --features obs-off
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -23,5 +27,19 @@ scripts/lint.sh
 
 echo "==> bench smoke (step_cost --quick)"
 cargo bench -p hero-bench --bench step_cost -- --quick
+
+echo "==> observability overhead gate (disabled tracer vs obs-off build)"
+on_json="$(mktemp)"
+off_json="$(mktemp)"
+trap 'rm -f "$on_json" "$off_json"' EXIT
+HERO_BENCH_OUT="$on_json" cargo bench -p hero-bench --bench overhead
+HERO_BENCH_OUT="$off_json" cargo bench -p hero-bench --features obs-off --bench overhead
+on_ns="$(grep overhead_step_HERO "$on_json" | sed 's/.*"ns_per_iter": \([0-9.eE+-]*\).*/\1/')"
+off_ns="$(grep overhead_step_HERO "$off_json" | sed 's/.*"ns_per_iter": \([0-9.eE+-]*\).*/\1/')"
+awk -v on="$on_ns" -v off="$off_ns" 'BEGIN {
+  ratio = on / off
+  printf "overhead_step_HERO: instrumented %.3f ms/iter, obs-off %.3f ms/iter (ratio %.4f)\n", on / 1e6, off / 1e6, ratio
+  if (ratio > 1.03) { print "FAIL: disabled instrumentation costs more than 3%"; exit 1 }
+}'
 
 echo "verify.sh: all gates passed"
