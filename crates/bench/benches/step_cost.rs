@@ -13,6 +13,7 @@ use hero_data::Preset;
 use hero_nn::models::ModelKind;
 use hero_obs::counters;
 use hero_optim::{train_step, Optimizer};
+use hero_parallel::{threads_from_env, train_step_parallel, ParallelCtx};
 use hero_tensor::rng::{Rng, StdRng};
 use hero_tensor::Tensor;
 
@@ -82,6 +83,26 @@ fn main() {
         rows.push(with_counter_extras(row, || {
             train_step(&mut net, &mut opt, &images, &labels, 0.01).unwrap();
         }));
+    }
+
+    // The same HERO step through the sharded data-parallel executor, with
+    // the worker count taken from HERO_THREADS (1 when unset). verify.sh
+    // runs this bench at 1 and 4 threads and diffs the two rows.
+    let threads = threads_from_env().max(1);
+    {
+        let mut net = ModelKind::Resnet.build(model_config(preset), &mut StdRng::seed_from_u64(0));
+        let mut ctx = ParallelCtx::new(&net, threads);
+        let mut opt = Optimizer::new(MethodKind::Hero.tuned());
+        let row = time_op("step_HERO_parallel", budget, || {
+            train_step_parallel(&mut ctx, &mut net, &mut opt, &images, &labels, 0.01).unwrap();
+        });
+        let row = with_counter_extras(row, || {
+            train_step_parallel(&mut ctx, &mut net, &mut opt, &images, &labels, 0.01).unwrap();
+        });
+        rows.push(
+            row.with_extra("threads", threads as f64)
+                .with_extra("shards", ctx.shards() as f64),
+        );
     }
 
     // Anchor at the workspace root so `cargo bench` (which runs with the

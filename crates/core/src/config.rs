@@ -32,6 +32,12 @@ pub struct TrainConfig {
     pub probe_every: usize,
     /// Seed for batching/augmentation randomness.
     pub seed: u64,
+    /// Worker threads for the sharded data-parallel executor; 0 selects
+    /// the serial in-process path. Defaults to the `HERO_THREADS`
+    /// environment variable (unset ⇒ 0). With the shard count fixed, any
+    /// positive value produces bitwise identical trajectories (see
+    /// DESIGN.md §11), so this trades wall-clock only.
+    pub threads: usize,
 }
 
 impl TrainConfig {
@@ -48,7 +54,16 @@ impl TrainConfig {
             eval_every: 1,
             probe_every: 0,
             seed: 0,
+            threads: hero_parallel::threads_from_env(),
         }
+    }
+
+    /// Builder: sets the data-parallel worker count (0 = serial path),
+    /// overriding the `HERO_THREADS` default.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Builder: sets the run seed.

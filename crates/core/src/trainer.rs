@@ -8,6 +8,7 @@ use hero_data::{Dataset, Loader};
 use hero_hessian::hessian_norm_probe;
 use hero_nn::{evaluate_accuracy, Network};
 use hero_optim::{train_step, BatchOracle, Optimizer};
+use hero_parallel::{train_step_parallel, ParallelCtx};
 use hero_tensor::rng::StdRng;
 use hero_tensor::{Result, Tensor, TensorError};
 
@@ -45,6 +46,12 @@ pub fn train(
         verify_network_tape(net, &images, &train_set.labels[..probe])?;
     }
 
+    // Persistent data-parallel context (config.threads > 0): workers with
+    // network replicas live across the whole run. With the shard count
+    // fixed, the trajectory is bitwise identical for any worker count —
+    // see DESIGN.md §11 and the parallel_equiv test suite.
+    let mut pctx = (config.threads > 0).then(|| ParallelCtx::new(net, config.threads));
+
     let mut aug_rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xA06));
     let mut epochs = Vec::with_capacity(config.epochs);
     let mut grad_evals = 0usize;
@@ -60,9 +67,14 @@ pub fn train(
         for batch in loader.epoch(train_set) {
             let aug = hero_obs::span("augment");
             let images = config.augment.apply(&batch.images, &mut aug_rng)?;
-            drop(aug);
+            let _ = aug;
             let lr = schedule.at(step);
-            let stats = train_step(net, &mut optimizer, &images, &batch.labels, lr)?;
+            let stats = match pctx.as_mut() {
+                Some(ctx) => {
+                    train_step_parallel(ctx, net, &mut optimizer, &images, &batch.labels, lr)?
+                }
+                None => train_step(net, &mut optimizer, &images, &batch.labels, lr)?,
+            };
             loss_acc += stats.loss;
             reg_acc += stats.regularizer;
             grad_evals += stats.grad_evals;

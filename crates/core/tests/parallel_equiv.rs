@@ -1,0 +1,124 @@
+//! Multi-epoch parallel≡serial-executor equivalence: full `train()` runs
+//! (shuffled loader, augmentation, cosine schedule, eval) must produce
+//! byte-identical weight trajectories for every `HERO_THREADS` worker
+//! count, for SGD, SAM-only, and full HERO.
+
+use hero_core::{train, TrainConfig};
+use hero_data::{Dataset, SynthGenerator, SynthSpec};
+use hero_nn::models::{mlp, ModelConfig};
+use hero_nn::Network;
+use hero_optim::Method;
+use hero_tensor::rng::StdRng;
+
+fn setup() -> (Network, Dataset, Dataset) {
+    let spec = SynthSpec {
+        classes: 4,
+        hw: 4,
+        noise_std: 0.2,
+        ..SynthSpec::default()
+    };
+    let (train_set, test_set) = SynthGenerator::new(spec).train_test(48, 24);
+    let cfg = ModelConfig {
+        classes: 4,
+        in_channels: 3,
+        input_hw: 4,
+        width: 4,
+    };
+    let net = mlp(cfg, &[20], &mut StdRng::seed_from_u64(3));
+    (net, train_set, test_set)
+}
+
+fn param_bits(net: &Network) -> Vec<u32> {
+    net.params()
+        .iter()
+        .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+/// Trains a fresh clone of the seed network with the given worker count
+/// and returns the exact bit patterns of the final weights and the
+/// per-epoch loss trajectory.
+fn run(method: Method, threads: usize) -> (Vec<u32>, Vec<u32>) {
+    let (seed_net, train_set, test_set) = setup();
+    let mut net = seed_net.clone();
+    let config = TrainConfig::new(method, 3)
+        .with_batch_size(16)
+        .with_lr(0.05)
+        .with_seed(9)
+        .with_threads(threads);
+    let rec = train(&mut net, &train_set, &test_set, &config).unwrap();
+    let losses = rec.epochs.iter().map(|e| e.train_loss.to_bits()).collect();
+    (param_bits(&net), losses)
+}
+
+#[test]
+fn multi_epoch_trajectories_match_across_thread_counts() {
+    for method in [
+        Method::Sgd,
+        Method::FirstOrderOnly { h: 0.05 },
+        Method::Hero {
+            h: 0.05,
+            gamma: 0.1,
+        },
+    ] {
+        let (ref_bits, ref_losses) = run(method, 1);
+        for threads in 2..=4 {
+            let (bits, losses) = run(method, threads);
+            assert_eq!(
+                losses,
+                ref_losses,
+                "{}: epoch losses diverged at {threads} threads",
+                method.name()
+            );
+            assert_eq!(
+                bits,
+                ref_bits,
+                "{}: final weights diverged at {threads} threads",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_run_matches_serial_metrics_quality() {
+    // The parallel path is not bit-equal to the serial path (different
+    // f32 summation order), but it must train equally well and keep the
+    // same gradient-evaluation accounting.
+    let (seed_net, train_set, test_set) = setup();
+    let method = Method::Hero {
+        h: 0.05,
+        gamma: 0.1,
+    };
+    let mut serial_net = seed_net.clone();
+    let serial = train(
+        &mut serial_net,
+        &train_set,
+        &test_set,
+        &TrainConfig::new(method, 3)
+            .with_batch_size(16)
+            .with_lr(0.05)
+            .with_seed(9)
+            .with_threads(0),
+    )
+    .unwrap();
+    let mut par_net = seed_net.clone();
+    let parallel = train(
+        &mut par_net,
+        &train_set,
+        &test_set,
+        &TrainConfig::new(method, 3)
+            .with_batch_size(16)
+            .with_lr(0.05)
+            .with_seed(9)
+            .with_threads(2),
+    )
+    .unwrap();
+    assert_eq!(serial.grad_evals, parallel.grad_evals);
+    let s = serial.epochs.last().unwrap().train_loss;
+    let p = parallel.epochs.last().unwrap().train_loss;
+    assert!(
+        (s - p).abs() < 0.1,
+        "serial loss {s} vs parallel loss {p} drifted apart"
+    );
+}

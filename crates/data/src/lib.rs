@@ -30,7 +30,7 @@ mod synth;
 
 pub use augment::Augment;
 pub use corrupt::Corruption;
-pub use loader::{Batch, Loader};
+pub use loader::{shard_bounds, Batch, Loader};
 pub use noise::{inject_symmetric_noise, label_disagreement};
 pub use presets::Preset;
 pub use synth::{Dataset, SynthGenerator, SynthSpec};

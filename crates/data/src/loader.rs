@@ -14,6 +14,80 @@ pub struct Batch {
     pub labels: Vec<usize>,
 }
 
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Copies out the contiguous sub-batch `[start, start + len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range exceeds the batch.
+    pub fn shard(&self, start: usize, len: usize) -> hero_tensor::Result<Batch> {
+        if start + len > self.len() {
+            return Err(hero_tensor::TensorError::InvalidArgument(format!(
+                "shard [{start}, {}) exceeds batch of {} samples",
+                start + len,
+                self.len()
+            )));
+        }
+        Ok(Batch {
+            images: self.images.narrow(start, len)?,
+            labels: self.labels[start..start + len].to_vec(),
+        })
+    }
+
+    /// Splits the batch into at most `shards` balanced contiguous
+    /// sub-batches (see [`shard_bounds`]). The decomposition depends only
+    /// on the batch length and `shards` — never on how many worker threads
+    /// will consume the pieces — which is what keeps the data-parallel
+    /// reduction bitwise reproducible across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on internal shape mismatches.
+    pub fn shards(&self, shards: usize) -> hero_tensor::Result<Vec<Batch>> {
+        shard_bounds(self.len(), shards)
+            .into_iter()
+            .map(|(s, l)| self.shard(s, l))
+            .collect()
+    }
+}
+
+/// Balanced contiguous shard ranges `(start, len)` covering `0..n`.
+///
+/// Produces `min(shards, n)` non-empty ranges whose lengths differ by at
+/// most one (the first `n % shards` ranges take the extra sample). Empty
+/// ranges are never emitted, so callers can weight each shard by
+/// `len / n` without dividing by zero.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_bounds(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    assert!(shards > 0, "shard count must be positive");
+    let base = n / shards;
+    let rem = n % shards;
+    let mut out = Vec::with_capacity(shards.min(n));
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < rem);
+        if len == 0 {
+            break;
+        }
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
 /// Produces shuffled mini-batches, reshuffling every epoch.
 #[derive(Debug)]
 pub struct Loader {
@@ -157,5 +231,61 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_panics() {
         Loader::new(0, 0);
+    }
+
+    #[test]
+    fn shard_bounds_are_balanced_and_cover() {
+        for n in 0..40 {
+            for k in 1..8 {
+                let bounds = shard_bounds(n, k);
+                assert_eq!(bounds.len(), k.min(n));
+                let total: usize = bounds.iter().map(|&(_, l)| l).sum();
+                assert_eq!(total, n);
+                // Contiguous and non-empty.
+                let mut next = 0;
+                for &(s, l) in &bounds {
+                    assert_eq!(s, next);
+                    assert!(l > 0);
+                    next = s + l;
+                }
+                // Balanced: lengths differ by at most one.
+                if let (Some(max), Some(min)) = (
+                    bounds.iter().map(|&(_, l)| l).max(),
+                    bounds.iter().map(|&(_, l)| l).min(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_shards_preserve_samples() {
+        let d = data(10);
+        let mut loader = Loader::new(10, 3);
+        let batch = loader.epoch(&d).remove(0);
+        let shards = batch.shards(4).unwrap();
+        assert_eq!(shards.len(), 4);
+        let labels: Vec<usize> = shards.iter().flat_map(|b| b.labels.clone()).collect();
+        assert_eq!(labels, batch.labels);
+        let pix: usize = batch.images.dims()[1..].iter().product();
+        let mut row = 0;
+        for s in &shards {
+            for r in 0..s.len() {
+                assert_eq!(
+                    s.images.data()[r * pix..(r + 1) * pix],
+                    batch.images.data()[(row) * pix..(row + 1) * pix]
+                );
+                row += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn shard_out_of_range_errors() {
+        let d = data(6);
+        let batch = Loader::new(6, 0).epoch(&d).remove(0);
+        assert!(batch.shard(4, 3).is_err());
+        assert!(batch.shard(0, 6).is_ok());
     }
 }

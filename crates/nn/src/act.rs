@@ -34,6 +34,10 @@ impl Layer for Activation {
     }
 
     fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(*self)
+    }
 }
 
 /// Non-overlapping max pooling with a square window.
@@ -61,6 +65,10 @@ impl Layer for MaxPool2d {
     }
 
     fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(*self)
+    }
 }
 
 /// Non-overlapping average pooling with a square window.
@@ -88,6 +96,10 @@ impl Layer for AvgPool2d {
     }
 
     fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(*self)
+    }
 }
 
 /// Global average pooling `(n, c, h, w) -> (n, c)`.
@@ -112,6 +124,10 @@ impl Layer for GlobalAvgPool2d {
     }
 
     fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(*self)
+    }
 }
 
 /// Flattens all trailing axes: `(n, ...) -> (n, prod(...))`.
@@ -139,6 +155,10 @@ impl Layer for Flatten {
     }
 
     fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]

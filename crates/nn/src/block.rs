@@ -11,7 +11,7 @@ use hero_tensor::{Result, Tensor};
 
 /// ResNet "basic block": two 3×3 conv-BN pairs with an identity (or 1×1
 /// projection) shortcut, post-activation ReLU.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BasicBlock {
     conv1: Conv2d,
     bn1: BatchNorm2d,
@@ -99,12 +99,16 @@ impl Layer for BasicBlock {
             bn.param_infos(&format!("{prefix}.down.bn"), out);
         }
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// MobileNetV2 inverted residual: 1×1 expansion (ReLU6) → 3×3 depthwise
 /// (ReLU6) → 1×1 linear projection, with an identity skip when the stride
 /// is 1 and channel counts match.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InvertedResidual {
     expand: Option<(Conv2d, BatchNorm2d)>,
     depthwise: DepthwiseConv2d,
@@ -200,6 +204,10 @@ impl Layer for InvertedResidual {
         self.bn_dw.param_infos(&format!("{prefix}.dw.bn"), out);
         self.project.param_infos(&format!("{prefix}.proj"), out);
         self.bn_proj.param_infos(&format!("{prefix}.proj.bn"), out);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -76,6 +76,10 @@ impl Layer for Conv2d {
             kind: ParamKind::Weight,
         });
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Depthwise 2-D convolution (`groups == channels`), the core of
@@ -137,6 +141,10 @@ impl Layer for DepthwiseConv2d {
             name: format!("{prefix}.weight"),
             kind: ParamKind::Weight,
         });
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

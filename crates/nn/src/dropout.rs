@@ -13,7 +13,7 @@ use hero_tensor::{Result, Tensor};
 ///
 /// The layer owns its RNG (seeded at construction) so training runs stay
 /// reproducible.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     keep_prob: f32,
     rng: StdRng,
@@ -67,6 +67,10 @@ impl Layer for Dropout {
     }
 
     fn param_infos(&self, _prefix: &str, _out: &mut Vec<ParamInfo>) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

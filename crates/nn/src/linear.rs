@@ -83,6 +83,10 @@ impl Layer for Linear {
             });
         }
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

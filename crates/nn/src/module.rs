@@ -51,7 +51,11 @@ pub struct ParamInfo {
 /// parameter in the same canonical order that [`Layer::collect_params`]
 /// emits tensors, which is what lets optimizers map gradients back onto
 /// parameters.
-pub trait Layer: std::fmt::Debug {
+///
+/// Layers are `Send` and cloneable through [`Layer::clone_box`] so a
+/// [`Network`] can be replicated into per-thread workers by the
+/// data-parallel executor (`hero-parallel`).
+pub trait Layer: std::fmt::Debug + Send {
     /// Builds this layer's forward computation.
     ///
     /// `train` selects training behaviour (e.g. batch-norm batch
@@ -75,6 +79,19 @@ pub trait Layer: std::fmt::Debug {
     /// Appends metadata for each parameter; `prefix` is the dotted path of
     /// the enclosing scope.
     fn param_infos(&self, prefix: &str, out: &mut Vec<ParamInfo>);
+
+    /// Deep-copies this layer behind a fresh box (object-safe `Clone`).
+    ///
+    /// Replicas carry independent parameter storage and layer state
+    /// (batch-norm running statistics, dropout RNG), which is exactly what
+    /// per-worker model replicas need.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.as_ref().clone_box()
+    }
 }
 
 /// Cursor over a flat list of replacement parameter tensors.
@@ -143,7 +160,7 @@ impl<'a> ParamSource<'a> {
 }
 
 /// Runs layers one after another, composing their forward passes.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
     /// Name of each child (used for parameter paths).
@@ -212,6 +229,10 @@ impl Layer for Sequential {
             layer.param_infos(&child, out);
         }
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// A complete trainable network: a [`Sequential`] body whose output is the
@@ -220,7 +241,10 @@ impl Layer for Sequential {
 /// `Network` provides the flat-parameter view the optimizers and the HERO
 /// method operate on: [`Network::params`] / [`Network::set_params`]
 /// round-trip all parameters in canonical order.
-#[derive(Debug)]
+///
+/// Cloning a network deep-copies every layer, producing an independent
+/// replica — the unit the data-parallel shard workers operate on.
+#[derive(Debug, Clone)]
 pub struct Network {
     body: Sequential,
     name: String,
@@ -309,7 +333,7 @@ mod tests {
     use super::*;
 
     /// Minimal test layer: multiplies by a learned scalar-ish vector.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct ScaleLayer {
         w: Tensor,
     }
@@ -341,6 +365,10 @@ mod tests {
                 name: format!("{prefix}.weight"),
                 kind: ParamKind::Weight,
             });
+        }
+
+        fn clone_box(&self) -> Box<dyn Layer> {
+            Box::new(self.clone())
         }
     }
 

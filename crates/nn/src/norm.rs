@@ -136,6 +136,10 @@ impl Layer for BatchNorm2d {
             kind: ParamKind::BnBeta,
         });
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,22 @@ impl Counter {
         self.add(1);
     }
 
+    /// Subtracts `n` (gauge semantics, saturating at zero) when tracing is
+    /// enabled. Pair with [`Counter::add`] for busy-style gauges.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        if is_enabled() {
+            let _ = self
+                .value
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(n))
+                });
+        }
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
     /// Overwrites the value (gauge semantics) when tracing is enabled.
     #[inline]
     pub fn set(&self, v: u64) {
@@ -95,8 +111,12 @@ pub static IM2COL_CALLS: Counter = Counter::new("im2col_calls");
 pub static NAN_TAINT_TRIPS: Counter = Counter::new("nan_taint_trips");
 /// Parameter tensors passed through the post-training quantizer.
 pub static QUANT_TENSORS: Counter = Counter::new("quant_tensors");
+/// Data-parallel shard workers currently executing a job (gauge).
+pub static WORKERS_BUSY: Counter = Counter::new("workers_busy");
+/// Nanoseconds the reducing thread spent waiting for shard gradients.
+pub static REDUCE_WAIT_NS: Counter = Counter::new("reduce_wait_ns");
 
-const BUILTINS: [&Counter; 9] = [
+const BUILTINS: [&Counter; 11] = [
     &GRAD_EVALS,
     &POOL_HITS,
     &POOL_FRESH_ALLOCS,
@@ -106,6 +126,8 @@ const BUILTINS: [&Counter; 9] = [
     &IM2COL_CALLS,
     &NAN_TAINT_TRIPS,
     &QUANT_TENSORS,
+    &WORKERS_BUSY,
+    &REDUCE_WAIT_NS,
 ];
 
 fn registry() -> &'static Mutex<Vec<&'static Counter>> {

@@ -1,0 +1,193 @@
+//! Concurrency coverage for hero-obs: worker-thread spans must keep their
+//! parent attribution when per-thread trees merge into the global
+//! aggregate, and the JSONL sink must never interleave partial lines, no
+//! matter how many threads emit simultaneously or how often workers are
+//! spawned and joined (the data-parallel executor's lifecycle).
+#![cfg(not(feature = "obs-off"))]
+
+use hero_obs::json::{parse, Value};
+use hero_obs::{span, Event};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Serializes the tests in this binary: they all toggle the global enable
+/// flag and the active run.
+fn locked() -> MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn temp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "hero-obs-conc-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+#[test]
+fn worker_spans_keep_parent_attribution_across_threads() {
+    let _l = locked();
+    hero_obs::enable();
+    hero_obs::span::reset();
+    const THREADS: usize = 4;
+    const ITERS: u64 = 16;
+    {
+        // The main thread holds an open span the whole time: worker spans
+        // must root in their own thread's tree, never nest under it.
+        let _main = span("train_step");
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..ITERS {
+                        let _root = span("shard_grad");
+                        let _fwd = span("forward");
+                        let _bwd = span("backward");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+    }
+    hero_obs::disable();
+    let rows = hero_obs::summary_rows();
+    let calls = |path: &str| rows.iter().find(|r| r.path == path).map(|r| r.calls);
+    let expected = THREADS as u64 * ITERS;
+    assert_eq!(calls("shard_grad"), Some(expected));
+    assert_eq!(calls("shard_grad/forward"), Some(expected));
+    // `backward` was opened while `forward` was still held, so it
+    // attributes as forward's child — nesting survives the merge.
+    assert_eq!(calls("shard_grad/forward/backward"), Some(expected));
+    assert_eq!(calls("train_step"), Some(1));
+    assert!(
+        !rows
+            .iter()
+            .any(|r| r.path.contains("train_step/shard_grad")),
+        "worker spans leaked under another thread's open span: {rows:?}"
+    );
+}
+
+#[test]
+fn span_events_carry_distinct_worker_thread_ids() {
+    let _l = locked();
+    hero_obs::enable_events(100_000);
+    hero_obs::span::reset();
+    const THREADS: usize = 4;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..8 {
+                    let _s = span("shard_grad");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    hero_obs::disable();
+    let events = hero_obs::span::events_snapshot();
+    let mut tids: Vec<u32> = events
+        .iter()
+        .filter(|e| e.name == "shard_grad")
+        .map(|e| e.tid)
+        .collect();
+    assert_eq!(tids.len(), THREADS * 8);
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(
+        tids.len(),
+        THREADS,
+        "each worker thread must keep its own trace id"
+    );
+}
+
+#[test]
+fn jsonl_sink_never_interleaves_partial_lines_under_stress() {
+    let _l = locked();
+    let dir = temp_dir();
+    hero_obs::enable();
+    hero_obs::span::reset();
+    hero_obs::init_run(&dir, "stress").expect("init run");
+    const THREADS: u64 = 8;
+    const EVENTS_PER_THREAD: u64 = 50;
+    // A long, recognizable payload: if two writers ever tore a line, the
+    // parse below would see a malformed fragment.
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let payload: String = (0..200).map(|i| (b'a' + (i % 26)) as char).collect();
+                for i in 0..EVENTS_PER_THREAD {
+                    Event::new("stress")
+                        .u64("thread", t)
+                        .u64("i", i)
+                        .str("payload", &payload)
+                        .emit();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("emitter");
+    }
+    let artifacts = hero_obs::finish().expect("artifacts");
+    hero_obs::disable();
+    let text = std::fs::read_to_string(&artifacts.trace).expect("read trace");
+    assert!(text.ends_with('\n'), "stream must end on a line boundary");
+    let mut per_thread = [0u64; THREADS as usize];
+    for line in text.lines() {
+        let v = parse(line).unwrap_or_else(|e| panic!("torn or malformed JSONL line: {e}\n{line}"));
+        if v.get("ev").and_then(Value::as_str) == Some("stress") {
+            let t = v.get("thread").and_then(Value::as_f64).expect("thread") as usize;
+            assert_eq!(
+                v.get("payload").and_then(Value::as_str).map(str::len),
+                Some(200)
+            );
+            per_thread[t] += 1;
+        }
+    }
+    assert_eq!(per_thread, [EVENTS_PER_THREAD; THREADS as usize]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeated_spawn_join_cycles_keep_event_accounting_exact() {
+    let _l = locked();
+    hero_obs::enable_events(64); // deliberately small: force drops
+    hero_obs::span::reset();
+    let mut total = 0u64;
+    // The worker-pool lifecycle, repeated: short-lived threads, each
+    // flushing its local tree when its root span closes.
+    for round in 0..6 {
+        let threads = 1 + round % 3;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10 {
+                        let _s = span("cycle");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        total += threads as u64 * 10;
+    }
+    hero_obs::disable();
+    let kept = hero_obs::span::events_snapshot().len() as u64;
+    let dropped = hero_obs::span::events_dropped();
+    assert_eq!(kept, 64, "buffer must fill to its cap exactly");
+    assert_eq!(
+        kept + dropped,
+        total,
+        "every span occurrence is either kept or counted as dropped"
+    );
+    hero_obs::span::reset();
+}

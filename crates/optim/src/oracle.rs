@@ -17,6 +17,10 @@ pub struct BatchOracle<'a> {
     net: &'a mut Network,
     x: &'a Tensor,
     labels: &'a [usize],
+    /// When set, gradients are evaluated over this contiguous sample
+    /// range only — the shard-range view the data-parallel executor's
+    /// workers evaluate.
+    range: Option<(usize, usize)>,
     calls: usize,
 }
 
@@ -27,8 +31,27 @@ impl<'a> BatchOracle<'a> {
             net,
             x,
             labels,
+            range: None,
             calls: 0,
         }
+    }
+
+    /// Builder: restricts the oracle to the shard `[start, start + len)`
+    /// of the batch. Loss and gradients become the *shard* means.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range exceeds the batch.
+    pub fn with_range(mut self, start: usize, len: usize) -> Result<Self> {
+        let n = self.labels.len();
+        if len == 0 || start + len > n {
+            return Err(hero_tensor::TensorError::InvalidArgument(format!(
+                "shard range [{start}, {}) invalid for batch of {n} samples",
+                start + len
+            )));
+        }
+        self.range = Some((start, len));
+        Ok(self)
     }
 
     /// Number of gradient evaluations performed so far.
@@ -42,13 +65,19 @@ impl GradOracle for BatchOracle<'_> {
         hero_obs::counters::GRAD_EVALS.incr();
         let sync = hero_obs::span("sync");
         self.net.set_params(params)?;
-        drop(sync);
+        let _ = sync;
         // Only the first evaluation of a step sees the unperturbed weights;
         // SAM/GRAD-L1/HERO evaluate additional gradients at *shifted*
         // weights, which must not contaminate the batch-norm running
         // statistics used at eval time.
         let prev = hero_nn::norm::set_bn_running_stat_updates(self.calls == 0);
-        let out = loss_and_grads(self.net, self.x, self.labels);
+        let out = match self.range {
+            Some((start, len)) => self
+                .x
+                .narrow(start, len)
+                .and_then(|x| loss_and_grads(self.net, &x, &self.labels[start..start + len])),
+            None => loss_and_grads(self.net, self.x, self.labels),
+        };
         hero_nn::norm::set_bn_running_stat_updates(prev);
         self.calls += 1;
         let out = out?;
@@ -80,7 +109,7 @@ pub fn train_step(
         .iter()
         .map(|i| i.kind.is_decayed())
         .collect();
-    drop(sync);
+    let _ = sync;
     let stats = {
         let mut oracle = BatchOracle::new(net, x, labels);
         optimizer.step(&mut oracle, &mut params, &decay_mask, lr)?
@@ -124,6 +153,34 @@ mod tests {
         let (loss, grads) = oracle.grad(&params).unwrap();
         assert!(loss.is_finite() && loss > 0.0);
         assert_eq!(grads.len(), params.len());
+    }
+
+    #[test]
+    fn shard_range_view_matches_manual_narrow() {
+        let (mut net, x, y) = toy_problem();
+        let params = net.params();
+        let (loss_view, grads_view) = {
+            let mut oracle = BatchOracle::new(&mut net, &x, &y).with_range(4, 8).unwrap();
+            oracle.grad(&params).unwrap()
+        };
+        let shard_x = x.narrow(4, 8).unwrap();
+        let shard_y = &y[4..12];
+        let mut oracle = BatchOracle::new(&mut net, &shard_x, shard_y);
+        let (loss_manual, grads_manual) = oracle.grad(&params).unwrap();
+        assert_eq!(loss_view.to_bits(), loss_manual.to_bits());
+        for (a, b) in grads_view.iter().zip(&grads_manual) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn shard_range_rejects_bad_bounds() {
+        let (mut net, x, y) = toy_problem();
+        assert!(BatchOracle::new(&mut net, &x, &y)
+            .with_range(10, 10)
+            .is_err());
+        let (mut net, x, y) = toy_problem();
+        assert!(BatchOracle::new(&mut net, &x, &y).with_range(0, 0).is_err());
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! A persistent worker pool with deterministic result slotting.
+//!
+//! Workers are plain `std::thread`s spawned once and reused across every
+//! training step (thread spawn costs would otherwise dwarf a shard's
+//! gradient work). Jobs are pulled from one shared queue, so a slow shard
+//! does not idle the other workers, and each result is slotted back by its
+//! *job index* — callers observe a result vector whose order depends only
+//! on how the work was submitted, never on which worker finished first.
+//!
+//! A job that panics is caught with [`std::panic::catch_unwind`] on the
+//! worker, reported back through the result channel, and surfaces from
+//! [`WorkerPool::scatter`] as a clean [`PoolError::WorkerPanicked`] — the
+//! worker itself survives and keeps serving jobs, so a poisoned step can
+//! never deadlock the trainer.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work executed on one worker against its private state.
+pub type Job<S, R> = Box<dyn FnOnce(&mut S) -> R + Send>;
+
+/// Failure modes of a [`WorkerPool::scatter`] round.
+#[derive(Debug)]
+pub enum PoolError {
+    /// A job panicked on its worker. The panic payload is rendered into
+    /// `message`; the worker stays alive, but its state may be mid-update,
+    /// so treat the whole round as failed.
+    WorkerPanicked {
+        /// Index of the job (submission order) whose closure panicked.
+        job: usize,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The pool's channels closed (all workers exited) — only possible
+    /// after the pool began shutting down.
+    Disconnected,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { job, message } => {
+                write!(f, "worker panicked while running job {job}: {message}")
+            }
+            PoolError::Disconnected => write!(f, "worker pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Renders a panic payload into the human-readable part of a
+/// [`PoolError::WorkerPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A fixed set of persistent worker threads, each owning a private state
+/// `S` (for the trainer: a network replica), executing jobs from a shared
+/// queue.
+#[derive(Debug)]
+pub struct WorkerPool<S, R> {
+    /// `None` only during shutdown; dropping the sender is what releases
+    /// the workers from their `recv` loop.
+    job_tx: Option<Sender<(usize, Job<S, R>)>>,
+    res_rx: Receiver<(usize, std::thread::Result<R>)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<S: Send + 'static, R: Send + 'static> WorkerPool<S, R> {
+    /// Spawns one worker per entry of `states`, moving each state onto its
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty or a thread cannot be spawned.
+    pub fn new(states: Vec<S>) -> Self {
+        assert!(!states.is_empty(), "worker pool needs at least one worker");
+        let (job_tx, job_rx) = channel::<(usize, Job<S, R>)>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (res_tx, res_rx) = channel();
+        let handles = states
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut state)| {
+                let job_rx = Arc::clone(&job_rx);
+                let res_tx = res_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("hero-worker-{w}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the dequeue, never
+                        // across job execution.
+                        let job = {
+                            let guard = match job_rx.lock() {
+                                Ok(g) => g,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            guard.recv()
+                        };
+                        let Ok((idx, job)) = job else { break };
+                        hero_obs::counters::WORKERS_BUSY.incr();
+                        let out = catch_unwind(AssertUnwindSafe(|| job(&mut state)));
+                        hero_obs::counters::WORKERS_BUSY.sub(1);
+                        if res_tx.send((idx, out)).is_err() {
+                            break;
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            job_tx: Some(job_tx),
+            res_rx,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs every job across the pool and returns the results in *job
+    /// order* (index `i` of the output is job `i`'s result, regardless of
+    /// which worker ran it or when it finished).
+    ///
+    /// All submitted jobs are drained before returning, even when one
+    /// panics, so a failed round leaves no stale results behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::WorkerPanicked`] for the first panicking job,
+    /// or [`PoolError::Disconnected`] if the workers are gone.
+    pub fn scatter(&mut self, jobs: Vec<Job<S, R>>) -> Result<Vec<R>, PoolError> {
+        let n = jobs.len();
+        let tx = self.job_tx.as_ref().ok_or(PoolError::Disconnected)?;
+        for (idx, job) in jobs.into_iter().enumerate() {
+            tx.send((idx, job)).map_err(|_| PoolError::Disconnected)?;
+        }
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut panic: Option<PoolError> = None;
+        for _ in 0..n {
+            let (idx, out) = self.res_rx.recv().map_err(|_| PoolError::Disconnected)?;
+            match out {
+                Ok(r) => slots[idx] = Some(r),
+                Err(payload) => {
+                    // Keep draining: every job still sends a result, which
+                    // is what makes the error path deadlock-free.
+                    let e = PoolError::WorkerPanicked {
+                        job: idx,
+                        message: panic_message(payload.as_ref()),
+                    };
+                    if panic.is_none() {
+                        panic = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = panic {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every job index reported exactly once"))
+            .collect())
+    }
+}
+
+impl<S, R> Drop for WorkerPool<S, R> {
+    fn drop(&mut self) {
+        // Closing the job channel ends every worker's recv loop.
+        drop(self.job_tx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(workers: usize) -> WorkerPool<u64, u64> {
+        WorkerPool::new((0..workers as u64).collect())
+    }
+
+    #[test]
+    fn scatter_slots_results_by_job_index() {
+        let mut p = pool(3);
+        for _ in 0..5 {
+            let jobs: Vec<Job<u64, u64>> = (0..8u64)
+                .map(|i| Box::new(move |_: &mut u64| i * 10) as Job<u64, u64>)
+                .collect();
+            let out = p.scatter(jobs).unwrap();
+            assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        }
+    }
+
+    #[test]
+    fn worker_state_persists_across_scatters() {
+        // One worker: jobs run FIFO against the same private state, so the
+        // accumulator is visible across scatter rounds.
+        let mut p = WorkerPool::new(vec![0u64]);
+        let bump = || {
+            Box::new(|s: &mut u64| {
+                *s += 1;
+                *s
+            }) as Job<u64, u64>
+        };
+        assert_eq!(
+            p.scatter(vec![bump(), bump(), bump()]).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(p.scatter(vec![bump()]).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn panic_surfaces_as_error_not_deadlock() {
+        let mut p = pool(2);
+        let jobs: Vec<Job<u64, u64>> = (0..4u64)
+            .map(|i| {
+                Box::new(move |_: &mut u64| {
+                    if i == 2 {
+                        panic!("injected fault in job {i}");
+                    }
+                    i
+                }) as Job<u64, u64>
+            })
+            .collect();
+        let err = p.scatter(jobs).unwrap_err();
+        match err {
+            PoolError::WorkerPanicked { job, message } => {
+                assert_eq!(job, 2);
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // The pool survives the fault and keeps serving jobs.
+        let jobs: Vec<Job<u64, u64>> = (0..4u64)
+            .map(|i| Box::new(move |_: &mut u64| i + 100) as Job<u64, u64>)
+            .collect();
+        assert_eq!(p.scatter(jobs).unwrap(), vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn empty_scatter_returns_empty() {
+        let mut p = pool(1);
+        assert!(p.scatter(Vec::new()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Fixed-shape binary tree reduction.
+//!
+//! Floating-point addition is not associative, so the *shape* of the
+//! reduction tree is part of the numeric result. [`tree_reduce`] combines
+//! a slotted result vector in rounds of adjacent pairs — `(0,1), (2,3), …`
+//! with an odd trailing item carried up unchanged — so the tree depends
+//! only on the item *count*. Shard results are slotted by shard index
+//! before reduction, which makes the reduced f32 values bitwise identical
+//! regardless of worker count or completion order.
+
+use hero_tensor::{Result, Tensor, TensorError};
+
+/// Reduces `items` with a deterministic pairwise tree.
+///
+/// Combine order: round 1 pairs `(0,1), (2,3), …`; an odd last item is
+/// carried to the next round unchanged; rounds repeat until one item
+/// remains. Returns `None` for an empty input.
+///
+/// # Errors
+///
+/// Propagates the first error `combine` returns.
+pub fn tree_reduce<T>(
+    items: Vec<T>,
+    mut combine: impl FnMut(T, T) -> Result<T>,
+) -> Result<Option<T>> {
+    let mut items = items;
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            next.push(match it.next() {
+                Some(b) => combine(a, b)?,
+                None => a,
+            });
+        }
+        items = next;
+    }
+    Ok(items.pop())
+}
+
+/// One shard's contribution to a gradient evaluation: the shard-weighted
+/// loss and shard-weighted gradients (weight = shard len / batch len, so
+/// summing the shards yields the batch-mean quantities).
+pub type ShardGrad = (f32, Vec<Tensor>);
+
+/// Combines two shard contributions: losses add, gradients add
+/// element-wise into the left operand's buffers.
+///
+/// # Errors
+///
+/// Returns a shape error if the gradient lists are misaligned.
+pub fn combine_shard_grads(mut a: ShardGrad, b: ShardGrad) -> Result<ShardGrad> {
+    if a.1.len() != b.1.len() {
+        return Err(TensorError::InvalidArgument(format!(
+            "shard gradient arity mismatch: {} vs {}",
+            a.1.len(),
+            b.1.len()
+        )));
+    }
+    for (ga, gb) in a.1.iter_mut().zip(&b.1) {
+        ga.axpy(1.0, gb)?;
+    }
+    Ok((a.0 + b.0, a.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_reduce_handles_all_small_counts() {
+        for n in 0..9usize {
+            let items: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let out = tree_reduce(items, |a, b| Ok(a + b)).unwrap();
+            if n == 0 {
+                assert!(out.is_none());
+            } else {
+                assert_eq!(out.unwrap(), (0..n).sum::<usize>() as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_shape_is_fixed_by_count() {
+        // Record the combine order as a bracketed expression; it must be a
+        // pure function of the item count.
+        let order = |n: usize| {
+            let items: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+            tree_reduce(items, |a, b| Ok(format!("({a}+{b})")))
+                .unwrap()
+                .unwrap()
+        };
+        assert_eq!(order(4), "((0+1)+(2+3))");
+        assert_eq!(order(5), "(((0+1)+(2+3))+4)");
+        assert_eq!(order(6), "(((0+1)+(2+3))+(4+5))");
+        assert_eq!(order(7), "(((0+1)+(2+3))+((4+5)+6))");
+    }
+
+    #[test]
+    fn combine_shard_grads_adds_losses_and_grads() {
+        let a = (0.5f32, vec![Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap()]);
+        let b = (
+            0.25f32,
+            vec![Tensor::from_vec(vec![10.0, 20.0], [2]).unwrap()],
+        );
+        let (loss, grads) = combine_shard_grads(a, b).unwrap();
+        assert_eq!(loss, 0.75);
+        assert_eq!(grads[0].data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn combine_rejects_arity_mismatch() {
+        let a = (0.0f32, vec![Tensor::zeros([2])]);
+        let b = (0.0f32, vec![]);
+        assert!(combine_shard_grads(a, b).is_err());
+    }
+}

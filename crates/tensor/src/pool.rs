@@ -75,15 +75,30 @@ pub struct PoolStats {
     pub recycles: usize,
     /// Buffers currently sitting in the free list.
     pub held: usize,
+    /// Recycles rejected because they arrived from a thread other than the
+    /// pool's owner (the buffer is dropped instead of pooled, so free lists
+    /// can never exchange buffers across workers).
+    pub foreign_recycles: usize,
 }
 
 /// A free-list recycler for `Vec<f32>` scratch buffers.
-#[derive(Debug, Default)]
+///
+/// Capacity-class reuse is keyed to the thread that created the pool: a
+/// pool only accepts recycles from its owner thread. A buffer returned
+/// from any other thread — e.g. a gradient tensor produced by a shard
+/// worker and dropped on the reducing thread after the pool moved — is
+/// dropped to the allocator instead, so two threads' free lists can never
+/// alias or exchange storage under the data-parallel executor.
+#[derive(Debug)]
 pub struct ScratchPool {
+    /// Thread the pool was created on; the only thread recycles are
+    /// accepted from.
+    owner: std::thread::ThreadId,
     free: Vec<Vec<f32>>,
     fresh_allocs: usize,
     leases: usize,
     recycles: usize,
+    foreign_recycles: usize,
     /// Generation stamped on each free-list entry, parallel to `free`.
     #[cfg(feature = "sanitize")]
     free_gens: Vec<u64>,
@@ -97,10 +112,34 @@ pub struct ScratchPool {
     outstanding: std::collections::HashMap<usize, LeaseRecord>,
 }
 
+impl Default for ScratchPool {
+    fn default() -> Self {
+        ScratchPool {
+            owner: std::thread::current().id(),
+            free: Vec::new(),
+            fresh_allocs: 0,
+            leases: 0,
+            recycles: 0,
+            foreign_recycles: 0,
+            #[cfg(feature = "sanitize")]
+            free_gens: Vec::new(),
+            #[cfg(feature = "sanitize")]
+            generation: 0,
+            #[cfg(feature = "sanitize")]
+            outstanding: std::collections::HashMap::new(),
+        }
+    }
+}
+
 impl ScratchPool {
-    /// Creates an empty pool.
+    /// Creates an empty pool owned by the calling thread.
     pub fn new() -> Self {
         ScratchPool::default()
+    }
+
+    /// The thread this pool accepts recycles from.
+    pub fn owner(&self) -> std::thread::ThreadId {
+        self.owner
     }
 
     /// Leases a zeroed buffer of exactly `len` elements.
@@ -241,6 +280,12 @@ impl ScratchPool {
         if buf.capacity() == 0 {
             return;
         }
+        if std::thread::current().id() != self.owner {
+            // Cross-thread return: drop to the allocator so this pool's
+            // free list never holds a buffer another thread's pool leased.
+            self.foreign_recycles += 1;
+            return;
+        }
         #[cfg(feature = "sanitize")]
         let buf = self.sanitize_recycle(buf);
         self.recycles += 1;
@@ -259,6 +304,7 @@ impl ScratchPool {
             leases: self.leases,
             recycles: self.recycles,
             held: self.free.len(),
+            foreign_recycles: self.foreign_recycles,
         }
     }
 
@@ -267,6 +313,7 @@ impl ScratchPool {
         self.fresh_allocs = 0;
         self.leases = 0;
         self.recycles = 0;
+        self.foreign_recycles = 0;
     }
 
     /// Drops every held buffer and zeroes the counters.
@@ -283,6 +330,14 @@ impl ScratchPool {
 
 thread_local! {
     static GLOBAL: RefCell<ScratchPool> = RefCell::new(ScratchPool::new());
+    /// Cached id of this thread — `std::thread::current()` clones an `Arc`
+    /// per call, which is too hot for per-tensor tagging.
+    static TID: std::thread::ThreadId = std::thread::current().id();
+}
+
+/// The calling thread's id (cached; cheap enough for per-tensor use).
+pub fn current_thread() -> std::thread::ThreadId {
+    TID.with(|t| *t)
 }
 
 /// Runs `f` with exclusive access to this thread's default pool.
@@ -314,9 +369,27 @@ pub fn recycle(buf: Vec<f32>) {
     with(|p| p.recycle(buf));
 }
 
-/// Recycles a tensor's storage into this thread's default pool.
+/// Recycles a buffer whose storage originated on thread `home`. Pooled only
+/// when `home` is the calling thread; otherwise the buffer is dropped to
+/// the allocator and counted as a foreign recycle, so per-thread pools
+/// never adopt another worker's storage.
+pub fn recycle_from(home: std::thread::ThreadId, buf: Vec<f32>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    with(|p| {
+        if home == p.owner {
+            p.recycle(buf);
+        } else {
+            p.foreign_recycles += 1;
+        }
+    });
+}
+
+/// Recycles a tensor's storage, keyed to the tensor's home thread.
 pub fn recycle_tensor(t: crate::Tensor) {
-    recycle(t.into_vec());
+    let home = t.home();
+    recycle_from(home, t.into_vec());
 }
 
 /// Counters for this thread's default pool.
@@ -406,6 +479,47 @@ mod tests {
         let after = stats();
         assert_eq!(after.leases, before.leases + 1);
         assert_eq!(after.recycles, before.recycles + 1);
+    }
+
+    #[test]
+    fn foreign_recycle_is_rejected() {
+        // A pool created here but handed a buffer from another thread must
+        // drop it rather than pool it: free lists are keyed per thread id.
+        let mut pool = ScratchPool::new();
+        let a = pool.lease(64);
+        let a = std::thread::spawn(move || a).join().unwrap(); // round-trip, same Vec
+        pool.recycle(a); // still the owner thread: accepted
+        assert_eq!(pool.stats().held, 1);
+
+        let mut pool = std::thread::spawn(ScratchPool::new).join().unwrap();
+        pool.recycle(vec![0.0; 64]); // now a foreign thread holds the pool
+        let s = pool.stats();
+        assert_eq!(s.held, 0, "foreign buffer entered the free list");
+        assert_eq!(s.recycles, 0);
+        assert_eq!(s.foreign_recycles, 1);
+    }
+
+    #[test]
+    fn two_thread_pools_never_exchange_buffers() {
+        // Tensors leased from this thread's pool and dropped on a worker
+        // must NOT enter the worker's free list: their storage is keyed to
+        // the home thread and gets released to the allocator instead.
+        with(|p| p.clear());
+        let tensors: Vec<crate::Tensor> = (0..4).map(|_| crate::Tensor::zeros([128])).collect();
+
+        std::thread::spawn(move || {
+            with(|p| p.clear());
+            drop(tensors); // foreign to the worker's thread-local pool
+            let s = stats();
+            assert_eq!(s.held, 0, "worker pool adopted a foreign buffer");
+            assert_eq!(s.foreign_recycles, 4);
+            // The worker's own lease/drop cycle still pools locally.
+            drop(crate::Tensor::zeros([64]));
+            assert_eq!(stats().held, 1, "worker's own recycle must be pooled");
+        })
+        .join()
+        .unwrap();
+        with(|p| p.clear());
     }
 
     #[test]

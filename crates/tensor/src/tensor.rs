@@ -23,23 +23,55 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+    /// Thread the storage was obtained on. Recycling is keyed to it: a
+    /// tensor dropped on any other thread releases its buffer to the
+    /// allocator instead of donating it to that thread's pool, so scratch
+    /// pools never exchange buffers across worker threads.
+    home: std::thread::ThreadId,
+}
+
+/// Clones allocate fresh storage on the *current* thread (and are tagged
+/// with it), so a clone of a worker-produced tensor recycles locally.
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor::assemble(self.shape.clone(), self.data.clone())
+    }
+}
+
+/// Equality is shape + contents; the home thread is bookkeeping, not value.
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 /// Dropping a tensor donates its storage to the thread-local scratch pool,
 /// so temporaries produced on the training hot path (op outputs, graph
 /// values, gradients) recycle instead of round-tripping the allocator. The
 /// pool's free list is capped, so this cannot grow memory without bound.
+/// Storage is only donated on the tensor's home thread (see
+/// [`ScratchPool`](crate::pool::ScratchPool)); elsewhere it is freed.
 impl Drop for Tensor {
     fn drop(&mut self) {
-        crate::pool::recycle(std::mem::take(&mut self.data));
+        crate::pool::recycle_from(self.home, std::mem::take(&mut self.data));
     }
 }
 
 impl Tensor {
+    /// Builds a tensor around `data`, tagging it with the current thread as
+    /// the storage's recycling home. All construction funnels through here.
+    #[inline]
+    pub(crate) fn assemble(shape: Shape, data: Vec<f32>) -> Self {
+        Tensor {
+            shape,
+            data,
+            home: crate::pool::current_thread(),
+        }
+    }
     /// Creates a tensor from a flat `Vec` and a shape.
     ///
     /// # Errors
@@ -54,15 +86,12 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor::assemble(shape, data))
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            shape: Shape::scalar(),
-            data: vec![value],
-        }
+        Tensor::assemble(Shape::scalar(), vec![value])
     }
 
     /// Creates a tensor filled with zeros (storage leased from the scratch
@@ -70,10 +99,8 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor {
-            shape,
-            data: crate::pool::lease(n),
-        }
+        let data = crate::pool::lease(n);
+        Tensor::assemble(shape, data)
     }
 
     /// Creates a tensor filled with ones.
@@ -85,18 +112,12 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor {
-            shape,
-            data: vec![value; n],
-        }
+        Tensor::assemble(shape, vec![value; n])
     }
 
     /// Creates a 1-D tensor `[0, 1, ..., n-1]` as `f32`.
     pub fn arange(n: usize) -> Self {
-        Tensor {
-            shape: Shape::from([n]),
-            data: (0..n).map(|i| i as f32).collect(),
-        }
+        Tensor::assemble(Shape::from([n]), (0..n).map(|i| i as f32).collect())
     }
 
     /// Creates a tensor whose element at multi-index `idx` is `f(idx)`.
@@ -108,7 +129,12 @@ impl Tensor {
             let idx = shape.unravel(flat);
             data.push(f(&idx));
         }
-        Tensor { shape, data }
+        Tensor::assemble(shape, data)
+    }
+
+    /// Thread that owns this tensor's storage for recycling purposes.
+    pub(crate) fn home(&self) -> std::thread::ThreadId {
+        self.home
     }
 
     /// The tensor's shape.
@@ -152,10 +178,7 @@ impl Tensor {
     /// `Graph` input), so steady-state clones reuse pooled buffers instead
     /// of allocating.
     pub fn clone_pooled(&self) -> Tensor {
-        Tensor {
-            data: crate::pool::lease_copy(&self.data),
-            shape: self.shape.clone(),
-        }
+        Tensor::assemble(self.shape.clone(), crate::pool::lease_copy(&self.data))
     }
 
     /// Copies `src`'s contents into this tensor without reallocating — the
@@ -224,10 +247,7 @@ impl Tensor {
                 actual: self.numel(),
             });
         }
-        Ok(Tensor {
-            shape,
-            data: self.data.clone(),
-        })
+        Ok(Tensor::assemble(shape, self.data.clone()))
     }
 
     /// In-place variant of [`reshape`](Tensor::reshape); avoids the copy.
@@ -249,10 +269,7 @@ impl Tensor {
 
     /// Flattens to a 1-D tensor without copying semantics changes.
     pub fn flatten(&self) -> Tensor {
-        Tensor {
-            shape: Shape::from([self.numel()]),
-            data: self.data.clone(),
-        }
+        Tensor::assemble(Shape::from([self.numel()]), self.data.clone())
     }
 
     /// Transposes a 2-D tensor (copies).
@@ -322,10 +339,7 @@ impl Tensor {
                 idx[ax] = 0;
             }
         }
-        Ok(Tensor {
-            shape: new_shape,
-            data: out,
-        })
+        Ok(Tensor::assemble(new_shape, out))
     }
 
     /// Extracts the `index`-th slice along `axis`, dropping that axis.
@@ -351,10 +365,7 @@ impl Tensor {
         for o in 0..outer {
             out.extend_from_slice(&self.data[(o * dim + index) * inner..][..inner]);
         }
-        Ok(Tensor {
-            shape: out_shape,
-            data: out,
-        })
+        Ok(Tensor::assemble(out_shape, out))
     }
 
     /// Returns the contiguous sub-tensor `[start, start+len)` along axis 0.

@@ -8,8 +8,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test -q"
-cargo test -q --workspace
+echo "==> cargo test -q (HERO_THREADS=1: sharded executor, one worker)"
+HERO_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test -q (HERO_THREADS=4: sharded executor, four workers)"
+HERO_THREADS=4 cargo test -q --workspace
 
 echo "==> cargo test -q (sanitize feature: pool + tape sanitizers)"
 cargo test -q -p hero-tensor --features sanitize
@@ -25,8 +28,24 @@ cargo fmt --all -- --check
 echo "==> scripts/lint.sh"
 scripts/lint.sh
 
-echo "==> bench smoke (step_cost --quick)"
-cargo bench -p hero-bench --bench step_cost -- --quick
+echo "==> bench smoke (step_cost --quick, HERO_THREADS=1 vs 4)"
+mkdir -p results
+# HERO_BENCH_OUT is resolved in the bench executable's working directory
+# (the crate dir under cargo), so pass absolute paths.
+HERO_THREADS=1 HERO_BENCH_OUT="$PWD/results/BENCH_step_t1.json" \
+  cargo bench -p hero-bench --bench step_cost -- --quick
+HERO_THREADS=4 HERO_BENCH_OUT="$PWD/results/BENCH_step_t4.json" \
+  cargo bench -p hero-bench --bench step_cost -- --quick
+# Keep the canonical artifact name pointing at the single-worker run.
+cp results/BENCH_step_t1.json results/BENCH_step.json
+# Diff the per-step cost rows between the two worker counts into an
+# artifact so CI surfaces the parallel step cost next to the serial one.
+grep '"name": "step_' results/BENCH_step_t1.json > results/.steps_t1 || true
+grep '"name": "step_' results/BENCH_step_t4.json > results/.steps_t4 || true
+diff -u results/.steps_t1 results/.steps_t4 > results/BENCH_step_threads.diff || true
+rm -f results/.steps_t1 results/.steps_t4
+echo "step-cost rows (1 thread vs 4 threads):"
+cat results/BENCH_step_threads.diff
 
 echo "==> observability overhead gate (disabled tracer vs obs-off build)"
 on_json="$(mktemp)"
