@@ -91,7 +91,7 @@ fn main() {
     let threads = threads_from_env().max(1);
     {
         let mut net = ModelKind::Resnet.build(model_config(preset), &mut StdRng::seed_from_u64(0));
-        let mut ctx = ParallelCtx::new(&net, threads);
+        let mut ctx = ParallelCtx::new(&net, threads).unwrap();
         let mut opt = Optimizer::new(MethodKind::Hero.tuned());
         let row = time_op("step_HERO_parallel", budget, || {
             train_step_parallel(&mut ctx, &mut net, &mut opt, &images, &labels, 0.01).unwrap();

@@ -50,7 +50,9 @@ pub fn train(
     // network replicas live across the whole run. With the shard count
     // fixed, the trajectory is bitwise identical for any worker count —
     // see DESIGN.md §11 and the parallel_equiv test suite.
-    let mut pctx = (config.threads > 0).then(|| ParallelCtx::new(net, config.threads));
+    let mut pctx = (config.threads > 0)
+        .then(|| ParallelCtx::new(net, config.threads))
+        .transpose()?;
 
     let mut aug_rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xA06));
     let mut epochs = Vec::with_capacity(config.epochs);
@@ -67,7 +69,7 @@ pub fn train(
         for batch in loader.epoch(train_set) {
             let aug = hero_obs::span("augment");
             let images = config.augment.apply(&batch.images, &mut aug_rng)?;
-            let _ = aug;
+            drop(aug);
             let lr = schedule.at(step);
             let stats = match pctx.as_mut() {
                 Some(ctx) => {

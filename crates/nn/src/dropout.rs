@@ -11,8 +11,11 @@ use hero_tensor::{Result, Tensor};
 /// probability `keep_prob` and scaled by `1/keep_prob`; at eval time the
 /// layer is the identity.
 ///
-/// The layer owns its RNG (seeded at construction) so training runs stay
-/// reproducible.
+/// The layer owns its RNG (seeded at construction) so serial training
+/// runs stay reproducible. That same owned RNG makes the layer
+/// [`Layer::rng_stateful`]: cloned replicas advance their RNG copies
+/// independently, so the data-parallel executor refuses networks that
+/// contain a masking dropout layer.
 #[derive(Debug, Clone)]
 pub struct Dropout {
     keep_prob: f32,
@@ -70,6 +73,12 @@ impl Layer for Dropout {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn rng_stateful(&self) -> bool {
+        // keep_prob == 1.0 short-circuits forward before any RNG draw, so
+        // only a masking configuration carries scheduling-sensitive state.
+        self.keep_prob < 1.0
     }
 }
 

@@ -33,7 +33,7 @@ pub fn loss_and_grads(net: &mut Network, x: &Tensor, labels: &[usize]) -> Result
     let (logits, vars) = net.forward(&mut g, x, true)?;
     let loss = g.cross_entropy(logits, labels)?;
     let loss_value = g.value(loss).item()?;
-    let _ = fwd;
+    drop(fwd);
     let _bwd = hero_obs::span("backward");
     let mut grads = g.backward(loss)?;
     let params = net.params();
@@ -73,7 +73,7 @@ pub fn loss_and_grads_smoothed(
     let (logits, vars) = net.forward(&mut g, x, true)?;
     let loss = g.cross_entropy_smoothed(logits, labels, eps)?;
     let loss_value = g.value(loss).item()?;
-    let _ = fwd;
+    drop(fwd);
     let _bwd = hero_obs::span("backward");
     let mut grads = g.backward(loss)?;
     let params = net.params();

@@ -83,9 +83,21 @@ pub trait Layer: std::fmt::Debug + Send {
     /// Deep-copies this layer behind a fresh box (object-safe `Clone`).
     ///
     /// Replicas carry independent parameter storage and layer state
-    /// (batch-norm running statistics, dropout RNG), which is exactly what
-    /// per-worker model replicas need.
+    /// (batch-norm running statistics), which is what per-worker model
+    /// replicas need. Layers whose state includes a forward-advancing RNG
+    /// (see [`Layer::rng_stateful`]) are rejected by the data-parallel
+    /// executor: each replica's RNG copy would advance on whichever worker
+    /// happens to run it, making results scheduling-dependent.
     fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// True when this layer (or any child) owns RNG state that advances
+    /// during training-mode forward passes — e.g. [`crate::Dropout`].
+    /// Such layers break the data-parallel executor's bitwise-determinism
+    /// contract, so `hero-parallel` refuses to replicate networks
+    /// containing them. Defaults to `false`.
+    fn rng_stateful(&self) -> bool {
+        false
+    }
 }
 
 impl Clone for Box<dyn Layer> {
@@ -233,6 +245,10 @@ impl Layer for Sequential {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
+
+    fn rng_stateful(&self) -> bool {
+        self.layers.iter().any(|l| l.rng_stateful())
+    }
 }
 
 /// A complete trainable network: a [`Sequential`] body whose output is the
@@ -312,6 +328,13 @@ impl Network {
     /// Total scalar parameter count.
     pub fn num_scalars(&self) -> usize {
         self.params().iter().map(Tensor::numel).sum()
+    }
+
+    /// True when any layer owns RNG state that advances during training
+    /// forwards (see [`Layer::rng_stateful`]); such networks cannot be
+    /// replicated by the data-parallel executor.
+    pub fn rng_stateful(&self) -> bool {
+        self.body.rng_stateful()
     }
 
     /// Computes logits for `x` without recording gradients (eval mode).

@@ -390,8 +390,11 @@ mod imp {
     use super::SpanEvent;
     use crate::summary::SummaryRow;
 
-    /// Inert guard — a zero-sized type with no `Drop` impl.
-    #[derive(Debug, Clone, Copy)]
+    /// Inert guard — a zero-sized type with no `Drop` impl. Deliberately
+    /// not `Copy`: callers close spans early with `drop(guard)`, which on
+    /// a `Copy` type would trip the `dropping_copy_types` lint under the
+    /// workspace's deny-warnings gate.
+    #[derive(Debug)]
     #[must_use = "a span measures the scope that holds its guard"]
     pub struct SpanGuard;
 

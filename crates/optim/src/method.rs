@@ -226,7 +226,7 @@ impl Optimizer {
         absorb(&mut ws.g, g_new);
         let reduce = hero_obs::span("reduce");
         let grad_norm = global_norm_l2(&ws.g);
-        let _ = reduce;
+        drop(reduce);
         let mut regularizer = 0.0;
         let mut grad_evals = 1;
 
@@ -240,7 +240,7 @@ impl Optimizer {
                 let perturb = hero_obs::span("perturb");
                 layer_scaled_direction_into(params, &ws.g, &mut ws.z);
                 perturbed_into(params, &ws.z, h, &mut ws.w_star)?;
-                let _ = perturb;
+                drop(perturb);
                 let (_, g_star) = oracle.grad(&ws.w_star)?;
                 grad_evals += 1;
                 absorb(&mut ws.total, g_star);
@@ -249,7 +249,7 @@ impl Optimizer {
                 let perturb = hero_obs::span("perturb");
                 regularizer = global_norm_l1(&ws.g);
                 sign_into(&ws.g, &mut ws.z);
-                let _ = perturb;
+                drop(perturb);
                 fd_hvp_into(
                     oracle,
                     params,
@@ -265,14 +265,14 @@ impl Optimizer {
                     t.axpy(lambda, hs)?;
                 }
                 std::mem::swap(&mut ws.total, &mut ws.g);
-                let _ = apply;
+                drop(apply);
             }
             Method::Hero { h, gamma } => {
                 // Algorithm 1, lines 6-11.
                 let perturb = hero_obs::span("perturb");
                 layer_scaled_direction_into(params, &ws.g, &mut ws.z);
                 perturbed_into(params, &ws.z, h, &mut ws.w_star)?;
-                let _ = perturb;
+                drop(perturb);
                 let (_, g_star) = oracle.grad(&ws.w_star)?;
                 grad_evals += 1;
                 absorb(&mut ws.g_star, g_star);
@@ -280,7 +280,7 @@ impl Optimizer {
                 let reduce = hero_obs::span("reduce");
                 diff_into(&ws.g_star, &ws.g, &mut ws.d)?;
                 regularizer = ws.d.iter().map(Tensor::norm_l2_sq).sum();
-                let _ = reduce;
+                drop(reduce);
                 // ∇G(W*) = 2 H(W*) d, via FD-HVP around W*.
                 fd_hvp_into(
                     oracle,
@@ -297,7 +297,7 @@ impl Optimizer {
                     t.axpy(2.0 * gamma, hdi)?;
                 }
                 std::mem::swap(&mut ws.total, &mut ws.g_star);
-                let _ = apply;
+                drop(apply);
             }
         };
 

@@ -18,8 +18,9 @@ pub struct BatchOracle<'a> {
     x: &'a Tensor,
     labels: &'a [usize],
     /// When set, gradients are evaluated over this contiguous sample
-    /// range only — the shard-range view the data-parallel executor's
-    /// workers evaluate.
+    /// range only. Note: the data-parallel executor does NOT use this —
+    /// its `ShardedOracle` precomputes per-shard tensor views instead;
+    /// see [`BatchOracle::with_range`].
     range: Option<(usize, usize)>,
     calls: usize,
 }
@@ -38,6 +39,11 @@ impl<'a> BatchOracle<'a> {
 
     /// Builder: restricts the oracle to the shard `[start, start + len)`
     /// of the batch. Loss and gradients become the *shard* means.
+    ///
+    /// This is a serial reference implementation of shard-mean math, kept
+    /// for unit tests and experiments. The data-parallel executor
+    /// (`hero_parallel::ShardedOracle`) does not call it: workers there
+    /// receive precomputed per-shard tensor views instead.
     ///
     /// # Errors
     ///
@@ -65,7 +71,7 @@ impl GradOracle for BatchOracle<'_> {
         hero_obs::counters::GRAD_EVALS.incr();
         let sync = hero_obs::span("sync");
         self.net.set_params(params)?;
-        let _ = sync;
+        drop(sync);
         // Only the first evaluation of a step sees the unperturbed weights;
         // SAM/GRAD-L1/HERO evaluate additional gradients at *shifted*
         // weights, which must not contaminate the batch-norm running
@@ -109,7 +115,7 @@ pub fn train_step(
         .iter()
         .map(|i| i.kind.is_decayed())
         .collect();
-    let _ = sync;
+    drop(sync);
     let stats = {
         let mut oracle = BatchOracle::new(net, x, labels);
         optimizer.step(&mut oracle, &mut params, &decay_mask, lr)?

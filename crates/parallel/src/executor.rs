@@ -60,26 +60,44 @@ pub struct ParallelCtx {
 impl ParallelCtx {
     /// Spawns `threads` persistent workers, each with a replica of `net`.
     ///
+    /// # Errors
+    ///
+    /// Returns an error when the network contains a stateful-RNG layer
+    /// (e.g. masking dropout): replica RNG copies would advance on
+    /// whichever worker runs each shard job, making the trajectory depend
+    /// on scheduling and breaking the bitwise-determinism contract.
+    ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
-    pub fn new(net: &Network, threads: usize) -> Self {
+    pub fn new(net: &Network, threads: usize) -> Result<Self> {
         assert!(threads > 0, "parallel context needs at least one worker");
+        if net.rng_stateful() {
+            return Err(TensorError::InvalidArgument(format!(
+                "network '{}' contains a stateful-RNG layer (e.g. dropout); \
+                 the data-parallel executor cannot replicate it deterministically",
+                net.name()
+            )));
+        }
         let states = (0..threads)
             .map(|_| WorkerState { net: net.clone() })
             .collect();
-        ParallelCtx {
+        Ok(ParallelCtx {
             pool: WorkerPool::new(states),
             shards: DEFAULT_SHARDS,
-        }
+        })
     }
 
-    /// Builds a context from `HERO_THREADS`; `None` when the variable does
-    /// not select the parallel path.
-    pub fn from_env(net: &Network) -> Option<Self> {
+    /// Builds a context from `HERO_THREADS`; `Ok(None)` when the variable
+    /// does not select the parallel path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParallelCtx::new`] errors (stateful-RNG networks).
+    pub fn from_env(net: &Network) -> Result<Option<Self>> {
         match threads_from_env() {
-            0 => None,
-            t => Some(ParallelCtx::new(net, t)),
+            0 => Ok(None),
+            t => ParallelCtx::new(net, t).map(Some),
         }
     }
 
@@ -198,7 +216,7 @@ impl GradOracle for ShardedOracle<'_> {
         let wait = Instant::now();
         let results = self.ctx.pool.scatter(jobs).map_err(pool_error)?;
         hero_obs::counters::REDUCE_WAIT_NS.add(wait.elapsed().as_nanos() as u64);
-        let _ = scatter;
+        drop(scatter);
 
         let _reduce = hero_obs::span("reduce");
         let shard_grads = results.into_iter().collect::<Result<Vec<ShardGrad>>>()?;
@@ -232,14 +250,14 @@ pub fn train_step_parallel(
         .iter()
         .map(|i| i.kind.is_decayed())
         .collect();
-    let _ = sync;
+    drop(sync);
     let stats = {
         let mut oracle = ShardedOracle::new(ctx, x, labels)?;
         optimizer.step(&mut oracle, &mut params, &decay_mask, lr)?
     };
     let sync = hero_obs::span("sync");
     net.set_params(&params)?;
-    let _ = sync;
+    drop(sync);
     // Worker replicas keep their batch-norm running statistics frozen (a
     // per-replica update order would depend on job scheduling), so the
     // canonical network must refresh its own: one training-mode forward

@@ -39,7 +39,7 @@
 //! let mut net = mlp(cfg, &[8], &mut StdRng::seed_from_u64(0));
 //! let x = Tensor::from_fn([8, 1, 2, 2], |i| i[0] as f32 * 0.1);
 //! let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
-//! let mut ctx = ParallelCtx::new(&net, 2);
+//! let mut ctx = ParallelCtx::new(&net, 2)?;
 //! let mut opt = Optimizer::new(Method::Sgd);
 //! let stats = train_step_parallel(&mut ctx, &mut net, &mut opt, &x, &labels, 0.1)?;
 //! assert!(stats.loss.is_finite());

@@ -4,7 +4,7 @@
 //! thread count. Also exercises the executor's clean-error paths.
 
 use hero_nn::models::{mlp, ModelConfig};
-use hero_nn::Network;
+use hero_nn::{Dropout, Flatten, Linear, Network, Sequential};
 use hero_optim::{Method, Optimizer};
 use hero_parallel::{train_step_parallel, ParallelCtx, ShardedOracle};
 use hero_tensor::rng::{Rng, StdRng};
@@ -35,7 +35,7 @@ fn param_bits(net: &Network) -> Vec<u32> {
 
 fn run_steps(method: Method, threads: usize, steps: usize) -> (Vec<u32>, Vec<u32>) {
     let (mut net, x, labels) = toy();
-    let mut ctx = ParallelCtx::new(&net, threads);
+    let mut ctx = ParallelCtx::new(&net, threads).unwrap();
     let mut opt = Optimizer::new(method)
         .with_momentum(0.9)
         .with_weight_decay(1e-4);
@@ -79,7 +79,7 @@ fn weight_trajectories_are_bitwise_identical_across_thread_counts() {
 #[test]
 fn parallel_training_reduces_loss() {
     let (mut net, x, labels) = toy();
-    let mut ctx = ParallelCtx::new(&net, 3);
+    let mut ctx = ParallelCtx::new(&net, 3).unwrap();
     let mut opt = Optimizer::new(Method::Hero {
         h: 0.05,
         gamma: 0.1,
@@ -102,7 +102,7 @@ fn shard_count_override_changes_plan_but_stays_deterministic() {
     let (net, x, labels) = toy();
     let run = |threads: usize| {
         let (mut net, x, labels) = (net.clone(), x.clone(), labels.clone());
-        let mut ctx = ParallelCtx::new(&net, threads).with_shards(3);
+        let mut ctx = ParallelCtx::new(&net, threads).unwrap().with_shards(3);
         let mut opt = Optimizer::new(Method::Sgd);
         for _ in 0..4 {
             train_step_parallel(&mut ctx, &mut net, &mut opt, &x, &labels, 0.1).unwrap();
@@ -116,7 +116,7 @@ fn shard_count_override_changes_plan_but_stays_deterministic() {
 #[test]
 fn mismatched_labels_surface_as_clean_error() {
     let (mut net, x, _) = toy();
-    let mut ctx = ParallelCtx::new(&net, 2);
+    let mut ctx = ParallelCtx::new(&net, 2).unwrap();
     let short_labels = vec![0usize; 3];
     let err = ShardedOracle::new(&mut ctx, &x, &short_labels).unwrap_err();
     let msg = err.to_string();
@@ -130,8 +130,31 @@ fn mismatched_labels_surface_as_clean_error() {
 #[test]
 fn empty_batch_is_rejected() {
     let (mut net, _, _) = toy();
-    let mut ctx = ParallelCtx::new(&net, 1);
+    let mut ctx = ParallelCtx::new(&net, 1).unwrap();
     let x = Tensor::zeros([0, 3, 4, 4]);
     assert!(ShardedOracle::new(&mut ctx, &x, &[]).is_err());
     let _ = &mut net;
+}
+
+#[test]
+fn stateful_rng_network_is_rejected() {
+    // A masking dropout layer owns an RNG that advances per forward pass;
+    // replicas would advance their copies on whichever worker runs them,
+    // so the executor must refuse to build a context for such a network.
+    let body = Sequential::new()
+        .push("flatten", Flatten)
+        .push("fc", Linear::new(48, 4, &mut StdRng::seed_from_u64(3)))
+        .push("drop", Dropout::new(0.5, 9));
+    let net = Network::new("dropout-net", body);
+    let err = ParallelCtx::new(&net, 2).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("stateful-RNG"), "{msg}");
+
+    // keep_prob == 1.0 never draws from the RNG, so it stays eligible.
+    let inert = Sequential::new()
+        .push("flatten", Flatten)
+        .push("fc", Linear::new(48, 4, &mut StdRng::seed_from_u64(3)))
+        .push("drop", Dropout::new(1.0, 9));
+    let net = Network::new("inert-dropout-net", inert);
+    assert!(ParallelCtx::new(&net, 2).is_ok());
 }
