@@ -1,5 +1,6 @@
 //! Structured diagnostics emitted by the tape verifier.
 
+use crate::interval::Interval;
 use std::fmt;
 
 /// How serious a finding is.
@@ -44,6 +45,8 @@ pub enum DiagCode {
     LabelCountMismatch,
     /// A saved routing index (max-pool argmax) points outside its source.
     ArgIndexOutOfRange,
+    /// A node records the wrong number of operands for its op.
+    ArityMismatch,
     /// The node cannot reach any root (its value is computed and thrown
     /// away).
     DeadNode,
@@ -52,6 +55,23 @@ pub enum DiagCode {
     /// The subgraph rooted here depends on no variable input and could be
     /// computed once instead of every step.
     ConstantFoldable,
+    /// The node's statically derived value interval exceeds the
+    /// representable uniform-quantization range at one of the requested
+    /// bit widths — post-training quantization would clip it.
+    QuantClipRisk,
+    /// The node's input interval lies entirely inside a zero-gradient
+    /// region of its activation (ReLU/ReLU6/sigmoid/tanh), so the backward
+    /// pass through it is statically dead.
+    SaturationDeadZone,
+    /// The accumulated gradient-magnitude bound crosses the configured
+    /// explosion threshold at this node.
+    ScaleExplosion,
+    /// The accumulated gradient-magnitude bound falls below the configured
+    /// vanishing threshold at this node.
+    ScaleVanishing,
+    /// The interval pass derived a range reaching ±inf or NaN for this
+    /// node.
+    NonFiniteRange,
 }
 
 impl DiagCode {
@@ -70,18 +90,27 @@ impl DiagCode {
             DiagCode::PoolGeometryMismatch => "pool-geometry-mismatch",
             DiagCode::LabelCountMismatch => "label-count-mismatch",
             DiagCode::ArgIndexOutOfRange => "arg-index-out-of-range",
+            DiagCode::ArityMismatch => "arity-mismatch",
             DiagCode::DeadNode => "dead-node",
             DiagCode::UnusedParameter => "unused-parameter",
             DiagCode::ConstantFoldable => "constant-foldable",
+            DiagCode::QuantClipRisk => "quant-clip-risk",
+            DiagCode::SaturationDeadZone => "saturation-dead-zone",
+            DiagCode::ScaleExplosion => "scale-explosion",
+            DiagCode::ScaleVanishing => "scale-vanishing",
+            DiagCode::NonFiniteRange => "non-finite-range",
         }
     }
 
     /// The severity class this code always carries.
     pub fn severity(self) -> Severity {
         match self {
-            DiagCode::DeadNode | DiagCode::UnusedParameter | DiagCode::ConstantFoldable => {
-                Severity::Warning
-            }
+            DiagCode::DeadNode
+            | DiagCode::UnusedParameter
+            | DiagCode::ConstantFoldable
+            | DiagCode::QuantClipRisk
+            | DiagCode::ScaleExplosion
+            | DiagCode::ScaleVanishing => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -133,6 +162,18 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Per-node results of the value-level passes, kept on the [`Report`] so
+/// renderers (the colored DOT output, the CLI pre-flight) can show ranges
+/// next to diagnostics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValueAnalysis {
+    /// Forward interval per tape node (index-aligned with the tape).
+    pub intervals: Vec<Interval>,
+    /// Backward gradient-magnitude upper bound per tape node; `0` for
+    /// nodes the loss cannot reach.
+    pub grad_bounds: Vec<f32>,
+}
+
 /// Everything the analyzer found on one tape.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
@@ -140,6 +181,9 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of nodes inspected.
     pub nodes: usize,
+    /// Results of the value-level passes, when they ran (value options
+    /// supplied and no structural errors blocked them).
+    pub value: Option<ValueAnalysis>,
 }
 
 impl Report {

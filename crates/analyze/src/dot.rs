@@ -1,0 +1,73 @@
+//! Graphviz rendering of an analyzed tape, colored by interval width.
+//!
+//! Nodes are filled on a white→orange→red ramp by the width of their
+//! derived value interval (log-bucketed), with non-finite ranges in dark
+//! red — a range blow-up is visible at a glance in the rendered graph.
+//! Nodes carrying diagnostics get a thick border (red for errors, orange
+//! for warnings).
+
+use crate::diag::{Report, Severity};
+use hero_autodiff::NodeTrace;
+
+/// Fill color for an interval-width bucket.
+fn fill_for(width: f32, finite: bool) -> (&'static str, &'static str) {
+    if !finite {
+        return ("#99000d", "white");
+    }
+    let fill = if width < 1.0 {
+        "#f7f7f7"
+    } else if width < 8.0 {
+        "#fee8c8"
+    } else if width < 64.0 {
+        "#fdbb84"
+    } else {
+        "#e34a33"
+    };
+    (fill, "black")
+}
+
+/// Renders `tape` as a Graphviz `digraph`, coloring each node by the
+/// width of its interval from `report.value` (plain gray when the value
+/// passes did not run) and annotating ranges, gradient bounds and
+/// diagnostics.
+pub fn to_dot_colored(tape: &[NodeTrace], report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out =
+        String::from("digraph tape {\n  rankdir=TB;\n  node [shape=box, style=filled];\n");
+    for (i, node) in tape.iter().enumerate() {
+        let mut label = format!("#{i} {}\\n{:?}", node.op, node.shape);
+        let (fill, font) = match &report.value {
+            Some(v) => {
+                let iv = v.intervals.get(i).copied().unwrap_or_default();
+                let _ = write!(label, "\\n[{:.3e}, {:.3e}]", iv.lo, iv.hi);
+                if let Some(g) = v.grad_bounds.get(i) {
+                    let _ = write!(label, " g\u{2264}{g:.2e}");
+                }
+                fill_for(iv.width(), iv.is_finite())
+            }
+            None => ("#d9d9d9", "black"),
+        };
+        let severity = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.node == i)
+            .map(|d| d.severity())
+            .max();
+        let border = match severity {
+            Some(Severity::Error) => ", color=red, penwidth=3",
+            Some(Severity::Warning) => ", color=orange, penwidth=3",
+            None => "",
+        };
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{label}\", fillcolor=\"{fill}\", fontcolor={font}{border}];"
+        );
+        for &p in &node.parents {
+            if p < i {
+                let _ = writeln!(out, "  n{p} -> n{i};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}

@@ -15,6 +15,11 @@
 //!   parameter shapes, loss label counts.
 //! * **Dataflow** — dead nodes, unused parameters, constant-foldable
 //!   subgraphs.
+//! * **Values** (opt-in via [`ValueOptions`]) — a forward interval-domain
+//!   pass propagating sound per-node value ranges from seeded input
+//!   statistics, and a backward scale pass bounding gradient magnitudes
+//!   from the loss roots. These feed the quantization-clip, dead-zone,
+//!   gradient explosion/vanishing and non-finite-range lints.
 //!
 //! Findings come back as structured [`Diagnostic`]s (node index, op name,
 //! provenance chain) in a [`Report`] instead of a panic mid-step.
@@ -37,12 +42,50 @@
 #![warn(missing_docs)]
 
 mod diag;
+mod dot;
+mod interval;
 mod liveness;
+mod scalepass;
 mod verify;
 
-pub use diag::{DiagCode, Diagnostic, Report, Severity};
+pub use diag::{DiagCode, Diagnostic, Report, Severity, ValueAnalysis};
+pub use dot::to_dot_colored;
+pub use interval::{interval_pass, quant_clip_risk, Interval, RangeSeed};
 
 use hero_autodiff::{Graph, NodeTrace, Var};
+
+/// Configuration for the value-level passes (forward intervals + backward
+/// gradient-scale bounds) and the lints built on them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueOptions {
+    /// Declared value ranges for input leaves. Inputs without a seed are
+    /// unbounded and will be flagged [`DiagCode::NonFiniteRange`].
+    pub seeds: Vec<RangeSeed>,
+    /// Bit widths to check for [`DiagCode::QuantClipRisk`]; empty
+    /// disables the lint.
+    pub quant_bits: Vec<u8>,
+    /// Symmetric clip range for the quantization lint. `None` derives it
+    /// from the largest seed magnitude (the shared "input grid" policy).
+    pub quant_max_abs: Option<f32>,
+    /// Gradient-magnitude bound above which [`DiagCode::ScaleExplosion`]
+    /// fires. The default (1e30) only trips on overflow-bound paths.
+    pub explode_threshold: f32,
+    /// Gradient-magnitude bound below which [`DiagCode::ScaleVanishing`]
+    /// fires. The default (1e-30) only trips on statically dead paths.
+    pub vanish_threshold: f32,
+}
+
+impl Default for ValueOptions {
+    fn default() -> Self {
+        ValueOptions {
+            seeds: Vec::new(),
+            quant_bits: Vec::new(),
+            quant_max_abs: None,
+            explode_threshold: 1e30,
+            vanish_threshold: 1e-30,
+        }
+    }
+}
 
 /// What the analyzer should treat as outputs and as per-step-varying
 /// inputs.
@@ -56,6 +99,10 @@ pub struct AnalyzeOptions {
     /// constant-folding detection; `Some(vec![])` treats every input as
     /// constant.
     pub variable_inputs: Option<Vec<usize>>,
+    /// Enables the value-level passes when present. They are skipped (and
+    /// [`Report::value`] stays `None`) if structural/shape errors exist,
+    /// since value transfer functions assume a well-formed tape.
+    pub value: Option<ValueOptions>,
 }
 
 impl AnalyzeOptions {
@@ -64,6 +111,34 @@ impl AnalyzeOptions {
         AnalyzeOptions {
             roots,
             variable_inputs: None,
+            value: None,
+        }
+    }
+}
+
+/// Options for [`verify_graph_with`]: the value-lint knobs, with seeds
+/// taken from the live graph's recorded input statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyOptions {
+    /// Bit widths for the quantization-clip lint; empty disables it.
+    pub quant_bits: Vec<u8>,
+    /// Clip range for the quantization lint (`None`: largest input
+    /// magnitude).
+    pub quant_max_abs: Option<f32>,
+    /// Gradient explosion threshold.
+    pub explode_threshold: f32,
+    /// Gradient vanishing threshold.
+    pub vanish_threshold: f32,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        let v = ValueOptions::default();
+        VerifyOptions {
+            quant_bits: v.quant_bits,
+            quant_max_abs: v.quant_max_abs,
+            explode_threshold: v.explode_threshold,
+            vanish_threshold: v.vanish_threshold,
         }
     }
 }
@@ -74,17 +149,100 @@ pub fn analyze(tape: &[NodeTrace], opts: &AnalyzeOptions) -> Report {
     // The dataflow passes assume backward edges; they skip malformed ones
     // themselves, so they can run even when structure errors exist.
     diagnostics.extend(liveness::liveness_pass(tape, opts));
+    let mut value = None;
+    if let Some(vopts) = &opts.value {
+        // Value transfer functions assume well-formed nodes; any
+        // error-severity structural/shape finding blocks them.
+        if !diagnostics.iter().any(|d| d.severity() == Severity::Error) {
+            let intervals = interval::interval_pass(tape, &vopts.seeds);
+            diagnostics.extend(interval::interval_diags(tape, &intervals, vopts));
+            let consumers = liveness::consumer_lists(tape);
+            let roots = liveness::roots(tape, &consumers, opts);
+            let (bounds, reachable) = scalepass::scale_pass(tape, &intervals, &roots);
+            diagnostics.extend(scalepass::scale_diags(
+                tape,
+                &bounds,
+                &reachable,
+                &consumers,
+                &roots,
+                vopts.explode_threshold,
+                vopts.vanish_threshold,
+            ));
+            value = Some(ValueAnalysis {
+                intervals,
+                grad_bounds: bounds.iter().map(|&b| b as f32).collect(),
+            });
+        }
+    }
     diagnostics.sort_by_key(|d| d.node);
     Report {
         diagnostics,
         nodes: tape.len(),
+        value,
     }
 }
 
-/// Verifies a live [`Graph`] with the given output variables as roots.
+/// Verifies a live [`Graph`] with the given output variables as roots,
+/// including the value-level passes seeded from the graph's recorded
+/// input min/max statistics (default lint thresholds; quantization lint
+/// off).
 pub fn verify_graph(g: &Graph, roots: &[Var]) -> Report {
-    let opts = AnalyzeOptions::with_roots(roots.iter().map(Var::index).collect());
-    analyze(&g.trace(), &opts)
+    verify_graph_with(g, roots, &VerifyOptions::default())
+}
+
+/// [`verify_graph`] with explicit value-lint options (e.g. the bit widths
+/// an upcoming quantization sweep will use).
+pub fn verify_graph_with(g: &Graph, roots: &[Var], opts: &VerifyOptions) -> Report {
+    let seeds = g
+        .input_ranges()
+        .into_iter()
+        .map(|(node, lo, hi)| RangeSeed { node, lo, hi })
+        .collect();
+    let aopts = AnalyzeOptions {
+        roots: roots.iter().map(Var::index).collect(),
+        variable_inputs: None,
+        value: Some(ValueOptions {
+            seeds,
+            quant_bits: opts.quant_bits.clone(),
+            quant_max_abs: opts.quant_max_abs,
+            explode_threshold: opts.explode_threshold,
+            vanish_threshold: opts.vanish_threshold,
+        }),
+    };
+    analyze(&g.trace(), &aopts)
+}
+
+impl Report {
+    /// Publishes the report through `hero-obs`: bumps the
+    /// `analyze_diags_{error,warn}` counters and, when a structured run
+    /// is active, emits an `analyze_report` JSONL event tagged with
+    /// `context`.
+    pub fn emit_obs(&self, context: &str) {
+        let errors = self.errors().count() as u64;
+        let warnings = self.warnings().count() as u64;
+        hero_obs::counters::ANALYZE_DIAGS_ERROR.add(errors);
+        hero_obs::counters::ANALYZE_DIAGS_WARN.add(warnings);
+        if hero_obs::run_active() {
+            let mut codes: Vec<String> = self
+                .diagnostics
+                .iter()
+                .map(|d| d.code.name().to_string())
+                .collect();
+            codes.sort();
+            codes.dedup();
+            hero_obs::Event::new("analyze_report")
+                .str("context", context)
+                .u64("nodes", self.nodes as u64)
+                .u64("errors", errors)
+                .u64("warnings", warnings)
+                .str("codes", &codes.join(","))
+                .human(format!(
+                    "analyze[{context}]: {} nodes, {errors} errors, {warnings} warnings",
+                    self.nodes
+                ))
+                .emit();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +309,7 @@ mod tests {
         let opts = AnalyzeOptions {
             roots: vec![loss.index()],
             variable_inputs: Some(vec![data.index()]),
+            value: None,
         };
         let report = analyze(&g.trace(), &opts);
         assert!(!report.has_errors(), "{report}");

@@ -7,7 +7,7 @@ use crate::AnalyzeOptions;
 use hero_autodiff::NodeTrace;
 
 /// Consumers of each node, considering only well-formed (backward) edges.
-fn consumer_lists(tape: &[NodeTrace]) -> Vec<Vec<usize>> {
+pub(crate) fn consumer_lists(tape: &[NodeTrace]) -> Vec<Vec<usize>> {
     let mut consumers = vec![Vec::new(); tape.len()];
     for (i, node) in tape.iter().enumerate() {
         for &p in &node.parents {
@@ -21,7 +21,11 @@ fn consumer_lists(tape: &[NodeTrace]) -> Vec<Vec<usize>> {
 
 /// The root set: explicit roots when given (invalid indices ignored),
 /// otherwise every sink (node nothing consumes).
-fn roots(tape: &[NodeTrace], consumers: &[Vec<usize>], opts: &AnalyzeOptions) -> Vec<usize> {
+pub(crate) fn roots(
+    tape: &[NodeTrace],
+    consumers: &[Vec<usize>],
+    opts: &AnalyzeOptions,
+) -> Vec<usize> {
     if opts.roots.is_empty() {
         (0..tape.len())
             .filter(|&i| consumers[i].is_empty())

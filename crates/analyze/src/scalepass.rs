@@ -1,0 +1,313 @@
+//! Backward scale-factor dataflow: per-node upper bounds on the gradient
+//! magnitude `|∂loss/∂node|`, propagated from the loss roots through
+//! per-op Jacobian-magnitude multipliers.
+//!
+//! The bound at a root is `1` (the seed adjoint `backward` injects); each
+//! op contributes `bound(parent) += bound(node) · mult(op, slot)`, where
+//! `mult` bounds the largest entry of `|∂node/∂parent|` times the fan-in
+//! a single parent element can receive (broadcast reduction sums
+//! `numel(node)/numel(parent)` adjoint terms into one slot). Element
+//! ranges come from the forward interval pass, so e.g. `mul`'s multiplier
+//! is the co-operand's `abs_max`.
+//!
+//! Bounds are computed in `f64` with a small multiplicative headroom for
+//! `f32` rounding in the real backward pass. They are *upper* bounds:
+//! [`DiagCode::ScaleVanishing`] (bound below threshold) is a sound claim
+//! that gradients are small, while [`DiagCode::ScaleExplosion`] (bound
+//! above threshold) is advisory — the bound may be loose. Both report at
+//! the first node whose bound crosses the threshold walking backward from
+//! the roots, not at every node past it.
+
+use crate::diag::{DiagCode, Diagnostic};
+use crate::interval::Interval;
+use crate::verify::provenance;
+use hero_autodiff::{NodeTrace, TraceDetail};
+
+/// Multiplicative headroom covering `f32` rounding of the concrete
+/// backward products the bounds model.
+const HEADROOM: f64 = 1.0 + 1e-6;
+
+fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Upper bounds on the per-parent Jacobian-magnitude multipliers of node
+/// `i`, aligned with its parent slots.
+fn parent_multipliers(tape: &[NodeTrace], i: usize, intervals: &[Interval]) -> Vec<f64> {
+    let node = &tape[i];
+    let iv = |slot: usize| -> Interval {
+        node.parents
+            .get(slot)
+            .filter(|&&p| p < i)
+            .map_or(Interval::TOP, |&p| intervals[p])
+    };
+    let pshape = |slot: usize| -> &[usize] {
+        node.parents
+            .get(slot)
+            .filter(|&&p| p < i)
+            .map_or(&[][..], |&p| &tape[p].shape)
+    };
+    // Broadcast fan-in: adjoint terms summed into one element of `slot`.
+    let fan = |slot: usize| -> f64 {
+        let np = numel(pshape(slot)).max(1);
+        (numel(&node.shape).max(1) as f64 / np as f64).max(1.0)
+    };
+    let scalar_c = match node.detail {
+        TraceDetail::Scalar { c } => Some(c as f64),
+        _ => None,
+    };
+    let raw: Vec<f64> = match node.op {
+        "input" => vec![],
+        "add" | "sub" => vec![fan(0), fan(1)],
+        "mul" => vec![
+            fan(0) * iv(1).abs_max() as f64,
+            fan(1) * iv(0).abs_max() as f64,
+        ],
+        "scale" => vec![scalar_c.map_or(f64::INFINITY, f64::abs)],
+        "add_scalar" | "reshape" | "sum" | "max_pool2d" => vec![1.0],
+        "matmul" => {
+            // dA = dC B^T sums over B's columns; dB = A^T dC over A's rows.
+            let n = pshape(1).get(1).copied().unwrap_or(0).max(1) as f64;
+            let m = pshape(0).first().copied().unwrap_or(0).max(1) as f64;
+            vec![n * iv(1).abs_max() as f64, m * iv(0).abs_max() as f64]
+        }
+        "relu" => {
+            let x = iv(0);
+            vec![if !x.maybe_nan && x.hi <= 0.0 {
+                0.0
+            } else {
+                1.0
+            }]
+        }
+        "relu6" => {
+            let x = iv(0);
+            let dead = !x.maybe_nan && (x.hi <= 0.0 || x.lo >= 6.0);
+            vec![if dead { 0.0 } else { 1.0 }]
+        }
+        "square" => vec![2.0 * iv(0).abs_max() as f64],
+        "mean" => vec![1.0 / numel(pshape(0)).max(1) as f64],
+        "conv2d" => {
+            let (k, out_c) = match node.detail {
+                TraceDetail::Conv { geom } => (
+                    geom.kernel as f64,
+                    node.shape.get(1).copied().unwrap_or(1) as f64,
+                ),
+                _ => return vec![f64::INFINITY; node.parents.len()],
+            };
+            let positions = node.shape.first().copied().unwrap_or(1) as f64
+                * node.shape.get(2).copied().unwrap_or(1) as f64
+                * node.shape.get(3).copied().unwrap_or(1) as f64;
+            vec![
+                out_c * k * k * iv(1).abs_max() as f64,
+                positions * iv(0).abs_max() as f64,
+            ]
+        }
+        "depthwise_conv2d" => {
+            let k = match node.detail {
+                TraceDetail::Conv { geom } => geom.kernel as f64,
+                _ => return vec![f64::INFINITY; node.parents.len()],
+            };
+            let positions = node.shape.first().copied().unwrap_or(1) as f64
+                * node.shape.get(2).copied().unwrap_or(1) as f64
+                * node.shape.get(3).copied().unwrap_or(1) as f64;
+            vec![
+                k * k * iv(1).abs_max() as f64,
+                positions * iv(0).abs_max() as f64,
+            ]
+        }
+        "batch_norm" => {
+            // dx = γ·inv_std·(dy − mean(dy) − xhat·mean(dy·xhat)); with
+            // rms(xhat) <= 1 and |xhat| <= sqrt(M): |dx| <= γ·s·(2+√M)·g.
+            // dγ = Σ dy·xhat <= M·g (Cauchy-Schwarz); dβ = Σ dy <= M·g.
+            let xs = pshape(0);
+            let m = if xs.len() == 4 {
+                (xs[0] * xs[2] * xs[3]) as f64
+            } else {
+                1.0
+            };
+            let inv_std_max = match node.detail {
+                TraceDetail::BatchNorm { inv_std_max } => inv_std_max as f64,
+                _ => f64::INFINITY,
+            };
+            let gmax = iv(1).abs_max() as f64;
+            vec![gmax * inv_std_max * (2.0 + m.sqrt()), m, m]
+        }
+        "avg_pool2d" => match node.detail {
+            TraceDetail::AvgPool { k } => vec![1.0 / ((k * k).max(1) as f64)],
+            _ => vec![f64::INFINITY],
+        },
+        "global_avg_pool2d" => {
+            let xs = pshape(0);
+            let hw = if xs.len() == 4 { xs[2] * xs[3] } else { 1 };
+            vec![1.0 / hw.max(1) as f64]
+        }
+        "cross_entropy" | "cross_entropy_smoothed" => {
+            // dlogits = (softmax − target)/batch; |softmax − target| <= 1.
+            let batch = pshape(0).first().copied().unwrap_or(1).max(1) as f64;
+            vec![1.0 / batch]
+        }
+        "sigmoid" => {
+            let x = iv(0);
+            let d = if x.maybe_nan || (x.lo <= 0.0 && x.hi >= 0.0) {
+                0.25
+            } else {
+                let at = if x.lo > 0.0 { x.lo } else { x.hi } as f64;
+                let s = 1.0 / (1.0 + (-at).exp());
+                s * (1.0 - s)
+            };
+            vec![d]
+        }
+        "tanh" => {
+            let x = iv(0);
+            let d = if x.maybe_nan || (x.lo <= 0.0 && x.hi >= 0.0) {
+                1.0
+            } else {
+                let at = if x.lo > 0.0 { x.lo } else { x.hi } as f64;
+                let t = at.tanh();
+                1.0 - t * t
+            };
+            vec![d]
+        }
+        "leaky_relu" => {
+            let s = scalar_c.map_or(f64::INFINITY, f64::abs);
+            let x = iv(0);
+            if x.maybe_nan {
+                vec![s.max(1.0)]
+            } else if x.hi <= 0.0 {
+                vec![s]
+            } else if x.lo >= 0.0 {
+                vec![1.0]
+            } else {
+                vec![s.max(1.0)]
+            }
+        }
+        "ln" => {
+            let x = iv(0);
+            let d = if x.lo > 0.0 {
+                1.0 / x.lo as f64
+            } else if x.hi < 0.0 {
+                1.0 / x.hi.abs() as f64
+            } else {
+                f64::INFINITY
+            };
+            vec![d]
+        }
+        "dropout" => match node.detail {
+            TraceDetail::Dropout { max_scale } => vec![max_scale as f64],
+            _ => vec![f64::INFINITY],
+        },
+        "mse_loss" => {
+            let d = match node.detail {
+                TraceDetail::Mse {
+                    target_lo,
+                    target_hi,
+                } => {
+                    let t = Interval::of(target_lo, target_hi);
+                    let lo = iv(0).lo - t.hi;
+                    let hi = iv(0).hi - t.lo;
+                    if iv(0).maybe_nan {
+                        f64::INFINITY
+                    } else {
+                        lo.abs().max(hi.abs()) as f64
+                    }
+                }
+                _ => f64::INFINITY,
+            };
+            vec![2.0 * d / numel(pshape(0)).max(1) as f64]
+        }
+        // Unknown op: no Jacobian model; propagate "unbounded".
+        _ => vec![f64::INFINITY; node.parents.len()],
+    };
+    raw.into_iter().map(|m| m * HEADROOM).collect()
+}
+
+/// Runs the backward scale pass. Returns `(bounds, reachable)`: the
+/// per-node gradient-magnitude upper bound (0 for unreached nodes) and
+/// whether each node can reach a root.
+pub(crate) fn scale_pass(
+    tape: &[NodeTrace],
+    intervals: &[Interval],
+    roots: &[usize],
+) -> (Vec<f64>, Vec<bool>) {
+    let mut bounds = vec![0.0f64; tape.len()];
+    let mut reachable = vec![false; tape.len()];
+    for &r in roots {
+        if r < tape.len() {
+            bounds[r] += 1.0;
+            reachable[r] = true;
+        }
+    }
+    for i in (0..tape.len()).rev() {
+        if !reachable[i] {
+            continue;
+        }
+        let mults = parent_multipliers(tape, i, intervals);
+        for (slot, &p) in tape[i].parents.iter().enumerate() {
+            if p >= i {
+                continue; // malformed edge; structural pass reports it
+            }
+            reachable[p] = true;
+            let mult = mults.get(slot).copied().unwrap_or(f64::INFINITY);
+            // 0·inf (no incoming gradient × unbounded Jacobian, or the
+            // reverse) contributes nothing through this edge.
+            let contrib = bounds[i] * mult;
+            bounds[p] += if contrib.is_nan() { 0.0 } else { contrib };
+        }
+    }
+    (bounds, reachable)
+}
+
+/// Emits threshold-crossing lints over computed bounds. A node is flagged
+/// when its own bound crosses the threshold but the bounds of the
+/// (reachable) consumers it received gradient from do not — the boundary
+/// of the crossing, not the whole chain past it.
+pub(crate) fn scale_diags(
+    tape: &[NodeTrace],
+    bounds: &[f64],
+    reachable: &[bool],
+    consumers: &[Vec<usize>],
+    roots: &[usize],
+    explode: f32,
+    vanish: f32,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let exploded = |i: usize| reachable[i] && bounds[i] > explode as f64;
+    let vanished = |i: usize| reachable[i] && bounds[i] < vanish as f64;
+    for (i, node) in tape.iter().enumerate() {
+        if !reachable[i] || roots.contains(&i) {
+            continue;
+        }
+        let feeders = || {
+            consumers[i]
+                .iter()
+                .copied()
+                .filter(|&c| reachable[c])
+                .collect::<Vec<_>>()
+        };
+        if exploded(i) && !feeders().iter().any(|&c| exploded(c)) {
+            out.push(Diagnostic {
+                node: i,
+                op: node.op.to_string(),
+                code: DiagCode::ScaleExplosion,
+                message: format!(
+                    "gradient-magnitude bound {:e} crosses the explosion threshold {:e} here",
+                    bounds[i], explode
+                ),
+                provenance: provenance(tape, i),
+            });
+        }
+        if vanished(i) && !feeders().iter().any(|&c| vanished(c)) {
+            out.push(Diagnostic {
+                node: i,
+                op: node.op.to_string(),
+                code: DiagCode::ScaleVanishing,
+                message: format!(
+                    "gradient-magnitude bound {:e} falls below the vanishing threshold {:e} here",
+                    bounds[i], vanish
+                ),
+                provenance: provenance(tape, i),
+            });
+        }
+    }
+    out
+}

@@ -71,6 +71,35 @@ fn numel(shape: &[usize]) -> usize {
     shape.iter().product()
 }
 
+/// Operand count each known op must record; `None` for unknown ops.
+fn expected_arity(op: &str) -> Option<usize> {
+    match op {
+        "input" => Some(0),
+        "add" | "sub" | "mul" | "matmul" | "conv2d" | "depthwise_conv2d" => Some(2),
+        "batch_norm" => Some(3),
+        "scale"
+        | "add_scalar"
+        | "relu"
+        | "relu6"
+        | "square"
+        | "reshape"
+        | "sum"
+        | "mean"
+        | "sigmoid"
+        | "tanh"
+        | "leaky_relu"
+        | "ln"
+        | "dropout"
+        | "mse_loss"
+        | "max_pool2d"
+        | "avg_pool2d"
+        | "global_avg_pool2d"
+        | "cross_entropy"
+        | "cross_entropy_smoothed" => Some(1),
+        _ => None,
+    }
+}
+
 /// Runs the structural checks (parent validity, topological order, index
 /// agreement) and, for structurally sound nodes, the per-op shape checks.
 pub(crate) fn structural_and_shape_pass(tape: &[NodeTrace]) -> Vec<Diagnostic> {
@@ -107,6 +136,21 @@ pub(crate) fn structural_and_shape_pass(tape: &[NodeTrace]) -> Vec<Diagnostic> {
                     i,
                     DiagCode::ForwardReference,
                     format!("operand {slot} refers to node #{p}, which does not precede #{i} in tape order"),
+                ));
+            }
+        }
+        if let Some(want) = expected_arity(node.op) {
+            if node.parents.len() != want {
+                structurally_sound = false;
+                out.push(diag(
+                    tape,
+                    i,
+                    DiagCode::ArityMismatch,
+                    format!(
+                        "`{}` takes {want} operand(s), but {} are recorded",
+                        node.op,
+                        node.parents.len()
+                    ),
                 ));
             }
         }

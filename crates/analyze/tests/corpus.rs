@@ -6,7 +6,7 @@
 //! tapes (it validates eagerly), which is exactly why the verifier works on
 //! the plain-data trace IR.
 
-use hero_analyze::{analyze, AnalyzeOptions, DiagCode, Report};
+use hero_analyze::{analyze, AnalyzeOptions, DiagCode, RangeSeed, Report, ValueOptions};
 use hero_autodiff::{NodeTrace, TraceDetail};
 use hero_tensor::ConvGeometry;
 
@@ -282,4 +282,206 @@ fn empty_tape_is_clean() {
     let report = run(&[]);
     assert!(report.is_clean());
     assert_eq!(report.nodes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Value-level lints (interval + scale passes)
+// ---------------------------------------------------------------------------
+
+fn seeded(seeds: &[(usize, f32, f32)]) -> ValueOptions {
+    ValueOptions {
+        seeds: seeds
+            .iter()
+            .map(|&(node, lo, hi)| RangeSeed { node, lo, hi })
+            .collect(),
+        ..ValueOptions::default()
+    }
+}
+
+fn run_value(tape: &[NodeTrace], vopts: ValueOptions) -> Report {
+    analyze(
+        tape,
+        &AnalyzeOptions {
+            roots: vec![],
+            variable_inputs: None,
+            value: Some(vopts),
+        },
+    )
+}
+
+fn scalar(c: f32) -> TraceDetail {
+    TraceDetail::Scalar { c }
+}
+
+#[test]
+fn arity_mismatch_on_binary_op_with_one_parent() {
+    let tape = vec![
+        input(0, &[3]),
+        node(1, "add", &[0], &[3], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::ArityMismatch), "{report}");
+}
+
+#[test]
+fn arity_mismatch_on_unary_op_with_extra_parent() {
+    let tape = vec![
+        input(0, &[3]),
+        node(1, "square", &[0, 0], &[3], TraceDetail::None),
+    ];
+    let report = run(&tape);
+    assert!(report.flags(1, DiagCode::ArityMismatch), "{report}");
+}
+
+#[test]
+fn quant_clip_risk_on_outgrown_activation() {
+    // The input grid spans [-1, 1]; the scaled activation spans [-100, 100]
+    // and cannot be represented by a shared-range 4-bit quantizer.
+    let tape = vec![
+        input(0, &[4]),
+        node(1, "scale", &[0], &[4], scalar(100.0)),
+        node(2, "sum", &[1], &[], TraceDetail::None),
+    ];
+    let mut vopts = seeded(&[(0, -1.0, 1.0)]);
+    vopts.quant_bits = vec![4];
+    let report = run_value(&tape, vopts);
+    assert!(report.flags(1, DiagCode::QuantClipRisk), "{report}");
+}
+
+#[test]
+fn quant_clip_risk_stays_silent_inside_the_grid() {
+    let tape = vec![
+        input(0, &[1]),
+        node(1, "scale", &[0], &[1], scalar(1.0)),
+        node(2, "sum", &[1], &[], TraceDetail::None),
+    ];
+    let mut vopts = seeded(&[(0, -1.0, 1.0)]);
+    vopts.quant_bits = vec![4];
+    let report = run_value(&tape, vopts);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.code != DiagCode::QuantClipRisk),
+        "{report}"
+    );
+}
+
+#[test]
+fn saturated_sigmoid_is_a_dead_zone() {
+    let tape = vec![
+        input(0, &[4]),
+        node(1, "sigmoid", &[0], &[4], TraceDetail::None),
+        node(2, "sum", &[1], &[], TraceDetail::None),
+    ];
+    let report = run_value(&tape, seeded(&[(0, 20.0, 30.0)]));
+    assert!(report.flags(1, DiagCode::SaturationDeadZone), "{report}");
+}
+
+#[test]
+fn always_negative_relu_input_is_a_dead_zone() {
+    let tape = vec![
+        input(0, &[4]),
+        node(1, "relu", &[0], &[4], TraceDetail::None),
+        node(2, "sum", &[1], &[], TraceDetail::None),
+    ];
+    let report = run_value(&tape, seeded(&[(0, -5.0, -1.0)]));
+    assert!(report.flags(1, DiagCode::SaturationDeadZone), "{report}");
+}
+
+#[test]
+fn moderate_sigmoid_input_is_not_a_dead_zone() {
+    let tape = vec![
+        input(0, &[4]),
+        node(1, "sigmoid", &[0], &[4], TraceDetail::None),
+        node(2, "sum", &[1], &[], TraceDetail::None),
+    ];
+    let report = run_value(&tape, seeded(&[(0, -2.0, 2.0)]));
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.code != DiagCode::SaturationDeadZone),
+        "{report}"
+    );
+}
+
+#[test]
+fn amplifier_chain_crosses_the_explosion_threshold() {
+    // Two 1e4x amplifiers: the gradient bound at the input is 1e8. With the
+    // threshold at 1e6 the crossing happens at the input edge.
+    let tape = vec![
+        input(0, &[4]),
+        node(1, "scale", &[0], &[4], scalar(1e4)),
+        node(2, "scale", &[1], &[4], scalar(1e4)),
+        node(3, "sum", &[2], &[], TraceDetail::None),
+    ];
+    let mut vopts = seeded(&[(0, -1.0, 1.0)]);
+    vopts.explode_threshold = 1e6;
+    let report = run_value(&tape, vopts);
+    assert!(report.flags(0, DiagCode::ScaleExplosion), "{report}");
+    // Boundary-style: nodes on the safe side of the crossing stay silent.
+    assert!(!report.flags(2, DiagCode::ScaleExplosion), "{report}");
+}
+
+#[test]
+fn amplifier_chain_is_fine_under_default_thresholds() {
+    let tape = vec![
+        input(0, &[4]),
+        node(1, "scale", &[0], &[4], scalar(1e4)),
+        node(2, "scale", &[1], &[4], scalar(1e4)),
+        node(3, "sum", &[2], &[], TraceDetail::None),
+    ];
+    let report = run_value(&tape, seeded(&[(0, -1.0, 1.0)]));
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.code != DiagCode::ScaleExplosion),
+        "{report}"
+    );
+}
+
+#[test]
+fn attenuator_crosses_the_vanishing_threshold() {
+    let tape = vec![
+        input(0, &[4]),
+        node(1, "scale", &[0], &[4], scalar(1e-12)),
+        node(2, "sum", &[1], &[], TraceDetail::None),
+    ];
+    let mut vopts = seeded(&[(0, -1.0, 1.0)]);
+    vopts.vanish_threshold = 1e-6;
+    let report = run_value(&tape, vopts);
+    assert!(report.flags(0, DiagCode::ScaleVanishing), "{report}");
+}
+
+#[test]
+fn unseeded_input_has_a_non_finite_range() {
+    let tape = vec![
+        input(0, &[3]),
+        node(1, "square", &[0], &[3], TraceDetail::None),
+        node(2, "sum", &[1], &[], TraceDetail::None),
+    ];
+    let report = run_value(&tape, ValueOptions::default());
+    assert!(report.flags(0, DiagCode::NonFiniteRange), "{report}");
+}
+
+#[test]
+fn nan_seed_flags_the_input() {
+    let tape = vec![input(0, &[3]), node(1, "sum", &[0], &[], TraceDetail::None)];
+    let report = run_value(&tape, seeded(&[(0, f32::NAN, f32::NAN)]));
+    assert!(report.flags(0, DiagCode::NonFiniteRange), "{report}");
+}
+
+#[test]
+fn ln_of_a_sign_straddling_range_goes_non_finite_at_the_ln() {
+    let tape = vec![
+        input(0, &[3]),
+        node(1, "ln", &[0], &[3], TraceDetail::None),
+        node(2, "sum", &[1], &[], TraceDetail::None),
+    ];
+    let report = run_value(&tape, seeded(&[(0, -1.0, 2.0)]));
+    assert!(report.flags(1, DiagCode::NonFiniteRange), "{report}");
+    // Origin-only: downstream nodes inherit the flag silently.
+    assert!(!report.flags(2, DiagCode::NonFiniteRange), "{report}");
 }

@@ -30,7 +30,7 @@ pub(crate) enum Op {
     /// Multiplication by a constant.
     Scale(usize, f32),
     /// Addition of a constant.
-    AddScalar(usize),
+    AddScalar(usize, f32),
     /// Matrix product `(m,k) x (k,n)`.
     Matmul(usize, usize),
     /// Rectified linear unit.
@@ -130,6 +130,10 @@ pub(crate) enum Op {
         x: usize,
         /// Saved residual.
         diff: Tensor,
+        /// Smallest target element (range metadata for static analysis).
+        target_lo: f32,
+        /// Largest target element (range metadata for static analysis).
+        target_hi: f32,
     },
     /// Label-smoothed softmax cross-entropy.
     CrossEntropySmoothed {
@@ -337,7 +341,7 @@ impl Graph {
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
         let value = self.value(a).add_scalar(c);
-        self.push(value, Op::AddScalar(a.0))
+        self.push(value, Op::AddScalar(a.0, c))
     }
 
     /// Matrix product of two rank-2 nodes.
@@ -456,7 +460,7 @@ impl Graph {
                 add_grad(*b, gb, grads)?;
             }
             Op::Scale(a, c) => add_grad(*a, grad.scale(*c), grads)?,
-            Op::AddScalar(a) => add_grad(*a, grad.clone(), grads)?,
+            Op::AddScalar(a, _) => add_grad(*a, grad.clone(), grads)?,
             Op::Matmul(a, b) => {
                 // dA = dC B^T ; dB = A^T dC
                 let ga = grad.matmul_nt(&self.nodes[*b].value)?;

@@ -76,7 +76,21 @@ impl Graph {
         }
         let diff = self.value(a).sub(target)?;
         let value = Tensor::scalar(diff.norm_l2_sq() / diff.numel().max(1) as f32);
-        Ok(self.push(value, Op::MseLoss { x: a.0, diff }))
+        let target_lo = target.data().iter().copied().fold(f32::INFINITY, f32::min);
+        let target_hi = target
+            .data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
+        Ok(self.push(
+            value,
+            Op::MseLoss {
+                x: a.0,
+                diff,
+                target_lo,
+                target_hi,
+            },
+        ))
     }
 
     /// Softmax cross-entropy with label smoothing `eps`: the target
@@ -183,7 +197,7 @@ impl Graph {
             Op::Dropout { x, scaled_mask } => {
                 add_grad(*x, grad.mul(scaled_mask)?, grads)?;
             }
-            Op::MseLoss { x, diff } => {
+            Op::MseLoss { x, diff, .. } => {
                 let scale = 2.0 * grad.data()[0] / diff.numel().max(1) as f32;
                 add_grad(*x, diff.scale(scale), grads)?;
             }

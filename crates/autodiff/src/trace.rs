@@ -63,6 +63,29 @@ pub enum TraceDetail {
         /// Length of the recorded label vector.
         labels: usize,
     },
+    /// Scalar-constant ops (`scale`, `add_scalar`, `leaky_relu`): the
+    /// constant operand / negative-side slope.
+    Scalar {
+        /// The recorded constant.
+        c: f32,
+    },
+    /// Batch normalization: the largest saved per-channel `1/sqrt(var+eps)`.
+    BatchNorm {
+        /// Upper bound on the normalization scale across channels.
+        inv_std_max: f32,
+    },
+    /// Dropout: the largest entry of the saved `mask / keep_prob`.
+    Dropout {
+        /// Upper bound on the mask scaling (0 when everything dropped).
+        max_scale: f32,
+    },
+    /// MSE loss: the recorded constant target's value range.
+    Mse {
+        /// Smallest target element.
+        target_lo: f32,
+        /// Largest target element.
+        target_hi: f32,
+    },
 }
 
 impl Op {
@@ -105,7 +128,7 @@ impl Op {
             Op::Input => vec![],
             Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Matmul(a, b) => vec![*a, *b],
             Op::Scale(a, _)
-            | Op::AddScalar(a)
+            | Op::AddScalar(a, _)
             | Op::Relu(a)
             | Op::Relu6(a)
             | Op::Square(a)
@@ -147,6 +170,23 @@ impl Op {
                     labels: labels.len(),
                 }
             }
+            Op::Scale(_, c) | Op::AddScalar(_, c) | Op::LeakyRelu(_, c) => {
+                TraceDetail::Scalar { c: *c }
+            }
+            Op::BatchNorm { inv_std, .. } => TraceDetail::BatchNorm {
+                inv_std_max: inv_std.iter().copied().fold(0.0, f32::max),
+            },
+            Op::Dropout { scaled_mask, .. } => TraceDetail::Dropout {
+                max_scale: scaled_mask.data().iter().copied().fold(0.0, f32::max),
+            },
+            Op::MseLoss {
+                target_lo,
+                target_hi,
+                ..
+            } => TraceDetail::Mse {
+                target_lo: *target_lo,
+                target_hi: *target_hi,
+            },
             _ => TraceDetail::None,
         }
     }
@@ -165,6 +205,31 @@ impl Graph {
                 parents: node.op.parents(),
                 shape: node.value.dims().to_vec(),
                 detail: node.op.detail(),
+            })
+            .collect()
+    }
+
+    /// The recorded min/max of every `input` node's value, as
+    /// `(node_index, lo, hi)` triples in tape order.
+    ///
+    /// This is the natural seeding for the `hero-analyze` interval pass:
+    /// parameters and batch tensors enter the tape as inputs, so their
+    /// real statistics bound the abstract ranges. A tensor containing NaN
+    /// reports `(NaN, NaN)` so the analyzer can flag it rather than
+    /// silently narrowing over it.
+    pub fn input_ranges(&self) -> Vec<(usize, f32, f32)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| matches!(node.op, Op::Input))
+            .map(|(i, node)| {
+                let data = node.value.data();
+                if data.iter().any(|v| v.is_nan()) {
+                    return (i, f32::NAN, f32::NAN);
+                }
+                let lo = data.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                (i, lo, hi)
             })
             .collect()
     }

@@ -1,15 +1,19 @@
 //! `hero` — command-line front end for the HERO reproduction.
 //!
 //! ```text
-//! hero train    --preset c10 --model resnet --method hero --epochs 30 [--out net.ckpt]
-//! hero quantize --preset c10 --model resnet --ckpt net.ckpt --bits 3,4,6,8 [--mixed 5.0]
-//! hero analyze  --preset c10 --model resnet --ckpt net.ckpt
+//! hero train     --preset c10 --model resnet --method hero --epochs 30 [--out net.ckpt]
+//! hero quantize  --preset c10 --model resnet --ckpt net.ckpt --bits 3,4,6,8 [--mixed 5.0]
+//! hero analyze   --preset c10 --model resnet --ckpt net.ckpt
+//! hero preflight --preset c10 --model resnet [--bits 3,4,8] [--out-dir results/analyze]
 //! ```
 //!
 //! `train` trains and optionally checkpoints a model; `quantize` sweeps
 //! post-training precision on a checkpoint (or a uniform/mixed allocation);
 //! `analyze` reports curvature (λ_max via Lanczos, ‖Hz‖) and the Theorem 3
-//! robustness bounds at the checkpoint.
+//! robustness bounds at the checkpoint; `preflight` runs the static
+//! analyzer suite (structure, shapes, liveness, value intervals,
+//! gradient-scale bounds) over the model's tape without training and
+//! writes the report plus an interval-colored Graphviz view.
 
 use hero_core::experiment::{model_config, MethodKind};
 use hero_core::{train, TrainConfig};
@@ -45,6 +49,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&opts),
         "quantize" => cmd_quantize(&opts),
         "analyze" => cmd_analyze(&opts),
+        "preflight" => cmd_preflight(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -70,7 +75,9 @@ USAGE:
                 [--seed N] [--out FILE]
   hero quantize --preset ... --model ... (--ckpt FILE | --method ... [--epochs N])
                 [--bits 3,4,6,8] [--mixed AVG_BITS]
-  hero analyze  --preset ... --model ... (--ckpt FILE | --method ... [--epochs N])";
+  hero analyze  --preset ... --model ... (--ckpt FILE | --method ... [--epochs N])
+  hero preflight --preset ... --model ... [--ckpt FILE] [--scale F] [--seed N]
+                 [--bits 3,4,8] [--out-dir DIR]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -257,6 +264,77 @@ fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
             ))
             .emit();
         net.set_params(&full_params).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_preflight(opts: &HashMap<String, String>) -> Result<(), String> {
+    let preset = preset_of(opts)?;
+    let model = model_of(opts)?;
+    let scale: f32 = num(opts, "scale", 0.5)?;
+    let seed: u64 = num(opts, "seed", 42)?;
+    let (train_set, _) = preset.load(scale);
+    let mut net = model.build(model_config(preset), &mut StdRng::seed_from_u64(seed));
+    if let Some(ckpt) = opts.get("ckpt") {
+        load_params_from_file(&mut net, &PathBuf::from(ckpt)).map_err(|e| e.to_string())?;
+    }
+    let bits_arg = opts.get("bits").cloned().unwrap_or_else(|| "3,4,8".into());
+    let mut bits = Vec::new();
+    for token in bits_arg.split(',') {
+        let b: u8 = token
+            .trim()
+            .parse()
+            .map_err(|_| format!("--bits: cannot parse `{token}`"))?;
+        bits.push(b);
+    }
+    let probe = train_set.len().min(64);
+    if probe == 0 {
+        return Err("preflight needs at least one sample".into());
+    }
+    let images = train_set
+        .images
+        .narrow(0, probe)
+        .map_err(|e| e.to_string())?;
+    let vopts = hero_analyze::VerifyOptions {
+        quant_bits: bits,
+        ..hero_analyze::VerifyOptions::default()
+    };
+    let (report, dot) =
+        hero_core::preflight_report(&mut net, &images, &train_set.labels[..probe], &vopts, true)
+            .map_err(|e| e.to_string())?;
+
+    let out_dir = PathBuf::from(
+        opts.get("out-dir")
+            .cloned()
+            .unwrap_or_else(|| "results/analyze".into()),
+    );
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    let stem = format!("{}_{}", model.paper_name(), preset.paper_name())
+        .to_lowercase()
+        .replace(['/', ' ', '-'], "_");
+    let txt_path = out_dir.join(format!("{stem}.txt"));
+    std::fs::write(&txt_path, format!("{report}\n")).map_err(|e| e.to_string())?;
+    if let Some(dot) = dot {
+        let dot_path = out_dir.join(format!("{stem}.dot"));
+        std::fs::write(&dot_path, dot).map_err(|e| e.to_string())?;
+    }
+
+    let errors = report.errors().count();
+    let warnings = report.warnings().count();
+    println!(
+        "preflight {}: {} nodes, {errors} errors, {warnings} warnings -> {}",
+        net.name(),
+        report.nodes,
+        txt_path.display()
+    );
+    if errors > 0 || warnings > 0 {
+        print!("{report}");
+    }
+    if errors > 0 {
+        return Err(format!(
+            "preflight found {errors} error-severity diagnostics for `{}`",
+            net.name()
+        ));
     }
     Ok(())
 }

@@ -378,12 +378,23 @@ pub fn quant_sweep(
     bits: &[u8],
 ) -> Result<QuantCurve> {
     // The sweep evaluates many quantized parameter sets on the same tape;
-    // statically verify that tape once up front so a malformed model fails
-    // with a report rather than skewing every point of the curve.
+    // statically verify that tape once up front — including the clip-risk
+    // lint at exactly the bit widths about to be swept — so a malformed
+    // model fails with a report rather than skewing every point of the
+    // curve.
     let probe = test_set.len().min(64);
     if probe > 0 {
         let images = test_set.images.narrow(0, probe)?;
-        crate::trainer::verify_network_tape(&mut trained.net, &images, &test_set.labels[..probe])?;
+        let vopts = hero_analyze::VerifyOptions {
+            quant_bits: bits.to_vec(),
+            ..hero_analyze::VerifyOptions::default()
+        };
+        crate::trainer::verify_network_tape_with(
+            &mut trained.net,
+            &images,
+            &test_set.labels[..probe],
+            &vopts,
+        )?;
     }
     let _sweep = hero_obs::span("quant_sweep");
     let full_params = trained.net.params();

@@ -42,4 +42,6 @@ pub mod trainer;
 
 pub use config::TrainConfig;
 pub use metrics::{EpochMetrics, TrainRecord};
-pub use trainer::{probe_hessian_norm, train, verify_network_tape};
+pub use trainer::{
+    preflight_report, probe_hessian_norm, train, verify_network_tape, verify_network_tape_with,
+};

@@ -2,7 +2,7 @@
 
 use crate::config::TrainConfig;
 use crate::metrics::{EpochMetrics, TrainRecord};
-use hero_analyze::Report;
+use hero_analyze::{Report, VerifyOptions};
 use hero_autodiff::Graph;
 use hero_data::{Dataset, Loader};
 use hero_hessian::hessian_norm_probe;
@@ -145,15 +145,24 @@ pub fn train(
 /// any error-severity diagnostic is found, or shape errors if the batch is
 /// incompatible with the network.
 pub fn verify_network_tape(net: &mut Network, images: &Tensor, labels: &[usize]) -> Result<Report> {
-    let prev = hero_nn::norm::set_bn_running_stat_updates(false);
-    let mut g = Graph::new();
-    let built = net
-        .forward(&mut g, images, true)
-        .and_then(|(logits, _vars)| g.cross_entropy(logits, labels));
-    hero_nn::norm::set_bn_running_stat_updates(prev);
-    let loss = built?;
-    let report = hero_analyze::verify_graph(&g, &[loss]);
-    g.reset();
+    verify_network_tape_with(net, images, labels, &VerifyOptions::default())
+}
+
+/// [`verify_network_tape`] with explicit value-lint options (e.g. the bit
+/// widths an upcoming quantization sweep will use). The report is also
+/// published through `hero-obs` (`analyze_diags_*` counters and, on
+/// traced runs, an `analyze_report` event).
+///
+/// # Errors
+///
+/// Same contract as [`verify_network_tape`].
+pub fn verify_network_tape_with(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    opts: &VerifyOptions,
+) -> Result<Report> {
+    let (report, _dot) = preflight_report(net, images, labels, opts, false)?;
     if report.has_errors() {
         return Err(TensorError::InvalidArgument(format!(
             "static tape verification failed for `{}`:\n{report}",
@@ -161,6 +170,36 @@ pub fn verify_network_tape(net: &mut Network, images: &Tensor, labels: &[usize])
         )));
     }
     Ok(report)
+}
+
+/// Records one train-mode probe tape, runs the full analyzer suite over
+/// it, and (when `render_dot` is set) renders the interval-colored
+/// Graphviz view — the building block behind [`verify_network_tape_with`]
+/// and the CLI `preflight` subcommand. Never errors on diagnostics; the
+/// caller decides what gates.
+///
+/// # Errors
+///
+/// Returns shape errors if the batch is incompatible with the network.
+pub fn preflight_report(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    opts: &VerifyOptions,
+    render_dot: bool,
+) -> Result<(Report, Option<String>)> {
+    let prev = hero_nn::norm::set_bn_running_stat_updates(false);
+    let mut g = Graph::new();
+    let built = net
+        .forward(&mut g, images, true)
+        .and_then(|(logits, _vars)| g.cross_entropy(logits, labels));
+    hero_nn::norm::set_bn_running_stat_updates(prev);
+    let loss = built?;
+    let report = hero_analyze::verify_graph_with(&g, &[loss], opts);
+    let dot = render_dot.then(|| hero_analyze::to_dot_colored(&g.trace(), &report));
+    g.reset();
+    report.emit_obs(net.name());
+    Ok((report, dot))
 }
 
 /// Evaluates the paper's Fig. 2(a) probe ‖Hz‖ on a fixed training
@@ -279,6 +318,44 @@ mod tests {
         let report = verify_network_tape(&mut net, &images, labels).unwrap();
         assert!(report.is_clean(), "{report}");
         assert!(report.nodes > 0);
+    }
+
+    #[test]
+    fn frozen_bn_stats_are_not_flagged_unused() {
+        // Data-parallel shard workers (and perturbed-gradient evaluations)
+        // run train-mode forwards with BN running-stat updates frozen.
+        // Freezing only skips the EMA update — gamma/beta are still graph
+        // inputs consumed by `batch_norm` — so the analyzer must not
+        // report UnusedParameter for any BN parameter, and verification
+        // must not move the running statistics.
+        let cfg = ModelConfig {
+            classes: 4,
+            in_channels: 3,
+            input_hw: 8,
+            width: 4,
+        };
+        let mut net = hero_nn::models::mini_resnet(cfg, 1, &mut StdRng::seed_from_u64(3));
+        let spec = SynthSpec {
+            classes: 4,
+            hw: 8,
+            noise_std: 0.2,
+            ..SynthSpec::default()
+        };
+        let (train_set, _) = SynthGenerator::new(spec).train_test(16, 8);
+        let images = train_set.images.narrow(0, 8).unwrap();
+        let params_before = net.params();
+        let prev = hero_nn::norm::set_bn_running_stat_updates(false);
+        let report = verify_network_tape(&mut net, &images, &train_set.labels[..8]).unwrap();
+        hero_nn::norm::set_bn_running_stat_updates(prev);
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == hero_analyze::DiagCode::UnusedParameter),
+            "{report}"
+        );
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(net.params(), params_before);
     }
 
     #[test]

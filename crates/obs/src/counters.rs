@@ -115,8 +115,13 @@ pub static QUANT_TENSORS: Counter = Counter::new("quant_tensors");
 pub static WORKERS_BUSY: Counter = Counter::new("workers_busy");
 /// Nanoseconds the reducing thread spent waiting for shard gradients.
 pub static REDUCE_WAIT_NS: Counter = Counter::new("reduce_wait_ns");
+/// Error-severity diagnostics produced by `hero-analyze` pre-flight runs.
+pub static ANALYZE_DIAGS_ERROR: Counter = Counter::new("analyze_diags_error");
+/// Warning-severity diagnostics produced by `hero-analyze` pre-flight
+/// runs.
+pub static ANALYZE_DIAGS_WARN: Counter = Counter::new("analyze_diags_warn");
 
-const BUILTINS: [&Counter; 11] = [
+const BUILTINS: [&Counter; 13] = [
     &GRAD_EVALS,
     &POOL_HITS,
     &POOL_FRESH_ALLOCS,
@@ -128,6 +133,8 @@ const BUILTINS: [&Counter; 11] = [
     &QUANT_TENSORS,
     &WORKERS_BUSY,
     &REDUCE_WAIT_NS,
+    &ANALYZE_DIAGS_ERROR,
+    &ANALYZE_DIAGS_WARN,
 ];
 
 fn registry() -> &'static Mutex<Vec<&'static Counter>> {

@@ -28,6 +28,16 @@ cargo fmt --all -- --check
 echo "==> scripts/lint.sh"
 scripts/lint.sh
 
+echo "==> pre-flight analyzer over the example networks"
+mkdir -p results/analyze
+# `hero preflight` exits nonzero when the analyzer finds error-severity
+# diagnostics, so the loop fails the gate if any example model regresses.
+for m in resnet mobilenet vgg; do
+  cargo run --release -p hero-bench --bin hero -- \
+    preflight --preset c10 --model "$m" --scale 0.25 --bits 3,4,8 \
+    --out-dir results/analyze
+done
+
 echo "==> bench smoke (step_cost --quick, HERO_THREADS=1 vs 4)"
 mkdir -p results
 # HERO_BENCH_OUT is resolved in the bench executable's working directory
