@@ -45,7 +45,10 @@ pub(crate) enum Op {
     Sum(usize),
     /// Mean of all elements to a scalar.
     Mean(usize),
-    /// 2-D convolution via im2col; saves the column matrix for backward.
+    /// 2-D convolution via fused im2col-GEMM. No column matrix is saved:
+    /// forward packs patches straight from the input, and backward
+    /// recomputes the dW product the same fused way from the saved input
+    /// node.
     Conv2d {
         /// Input node (NCHW).
         x: usize,
@@ -53,8 +56,6 @@ pub(crate) enum Op {
         w: usize,
         /// Window geometry.
         geom: hero_tensor::ConvGeometry,
-        /// Saved `im2col(x)`.
-        cols: Tensor,
         /// Batch size of `x`.
         n: usize,
         /// Channel count of `x`.
@@ -241,7 +242,6 @@ impl Graph {
         for node in self.nodes.drain(..) {
             pool::recycle_tensor(node.value);
             match node.op {
-                Op::Conv2d { cols, .. } => pool::recycle_tensor(cols),
                 Op::BatchNorm { xhat, .. } => pool::recycle_tensor(xhat),
                 Op::CrossEntropy { softmax, .. } | Op::CrossEntropySmoothed { softmax, .. } => {
                     pool::recycle_tensor(softmax)

@@ -42,8 +42,9 @@ impl Graph {
             });
         }
         let out_c = wv.dims()[0];
-        let cols = xv.im2col(&geom)?;
-        let out2d = self.value(w).matmul(&cols)?; // (out_c, n*oh*ow)
+        // Fused im2col-GEMM: patch columns are packed straight from the
+        // input inside the kernel, so the patch matrix never materializes.
+        let out2d = wv.matmul_im2col(xv, &geom)?; // (out_c, n*oh*ow)
         let (oh, ow) = geom.out_hw();
         // Reorder (out_c, n*oh*ow) -> (n, out_c, oh, ow).
         let mut out = Tensor::zeros([n, out_c, oh, ow]);
@@ -62,7 +63,6 @@ impl Graph {
                 x: x.0,
                 w: w.0,
                 geom,
-                cols,
                 n,
                 c,
             },
@@ -282,14 +282,7 @@ impl Graph {
             Ok(())
         };
         match op {
-            Op::Conv2d {
-                x,
-                w,
-                geom,
-                cols,
-                n,
-                c,
-            } => {
+            Op::Conv2d { x, w, geom, n, c } => {
                 let out_c = self.nodes[*w].value.dims()[0];
                 let (oh, ow) = geom.out_hw();
                 let spatial = oh * ow;
@@ -303,8 +296,11 @@ impl Graph {
                             .copy_from_slice(&grad.data()[src..src + spatial]);
                     }
                 }
-                // dW = dY cols^T ; dCols = W^T dY ; dX = col2im(dCols)
-                let dw = dy2d.matmul_nt(cols)?; // (out_c, c*k*k)
+                // dW = dY cols^T ; dCols = W^T dY ; dX = col2im(dCols).
+                // The dW product packs patches from the saved input node
+                // (fused, never materializing cols) — bitwise identical to
+                // the former dy2d.matmul_nt(&cols).
+                let dw = dy2d.matmul_nt_im2col(&self.nodes[*x].value, geom)?; // (out_c, c*k*k)
                 let dcols = self.nodes[*w].value.matmul_tn(&dy2d)?;
                 let dx = dcols.col2im(geom, *n, *c)?;
                 add_grad(*w, dw, grads)?;

@@ -46,11 +46,14 @@ pub fn train(
         verify_network_tape(net, &images, &train_set.labels[..probe])?;
     }
 
-    // Persistent data-parallel context (config.threads > 0): workers with
+    // Persistent data-parallel context (config.threads > 1): workers with
     // network replicas live across the whole run. With the shard count
-    // fixed, the trajectory is bitwise identical for any worker count —
-    // see DESIGN.md §11 and the parallel_equiv test suite.
-    let mut pctx = (config.threads > 0)
+    // fixed, the trajectory is bitwise identical for any worker count ≥ 2
+    // — see DESIGN.md §11 and the parallel_equiv test suite. A single
+    // worker would only re-run the serial math behind a shard/reduce
+    // round-trip (~1.5× step cost), so 1 dispatches to the serial step;
+    // GEMM-level parallelism (DESIGN.md §13) needs no shard context.
+    let mut pctx = (config.threads > 1)
         .then(|| ParallelCtx::new(net, config.threads))
         .transpose()?;
 

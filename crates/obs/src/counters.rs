@@ -105,6 +105,11 @@ pub static GEMM_CALLS: Counter = Counter::new("gemm_calls");
 /// Floating-point operations issued through the packed GEMM (2·m·n·k per
 /// call).
 pub static GEMM_FLOPS: Counter = Counter::new("gemm_flops");
+/// GEMM calls dispatched to the explicit-SIMD (AVX2/FMA) micro-kernel.
+pub static GEMM_SIMD_HITS: Counter = Counter::new("gemm_simd_hits");
+/// N-panel chunks executed on the GEMM worker pool (one per worker job;
+/// stays zero when the macro-kernel runs serially).
+pub static GEMM_PANELS_PARALLEL: Counter = Counter::new("gemm_panels_parallel");
 /// `im2col`/`col2im` lowerings performed.
 pub static IM2COL_CALLS: Counter = Counter::new("im2col_calls");
 /// Non-finite forward values caught by the `sanitize` NaN-taint checker.
@@ -121,13 +126,15 @@ pub static ANALYZE_DIAGS_ERROR: Counter = Counter::new("analyze_diags_error");
 /// runs.
 pub static ANALYZE_DIAGS_WARN: Counter = Counter::new("analyze_diags_warn");
 
-const BUILTINS: [&Counter; 13] = [
+const BUILTINS: [&Counter; 15] = [
     &GRAD_EVALS,
     &POOL_HITS,
     &POOL_FRESH_ALLOCS,
     &POOL_RECYCLES,
     &GEMM_CALLS,
     &GEMM_FLOPS,
+    &GEMM_SIMD_HITS,
+    &GEMM_PANELS_PARALLEL,
     &IM2COL_CALLS,
     &NAN_TAINT_TRIPS,
     &QUANT_TENSORS,

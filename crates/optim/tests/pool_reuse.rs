@@ -11,7 +11,7 @@ use hero_nn::models::{mini_resnet, mlp, ModelConfig};
 use hero_nn::Network;
 use hero_optim::{train_step, Method, Optimizer};
 use hero_tensor::rng::StdRng;
-use hero_tensor::{pool, Tensor};
+use hero_tensor::{gemm_pool_reset_stats, gemm_pool_stats, pool, set_gemm_threads, Tensor};
 
 fn toy_batch(n: usize, cfg: &ModelConfig) -> (Tensor, Vec<usize>) {
     let x = Tensor::from_fn([n, cfg.in_channels, cfg.input_hw, cfg.input_hw], |i| {
@@ -72,6 +72,49 @@ fn sgd_steps_reuse_pool_buffers_on_mlp() {
     };
     let net = mlp(cfg, &[16], &mut StdRng::seed_from_u64(5));
     assert_steady_state_alloc_free(net, &cfg, Method::Sgd);
+}
+
+#[test]
+fn parallel_gemm_workers_reuse_their_own_pack_buffers() {
+    // The multicore macro-kernel leases pack buffers from each worker's
+    // *own* thread-local pool. Steady state must show zero fresh
+    // allocations AND zero foreign_recycles per worker: buffers never
+    // cross worker pools, so there is nothing to reject.
+    let dim = 256; // 2·256³ flops clears the parallel dispatch threshold
+    let a = Tensor::from_fn([dim, dim], |i| {
+        ((i[0] * 7 + i[1] * 3) % 11) as f32 / 5.0 - 1.0
+    });
+    let b = Tensor::from_fn([dim, dim], |i| {
+        ((i[0] * 5 + i[1] * 2) % 13) as f32 / 6.0 - 1.0
+    });
+    set_gemm_threads(Some(2));
+    // Warm-up: enough rounds that both workers' free lists hold the pack
+    // panel sizes (job→worker assignment is a shared queue, so one round
+    // is not a guarantee that every worker saw a chunk).
+    for _ in 0..10 {
+        let _ = a.matmul(&b).unwrap();
+    }
+    gemm_pool_reset_stats();
+    for _ in 0..5 {
+        let _ = a.matmul(&b).unwrap();
+    }
+    let stats = gemm_pool_stats();
+    set_gemm_threads(None);
+    assert_eq!(stats.len(), 2, "gemm pool should run two workers");
+    assert!(
+        stats.iter().any(|s| s.leases > 0),
+        "no worker leased pack buffers — parallel path never engaged: {stats:?}"
+    );
+    for (w, s) in stats.iter().enumerate() {
+        assert_eq!(
+            s.fresh_allocs, 0,
+            "worker {w} performed fresh pack allocations in steady state: {s:?}"
+        );
+        assert_eq!(
+            s.foreign_recycles, 0,
+            "worker {w} saw cross-thread recycles: {s:?}"
+        );
+    }
 }
 
 #[test]

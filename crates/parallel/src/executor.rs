@@ -1,11 +1,11 @@
 //! The data-parallel gradient executor: shard plan, network replicas, and
 //! the sharded [`GradOracle`] that plugs into the unchanged optimizer.
 
-use crate::pool::{Job, PoolError, WorkerPool};
 use crate::reduce::{combine_shard_grads, tree_reduce, ShardGrad};
 use hero_hessian::GradOracle;
 use hero_nn::{Network, ParamKind};
 use hero_optim::{Optimizer, StepStats};
+use hero_tensor::workers::{Job, PoolError, WorkerPool};
 use hero_tensor::{Result, Tensor, TensorError};
 use std::sync::Arc;
 use std::time::Instant;

@@ -6,8 +6,10 @@
 //! SAM-perturbed, FD-HVP probe — DESIGN.md §1); each is a batch-mean
 //! reduction, so it shards cleanly across cores. This crate supplies:
 //!
-//! - [`WorkerPool`]: a persistent `std::thread` worker pool (zero deps)
-//!   with job-index result slotting and panic containment;
+//! - [`WorkerPool`]: a persistent `std::thread` worker pool with
+//!   job-index result slotting and panic containment (re-exported from
+//!   `hero_tensor::workers`, where the multicore GEMM macro-kernel also
+//!   uses it);
 //! - [`tree_reduce`]: a fixed-shape pairwise reduction whose f32 result
 //!   depends only on the shard count — never on worker count, scheduling,
 //!   or completion order;
@@ -50,11 +52,10 @@
 #![warn(missing_docs)]
 
 mod executor;
-mod pool;
 mod reduce;
 
 pub use executor::{
     threads_from_env, train_step_parallel, ParallelCtx, ShardedOracle, DEFAULT_SHARDS,
 };
-pub use pool::{Job, PoolError, WorkerPool};
+pub use hero_tensor::workers::{Job, PoolError, WorkerPool};
 pub use reduce::{combine_shard_grads, tree_reduce, ShardGrad};

@@ -17,6 +17,9 @@
 //! - seedable initializers ([`Init`]) driven by the in-tree [`rng`] module
 //! - a [`ScratchPool`] buffer recycler backing the zero-allocation
 //!   training hot path
+//! - a generic [`workers::WorkerPool`] used by the multicore GEMM
+//!   macro-kernel here and re-exported by `hero-parallel` for the
+//!   sharded trainer
 //!
 //! # Examples
 //!
@@ -43,9 +46,14 @@ pub mod pool;
 pub mod rng;
 mod shape;
 mod tensor;
+pub mod workers;
 
 pub use error::{Result, TensorError};
 pub use init::{fill_standard_normal, random_unit_vector, Init};
+pub use ops::gemm::{
+    active_gemm_kernel, force_gemm_kernel, gemm_pool_reset_stats, gemm_pool_stats,
+    set_gemm_threads, GemmKernel,
+};
 pub use ops::im2col::ConvGeometry;
 pub use ops::matmul::matmul_reference;
 pub use ops::norm::{global_dot, global_norm_l1, global_norm_l2, global_norm_linf};

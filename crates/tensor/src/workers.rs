@@ -7,6 +7,11 @@
 //! *job index* — callers observe a result vector whose order depends only
 //! on how the work was submitted, never on which worker finished first.
 //!
+//! The pool lives in `hero-tensor` (rather than `hero-parallel`, which
+//! re-exports it) because the multicore GEMM macro-kernel in
+//! [`crate::ops`] fans N-panels out over the same primitive, and
+//! `hero-parallel` sits above this crate in the dependency graph.
+//!
 //! A job that panics is caught with [`std::panic::catch_unwind`] on the
 //! worker, reported back through the result channel, and surfaces from
 //! [`WorkerPool::scatter`] as a clean [`PoolError::WorkerPanicked`] — the

@@ -1,0 +1,233 @@
+//! Kernel-equivalence corpus for the GEMM micro-kernels.
+//!
+//! # Tolerance contract (per kernel variant)
+//!
+//! * **Scalar vs [`matmul_reference`] — bitwise.** The scalar packed
+//!   kernel accumulates with plain mul+add in ascending-k order, exactly
+//!   the per-element summation order of the reference kernel, and panel
+//!   zero-padding only ever pads the MR/NR dimensions (never k), so
+//!   padding cannot perturb valid sums. Every element must match to the
+//!   bit. (The operand generator below avoids exact zeros because the
+//!   reference kernel skips `a == 0.0` terms, which can flip a signed
+//!   zero in degenerate all-zero prefixes — a non-goal to reproduce.)
+//! * **AVX2/FMA vs reference — bounded, not bitwise.** `vfmadd231ps`
+//!   fuses the multiply-add rounding, so each of the k accumulation steps
+//!   rounds once instead of twice. The accumulated difference is bounded
+//!   by the standard running-sum error model: for every output element,
+//!   `|simd − reference| ≤ (k + 4) · ε · Σᵢ|aᵢ·bᵢ|` (the +4 absorbs the
+//!   final tile add into C). Equality of shapes, zero-padding tails, and
+//!   transpose handling is still exact — only rounding differs.
+//! * **Parallel vs serial — bitwise, any thread count.** Worker chunk
+//!   boundaries are NR-aligned C column ranges; every element's summation
+//!   order is the serial order regardless of which worker owns it.
+//! * **Fused im2col vs materialized — bitwise.** The packing loop samples
+//!   the same values `im2col` writes (padding included), in the same
+//!   reduction order.
+
+use hero_tensor::{
+    force_gemm_kernel, gemm_pool_stats, matmul_reference, set_gemm_threads, ConvGeometry,
+    GemmKernel, Tensor,
+};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Serializes tests that touch the process-wide kernel/thread overrides.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+struct OverrideGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        force_gemm_kernel(None);
+        set_gemm_threads(None);
+    }
+}
+
+fn lock_overrides() -> OverrideGuard {
+    OverrideGuard(OVERRIDE_LOCK.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+/// Seeded operand values on an odd grid — never exactly 0.0 (see the
+/// signed-zero note in the module docs), bounded in (−1.65, 1.65).
+fn fill(dims: [usize; 2], salt: usize) -> Tensor {
+    Tensor::from_fn(dims, |i| {
+        let v = (i[0] * 31 + i[1] * 13 + salt * 17) % 23;
+        (v as f32 - 11.5) / 7.0
+    })
+}
+
+/// Edge-dim corpus: unit dims, MR−1/MR/MR+1 and NR−1/NR/NR+1 for both
+/// kernels' tile sizes (4×8 scalar, 6×16 AVX2), KC straddles, and
+/// tall/skinny panels that force zero-padded tails.
+const SHAPES: [(usize, usize, usize); 14] = [
+    (1, 1, 1),
+    (3, 7, 2),
+    (4, 8, 4),
+    (5, 9, 5),
+    (5, 15, 11),
+    (6, 16, 8),
+    (7, 17, 9),
+    (12, 32, 64),
+    (13, 31, 17),
+    (1, 100, 3),
+    (100, 1, 3),
+    (64, 96, 255),
+    (33, 47, 256),
+    (29, 53, 257),
+];
+
+/// All three transpose variants of `op(A)·op(B)` via the public API,
+/// with operands laid out for each storage order.
+fn products(m: usize, n: usize, k: usize, salt: usize) -> Vec<(&'static str, Tensor, Tensor)> {
+    let a = fill([m, k], salt);
+    let b = fill([k, n], salt + 1);
+    let at = a.transpose().unwrap(); // (k, m) storage for tn
+    let bt = b.transpose().unwrap(); // (n, k) storage for nt
+    vec![
+        (
+            "nn",
+            a.matmul(&b).unwrap(),
+            matmul_reference(&a, &b).unwrap(),
+        ),
+        (
+            "tn",
+            at.matmul_tn(&b).unwrap(),
+            matmul_reference(&a, &b).unwrap(),
+        ),
+        (
+            "nt",
+            a.matmul_nt(&bt).unwrap(),
+            matmul_reference(&a, &b).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn scalar_kernel_is_bitwise_equal_to_reference() {
+    let _g = lock_overrides();
+    force_gemm_kernel(Some(GemmKernel::Scalar));
+    for &(m, n, k) in &SHAPES {
+        for (variant, got, want) in products(m, n, k, m + n + k) {
+            assert_eq!(got.dims(), want.dims());
+            for (i, (&g, &w)) in got.data().iter().zip(want.data()).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "({m},{n},{k}) {variant} idx {i}: {g} vs {w}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_kernel_stays_within_fma_error_bound() {
+    let _g = lock_overrides();
+    force_gemm_kernel(Some(GemmKernel::Avx2Fma));
+    for &(m, n, k) in &SHAPES {
+        // Per-element bound: (k+4)·ε·Σ|a·b|, computed with the reference
+        // kernel over |A|, |B|.
+        let a = fill([m, k], m + n + k);
+        let b = fill([k, n], m + n + k + 1);
+        let abs_bound = matmul_reference(&a.abs(), &b.abs()).unwrap();
+        for (variant, got, want) in products(m, n, k, m + n + k) {
+            for (i, (&g, &w)) in got.data().iter().zip(want.data()).enumerate() {
+                let tol = (k as f32 + 4.0) * f32::EPSILON * abs_bound.data()[i];
+                assert!(
+                    (g - w).abs() <= tol,
+                    "({m},{n},{k}) {variant} idx {i}: {g} vs {w}, tol {tol}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_macro_kernel_is_bitwise_equal_to_serial() {
+    let _g = lock_overrides();
+    // Big enough to clear the parallel flop threshold; odd n exercises a
+    // partial trailing panel on the last worker.
+    let (m, n, k) = (96, 272, 192);
+    let a = fill([m, k], 5);
+    let b = fill([k, n], 6);
+    for kernel in [GemmKernel::Scalar, GemmKernel::Avx2Fma] {
+        force_gemm_kernel(Some(kernel));
+        set_gemm_threads(Some(0));
+        let serial = a.matmul(&b).unwrap();
+        for threads in [2, 3, 4] {
+            set_gemm_threads(Some(threads));
+            let parallel = a.matmul(&b).unwrap();
+            for (i, (&s, &p)) in serial.data().iter().zip(parallel.data()).enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    p.to_bits(),
+                    "{}: threads={threads} idx {i}: {s} vs {p}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+    // The worker pool really ran: it exposes per-worker stats once spun up.
+    assert!(
+        !gemm_pool_stats().is_empty(),
+        "parallel path never engaged the worker pool"
+    );
+}
+
+#[test]
+fn fused_im2col_is_bitwise_equal_to_materialized_for_both_kernels() {
+    let _g = lock_overrides();
+    let x = Tensor::from_fn([2, 3, 8, 8], |i| {
+        (((i[0] * 29 + i[1] * 17 + i[2] * 5 + i[3] * 3) % 19) as f32 - 9.5) / 6.0
+    });
+    for kernel in [GemmKernel::Scalar, GemmKernel::Avx2Fma] {
+        force_gemm_kernel(Some(kernel));
+        for geom in [
+            ConvGeometry::new(8, 8, 3, 1, 1).unwrap(),
+            ConvGeometry::new(8, 8, 3, 2, 1).unwrap(),
+            ConvGeometry::new(8, 8, 1, 1, 0).unwrap(),
+        ] {
+            let cols = x.im2col(&geom).unwrap();
+            let w = fill([5, cols.dims()[0]], 7);
+            let fused = w.matmul_im2col(&x, &geom).unwrap();
+            let materialized = w.matmul(&cols).unwrap();
+            for (i, (&f, &mv)) in fused.data().iter().zip(materialized.data()).enumerate() {
+                assert_eq!(
+                    f.to_bits(),
+                    mv.to_bits(),
+                    "{} fwd k={} idx {i}",
+                    kernel.name(),
+                    geom.kernel
+                );
+            }
+            let dy = fill([5, cols.dims()[1]], 8);
+            let fused_dw = dy.matmul_nt_im2col(&x, &geom).unwrap();
+            let materialized_dw = dy.matmul_nt(&cols).unwrap();
+            for (i, (&f, &mv)) in fused_dw
+                .data()
+                .iter()
+                .zip(materialized_dw.data())
+                .enumerate()
+            {
+                assert_eq!(
+                    f.to_bits(),
+                    mv.to_bits(),
+                    "{} dW k={} idx {i}",
+                    kernel.name(),
+                    geom.kernel
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_kernel_is_reported_as_active() {
+    let _g = lock_overrides();
+    force_gemm_kernel(Some(GemmKernel::Scalar));
+    assert_eq!(hero_tensor::active_gemm_kernel(), GemmKernel::Scalar);
+    force_gemm_kernel(None);
+    // Auto mode resolves to a real kernel either way; on AVX2 hardware
+    // without HERO_NO_SIMD it must pick the SIMD variant.
+    let auto = hero_tensor::active_gemm_kernel();
+    assert!(matches!(auto, GemmKernel::Scalar | GemmKernel::Avx2Fma));
+}

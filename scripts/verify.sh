@@ -14,6 +14,9 @@ HERO_THREADS=1 cargo test -q --workspace
 echo "==> cargo test -q (HERO_THREADS=4: sharded executor, four workers)"
 HERO_THREADS=4 cargo test -q --workspace
 
+echo "==> cargo test -q (HERO_NO_SIMD=1: portable scalar GEMM kernel)"
+HERO_NO_SIMD=1 cargo test -q --workspace
+
 echo "==> cargo test -q (sanitize feature: pool + tape sanitizers)"
 cargo test -q -p hero-tensor --features sanitize
 cargo test -q -p hero-autodiff --features sanitize
@@ -56,6 +59,38 @@ diff -u results/.steps_t1 results/.steps_t4 > results/BENCH_step_threads.diff ||
 rm -f results/.steps_t1 results/.steps_t4
 echo "step-cost rows (1 thread vs 4 threads):"
 cat results/BENCH_step_threads.diff
+
+echo "==> GEMM kernel sweep (gemm_shapes --quick, GFLOP/s per variant)"
+HERO_BENCH_OUT="$PWD/results/BENCH_gemm.json" \
+  cargo bench -p hero-bench --bench gemm_shapes -- --quick
+# Tabulate GFLOP/s per shape across kernel variants (reference / scalar /
+# avx2fma) into a diff-friendly artifact so CI surfaces SIMD speedups —
+# and regressions — next to the raw JSON.
+awk -F'"' '
+  /"name"/ {
+    name = $4
+    gf = $0; sub(/.*"gflops": /, "", gf); sub(/[,}].*/, "", gf)
+    variant = "single"
+    if (sub(/_reference$/, "", name)) variant = "reference"
+    else if (sub(/_scalar$/, "", name)) variant = "scalar"
+    else if (sub(/_avx2fma$/, "", name)) variant = "avx2fma"
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    gflops[name "/" variant] = gf
+  }
+  END {
+    printf "%-34s %10s %10s %10s %8s\n", "shape", "reference", "scalar", "avx2fma", "simd-x"
+    for (i = 1; i <= n; i++) {
+      s = order[i]
+      ref = gflops[s "/reference"]; sc = gflops[s "/scalar"]; sx = gflops[s "/avx2fma"]
+      if (sc == "" || sx == "") {
+        printf "%-34s %10s\n", s, gflops[s "/single"]
+      } else {
+        printf "%-34s %10.2f %10.2f %10.2f %7.2fx\n", s, ref, sc, sx, sx / sc
+      }
+    }
+  }
+' results/BENCH_gemm.json > results/BENCH_gemm_gflops.txt
+cat results/BENCH_gemm_gflops.txt
 
 echo "==> observability overhead gate (disabled tracer vs obs-off build)"
 on_json="$(mktemp)"
