@@ -72,6 +72,13 @@ pub enum DiagCode {
     /// The interval pass derived a range reaching ±inf or NaN for this
     /// node.
     NonFiniteRange,
+    /// The propagated quantization-noise bound exceeds the node's value
+    /// interval width: at this point of the network the quantization error
+    /// is statically indistinguishable from the signal.
+    QuantNoiseDominant,
+    /// The certified end-to-end quantization-error bound at a root exceeds
+    /// the declared error budget.
+    QuantErrorBudgetExceeded,
 }
 
 impl DiagCode {
@@ -99,6 +106,8 @@ impl DiagCode {
             DiagCode::ScaleExplosion => "scale-explosion",
             DiagCode::ScaleVanishing => "scale-vanishing",
             DiagCode::NonFiniteRange => "non-finite-range",
+            DiagCode::QuantNoiseDominant => "quant-noise-dominant",
+            DiagCode::QuantErrorBudgetExceeded => "quant-error-budget-exceeded",
         }
     }
 
@@ -109,6 +118,8 @@ impl DiagCode {
             | DiagCode::UnusedParameter
             | DiagCode::ConstantFoldable
             | DiagCode::QuantClipRisk
+            | DiagCode::QuantNoiseDominant
+            | DiagCode::QuantErrorBudgetExceeded
             | DiagCode::ScaleExplosion
             | DiagCode::ScaleVanishing => Severity::Warning,
             _ => Severity::Error,
@@ -172,6 +183,9 @@ pub struct ValueAnalysis {
     /// Backward gradient-magnitude upper bound per tape node; `0` for
     /// nodes the loss cannot reach.
     pub grad_bounds: Vec<f32>,
+    /// Propagated quantization-noise bound per tape node (index-aligned);
+    /// empty when no noise seeds were supplied.
+    pub noise: Vec<Interval>,
 }
 
 /// Everything the analyzer found on one tape.

@@ -43,7 +43,20 @@ pub fn to_dot_colored(tape: &[NodeTrace], report: &Report) -> String {
                 if let Some(g) = v.grad_bounds.get(i) {
                     let _ = write!(label, " g\u{2264}{g:.2e}");
                 }
-                fill_for(iv.width(), iv.is_finite())
+                match v.noise.get(i) {
+                    // Noise overlay: annotate the propagated quantization
+                    // error bound, and recolor purple where it drowns the
+                    // value interval.
+                    Some(e) if e.abs_max() > iv.width() && iv.is_finite() => {
+                        let _ = write!(label, "\\ne\u{2264}{:.2e} DOMINANT", e.abs_max());
+                        ("#807dba", "white")
+                    }
+                    Some(e) => {
+                        let _ = write!(label, "\\ne\u{2264}{:.2e}", e.abs_max());
+                        fill_for(iv.width(), iv.is_finite())
+                    }
+                    None => fill_for(iv.width(), iv.is_finite()),
+                }
             }
             None => ("#d9d9d9", "black"),
         };

@@ -21,12 +21,12 @@ use std::num::FpCategory;
 
 /// Relative outward-widening margin applied per transfer (one op's worth
 /// of `f32` rounding is ~6e-8 relative; 1e-6 leaves headroom).
-const REL_MARGIN: f64 = 1e-6;
+pub(crate) const REL_MARGIN: f64 = 1e-6;
 /// Absolute widening floor so intervals around zero still widen.
-const ABS_MARGIN: f64 = 1e-33;
+pub(crate) const ABS_MARGIN: f64 = 1e-33;
 /// Per-term relative slack for K-term contractions (4x the `γ_K` bound
 /// `K·2⁻²⁴` per term).
-const CONTRACT_MARGIN: f64 = 2.4e-7;
+pub(crate) const CONTRACT_MARGIN: f64 = 2.4e-7;
 
 /// Declared value range for an input leaf, seeding the interval pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,7 +121,7 @@ impl Interval {
         }
     }
 
-    fn add(self, o: Self) -> Self {
+    pub(crate) fn add(self, o: Self) -> Self {
         from64(
             self.lo as f64 + o.lo as f64,
             self.hi as f64 + o.hi as f64,
@@ -129,7 +129,7 @@ impl Interval {
         )
     }
 
-    fn sub(self, o: Self) -> Self {
+    pub(crate) fn sub(self, o: Self) -> Self {
         from64(
             self.lo as f64 - o.hi as f64,
             self.hi as f64 - o.lo as f64,
@@ -137,7 +137,7 @@ impl Interval {
         )
     }
 
-    fn mul(self, o: Self) -> Self {
+    pub(crate) fn mul(self, o: Self) -> Self {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for &a in &[self.lo as f64, self.hi as f64] {
@@ -155,7 +155,7 @@ impl Interval {
         from64(lo, hi, self.maybe_nan || o.maybe_nan)
     }
 
-    fn square(self) -> Self {
+    pub(crate) fn square(self) -> Self {
         let (l, h) = (self.lo as f64, self.hi as f64);
         let hi = (l * l).max(h * h);
         let lo = if self.lo <= 0.0 && self.hi >= 0.0 {

@@ -20,6 +20,11 @@
 //!   statistics, and a backward scale pass bounding gradient magnitudes
 //!   from the loss roots. These feed the quantization-clip, dead-zone,
 //!   gradient explosion/vanishing and non-finite-range lints.
+//! * **Quantization noise** (opt-in via [`ValueOptions::noise_seeds`]) — a
+//!   forward error domain seeded with per-weight perturbation magnitudes
+//!   (`Δ(bits)/2` for a quantized tensor) that certifies an end-to-end
+//!   output-error bound per node, feeding the noise-dominance and
+//!   error-budget lints and `hero-quant`'s static sensitivity matrix.
 //!
 //! Findings come back as structured [`Diagnostic`]s (node index, op name,
 //! provenance chain) in a [`Report`] instead of a panic mid-step.
@@ -45,12 +50,14 @@ mod diag;
 mod dot;
 mod interval;
 mod liveness;
+mod noisepass;
 mod scalepass;
 mod verify;
 
 pub use diag::{DiagCode, Diagnostic, Report, Severity, ValueAnalysis};
 pub use dot::to_dot_colored;
 pub use interval::{interval_pass, quant_clip_risk, Interval, RangeSeed};
+pub use noisepass::{noise_pass, NoiseSeed};
 
 use hero_autodiff::{Graph, NodeTrace, Var};
 
@@ -73,6 +80,12 @@ pub struct ValueOptions {
     /// Gradient-magnitude bound below which [`DiagCode::ScaleVanishing`]
     /// fires. The default (1e-30) only trips on statically dead paths.
     pub vanish_threshold: f32,
+    /// Quantization-noise seeds for the forward noise pass; empty skips
+    /// the pass (and [`ValueAnalysis::noise`] stays empty).
+    pub noise_seeds: Vec<NoiseSeed>,
+    /// Certified output-error budget: roots whose propagated noise bound
+    /// exceeds it are flagged [`DiagCode::QuantErrorBudgetExceeded`].
+    pub noise_budget: Option<f32>,
 }
 
 impl Default for ValueOptions {
@@ -83,6 +96,8 @@ impl Default for ValueOptions {
             quant_max_abs: None,
             explode_threshold: 1e30,
             vanish_threshold: 1e-30,
+            noise_seeds: Vec::new(),
+            noise_budget: None,
         }
     }
 }
@@ -129,6 +144,10 @@ pub struct VerifyOptions {
     pub explode_threshold: f32,
     /// Gradient vanishing threshold.
     pub vanish_threshold: f32,
+    /// Quantization-noise seeds for the forward noise pass.
+    pub noise_seeds: Vec<NoiseSeed>,
+    /// Certified output-error budget for the noise pass.
+    pub noise_budget: Option<f32>,
 }
 
 impl Default for VerifyOptions {
@@ -139,6 +158,8 @@ impl Default for VerifyOptions {
             quant_max_abs: v.quant_max_abs,
             explode_threshold: v.explode_threshold,
             vanish_threshold: v.vanish_threshold,
+            noise_seeds: v.noise_seeds,
+            noise_budget: v.noise_budget,
         }
     }
 }
@@ -168,9 +189,23 @@ pub fn analyze(tape: &[NodeTrace], opts: &AnalyzeOptions) -> Report {
                 vopts.explode_threshold,
                 vopts.vanish_threshold,
             ));
+            let noise = if vopts.noise_seeds.is_empty() {
+                Vec::new()
+            } else {
+                let noise = noisepass::noise_pass(tape, &intervals, &vopts.noise_seeds);
+                diagnostics.extend(noisepass::noise_diags(
+                    tape,
+                    &intervals,
+                    &noise,
+                    &roots,
+                    vopts.noise_budget,
+                ));
+                noise
+            };
             value = Some(ValueAnalysis {
                 intervals,
                 grad_bounds: bounds.iter().map(|&b| b as f32).collect(),
+                noise,
             });
         }
     }
@@ -207,6 +242,8 @@ pub fn verify_graph_with(g: &Graph, roots: &[Var], opts: &VerifyOptions) -> Repo
             quant_max_abs: opts.quant_max_abs,
             explode_threshold: opts.explode_threshold,
             vanish_threshold: opts.vanish_threshold,
+            noise_seeds: opts.noise_seeds.clone(),
+            noise_budget: opts.noise_budget,
         }),
     };
     analyze(&g.trace(), &aopts)

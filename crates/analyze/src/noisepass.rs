@@ -1,0 +1,569 @@
+//! Forward quantization-noise propagation over the trace IR.
+//!
+//! The third abstract domain of `hero-analyze`: given the value intervals
+//! from [`crate::interval_pass`] and a set of *noise seeds* — input leaves
+//! carrying a symmetric perturbation `|δ| ≤ m` (a weight tensor quantized
+//! at `b` bits satisfies `m = Δ(b)/2` with Δ the bin width) — the pass
+//! derives, per tape node, a sound interval enclosing the element-wise
+//! difference between the perturbed and the unperturbed `f32` forward run:
+//!
+//! ```text
+//!   f(x + δ) − f(x)   ∈   noise[node]      for every admissible δ
+//! ```
+//!
+//! The transfers are affine-arithmetic style: exact first-order error
+//! identities where they exist (`mul`, `square`, contractions), global
+//! slope intervals via the mean-value theorem for the smooth activations,
+//! and dedicated bounds for batch-norm and the losses. Like the value
+//! pass, every transfer runs in `f64` and widens outward before narrowing
+//! back to `f32`; since *two* concrete runs round independently, every
+//! rounding/contraction slack is doubled relative to the value pass and
+//! scales with the *value* magnitude at the node (the rounding error of
+//! `a+e` is proportional to `|a+e|`, not `|e|`).
+//!
+//! The contract assumes both runs share all non-seeded state: same batch,
+//! same labels, same dropout masks, same batch-norm mode. Nodes whose
+//! value interval is unbounded get [`Interval::TOP`] noise — an unbounded
+//! signal admits no finite rounding-error bound.
+//!
+//! At the loss root the propagated interval is a *certified* end-to-end
+//! quantization-error bound, which is what `hero-quant` consumes as the
+//! static sensitivity matrix `err[layer][bits]`.
+
+use crate::diag::{DiagCode, Diagnostic};
+use crate::interval::{Interval, ABS_MARGIN, CONTRACT_MARGIN, REL_MARGIN};
+use crate::verify::provenance;
+use hero_autodiff::{NodeTrace, TraceDetail};
+
+/// Exactly-zero noise: unseeded leaves are bit-identical across runs.
+const ZERO: Interval = Interval {
+    lo: 0.0,
+    hi: 0.0,
+    maybe_nan: false,
+};
+
+/// `-ln(1e-12)` rounded up: the per-sample cap the clamped CE loss obeys.
+const CE_CAP: f64 = 27.65;
+
+/// A symmetric perturbation `|δ| ≤ magnitude` on an input leaf.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseSeed {
+    /// Tape index of the perturbed input node.
+    pub node: usize,
+    /// Element-wise ℓ∞ bound on the perturbation.
+    pub magnitude: f32,
+}
+
+impl NoiseSeed {
+    /// Seed for a weight tensor quantized symmetrically at `bits` with
+    /// clip range `max_abs`: half a bin width, widened by the quantizer's
+    /// own `f32` rounding headroom.
+    pub fn for_quantized_weight(node: usize, max_abs: f32, bits: u8) -> NoiseSeed {
+        let half_levels = ((1u64 << u32::from(bits.min(32))) / 2)
+            .saturating_sub(1)
+            .max(1) as f32;
+        let delta = max_abs / half_levels;
+        NoiseSeed {
+            node,
+            magnitude: 0.5 * delta * (1.0 + 1e-4) + 1e-6 * max_abs.max(1e-12),
+        }
+    }
+}
+
+/// Narrows `f64` bounds to an [`Interval`]; NaN bounds give up.
+fn span(lo: f64, hi: f64) -> Interval {
+    if lo.is_nan() || hi.is_nan() {
+        return Interval::TOP;
+    }
+    Interval {
+        lo: lo.min(hi) as f32,
+        hi: lo.max(hi) as f32,
+        maybe_nan: false,
+    }
+}
+
+/// Element-wise op output: one rounding per run at magnitude `out_abs`.
+fn elem(e: Interval, out_abs: f64) -> Interval {
+    if e.maybe_nan || !out_abs.is_finite() {
+        return Interval::TOP;
+    }
+    let slack = 2.0 * (REL_MARGIN * out_abs + ABS_MARGIN);
+    span(f64::from(e.lo) - slack, f64::from(e.hi) + slack)
+}
+
+/// `K`-term contraction of a per-term error `e`, with both runs' summation
+/// slack at term magnitude `term_abs`.
+fn contract_err(e: Interval, k: usize, term_abs: f64) -> Interval {
+    if e.maybe_nan || !term_abs.is_finite() {
+        return Interval::TOP;
+    }
+    let kf = (k as f64).max(1.0);
+    let slack = 2.0 * (kf * kf * CONTRACT_MARGIN * term_abs + ABS_MARGIN);
+    span(f64::from(e.lo) * kf - slack, f64::from(e.hi) * kf + slack)
+}
+
+/// Mean-style reduction over `k` terms: the mean of per-element errors
+/// stays inside `e`; only the accumulation slack (both runs) is added.
+fn mean_err(e: Interval, k: usize, term_abs: f64) -> Interval {
+    if e.maybe_nan || !term_abs.is_finite() {
+        return Interval::TOP;
+    }
+    let kf = (k as f64).max(1.0);
+    let slack = 2.0 * (kf * CONTRACT_MARGIN * term_abs + ABS_MARGIN);
+    span(f64::from(e.lo) - slack, f64::from(e.hi) + slack)
+}
+
+/// Smallest interval containing `e` and `0` — the image of an error under
+/// a monotone 1-Lipschitz clamp (ReLU family, max-pool).
+fn hull_zero(e: Interval) -> Interval {
+    Interval {
+        lo: e.lo.min(0.0),
+        hi: e.hi.max(0.0),
+        maybe_nan: e.maybe_nan,
+    }
+}
+
+/// Batch-norm output error. `m` is the per-channel normalization count
+/// `n·h·w`, `inv_std_max` the recorded largest `1/√(σ²+ε)`.
+///
+/// With `u = √(σ²+ε)`, a per-element input perturbation `|δ| ≤ w/2`
+/// (width `w = hi−lo` of `e_x`) shifts the channel mean by at most `w`
+/// and — since the standard deviation is a 1-Lipschitz seminorm and
+/// `std(δ) ≤ w/2` — shifts `u` by at most `d = w/2`. Writing
+/// `x̂' − x̂ = x̂·(u−u')/u' + (δ − μ(δ))/u'`:
+///
+/// ```text
+///   |x̂' − x̂|  ≤  (x̂_max·d + w) / (u_min − d)       (refined, batch-specific)
+///   |x̂'|, |x̂| ≤  x̂_max = √m                        (input-independent)
+/// ```
+///
+/// The output error `γ'x̂' + β' − γx̂ − β = γ(x̂'−x̂) + e_γ·x̂' + e_β` then
+/// takes the tighter of the refined bound and the trivial `2γ_max·x̂_max`
+/// fallback (which needs no `u_min` and survives `d ≥ u_min`).
+#[allow(clippy::too_many_arguments)]
+fn bn_err(
+    ex: Interval,
+    eg: Interval,
+    eb: Interval,
+    vg: Interval,
+    m: usize,
+    inv_std_max: f32,
+    out_abs: f64,
+) -> Interval {
+    if ex.maybe_nan || eg.maybe_nan || eb.maybe_nan {
+        return Interval::TOP;
+    }
+    let mf = m as f64;
+    // |x̂| bound including the value pass's own accumulation widening.
+    let xhat_max = mf.sqrt() * (1.0 + mf * CONTRACT_MARGIN) + 1e-6;
+    let g_abs = f64::from(vg.add(eg).abs_max());
+    let eg_abs = f64::from(eg.abs_max());
+    let w = f64::from(ex.hi) - f64::from(ex.lo);
+    if !w.is_finite() || !g_abs.is_finite() || !out_abs.is_finite() {
+        return Interval::TOP;
+    }
+    let trivial = g_abs * 2.0 * xhat_max + eg_abs * xhat_max;
+    let d = w / 2.0;
+    // The recorded inv_std rounds once; shrink u_min a hair to cover it.
+    let u_min = (1.0 / f64::from(inv_std_max)) * (1.0 - 1e-5);
+    let refined = if u_min.is_finite() && u_min > d {
+        g_abs * (xhat_max * d + w) / (u_min - d) + eg_abs * xhat_max
+    } else {
+        f64::INFINITY
+    };
+    let core = refined.min(trivial);
+    let e = span(-core, core).add(eb);
+    // Normalization reduces over m terms at x̂-level magnitude, scaled by γ.
+    mean_err(e, m, out_abs.max(g_abs * xhat_max))
+}
+
+/// Runs the noise pass. `values` must be the interval-pass result for the
+/// same tape; `seeds` perturb input leaves (unseeded inputs carry exactly
+/// zero noise). Returns one error interval per node.
+pub fn noise_pass(tape: &[NodeTrace], values: &[Interval], seeds: &[NoiseSeed]) -> Vec<Interval> {
+    hero_obs::counters::ANALYZE_NOISE_PASSES.incr();
+    let mut out: Vec<Interval> = Vec::with_capacity(tape.len());
+    for (i, node) in tape.iter().enumerate() {
+        let e = |slot: usize| -> Interval {
+            node.parents
+                .get(slot)
+                .filter(|&&idx| idx < i)
+                .map_or(Interval::TOP, |&idx| out[idx])
+        };
+        let v = |slot: usize| -> Interval {
+            node.parents
+                .get(slot)
+                .filter(|&&idx| idx < i)
+                .map_or(Interval::TOP, |&idx| {
+                    values.get(idx).copied().unwrap_or(Interval::TOP)
+                })
+        };
+        let pshape = |slot: usize| -> &[usize] {
+            node.parents
+                .get(slot)
+                .filter(|&&idx| idx < i)
+                .map_or(&[][..], |&idx| &tape[idx].shape)
+        };
+        let numel = |shape: &[usize]| -> usize { shape.iter().product() };
+        // Magnitude both runs' outputs stay under: base value interval
+        // plus the derived error.
+        let own = values.get(i).copied().unwrap_or(Interval::TOP);
+        let mag = |ee: Interval| -> f64 { f64::from(own.abs_max()) + f64::from(ee.abs_max()) };
+        let scalar_c = match node.detail {
+            TraceDetail::Scalar { c } => Some(c),
+            _ => None,
+        };
+        let ev = match node.op {
+            "input" => seeds.iter().find(|s| s.node == i).map_or(ZERO, |s| {
+                let m = s.magnitude.abs();
+                Interval::of(-m, m)
+            }),
+            "add" => {
+                let ee = e(0).add(e(1));
+                elem(ee, mag(ee))
+            }
+            "sub" => {
+                let ee = e(0).sub(e(1));
+                elem(ee, mag(ee))
+            }
+            "mul" => {
+                // a'b' − ab = a·e_b + e_a·b'   with b' ∈ v₁ ⊕ e₁.
+                let ee = v(0).mul(e(1)).add(e(0).mul(v(1).add(e(1))));
+                elem(ee, mag(ee))
+            }
+            "scale" => match scalar_c {
+                Some(c) => {
+                    let ee = e(0).mul(Interval::point(c));
+                    elem(ee, mag(ee))
+                }
+                None => Interval::TOP,
+            },
+            "add_scalar" => elem(e(0), mag(e(0))),
+            "square" => {
+                // (x+δ)² − x² = 2xδ + δ².
+                let ee = Interval::point(2.0).mul(v(0)).mul(e(0)).add(e(0).square());
+                elem(ee, mag(ee))
+            }
+            "matmul" => {
+                let k = pshape(0).get(1).copied().unwrap_or(0);
+                let eprod = v(0).mul(e(1)).add(e(0).mul(v(1).add(e(1))));
+                let term = f64::from(v(0).add(e(0)).mul(v(1).add(e(1))).abs_max());
+                contract_err(eprod, k, term)
+            }
+            "conv2d" | "depthwise_conv2d" => {
+                let k = match node.detail {
+                    TraceDetail::Conv { geom } => {
+                        if node.op == "conv2d" {
+                            pshape(0).get(1).copied().unwrap_or(0) * geom.kernel * geom.kernel
+                        } else {
+                            geom.kernel * geom.kernel
+                        }
+                    }
+                    _ => 0,
+                };
+                if k == 0 {
+                    Interval::TOP
+                } else {
+                    let eprod = v(0).mul(e(1)).add(e(0).mul(v(1).add(e(1))));
+                    let term = f64::from(v(0).add(e(0)).mul(v(1).add(e(1))).abs_max());
+                    contract_err(eprod, k, term)
+                }
+            }
+            // Monotone 1-Lipschitz clamps are exact in f32; the error can
+            // only shrink toward zero.
+            "relu" | "relu6" => hull_zero(e(0)),
+            // max over a window moves by at most the extreme per-element
+            // perturbations; exact in f32.
+            "max_pool2d" => e(0),
+            "reshape" => e(0),
+            "sum" => {
+                let k = numel(pshape(0));
+                let term = f64::from(v(0).add(e(0)).abs_max());
+                contract_err(e(0), k, term)
+            }
+            "mean" => {
+                let k = numel(pshape(0));
+                let term = f64::from(v(0).add(e(0)).abs_max());
+                mean_err(e(0), k, term)
+            }
+            "avg_pool2d" => match node.detail {
+                TraceDetail::AvgPool { k } => {
+                    let term = f64::from(v(0).add(e(0)).abs_max());
+                    mean_err(e(0), k * k, term)
+                }
+                _ => Interval::TOP,
+            },
+            "global_avg_pool2d" => {
+                let xs = pshape(0);
+                if xs.len() != 4 {
+                    Interval::TOP
+                } else {
+                    let term = f64::from(v(0).add(e(0)).abs_max());
+                    mean_err(e(0), xs[2] * xs[3], term)
+                }
+            }
+            "batch_norm" => {
+                let xs = pshape(0);
+                match node.detail {
+                    TraceDetail::BatchNorm { inv_std_max } if xs.len() == 4 => {
+                        let m = xs[0] * xs[2] * xs[3];
+                        let core = bn_err(
+                            e(0),
+                            e(1),
+                            e(2),
+                            v(1),
+                            m,
+                            inv_std_max,
+                            f64::from(own.abs_max()),
+                        );
+                        elem(core, mag(core))
+                    }
+                    _ => Interval::TOP,
+                }
+            }
+            // Per-row CE gradient is softmax − target: ℓ1-norm ≤ 2, so the
+            // loss is 2-Lipschitz in ‖δz‖∞ (mean over the batch preserves
+            // it); the 1e-12 probability clamp caps any single row at
+            // CE_CAP regardless.
+            "cross_entropy" | "cross_entropy_smoothed" => {
+                let ez = e(0);
+                let z_pert = v(0).add(ez);
+                if ez.maybe_nan || !z_pert.is_finite() {
+                    Interval::TOP
+                } else {
+                    let classes = pshape(0).get(1).copied().unwrap_or(1).max(1);
+                    let batch = pshape(0).first().copied().unwrap_or(1).max(1);
+                    let b = (2.0 * f64::from(ez.abs_max())).min(CE_CAP);
+                    mean_err(span(-b, b), batch * classes, CE_CAP)
+                }
+            }
+            // Sigmoid/tanh are smooth and monotone: by the mean-value
+            // theorem the output error is slope·δ for some slope in the
+            // derivative's global range.
+            "sigmoid" => {
+                let ee = Interval::of(0.0, 0.25).mul(e(0));
+                elem(ee, mag(ee))
+            }
+            "tanh" => {
+                let ee = Interval::of(0.0, 1.0).mul(e(0));
+                elem(ee, mag(ee))
+            }
+            "leaky_relu" => match scalar_c {
+                Some(s) => {
+                    // Piecewise-linear with slopes {s, 1}; a chord between
+                    // the two runs has average slope inside their hull.
+                    let ee = Interval::of(s.min(1.0), s.max(1.0)).mul(e(0));
+                    elem(ee, mag(ee))
+                }
+                None => Interval::TOP,
+            },
+            "ln" => {
+                // MVT over the union of both runs' ranges U: the
+                // derivative 1/x stays within [1/U.hi, 1/U.lo].
+                let u = v(0).hull(v(0).add(e(0)));
+                if u.lo <= 0.0 || !u.is_finite() {
+                    Interval::TOP
+                } else {
+                    let d = Interval::of(
+                        (1.0 / f64::from(u.hi)) as f32,
+                        (1.0 / f64::from(u.lo)) as f32,
+                    );
+                    let ee = d.mul(e(0));
+                    elem(ee, mag(ee))
+                }
+            }
+            // Same mask in both runs: each element is scaled by a factor
+            // in [0, max_scale].
+            "dropout" => match node.detail {
+                TraceDetail::Dropout { max_scale } => {
+                    let ee = Interval::of(0.0, max_scale).mul(e(0));
+                    elem(ee, mag(ee))
+                }
+                _ => Interval::TOP,
+            },
+            "mse_loss" => match node.detail {
+                TraceDetail::Mse {
+                    target_lo,
+                    target_hi,
+                } => {
+                    // ((x+δ−t)² − (x−t)²) = 2(x−t)δ + δ², averaged over N.
+                    let d = v(0).sub(Interval::of(target_lo, target_hi));
+                    let ee = Interval::point(2.0).mul(d).mul(e(0)).add(e(0).square());
+                    let term = f64::from(d.add(e(0)).square().abs_max());
+                    mean_err(ee, numel(pshape(0)), term)
+                }
+                _ => Interval::TOP,
+            },
+            _ => Interval::TOP,
+        };
+        out.push(ev);
+    }
+    out
+}
+
+/// Emits the noise-domain lints: [`DiagCode::QuantNoiseDominant`] at the
+/// first node where the propagated error bound exceeds the node's own
+/// value-interval width (the quantization noise drowns the signal), and
+/// [`DiagCode::QuantErrorBudgetExceeded`] at each root whose certified
+/// error bound exceeds `budget`.
+pub(crate) fn noise_diags(
+    tape: &[NodeTrace],
+    values: &[Interval],
+    noise: &[Interval],
+    roots: &[usize],
+    budget: Option<f32>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let diag = |node: usize, code: DiagCode, message: String| Diagnostic {
+        node,
+        op: tape[node].op.to_string(),
+        code,
+        message,
+        provenance: provenance(tape, node),
+    };
+    let mut dominant = vec![false; tape.len()];
+    for (i, node) in tape.iter().enumerate() {
+        if node.op == "input" {
+            continue;
+        }
+        let (val, err) = (values[i], noise[i]);
+        if !val.is_finite() {
+            continue;
+        }
+        let e_abs = err.abs_max();
+        if e_abs > val.width().max(f32::MIN_POSITIVE) {
+            dominant[i] = true;
+            // Report at the origin only; downstream nodes inherit the
+            // problem through propagation, not on their own account.
+            let inherited = node.parents.iter().any(|&p| p < i && dominant[p]);
+            if !inherited {
+                out.push(diag(
+                    i,
+                    DiagCode::QuantNoiseDominant,
+                    format!(
+                        "propagated quantization-error bound {e_abs:e} exceeds the node's \
+                         value-interval width {:e}; the noise drowns the signal here",
+                        val.width()
+                    ),
+                ));
+            }
+        }
+    }
+    if let Some(b) = budget {
+        for &r in roots {
+            let Some(err) = noise.get(r) else { continue };
+            let e_abs = err.abs_max();
+            if e_abs > b {
+                out.push(diag(
+                    r,
+                    DiagCode::QuantErrorBudgetExceeded,
+                    format!(
+                        "certified output-error bound {e_abs:e} exceeds the declared \
+                         error budget {b:e}"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{interval_pass, RangeSeed};
+    use hero_autodiff::Graph;
+    use hero_tensor::Tensor;
+
+    fn seeds_for(g: &Graph) -> Vec<RangeSeed> {
+        g.input_ranges()
+            .into_iter()
+            .map(|(node, lo, hi)| RangeSeed { node, lo, hi })
+            .collect()
+    }
+
+    #[test]
+    fn unseeded_leaves_carry_zero_noise() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(4));
+        let y = g.square(x);
+        let loss = g.sum(y);
+        let tape = g.trace();
+        let values = interval_pass(&tape, &seeds_for(&g));
+        let noise = noise_pass(&tape, &values, &[]);
+        for (i, e) in noise.iter().enumerate() {
+            assert!(e.abs_max() < 1e-3, "node {i} picked up phantom noise {e:?}");
+        }
+        let _ = loss;
+    }
+
+    #[test]
+    fn seeded_noise_grows_through_a_contraction() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_fn([4, 8], |_| 0.5));
+        let w = g.input(Tensor::from_fn([8, 3], |_| 0.1));
+        let h = g.matmul(x, w).unwrap();
+        let loss = g.sum(h);
+        let tape = g.trace();
+        let values = interval_pass(&tape, &seeds_for(&g));
+        let seed = NoiseSeed {
+            node: w.index(),
+            magnitude: 0.01,
+        };
+        let noise = noise_pass(&tape, &values, &[seed]);
+        let at_w = noise[w.index()].abs_max();
+        let at_h = noise[h.index()].abs_max();
+        let at_loss = noise[loss.index()].abs_max();
+        assert!((at_w - 0.01).abs() < 1e-6);
+        // 8-term contraction at |x| ≤ 0.5: roughly 8·0.5·0.01 = 0.04.
+        assert!(at_h > 0.03 && at_h < 0.1, "at_h = {at_h}");
+        assert!(at_loss > at_h, "sum should accumulate: {at_loss}");
+        assert!(noise[loss.index()].is_finite());
+    }
+
+    #[test]
+    fn larger_bit_width_certifies_smaller_error() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_fn([4, 8], |_| 0.5));
+        let w = g.input(Tensor::from_fn([8, 3], |_| 0.1));
+        let h = g.matmul(x, w).unwrap();
+        let loss = g.sum(h);
+        let tape = g.trace();
+        let values = interval_pass(&tape, &seeds_for(&g));
+        let bound = |bits: u8| {
+            let seed = NoiseSeed::for_quantized_weight(w.index(), 0.1, bits);
+            noise_pass(&tape, &values, &[seed])[loss.index()].abs_max()
+        };
+        assert!(bound(2) > bound(4));
+        assert!(bound(4) > bound(8));
+    }
+
+    #[test]
+    fn relu_and_pool_do_not_amplify() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_fn([1, 1, 4, 4], |_| 0.3));
+        let r = g.relu(x);
+        let p = g.max_pool2d(r, 2).unwrap();
+        let tape = g.trace();
+        let values = interval_pass(&tape, &seeds_for(&g));
+        let seed = NoiseSeed {
+            node: x.index(),
+            magnitude: 0.05,
+        };
+        let noise = noise_pass(&tape, &values, &[seed]);
+        assert!(noise[r.index()].abs_max() <= 0.05 + 1e-6);
+        assert!(noise[p.index()].abs_max() <= 0.05 + 1e-6);
+    }
+
+    #[test]
+    fn quantized_weight_seed_magnitude_matches_bin_width() {
+        let s = NoiseSeed::for_quantized_weight(0, 1.0, 4);
+        // Δ = 1/7 at 4 bits; seed ≈ Δ/2.
+        assert!((s.magnitude - 0.5 / 7.0).abs() < 1e-3);
+        // Degenerate bit widths stay finite (no shift overflow).
+        let wide = NoiseSeed::for_quantized_weight(0, 1.0, 40);
+        assert!(wide.magnitude.is_finite());
+        let one = NoiseSeed::for_quantized_weight(0, 1.0, 1);
+        assert!(one.magnitude.is_finite() && one.magnitude > 0.0);
+    }
+}

@@ -100,7 +100,7 @@ fn static_clip_set_covers_empirical_clip_set_at_4_bits() {
     let intervals = interval_pass(&tape, &seeds);
 
     let half_levels = ((1u32 << (BITS - 1)) - 1) as f32;
-    let scheme = QuantScheme::symmetric(BITS).with_percentile(0.9);
+    let scheme = QuantScheme::symmetric(BITS).unwrap().with_percentile(0.9);
     let mut empirically_clipped = Vec::new();
     let mut statically_clean = Vec::new();
     for &v in &vars {

@@ -16,7 +16,7 @@ fn main() {
         ((i[0] * 31 + i[1] * 7) % 97) as f32 / 48.0 - 1.0
     });
     for bits in [2u8, 4, 8] {
-        let scheme = QuantScheme::symmetric(bits);
+        let scheme = QuantScheme::symmetric(bits).unwrap();
         time_op(
             &format!("quantize_tensor_16k/symmetric_{bits}"),
             budget,
@@ -26,11 +26,14 @@ fn main() {
         );
     }
     for (name, scheme) in [
-        ("asymmetric_8", QuantScheme::asymmetric(8)),
-        ("per_channel_4", QuantScheme::symmetric(4).per_channel()),
+        ("asymmetric_8", QuantScheme::asymmetric(8).unwrap()),
+        (
+            "per_channel_4",
+            QuantScheme::symmetric(4).unwrap().per_channel(),
+        ),
         (
             "percentile_4",
-            QuantScheme::symmetric(4).with_percentile(0.999),
+            QuantScheme::symmetric(4).unwrap().with_percentile(0.999),
         ),
     ] {
         time_op(&format!("quantize_tensor_16k/{name}"), budget, || {
@@ -40,7 +43,7 @@ fn main() {
 
     for model in [ModelKind::Resnet, ModelKind::Mobilenet, ModelKind::Vgg] {
         let net = model.build(model_config(Preset::C10), &mut StdRng::seed_from_u64(0));
-        let scheme = QuantScheme::symmetric(4);
+        let scheme = QuantScheme::symmetric(4).unwrap();
         time_op(
             &format!("quantize_network/{}", model.paper_name()),
             budget,

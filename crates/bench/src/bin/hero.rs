@@ -2,21 +2,32 @@
 //!
 //! ```text
 //! hero train     --preset c10 --model resnet --method hero --epochs 30 [--out net.ckpt]
-//! hero quantize  --preset c10 --model resnet --ckpt net.ckpt --bits 3,4,6,8 [--mixed 5.0]
+//! hero quantize  --preset c10 --model resnet --ckpt net.ckpt --bits 3,4,6,8
+//!                [--mixed 5.0 [--sens static|proxy]]
 //! hero analyze   --preset c10 --model resnet --ckpt net.ckpt
-//! hero preflight --preset c10 --model resnet [--bits 3,4,8] [--out-dir results/analyze]
+//! hero preflight --preset c10 --model resnet [--bits 3,4,8]
+//!                [--noise-bits 4 | --mixed 4.0] [--budget 0.5]
+//!                [--out-dir results/analyze]
+//! hero noise-crosscheck --preset c10 --models resnet,mobilenet,vgg
+//!                [--bits 2,4,8] [--trials 2] [--out results/analyze/noise_crosscheck.json]
 //! ```
 //!
 //! `train` trains and optionally checkpoints a model; `quantize` sweeps
-//! post-training precision on a checkpoint (or a uniform/mixed allocation);
-//! `analyze` reports curvature (λ_max via Lanczos, ‖Hz‖) and the Theorem 3
-//! robustness bounds at the checkpoint; `preflight` runs the static
-//! analyzer suite (structure, shapes, liveness, value intervals,
-//! gradient-scale bounds) over the model's tape without training and
-//! writes the report plus an interval-colored Graphviz view.
+//! post-training precision on a checkpoint (or a uniform/mixed allocation,
+//! with the sensitivity source selectable between the certified static
+//! noise matrix and the size/range proxy); `analyze` reports curvature
+//! (λ_max via Lanczos, ‖Hz‖) and the Theorem 3 robustness bounds at the
+//! checkpoint; `preflight` runs the static analyzer suite (structure,
+//! shapes, liveness, value intervals, gradient-scale bounds, and — with
+//! `--noise-bits`/`--mixed` — the quantization-noise domain) over the
+//! model's tape without training and writes the report plus an
+//! interval-colored Graphviz view; `noise-crosscheck` adversarially
+//! validates the noise domain against measured fake-quant probe-loss
+//! shifts and writes a JSON artifact, exiting nonzero on any soundness
+//! violation.
 
 use hero_core::experiment::{model_config, MethodKind};
-use hero_core::{train, TrainConfig};
+use hero_core::{train, NoiseConfig, TrainConfig};
 use hero_data::Preset;
 use hero_hessian::{hessian_norm_probe, lanczos_spectrum, BoundInputs, GradOracle};
 use hero_nn::models::ModelKind;
@@ -28,6 +39,7 @@ use hero_quant::{
 use hero_tensor::rng::StdRng;
 use hero_tensor::{global_norm_l1, global_norm_l2};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -50,6 +62,7 @@ fn main() -> ExitCode {
         "quantize" => cmd_quantize(&opts),
         "analyze" => cmd_analyze(&opts),
         "preflight" => cmd_preflight(&opts),
+        "noise-crosscheck" => cmd_noise_crosscheck(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -74,10 +87,14 @@ USAGE:
                 --method <hero|sam|gradl1|sgd> [--epochs N] [--scale F]
                 [--seed N] [--out FILE]
   hero quantize --preset ... --model ... (--ckpt FILE | --method ... [--epochs N])
-                [--bits 3,4,6,8] [--mixed AVG_BITS]
+                [--bits 3,4,6,8] [--mixed AVG_BITS [--sens static|proxy]]
   hero analyze  --preset ... --model ... (--ckpt FILE | --method ... [--epochs N])
   hero preflight --preset ... --model ... [--ckpt FILE] [--scale F] [--seed N]
-                 [--bits 3,4,8] [--out-dir DIR]";
+                 [--bits 3,4,8] [--noise-bits N | --mixed AVG_BITS]
+                 [--budget F] [--out-dir DIR]
+  hero noise-crosscheck --preset ... [--models resnet,mobilenet,vgg]
+                 [--bits 2,4,8] [--trials N] [--epochs N] [--scale F]
+                 [--avg AVG_BITS] [--min-overlap F] [--out FILE]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -118,6 +135,17 @@ fn method_of(opts: &HashMap<String, String>) -> Result<MethodKind, String> {
         Some("sgd") => Ok(MethodKind::Sgd),
         Some(other) => Err(format!("unknown method `{other}`")),
     }
+}
+
+fn parse_bits(arg: &str, flag: &str) -> Result<Vec<u8>, String> {
+    arg.split(',')
+        .map(|token| {
+            token
+                .trim()
+                .parse()
+                .map_err(|_| format!("--{flag}: cannot parse `{token}`"))
+        })
+        .collect()
 }
 
 fn num<T: std::str::FromStr>(
@@ -193,7 +221,7 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
-    let (mut net, _, _, test_set) = obtain_model(opts)?;
+    let (mut net, _, train_set, test_set) = obtain_model(opts)?;
     let full_params = net.params();
     let full_acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
         .map_err(|e| e.to_string())?;
@@ -207,12 +235,43 @@ fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
         let avg: f32 = avg
             .parse()
             .map_err(|_| "--mixed: cannot parse".to_string())?;
-        let sens = network_sensitivities(&net);
-        let bits = allocate_bits(&sens, avg, 2, 8).map_err(|e| e.to_string())?;
-        println!("mixed-precision allocation (avg {avg} bits):");
+        let sens_source = opts.get("sens").map_or("static", String::as_str);
+        let (bits, sens) = match sens_source {
+            // Certified static sensitivity: the analyzer's noise domain
+            // bounds each layer's loss impact; the allocator spends the
+            // budget against those certificates.
+            "static" => {
+                let probe = train_set.len().min(64);
+                if probe == 0 {
+                    return Err("--sens static needs at least one training sample".into());
+                }
+                let images = train_set
+                    .images
+                    .narrow(0, probe)
+                    .map_err(|e| e.to_string())?;
+                let matrix = hero_core::static_sensitivity_matrix(
+                    &mut net,
+                    &images,
+                    &train_set.labels[..probe],
+                    &[2, 4, 8],
+                )
+                .map_err(|e| e.to_string())?;
+                let bits = matrix.allocate(avg, 2, 8).map_err(|e| e.to_string())?;
+                (bits, matrix.to_layer_sensitivities())
+            }
+            // Gradient-free proxy: curvature 1, range/size allocation only.
+            "proxy" => {
+                let sens = network_sensitivities(&net);
+                let bits = allocate_bits(&sens, avg, 2, 8).map_err(|e| e.to_string())?;
+                (bits, sens)
+            }
+            other => return Err(format!("--sens: `{other}` is not static|proxy")),
+        };
+        println!("mixed-precision allocation (avg {avg} bits, {sens_source} sensitivity):");
         for (s, b) in sens.iter().zip(&bits) {
             hero_obs::Event::new("bit_allocation")
                 .str("tensor", &s.name)
+                .str("sens", sens_source)
                 .u64("bits", u64::from(*b))
                 .u64("weights", s.numel as u64)
                 .human(format!("  {:40} {} bits ({} weights)", s.name, b, s.numel))
@@ -245,8 +304,8 @@ fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
             .trim()
             .parse()
             .map_err(|_| format!("--bits: cannot parse `{token}`"))?;
-        let (qp, report) =
-            quantize_params(&net, &QuantScheme::symmetric(b)).map_err(|e| e.to_string())?;
+        let scheme = QuantScheme::symmetric(b).map_err(|e| e.to_string())?;
+        let (qp, report) = quantize_params(&net, &scheme).map_err(|e| e.to_string())?;
         net.set_params(&qp).map_err(|e| e.to_string())?;
         let acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
             .map_err(|e| e.to_string())?;
@@ -279,14 +338,7 @@ fn cmd_preflight(opts: &HashMap<String, String>) -> Result<(), String> {
         load_params_from_file(&mut net, &PathBuf::from(ckpt)).map_err(|e| e.to_string())?;
     }
     let bits_arg = opts.get("bits").cloned().unwrap_or_else(|| "3,4,8".into());
-    let mut bits = Vec::new();
-    for token in bits_arg.split(',') {
-        let b: u8 = token
-            .trim()
-            .parse()
-            .map_err(|_| format!("--bits: cannot parse `{token}`"))?;
-        bits.push(b);
-    }
+    let bits = parse_bits(&bits_arg, "bits")?;
     let probe = train_set.len().min(64);
     if probe == 0 {
         return Err("preflight needs at least one sample".into());
@@ -295,13 +347,78 @@ fn cmd_preflight(opts: &HashMap<String, String>) -> Result<(), String> {
         .images
         .narrow(0, probe)
         .map_err(|e| e.to_string())?;
+    let labels = &train_set.labels[..probe];
+
+    // Quantization-noise configuration: `--noise-bits N` seeds every
+    // weight uniformly; `--mixed AVG` first computes the certified static
+    // sensitivity matrix, allocates per-layer widths against it, and
+    // seeds the allocation. Either way the report (and dot overlay)
+    // carries certified per-node error bounds.
+    let budget: Option<f32> = match opts.get("budget") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| "--budget: cannot parse".to_string())?,
+        ),
+    };
+    let mut noise_cfg: Option<NoiseConfig> = None;
+    if let Some(avg) = opts.get("mixed") {
+        let avg: f32 = avg
+            .parse()
+            .map_err(|_| "--mixed: cannot parse".to_string())?;
+        let mut grid = bits.clone();
+        grid.sort_unstable();
+        grid.dedup();
+        let matrix = hero_core::static_sensitivity_matrix(&mut net, &images, labels, &grid)
+            .map_err(|e| e.to_string())?;
+        let max_b = grid.last().copied().unwrap_or(8);
+        let alloc = matrix
+            .allocate(avg, grid[0].min(2), max_b)
+            .map_err(|e| e.to_string())?;
+        println!("certified static sensitivity (err[layer][bits], avg {avg}-bit allocation):");
+        for (l, layer) in matrix.layers.iter().enumerate() {
+            let cells: Vec<String> = grid
+                .iter()
+                .zip(&layer.err)
+                .map(|(b, e)| format!("{b}b:{e:.2e}"))
+                .collect();
+            println!(
+                "  {:40} {:>2} bits  {}",
+                layer.name,
+                alloc[l],
+                cells.join("  ")
+            );
+        }
+        noise_cfg = Some(NoiseConfig::per_layer(alloc));
+    } else if let Some(nb) = opts.get("noise-bits") {
+        let nb: u8 = nb
+            .parse()
+            .map_err(|_| "--noise-bits: cannot parse".to_string())?;
+        let matrix = hero_core::static_sensitivity_matrix(&mut net, &images, labels, &[nb])
+            .map_err(|e| e.to_string())?;
+        println!("certified per-layer loss-error bounds at {nb} bits:");
+        for layer in &matrix.layers {
+            println!("  {:40} err ≤ {:.3e}", layer.name, layer.err[0]);
+        }
+        noise_cfg = Some(NoiseConfig::uniform(nb));
+    }
+    if let (Some(cfg), Some(b)) = (noise_cfg.as_mut(), budget) {
+        cfg.budget = Some(b);
+    }
+
     let vopts = hero_analyze::VerifyOptions {
         quant_bits: bits,
         ..hero_analyze::VerifyOptions::default()
     };
-    let (report, dot) =
-        hero_core::preflight_report(&mut net, &images, &train_set.labels[..probe], &vopts, true)
-            .map_err(|e| e.to_string())?;
+    let (report, dot) = hero_core::preflight_report_with_noise(
+        &mut net,
+        &images,
+        labels,
+        &vopts,
+        noise_cfg.as_ref(),
+        true,
+    )
+    .map_err(|e| e.to_string())?;
 
     let out_dir = PathBuf::from(
         opts.get("out-dir")
@@ -334,6 +451,180 @@ fn cmd_preflight(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!(
             "preflight found {errors} error-severity diagnostics for `{}`",
             net.name()
+        ));
+    }
+    Ok(())
+}
+
+/// Adversarial validation of the static quantization-noise domain: for
+/// each requested model, trains a quick SGD baseline, measures per-layer
+/// fake-quant probe-loss shifts against the certified bounds
+/// ([`hero_core::noise_crosscheck`]), compares a static-matrix mixed
+/// allocation against uniform quantization at equal average bits, and
+/// writes everything to one JSON artifact. Exits nonzero if any measured
+/// error escapes its certified bound (or the ranking overlap falls under
+/// `--min-overlap`, when set).
+fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
+    let preset = preset_of(opts)?;
+    let scale: f32 = num(opts, "scale", 0.25)?;
+    let seed: u64 = num(opts, "seed", 42)?;
+    let epochs: usize = num(opts, "epochs", 3)?;
+    let trials: usize = num(opts, "trials", 2)?;
+    let avg: f32 = num(opts, "avg", 4.0)?;
+    let min_overlap: f32 = num(opts, "min-overlap", 0.0)?;
+    let bits_arg = opts.get("bits").cloned().unwrap_or_else(|| "2,4,8".into());
+    let grid = parse_bits(&bits_arg, "bits")?;
+    let models_arg = opts
+        .get("models")
+        .cloned()
+        .unwrap_or_else(|| "resnet,mobilenet,vgg".into());
+    let out_path = PathBuf::from(
+        opts.get("out")
+            .cloned()
+            .unwrap_or_else(|| "results/analyze/noise_crosscheck.json".into()),
+    );
+
+    let (train_set, test_set) = preset.load(scale);
+    let probe = train_set.len().min(64);
+    if probe == 0 {
+        return Err("noise-crosscheck needs at least one training sample".into());
+    }
+    let images = train_set
+        .images
+        .narrow(0, probe)
+        .map_err(|e| e.to_string())?;
+    let labels = &train_set.labels[..probe];
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"preset\": \"{}\",\n  \"bits\": {:?},\n  \"avg_bits\": {avg},\n  \"models\": [\n",
+        preset.paper_name(),
+        grid
+    );
+    let mut total_violations = 0usize;
+    let mut worst_overlap = f32::INFINITY;
+    let mut first_model = true;
+    for token in models_arg.split(',') {
+        let model = match token.trim() {
+            "resnet" => ModelKind::Resnet,
+            "mobilenet" => ModelKind::Mobilenet,
+            "vgg" => ModelKind::Vgg,
+            other => return Err(format!("--models: unknown model `{other}`")),
+        };
+        let mut net = model.build(model_config(preset), &mut StdRng::seed_from_u64(seed));
+        let config = TrainConfig::new(MethodKind::Sgd.tuned(), epochs).with_seed(seed);
+        let rec = train(&mut net, &train_set, &test_set, &config).map_err(|e| e.to_string())?;
+        let report = hero_core::noise_crosscheck(&mut net, &images, labels, &grid, trials, seed)
+            .map_err(|e| e.to_string())?;
+        total_violations += report.violations;
+        worst_overlap = worst_overlap.min(report.overlap);
+
+        // Static-matrix mixed allocation vs uniform at equal average bits.
+        let matrix = hero_core::static_sensitivity_matrix(&mut net, &images, labels, &grid)
+            .map_err(|e| e.to_string())?;
+        let max_b = grid.last().copied().unwrap_or(8);
+        let alloc = matrix
+            .allocate(avg, grid[0].min(2), max_b)
+            .map_err(|e| e.to_string())?;
+        let full = net.params();
+        let (qp, _) = quantize_params_mixed(&net, &alloc).map_err(|e| e.to_string())?;
+        net.set_params(&qp).map_err(|e| e.to_string())?;
+        let mixed_acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
+            .map_err(|e| e.to_string())?;
+        net.set_params(&full).map_err(|e| e.to_string())?;
+        let uniform_scheme =
+            QuantScheme::symmetric(avg.round() as u8).map_err(|e| e.to_string())?;
+        let (qp, _) = quantize_params(&net, &uniform_scheme).map_err(|e| e.to_string())?;
+        net.set_params(&qp).map_err(|e| e.to_string())?;
+        let uniform_acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
+            .map_err(|e| e.to_string())?;
+        net.set_params(&full).map_err(|e| e.to_string())?;
+
+        println!(
+            "{}: {} cells, {} violations, overlap {:.2}, mixed {:.2}% vs uniform {:.2}% \
+             at avg {avg} bits (full {:.2}%)",
+            model.paper_name(),
+            report.cells.len(),
+            report.violations,
+            report.overlap,
+            100.0 * mixed_acc,
+            100.0 * uniform_acc,
+            100.0 * rec.final_test_acc
+        );
+        hero_obs::Event::new("noise_crosscheck")
+            .str("model", model.paper_name())
+            .u64("violations", report.violations as u64)
+            .f64("overlap", f64::from(report.overlap))
+            .f64("mixed_acc", f64::from(mixed_acc))
+            .f64("uniform_acc", f64::from(uniform_acc))
+            .emit();
+
+        if !first_model {
+            json.push_str(",\n");
+        }
+        first_model = false;
+        let _ = write!(
+            json,
+            "    {{\n      \"model\": \"{}\",\n      \"violations\": {},\n      \
+             \"overlap\": {:.4},\n      \"ref_bits\": {},\n      \
+             \"full_acc\": {:.4},\n      \"mixed_acc\": {:.4},\n      \
+             \"uniform_acc\": {:.4},\n      \"allocation\": {:?},\n      \"cells\": [\n",
+            model.paper_name(),
+            report.violations,
+            report.overlap,
+            report.ref_bits,
+            rec.final_test_acc,
+            mixed_acc,
+            uniform_acc,
+            alloc
+        );
+        for (i, c) in report.cells.iter().enumerate() {
+            let _ = write!(
+                json,
+                "        {{\"layer\": \"{}\", \"bits\": {}, \"certified\": {:e}, \
+                 \"empirical\": {:e}, \"violated\": {}}}{}",
+                c.layer.replace(['"', '\\'], "_"),
+                c.bits,
+                c.certified,
+                c.empirical,
+                c.violated,
+                if i + 1 < report.cells.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                }
+            );
+        }
+        json.push_str("      ]\n    }");
+    }
+    let _ = write!(
+        json,
+        "\n  ],\n  \"total_violations\": {total_violations},\n  \
+         \"worst_overlap\": {:.4}\n}}\n",
+        if worst_overlap.is_finite() {
+            worst_overlap
+        } else {
+            1.0
+        }
+    );
+    if let Some(dir) = out_path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&out_path, &json).map_err(|e| e.to_string())?;
+    println!("noise crosscheck written to {}", out_path.display());
+
+    if total_violations > 0 {
+        return Err(format!(
+            "noise-domain soundness violated: {total_violations} measured errors \
+             escaped their certified bounds (see {})",
+            out_path.display()
+        ));
+    }
+    if min_overlap > 0.0 && worst_overlap < min_overlap {
+        return Err(format!(
+            "static-vs-empirical ranking overlap {worst_overlap:.2} below the \
+             required {min_overlap:.2}"
         ));
     }
     Ok(())

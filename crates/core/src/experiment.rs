@@ -16,7 +16,7 @@ use hero_nn::{evaluate_accuracy, Network};
 use hero_optim::Method;
 use hero_quant::{quantize_params, QuantScheme};
 use hero_tensor::rng::StdRng;
-use hero_tensor::Result;
+use hero_tensor::{Result, TensorError};
 
 /// The method variants evaluated across the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -383,6 +383,7 @@ pub fn quant_sweep(
     // model fails with a report rather than skewing every point of the
     // curve.
     let probe = test_set.len().min(64);
+    let mut gate = None;
     if probe > 0 {
         let images = test_set.images.narrow(0, probe)?;
         let vopts = hero_analyze::VerifyOptions {
@@ -395,13 +396,47 @@ pub fn quant_sweep(
             &test_set.labels[..probe],
             &vopts,
         )?;
+        // Certified whole-network noise bounds at the swept widths plus the
+        // unquantized probe loss: every sweep point is held against its
+        // static certificate below (the soundness gate of DESIGN.md §14).
+        let bounds = crate::preflight::certified_noise_bounds(
+            &mut trained.net,
+            &images,
+            &test_set.labels[..probe],
+            bits,
+        )?;
+        let base =
+            crate::preflight::probe_loss(&mut trained.net, &images, &test_set.labels[..probe])?;
+        gate = Some((images, bounds, base));
     }
     let _sweep = hero_obs::span("quant_sweep");
     let full_params = trained.net.params();
     let mut points = Vec::with_capacity(bits.len());
-    for &b in bits {
-        let (qp, _) = quantize_params(&trained.net, &QuantScheme::symmetric(b))?;
+    for (i, &b) in bits.iter().enumerate() {
+        let (qp, _) = quantize_params(&trained.net, &QuantScheme::symmetric(b)?)?;
         trained.net.set_params(&qp)?;
+        if let Some((images, bounds, base)) = &gate {
+            let shifted =
+                crate::preflight::probe_loss(&mut trained.net, images, &test_set.labels[..probe])?;
+            let measured = (shifted - base).abs();
+            let certified = bounds[i];
+            if hero_obs::run_active() {
+                hero_obs::Event::new("quant_noise_gate")
+                    .str("method", trained.method.paper_name())
+                    .u64("bits", u64::from(b))
+                    .f64("certified", f64::from(certified))
+                    .f64("measured", f64::from(measured))
+                    .emit();
+            }
+            if measured > certified * 1.0001 + 1e-5 {
+                hero_obs::counters::NOISE_CROSSCHECK_VIOLATIONS.incr();
+                trained.net.set_params(&full_params)?;
+                return Err(TensorError::InvalidArgument(format!(
+                    "noise-domain soundness violation at {b} bits: measured probe-loss \
+                     shift {measured:.6e} escapes the certified bound {certified:.6e}"
+                )));
+            }
+        }
         let acc = evaluate_accuracy(&mut trained.net, &test_set.images, &test_set.labels, 64)?;
         if hero_obs::run_active() {
             hero_obs::Event::new("quant")

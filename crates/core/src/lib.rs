@@ -37,11 +37,16 @@
 pub mod config;
 pub mod experiment;
 pub mod metrics;
+pub mod preflight;
 pub mod report;
 pub mod trainer;
 
 pub use config::TrainConfig;
 pub use metrics::{EpochMetrics, TrainRecord};
+pub use preflight::{
+    certified_noise_bounds, noise_crosscheck, preflight_report_with_noise, probe_loss,
+    static_sensitivity_matrix, CrosscheckCell, CrosscheckReport, NoiseBits, NoiseConfig,
+};
 pub use trainer::{
     preflight_report, probe_hessian_norm, train, verify_network_tape, verify_network_tape_with,
 };

@@ -3,7 +3,6 @@
 use crate::config::TrainConfig;
 use crate::metrics::{EpochMetrics, TrainRecord};
 use hero_analyze::{Report, VerifyOptions};
-use hero_autodiff::Graph;
 use hero_data::{Dataset, Loader};
 use hero_hessian::hessian_norm_probe;
 use hero_nn::{evaluate_accuracy, Network};
@@ -191,18 +190,7 @@ pub fn preflight_report(
     opts: &VerifyOptions,
     render_dot: bool,
 ) -> Result<(Report, Option<String>)> {
-    let prev = hero_nn::norm::set_bn_running_stat_updates(false);
-    let mut g = Graph::new();
-    let built = net
-        .forward(&mut g, images, true)
-        .and_then(|(logits, _vars)| g.cross_entropy(logits, labels));
-    hero_nn::norm::set_bn_running_stat_updates(prev);
-    let loss = built?;
-    let report = hero_analyze::verify_graph_with(&g, &[loss], opts);
-    let dot = render_dot.then(|| hero_analyze::to_dot_colored(&g.trace(), &report));
-    g.reset();
-    report.emit_obs(net.name());
-    Ok((report, dot))
+    crate::preflight::preflight_report_with_noise(net, images, labels, opts, None, render_dot)
 }
 
 /// Evaluates the paper's Fig. 2(a) probe ‖Hz‖ on a fixed training

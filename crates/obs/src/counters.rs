@@ -125,8 +125,13 @@ pub static ANALYZE_DIAGS_ERROR: Counter = Counter::new("analyze_diags_error");
 /// Warning-severity diagnostics produced by `hero-analyze` pre-flight
 /// runs.
 pub static ANALYZE_DIAGS_WARN: Counter = Counter::new("analyze_diags_warn");
+/// Quantization-noise propagation passes executed by `hero-analyze`.
+pub static ANALYZE_NOISE_PASSES: Counter = Counter::new("analyze_noise_passes");
+/// Static-vs-empirical noise crosscheck trials where the measured error
+/// escaped the certified bound (must stay zero; gated in verify.sh).
+pub static NOISE_CROSSCHECK_VIOLATIONS: Counter = Counter::new("noise_crosscheck_violations");
 
-const BUILTINS: [&Counter; 15] = [
+const BUILTINS: [&Counter; 17] = [
     &GRAD_EVALS,
     &POOL_HITS,
     &POOL_FRESH_ALLOCS,
@@ -142,6 +147,8 @@ const BUILTINS: [&Counter; 15] = [
     &REDUCE_WAIT_NS,
     &ANALYZE_DIAGS_ERROR,
     &ANALYZE_DIAGS_WARN,
+    &ANALYZE_NOISE_PASSES,
+    &NOISE_CROSSCHECK_VIOLATIONS,
 ];
 
 fn registry() -> &'static Mutex<Vec<&'static Counter>> {

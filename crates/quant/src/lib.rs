@@ -16,7 +16,7 @@
 //!
 //! # fn main() -> Result<(), hero_tensor::TensorError> {
 //! let w = Tensor::from_vec(vec![-0.9, -0.2, 0.3, 0.8], [4])?;
-//! let q = quantize_tensor(&w, &QuantScheme::symmetric(4))?;
+//! let q = quantize_tensor(&w, &QuantScheme::symmetric(4)?)?;
 //! let worst = q.values.sub(&w)?.norm_linf();
 //! assert!(worst <= q.max_bin_width() / 2.0 + 1e-6);
 //! # Ok(())
@@ -29,8 +29,10 @@ mod mixed;
 mod model;
 mod quantizer;
 mod scheme;
+mod sensitivity;
 
 pub use mixed::{allocate_bits, network_sensitivities, quantize_params_mixed, LayerSensitivity};
 pub use model::{quantize_network, quantize_params, ModelQuantReport};
 pub use quantizer::{quant_error, quantize_tensor, QuantError, QuantizedTensor};
 pub use scheme::{Calibration, Granularity, QuantMode, QuantScheme};
+pub use sensitivity::{SensitivityMatrix, StaticSensitivity};

@@ -31,14 +31,14 @@ pub struct LayerSensitivity {
 }
 
 impl LayerSensitivity {
-    /// Bin width of a symmetric uniform quantizer at `bits`.
-    fn delta(&self, bits: u8) -> f32 {
-        let half_levels = ((1u32 << bits) / 2).saturating_sub(1).max(1) as f32;
-        self.max_abs / half_levels
+    /// Bin width of a symmetric uniform quantizer at `bits` (shift-safe
+    /// for any `u8` input via [`QuantScheme::half_levels`]).
+    pub fn delta(&self, bits: u8) -> f32 {
+        self.max_abs / QuantScheme::half_levels(bits) as f32
     }
 
     /// Estimated second-order loss impact of quantizing at `bits`.
-    fn impact(&self, bits: u8) -> f32 {
+    pub fn impact(&self, bits: u8) -> f32 {
         let d = self.delta(bits);
         self.curvature * self.numel as f32 * d * d / 24.0
     }
@@ -60,41 +60,121 @@ pub fn allocate_bits(
     min_bits: u8,
     max_bits: u8,
 ) -> Result<Vec<u8>> {
-    if min_bits == 0 || min_bits > max_bits {
+    let numels: Vec<usize> = layers.iter().map(|l| l.numel).collect();
+    let profiles: Vec<Vec<f32>> = layers
+        .iter()
+        .map(|l| {
+            (min_bits..=max_bits.max(min_bits))
+                .map(|b| l.impact(b))
+                .collect()
+        })
+        .collect();
+    greedy_allocate(&numels, &profiles, avg_bits, min_bits, max_bits)
+}
+
+/// Replaces `profile` with its lower convex minorant over the index, so
+/// the marginal gain sequence `p[j] − p[j+1]` is non-increasing. Greedy
+/// per-cost allocation over convex profiles is *monotone in the budget*
+/// (a larger budget never lowers any layer's bits) — the property the
+/// allocator tests pin down. Quadratic Δ²-model profiles are already
+/// convex; certified noise-bound profiles need not be, so the shared
+/// greedy convexifies unconditionally.
+fn convex_minorant(profile: &mut [f32]) {
+    let n = profile.len();
+    if n < 3 {
+        return;
+    }
+    // Lower hull of (j, p[j]) by Graham scan, then linear interpolation.
+    let mut hull: Vec<usize> = Vec::with_capacity(n);
+    for j in 0..n {
+        while hull.len() >= 2 {
+            let (a, b) = (hull[hull.len() - 2], hull[hull.len() - 1]);
+            let cross = (b - a) as f64 * (f64::from(profile[j]) - f64::from(profile[a]))
+                - (j - a) as f64 * (f64::from(profile[b]) - f64::from(profile[a]));
+            if cross <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(j);
+    }
+    for w in hull.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let (pa, pb) = (f64::from(profile[a]), f64::from(profile[b]));
+        for (j, p) in profile.iter_mut().enumerate().take(b).skip(a + 1) {
+            *p = (pa + (pb - pa) * (j - a) as f64 / (b - a) as f64) as f32;
+        }
+    }
+}
+
+/// Shared greedy core behind [`allocate_bits`] and the certified-matrix
+/// allocator: `profiles[i][j]` is layer `i`'s estimated loss impact at
+/// `min_bits + j` bits. Profiles are convexified first (see
+/// [`convex_minorant`]), then budget is spent on the best impact
+/// reduction per weight-bit until exhausted or everything saturates.
+pub(crate) fn greedy_allocate(
+    numels: &[usize],
+    profiles: &[Vec<f32>],
+    avg_bits: f32,
+    min_bits: u8,
+    max_bits: u8,
+) -> Result<Vec<u8>> {
+    if min_bits == 0 || min_bits > max_bits || max_bits > QuantScheme::MAX_BITS {
         return Err(TensorError::InvalidArgument(format!(
-            "invalid bit bounds [{min_bits}, {max_bits}]"
+            "invalid bit bounds [{min_bits}, {max_bits}] (supported range 1..={})",
+            QuantScheme::MAX_BITS
         )));
     }
-    let total_weights: usize = layers.iter().map(|l| l.numel).sum();
+    let width = usize::from(max_bits - min_bits) + 1;
+    if profiles.len() != numels.len() || profiles.iter().any(|p| p.len() != width) {
+        return Err(TensorError::InvalidArgument(
+            "impact profiles misaligned with layers or bit range".into(),
+        ));
+    }
+    let mut profiles: Vec<Vec<f32>> = profiles.to_vec();
+    for p in &mut profiles {
+        convex_minorant(p);
+    }
+    let total_weights: usize = numels.iter().sum();
     let budget = (avg_bits * total_weights as f32).floor() as i64;
-    let floor_cost: i64 = layers
-        .iter()
-        .map(|l| l.numel as i64 * min_bits as i64)
-        .sum();
+    let floor_cost: i64 = numels.iter().map(|&n| n as i64 * min_bits as i64).sum();
     if budget < floor_cost {
         return Err(TensorError::InvalidArgument(format!(
             "budget {avg_bits} avg bits is below the {min_bits}-bit floor"
         )));
     }
-    let mut bits = vec![min_bits; layers.len()];
+    let mut bits = vec![min_bits; numels.len()];
     let mut remaining = budget - floor_cost;
     // Greedy: repeatedly upgrade the layer with the best impact reduction
-    // per weight-bit spent.
+    // per weight-bit spent, stopping at the first unaffordable pick. The
+    // upgrade *sequence* depends only on the profiles, never on the
+    // budget, so a larger budget executes a strict superset of the same
+    // upgrades — per-layer allocations are monotone in the budget (the
+    // allocator_props invariant). Skipping an unaffordable pick to spend
+    // leftovers on a cheaper layer would squeeze out a few more
+    // weight-bits but breaks that monotonicity (the classic greedy
+    // knapsack anomaly), so we deliberately leave at most one layer's
+    // cost unspent.
     loop {
         let mut best: Option<(usize, f32)> = None;
-        for (i, layer) in layers.iter().enumerate() {
-            if bits[i] >= max_bits || layer.numel as i64 > remaining {
+        for (i, &numel) in numels.iter().enumerate() {
+            if bits[i] >= max_bits {
                 continue;
             }
-            let gain = layer.impact(bits[i]) - layer.impact(bits[i] + 1);
-            let per_cost = gain / layer.numel.max(1) as f32;
+            let j = usize::from(bits[i] - min_bits);
+            let gain = profiles[i][j] - profiles[i][j + 1];
+            let per_cost = gain / numel.max(1) as f32;
             if best.is_none_or(|(_, g)| per_cost > g) {
                 best = Some((i, per_cost));
             }
         }
         let Some((i, _)) = best else { break };
+        if numels[i] as i64 > remaining {
+            break;
+        }
         bits[i] += 1;
-        remaining -= layers[i].numel as i64;
+        remaining -= numels[i] as i64;
     }
     Ok(bits)
 }
@@ -144,7 +224,7 @@ pub fn quantize_params_mixed(
     }
     let mut out = Vec::with_capacity(params.len());
     let mut report = ModelQuantReport {
-        scheme: QuantScheme::symmetric(bits.iter().copied().max().unwrap_or(8)),
+        scheme: QuantScheme::symmetric(bits.iter().copied().max().unwrap_or(8))?,
         quantized_tensors: 0,
         skipped_tensors: 0,
         worst_linf: 0.0,
@@ -156,7 +236,7 @@ pub fn quantize_params_mixed(
     for (p, info) in params.iter().zip(&infos) {
         if info.kind.is_quantizable() {
             let b = *next_bit.next().expect("counted above");
-            let q = quantize_tensor(p, &QuantScheme::symmetric(b))?;
+            let q = quantize_tensor(p, &QuantScheme::symmetric(b)?)?;
             let err = quant_error(p, &q.values)?;
             hero_obs::counters::QUANT_TENSORS.incr();
             report.quantized_tensors += 1;
@@ -246,6 +326,26 @@ mod tests {
         assert!(allocate_bits(&layers, 4.0, 0, 8).is_err());
         assert!(allocate_bits(&layers, 4.0, 6, 4).is_err());
         assert!(allocate_bits(&layers, 1.0, 4, 8).is_err()); // below floor
+                                                             // Widths past MAX_BITS would overflow u32 level arithmetic; the
+                                                             // allocator rejects them instead of handing out a poisoned plan.
+        assert!(allocate_bits(&layers, 20.0, 4, 32).is_err());
+        assert!(allocate_bits(&layers, 20.0, 4, 255).is_err());
+    }
+
+    #[test]
+    fn delta_is_shift_safe_for_wide_bits() {
+        // Regression: `1u32 << bits` used to overflow (debug panic /
+        // release wrap) for bits ≥ 32. Hand-built sensitivities can still
+        // carry such widths; delta must stay finite and monotone.
+        let l = layer("x", 10, 1.0, 1.0);
+        let mut prev = f32::INFINITY;
+        for bits in [1u8, 4, 16, 31, 32, 33, 64, 255] {
+            let d = l.delta(bits);
+            assert!(d.is_finite() && d > 0.0, "delta({bits}) = {d}");
+            assert!(d <= prev, "delta not monotone at {bits}");
+            prev = d;
+        }
+        assert!(l.impact(255).is_finite());
     }
 
     #[test]

@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn quantize_params_touches_only_weights() {
         let net = mini_resnet(ModelConfig::default(), 1, &mut rng());
-        let (qp, report) = quantize_params(&net, &QuantScheme::symmetric(4)).unwrap();
+        let (qp, report) = quantize_params(&net, &QuantScheme::symmetric(4).unwrap()).unwrap();
         let infos = net.param_infos();
         let orig = net.params();
         assert_eq!(qp.len(), orig.len());
@@ -118,7 +118,8 @@ mod tests {
     fn theorem2_premise_holds_on_a_network() {
         let net = mini_resnet(ModelConfig::default(), 1, &mut rng());
         for bits in [2u8, 4, 8] {
-            let (_, report) = quantize_params(&net, &QuantScheme::symmetric(bits)).unwrap();
+            let (_, report) =
+                quantize_params(&net, &QuantScheme::symmetric(bits).unwrap()).unwrap();
             assert!(
                 report.worst_linf <= report.max_bin_width / 2.0 + 1e-6,
                 "{bits}-bit: ‖δ‖∞ {} exceeds Δ/2 {}",
@@ -131,9 +132,9 @@ mod tests {
     #[test]
     fn lower_precision_means_larger_perturbation() {
         let net = mini_resnet(ModelConfig::default(), 1, &mut rng());
-        let (_, r8) = quantize_params(&net, &QuantScheme::symmetric(8)).unwrap();
-        let (_, r4) = quantize_params(&net, &QuantScheme::symmetric(4)).unwrap();
-        let (_, r2) = quantize_params(&net, &QuantScheme::symmetric(2)).unwrap();
+        let (_, r8) = quantize_params(&net, &QuantScheme::symmetric(8).unwrap()).unwrap();
+        let (_, r4) = quantize_params(&net, &QuantScheme::symmetric(4).unwrap()).unwrap();
+        let (_, r2) = quantize_params(&net, &QuantScheme::symmetric(2).unwrap()).unwrap();
         assert!(r2.worst_linf > r4.worst_linf);
         assert!(r4.worst_linf > r8.worst_linf);
         assert!(r2.mean_mse > r4.mean_mse);
@@ -149,12 +150,12 @@ mod tests {
         };
         let mut net = mlp(cfg, &[8], &mut rng());
         let before = net.params();
-        let report = quantize_network(&mut net, &QuantScheme::symmetric(3)).unwrap();
+        let report = quantize_network(&mut net, &QuantScheme::symmetric(3).unwrap()).unwrap();
         let after = net.params();
         assert_ne!(before, after);
         assert!(report.worst_linf > 0.0);
         // Quantizing again is a no-op (idempotence at network level).
-        let again = quantize_network(&mut net, &QuantScheme::symmetric(3)).unwrap();
+        let again = quantize_network(&mut net, &QuantScheme::symmetric(3).unwrap()).unwrap();
         assert!(again.worst_linf < 1e-5);
     }
 
@@ -169,7 +170,7 @@ mod tests {
         let mut net = mlp(cfg, &[16], &mut StdRng::seed_from_u64(12));
         let x = Tensor::from_fn([6, 1, 4, 4], |i| (i.iter().sum::<usize>() % 5) as f32 - 2.0);
         let before = net.predict(&x).unwrap();
-        quantize_network(&mut net, &QuantScheme::symmetric(8)).unwrap();
+        quantize_network(&mut net, &QuantScheme::symmetric(8).unwrap()).unwrap();
         let after = net.predict(&x).unwrap();
         let drift = before.sub(&after).unwrap().norm_linf();
         assert!(drift < 0.05, "8-bit drift {drift}");

@@ -51,7 +51,7 @@ fn quantize_group(values: &[f32], out: &mut [f32], scheme: &QuantScheme) -> f32 
     match scheme.mode {
         QuantMode::Symmetric => {
             let max_abs = lo.abs().max(hi.abs());
-            let half_levels = ((1u32 << scheme.bits) / 2 - 1).max(1) as f32; // 2^(n-1) - 1
+            let half_levels = QuantScheme::half_levels(scheme.bits) as f32; // 2^(n-1) - 1
             if max_abs <= f32::MIN_POSITIVE {
                 out.fill(0.0);
                 return 0.0;
@@ -64,7 +64,7 @@ fn quantize_group(values: &[f32], out: &mut [f32], scheme: &QuantScheme) -> f32 
             scale
         }
         QuantMode::Asymmetric => {
-            let levels = ((1u32 << scheme.bits) - 1) as f32;
+            let levels = (scheme.levels() - 1).max(1) as f32;
             let span = hi - lo;
             if span <= f32::MIN_POSITIVE {
                 out.fill(lo);
@@ -175,7 +175,7 @@ mod tests {
         // weight by at most Δ/2.
         let w = t(&[-1.0, -0.33, 0.0, 0.4, 0.77, 1.0]);
         for bits in 2..=8 {
-            let q = quantize_tensor(&w, &QuantScheme::symmetric(bits)).unwrap();
+            let q = quantize_tensor(&w, &QuantScheme::symmetric(bits).unwrap()).unwrap();
             let err = quant_error(&w, &q.values).unwrap();
             assert!(
                 err.linf <= q.max_bin_width() / 2.0 + 1e-6,
@@ -190,7 +190,7 @@ mod tests {
     fn asymmetric_error_bounded_by_half_bin() {
         let w = t(&[0.1, 0.5, 0.9, 1.3, 2.0]); // strictly positive range
         for bits in 2..=8 {
-            let q = quantize_tensor(&w, &QuantScheme::asymmetric(bits)).unwrap();
+            let q = quantize_tensor(&w, &QuantScheme::asymmetric(bits).unwrap()).unwrap();
             let err = quant_error(&w, &q.values).unwrap();
             assert!(err.linf <= q.max_bin_width() / 2.0 + 1e-6);
         }
@@ -201,7 +201,7 @@ mod tests {
         let w = Tensor::from_fn([64], |i| ((i[0] * 37 % 64) as f32 / 32.0) - 1.0);
         let mut prev = f32::INFINITY;
         for bits in [2u8, 3, 4, 6, 8] {
-            let q = quantize_tensor(&w, &QuantScheme::symmetric(bits)).unwrap();
+            let q = quantize_tensor(&w, &QuantScheme::symmetric(bits).unwrap()).unwrap();
             let err = quant_error(&w, &q.values).unwrap();
             assert!(
                 err.mse <= prev + 1e-9,
@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn high_precision_is_nearly_lossless() {
         let w = Tensor::from_fn([32], |i| (i[0] as f32 / 16.0) - 1.0);
-        let q = quantize_tensor(&w, &QuantScheme::symmetric(16)).unwrap();
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(16).unwrap()).unwrap();
         let err = quant_error(&w, &q.values).unwrap();
         assert!(err.linf < 1e-4);
     }
@@ -223,14 +223,14 @@ mod tests {
     #[test]
     fn symmetric_preserves_exact_zero() {
         let w = t(&[-1.0, 0.0, 1.0]);
-        let q = quantize_tensor(&w, &QuantScheme::symmetric(3)).unwrap();
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(3).unwrap()).unwrap();
         assert_eq!(q.values.data()[1], 0.0);
     }
 
     #[test]
     fn quantization_is_idempotent() {
         let w = Tensor::from_fn([40], |i| (i[0] as f32 * 0.37).sin());
-        let scheme = QuantScheme::symmetric(4);
+        let scheme = QuantScheme::symmetric(4).unwrap();
         let q1 = quantize_tensor(&w, &scheme).unwrap();
         let q2 = quantize_tensor(&q1.values, &scheme).unwrap();
         for (a, b) in q1.values.data().iter().zip(q2.values.data()) {
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn values_lie_on_the_grid() {
         let w = Tensor::from_fn([30], |i| (i[0] as f32 * 0.21).cos() * 2.0);
-        let q = quantize_tensor(&w, &QuantScheme::symmetric(3)).unwrap();
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(3).unwrap()).unwrap();
         let delta = q.bin_widths[0];
         for &v in q.values.data() {
             let steps = v / delta;
@@ -255,11 +255,11 @@ mod tests {
     #[test]
     fn constant_tensor_quantizes_cleanly() {
         let w = Tensor::zeros([8]);
-        let q = quantize_tensor(&w, &QuantScheme::symmetric(4)).unwrap();
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(4).unwrap()).unwrap();
         assert_eq!(q.values.data(), w.data());
         assert_eq!(q.max_bin_width(), 0.0);
         let c = Tensor::full([8], 3.0);
-        let qa = quantize_tensor(&c, &QuantScheme::asymmetric(4)).unwrap();
+        let qa = quantize_tensor(&c, &QuantScheme::asymmetric(4).unwrap()).unwrap();
         // Range [0, 3]: representable, error within Δ/2.
         let err = quant_error(&c, &qa.values).unwrap();
         assert!(err.linf <= qa.max_bin_width() / 2.0 + 1e-6);
@@ -268,12 +268,12 @@ mod tests {
     #[test]
     fn per_channel_gives_one_bin_per_row() {
         let w = Tensor::from_vec(vec![0.1, -0.1, 10.0, -10.0], [2, 2]).unwrap();
-        let q = quantize_tensor(&w, &QuantScheme::symmetric(4).per_channel()).unwrap();
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(4).unwrap().per_channel()).unwrap();
         assert_eq!(q.bin_widths.len(), 2);
         // Small-range channel gets a much finer grid.
         assert!(q.bin_widths[0] < q.bin_widths[1] / 50.0);
         // Per-channel is at least as accurate as per-tensor here.
-        let qt = quantize_tensor(&w, &QuantScheme::symmetric(4)).unwrap();
+        let qt = quantize_tensor(&w, &QuantScheme::symmetric(4).unwrap()).unwrap();
         let err_c = quant_error(&w, &q.values).unwrap();
         let err_t = quant_error(&w, &qt.values).unwrap();
         assert!(err_c.mse <= err_t.mse + 1e-9);
@@ -287,9 +287,12 @@ mod tests {
         }
         vals.push(100.0); // one huge outlier
         let w = t(&vals);
-        let clipped =
-            quantize_tensor(&w, &QuantScheme::symmetric(4).with_percentile(0.95)).unwrap();
-        let minmax = quantize_tensor(&w, &QuantScheme::symmetric(4)).unwrap();
+        let clipped = quantize_tensor(
+            &w,
+            &QuantScheme::symmetric(4).unwrap().with_percentile(0.95),
+        )
+        .unwrap();
+        let minmax = quantize_tensor(&w, &QuantScheme::symmetric(4).unwrap()).unwrap();
         // The percentile grid is far finer than the outlier-dominated one.
         assert!(clipped.bin_widths[0] < minmax.bin_widths[0] / 10.0);
         // But the outlier itself is clipped hard.
@@ -300,12 +303,22 @@ mod tests {
     #[test]
     fn validates_arguments() {
         let w = t(&[1.0]);
-        assert!(quantize_tensor(&w, &QuantScheme::symmetric(0)).is_err());
-        assert!(quantize_tensor(&w, &QuantScheme::symmetric(17)).is_err());
-        assert!(quantize_tensor(&w, &QuantScheme::symmetric(4).with_percentile(0.3)).is_err());
+        // Out-of-range widths are rejected at construction now…
+        assert!(QuantScheme::symmetric(0).is_err());
+        assert!(QuantScheme::symmetric(17).is_err());
+        assert!(QuantScheme::asymmetric(32).is_err());
+        // …but quantize_tensor still validates a hand-built scheme.
+        let zero_bits = QuantScheme {
+            bits: 0,
+            ..QuantScheme::symmetric(4).unwrap()
+        };
+        assert!(quantize_tensor(&w, &zero_bits).is_err());
+        assert!(
+            quantize_tensor(&w, &QuantScheme::symmetric(4).unwrap().with_percentile(0.3)).is_err()
+        );
         assert!(quantize_tensor(
             &Tensor::scalar(1.0),
-            &QuantScheme::symmetric(4).per_channel()
+            &QuantScheme::symmetric(4).unwrap().per_channel()
         )
         .is_err());
         assert!(quant_error(&w, &t(&[1.0, 2.0])).is_err());

@@ -1,6 +1,7 @@
 //! Quantization scheme description: precision, symmetry, granularity and
 //! range calibration.
 
+use hero_tensor::{Result, TensorError};
 use std::fmt;
 
 /// Whether the quantization grid is centred on zero.
@@ -36,14 +37,20 @@ pub enum Calibration {
 
 /// A complete linear uniform quantization scheme.
 ///
+/// Constructed via [`QuantScheme::symmetric`] / [`QuantScheme::asymmetric`],
+/// which validate `1 ≤ bits ≤ 16` up front — a `bits ≥ 32` scheme used to
+/// reach [`QuantScheme::levels`]' `1 << bits` and die with a debug-build
+/// shift overflow instead of a typed error.
+///
 /// # Examples
 ///
 /// ```
 /// use hero_quant::QuantScheme;
 ///
-/// let s = QuantScheme::symmetric(4);
+/// let s = QuantScheme::symmetric(4).unwrap();
 /// assert_eq!(s.bits, 4);
 /// assert_eq!(s.levels(), 15); // symmetric grid uses 2^n - 1 levels
+/// assert!(QuantScheme::symmetric(32).is_err());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuantScheme {
@@ -58,23 +65,46 @@ pub struct QuantScheme {
 }
 
 impl QuantScheme {
+    /// Largest supported bit width. Wider grids gain nothing over `f32`
+    /// weights and would overflow the `u32` level arithmetic.
+    pub const MAX_BITS: u8 = 16;
+
+    fn validate_bits(bits: u8) -> Result<()> {
+        if bits == 0 || bits > Self::MAX_BITS {
+            return Err(TensorError::InvalidArgument(format!(
+                "quantization bit width {bits} outside the supported 1..={} range",
+                Self::MAX_BITS
+            )));
+        }
+        Ok(())
+    }
+
     /// Symmetric per-tensor min-max scheme at `bits` — the paper's
     /// post-training quantization setting.
-    pub fn symmetric(bits: u8) -> Self {
-        QuantScheme {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] unless `1 ≤ bits ≤ 16`.
+    pub fn symmetric(bits: u8) -> Result<Self> {
+        Self::validate_bits(bits)?;
+        Ok(QuantScheme {
             bits,
             mode: QuantMode::Symmetric,
             granularity: Granularity::PerTensor,
             calibration: Calibration::MinMax,
-        }
+        })
     }
 
     /// Asymmetric per-tensor min-max scheme at `bits`.
-    pub fn asymmetric(bits: u8) -> Self {
-        QuantScheme {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] unless `1 ≤ bits ≤ 16`.
+    pub fn asymmetric(bits: u8) -> Result<Self> {
+        Ok(QuantScheme {
             mode: QuantMode::Asymmetric,
-            ..QuantScheme::symmetric(bits)
-        }
+            ..QuantScheme::symmetric(bits)?
+        })
     }
 
     /// Switches to per-channel granularity.
@@ -93,11 +123,21 @@ impl QuantScheme {
 
     /// Number of representable levels: `2^n - 1` for symmetric grids
     /// (levels are mirrored around an exact zero), `2^n` for asymmetric.
+    /// Shift-safe even for a hand-built scheme with out-of-range `bits`
+    /// (the constructors reject those).
     pub fn levels(&self) -> u32 {
+        let b = u32::from(self.bits.min(31));
         match self.mode {
-            QuantMode::Symmetric => (1u32 << self.bits) - 1,
-            QuantMode::Asymmetric => 1u32 << self.bits,
+            QuantMode::Symmetric => (1u32 << b) - 1,
+            QuantMode::Asymmetric => 1u32 << b,
         }
+    }
+
+    /// Number of levels on each side of zero for a symmetric grid at
+    /// `bits` (`2^(n−1) − 1`, floored at 1), without shift overflow for
+    /// any `u8` input.
+    pub fn half_levels(bits: u8) -> u32 {
+        (((1u64 << u32::from(bits.min(32))) / 2).saturating_sub(1)).max(1) as u32
     }
 }
 
@@ -121,26 +161,27 @@ mod tests {
 
     #[test]
     fn constructors_set_fields() {
-        let s = QuantScheme::symmetric(8);
+        let s = QuantScheme::symmetric(8).unwrap();
         assert_eq!(s.bits, 8);
         assert_eq!(s.mode, QuantMode::Symmetric);
         assert_eq!(s.granularity, Granularity::PerTensor);
         assert_eq!(s.calibration, Calibration::MinMax);
-        let a = QuantScheme::asymmetric(4);
+        let a = QuantScheme::asymmetric(4).unwrap();
         assert_eq!(a.mode, QuantMode::Asymmetric);
     }
 
     #[test]
     fn levels_match_mode() {
-        assert_eq!(QuantScheme::symmetric(8).levels(), 255);
-        assert_eq!(QuantScheme::asymmetric(8).levels(), 256);
-        assert_eq!(QuantScheme::symmetric(2).levels(), 3);
-        assert_eq!(QuantScheme::asymmetric(1).levels(), 2);
+        assert_eq!(QuantScheme::symmetric(8).unwrap().levels(), 255);
+        assert_eq!(QuantScheme::asymmetric(8).unwrap().levels(), 256);
+        assert_eq!(QuantScheme::symmetric(2).unwrap().levels(), 3);
+        assert_eq!(QuantScheme::asymmetric(1).unwrap().levels(), 2);
     }
 
     #[test]
     fn builders_compose() {
         let s = QuantScheme::symmetric(4)
+            .unwrap()
             .per_channel()
             .with_percentile(0.99);
         assert_eq!(s.granularity, Granularity::PerChannel);
@@ -150,11 +191,14 @@ mod tests {
     #[test]
     fn display_is_descriptive() {
         assert_eq!(
-            QuantScheme::symmetric(4).to_string(),
+            QuantScheme::symmetric(4).unwrap().to_string(),
             "4-bit sym per-tensor"
         );
         assert_eq!(
-            QuantScheme::asymmetric(8).per_channel().to_string(),
+            QuantScheme::asymmetric(8)
+                .unwrap()
+                .per_channel()
+                .to_string(),
             "8-bit asym per-channel"
         );
     }

@@ -24,7 +24,7 @@ fn symmetric_linf_error_at_most_half_bin() {
     for _ in 0..32 {
         let w = arb_weights(&mut rng);
         let bits = arb_bits(&mut rng, 10);
-        let q = quantize_tensor(&w, &QuantScheme::symmetric(bits)).unwrap();
+        let q = quantize_tensor(&w, &QuantScheme::symmetric(bits).unwrap()).unwrap();
         let err = quant_error(&w, &q.values).unwrap();
         assert!(err.linf <= q.max_bin_width() / 2.0 + 1e-5);
     }
@@ -36,7 +36,7 @@ fn asymmetric_linf_error_at_most_half_bin() {
     for _ in 0..32 {
         let w = arb_weights(&mut rng);
         let bits = arb_bits(&mut rng, 10);
-        let q = quantize_tensor(&w, &QuantScheme::asymmetric(bits)).unwrap();
+        let q = quantize_tensor(&w, &QuantScheme::asymmetric(bits).unwrap()).unwrap();
         let err = quant_error(&w, &q.values).unwrap();
         assert!(err.linf <= q.max_bin_width() / 2.0 + 1e-5);
     }
@@ -50,7 +50,7 @@ fn quantization_is_idempotent() {
     for _ in 0..32 {
         let w = arb_weights(&mut rng);
         let bits = arb_bits(&mut rng, 8);
-        let scheme = QuantScheme::symmetric(bits);
+        let scheme = QuantScheme::symmetric(bits).unwrap();
         let q1 = quantize_tensor(&w, &scheme).unwrap();
         let q2 = quantize_tensor(&q1.values, &scheme).unwrap();
         for (a, b) in q1.values.data().iter().zip(q2.values.data()) {
@@ -67,7 +67,7 @@ fn level_count_is_bounded() {
     for _ in 0..32 {
         let w = arb_weights(&mut rng);
         let bits = arb_bits(&mut rng, 6);
-        let scheme = QuantScheme::symmetric(bits);
+        let scheme = QuantScheme::symmetric(bits).unwrap();
         let q = quantize_tensor(&w, &scheme).unwrap();
         let mut levels: Vec<f32> = q.values.data().to_vec();
         levels.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -84,7 +84,7 @@ fn mse_is_monotone_in_bits() {
         let w = arb_weights(&mut rng);
         let mut prev = f32::INFINITY;
         for bits in [2u8, 4, 6, 8] {
-            let q = quantize_tensor(&w, &QuantScheme::symmetric(bits)).unwrap();
+            let q = quantize_tensor(&w, &QuantScheme::symmetric(bits).unwrap()).unwrap();
             let err = quant_error(&w, &q.values).unwrap();
             assert!(err.mse <= prev + 1e-6);
             prev = err.mse;
@@ -100,7 +100,7 @@ fn symmetric_quantization_is_odd() {
     for _ in 0..32 {
         let w = arb_weights(&mut rng);
         let bits = arb_bits(&mut rng, 8);
-        let scheme = QuantScheme::symmetric(bits);
+        let scheme = QuantScheme::symmetric(bits).unwrap();
         let q_pos = quantize_tensor(&w, &scheme).unwrap();
         let q_neg = quantize_tensor(&w.neg(), &scheme).unwrap();
         for (a, b) in q_pos.values.data().iter().zip(q_neg.values.data()) {
@@ -125,8 +125,9 @@ fn per_channel_bins_never_exceed_per_tensor() {
             let h = (i[0] * 131 + i[1] * 31) as u64 + seed;
             ((h % 1000) as f32 / 50.0 - 10.0) * (1.0 + i[0] as f32)
         });
-        let per_tensor = quantize_tensor(&w, &QuantScheme::symmetric(4)).unwrap();
-        let per_channel = quantize_tensor(&w, &QuantScheme::symmetric(4).per_channel()).unwrap();
+        let per_tensor = quantize_tensor(&w, &QuantScheme::symmetric(4).unwrap()).unwrap();
+        let per_channel =
+            quantize_tensor(&w, &QuantScheme::symmetric(4).unwrap().per_channel()).unwrap();
         let tensor_bin = per_tensor.max_bin_width();
         for &bin in &per_channel.bin_widths {
             assert!(bin <= tensor_bin + 1e-6);

@@ -52,7 +52,7 @@ fn main() -> Result<(), TensorError> {
         );
         let full = net.params();
         for (phase, bits) in schedule {
-            let (qp, report) = quantize_params(&net, &QuantScheme::symmetric(bits))?;
+            let (qp, report) = quantize_params(&net, &QuantScheme::symmetric(bits)?)?;
             net.set_params(&qp)?;
             let acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)?;
             println!(

@@ -41,6 +41,16 @@ for m in resnet mobilenet vgg; do
     --out-dir results/analyze
 done
 
+echo "==> quantization-noise crosscheck (certified bounds vs measurement)"
+# Trains each smoke model briefly, then fake-quantizes every layer at every
+# grid width and checks the measured probe-loss shift against the static
+# noise-domain certificate (DESIGN.md §14). Any soundness violation exits
+# nonzero. Ranking overlap is recorded in the JSON but not gated: the
+# 2-epoch smoke models are too noisy for a stable sensitivity ranking.
+cargo run --release -p hero-bench --bin hero -- \
+  noise-crosscheck --preset c10 --models resnet,mobilenet,vgg \
+  --scale 0.25 --epochs 2 --out results/analyze/noise_crosscheck.json
+
 echo "==> bench smoke (step_cost --quick, HERO_THREADS=1 vs 4)"
 mkdir -p results
 # HERO_BENCH_OUT is resolved in the bench executable's working directory

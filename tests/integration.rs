@@ -70,7 +70,7 @@ fn trained_model_beats_chance_and_survives_8bit_quantization() {
         acc_fp > 0.5,
         "full-precision acc {acc_fp} barely above 4-class chance"
     );
-    let report = quantize_network(&mut net, &QuantScheme::symmetric(8)).unwrap();
+    let report = quantize_network(&mut net, &QuantScheme::symmetric(8).unwrap()).unwrap();
     assert!(report.worst_linf <= report.max_bin_width / 2.0 + 1e-6);
     let acc_q8 = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 32).unwrap();
     assert!(
