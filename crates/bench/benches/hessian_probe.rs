@@ -40,9 +40,9 @@ fn main() {
             max_iters: 5,
             tol: 1e-3,
             eps: 1e-3,
+            restarts: 1,
+            seed: 1,
         };
-        std::hint::black_box(
-            power_iteration(&mut oracle, &params, cfg, &mut StdRng::seed_from_u64(1)).unwrap(),
-        );
+        std::hint::black_box(power_iteration(&mut oracle, &params, cfg).unwrap());
     });
 }

@@ -10,6 +10,8 @@
 //!                [--out-dir results/analyze]
 //! hero noise-crosscheck --preset c10 --models resnet,mobilenet,vgg
 //!                [--bits 2,4,8] [--trials 2] [--out results/analyze/noise_crosscheck.json]
+//! hero spectrum  --preset c10 --model resnet --methods sgd,hero [--epochs 3]
+//!                [--steps 10] [--probes 4] [--out results/SPECTRUM_run.json]
 //! ```
 //!
 //! `train` trains and optionally checkpoints a model; `quantize` sweeps
@@ -24,12 +26,20 @@
 //! interval-colored Graphviz view; `noise-crosscheck` adversarially
 //! validates the noise domain against measured fake-quant probe-loss
 //! shifts and writes a JSON artifact, exiting nonzero on any soundness
-//! violation.
+//! violation; `spectrum` is the Hessian observatory — it trains each
+//! requested method with per-epoch spectrum telemetry, takes a deep SLQ
+//! density + per-layer Hutchinson-trace probe of the final weights,
+//! cross-checks the empirical trace ranking against the certified static
+//! sensitivity matrix (Spearman), prints an ASCII density plot, and
+//! writes one comparison artifact.
 
 use hero_core::experiment::{model_config, MethodKind};
 use hero_core::{train, NoiseConfig, TrainConfig};
 use hero_data::Preset;
-use hero_hessian::{hessian_norm_probe, lanczos_spectrum, BoundInputs, GradOracle};
+use hero_hessian::{
+    hessian_norm_probe, lanczos_spectrum, layer_traces, slq_density, spearman_rank, BoundInputs,
+    GradOracle, SlqConfig,
+};
 use hero_nn::models::ModelKind;
 use hero_nn::{evaluate_accuracy, load_params_from_file, save_params_to_file, Network};
 use hero_optim::BatchOracle;
@@ -63,6 +73,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&opts),
         "preflight" => cmd_preflight(&opts),
         "noise-crosscheck" => cmd_noise_crosscheck(&opts),
+        "spectrum" => cmd_spectrum(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -94,7 +105,10 @@ USAGE:
                  [--budget F] [--out-dir DIR]
   hero noise-crosscheck --preset ... [--models resnet,mobilenet,vgg]
                  [--bits 2,4,8] [--trials N] [--epochs N] [--scale F]
-                 [--avg AVG_BITS] [--min-overlap F] [--out FILE]";
+                 [--avg AVG_BITS] [--min-overlap F] [--out FILE]
+  hero spectrum  --preset ... --model ... [--methods sgd,hero] [--epochs N]
+                 [--scale F] [--seed N] [--steps N] [--probes N] [--bits N]
+                 [--spectrum-every N] [--out FILE]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -627,6 +641,231 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
              required {min_overlap:.2}"
         ));
     }
+    Ok(())
+}
+
+/// Formats a float as a JSON number, mapping non-finite values to `null`
+/// (NaN/inf literals are not valid JSON).
+fn jnum(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".into()
+    }
+}
+
+/// The spectrum observatory (`hero spectrum`): for each requested method,
+/// trains with per-epoch spectrum telemetry enabled, probes the final
+/// weights deeply (SLQ density + per-layer Hutchinson traces), computes
+/// the Spearman rank correlation between the empirical quantizable-layer
+/// trace ranking and the certified static sensitivity ranking, prints an
+/// ASCII density plot, and rolls everything into one JSON artifact.
+fn cmd_spectrum(opts: &HashMap<String, String>) -> Result<(), String> {
+    let preset = preset_of(opts)?;
+    let model = model_of(opts)?;
+    let scale: f32 = num(opts, "scale", 0.25)?;
+    let seed: u64 = num(opts, "seed", 42)?;
+    let epochs: usize = num(opts, "epochs", 3)?;
+    let steps: usize = num(opts, "steps", 10)?;
+    let probes: usize = num(opts, "probes", 4)?;
+    let bits: u8 = num(opts, "bits", 4)?;
+    let every: usize = num(opts, "spectrum-every", 1)?;
+    let methods_arg = opts
+        .get("methods")
+        .cloned()
+        .unwrap_or_else(|| "sgd,hero".into());
+    let stem = format!("{}_{}", model.paper_name(), preset.paper_name())
+        .to_lowercase()
+        .replace(['/', ' ', '-'], "_");
+    let out_path = PathBuf::from(
+        opts.get("out")
+            .cloned()
+            .unwrap_or_else(|| format!("results/SPECTRUM_{stem}.json")),
+    );
+
+    let (train_set, test_set) = preset.load(scale);
+    let probe_n = train_set.len().min(64);
+    if probe_n == 0 {
+        return Err("spectrum needs at least one training sample".into());
+    }
+    let images = train_set
+        .images
+        .narrow(0, probe_n)
+        .map_err(|e| e.to_string())?;
+    let labels = &train_set.labels[..probe_n];
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"preset\": \"{}\",\n  \"model\": \"{}\",\n  \"epochs\": {epochs},\n  \
+         \"steps\": {steps},\n  \"probes\": {probes},\n  \"sens_bits\": {bits},\n  \
+         \"methods\": [\n",
+        preset.paper_name(),
+        model.paper_name()
+    );
+    let mut first_method = true;
+    for token in methods_arg.split(',') {
+        let method = match token.trim() {
+            "hero" => MethodKind::Hero,
+            "sam" | "first-order" => MethodKind::FirstOrder,
+            "gradl1" => MethodKind::GradL1,
+            "sgd" => MethodKind::Sgd,
+            other => return Err(format!("--methods: unknown method `{other}`")),
+        };
+        let mut net = model.build(model_config(preset), &mut StdRng::seed_from_u64(seed));
+        let config = TrainConfig::new(method.tuned(), epochs)
+            .with_seed(seed)
+            .with_spectrum_every(every);
+        let rec = train(&mut net, &train_set, &test_set, &config).map_err(|e| e.to_string())?;
+
+        // Deep final probe. Unlike the trainer's epoch probe this keeps the
+        // full broadened density for plotting, so it calls the estimators
+        // directly rather than going through `probe_spectrum`.
+        let params = net.params();
+        let infos = net.param_infos();
+        let (density, traces) = {
+            let mut oracle = BatchOracle::new(&mut net, &images, labels);
+            let cfg = SlqConfig {
+                steps,
+                probes,
+                seed,
+                grid_points: 32,
+                ..SlqConfig::default()
+            };
+            let density = slq_density(&mut oracle, &params, cfg).map_err(|e| e.to_string())?;
+            let traces = layer_traces(&mut oracle, &params, probes, 1e-3, seed ^ 0x7ACE)
+                .map_err(|e| e.to_string())?;
+            (density, traces)
+        };
+        // The oracle leaves its last-evaluated (perturbed) parameters
+        // installed; restore before anything else touches the network.
+        net.set_params(&params).map_err(|e| e.to_string())?;
+
+        // Empirical-vs-static sensitivity ranking over quantizable layers.
+        // Both sides are per-weight curvature magnitudes: the measured
+        // `|tr(H_ii)| / nᵢ` against the matrix's quadratic-model
+        // projection (raw `err` cells can all clamp at the analyzer's
+        // loss-interval ceiling, which would make the ranking constant).
+        let matrix = hero_core::static_sensitivity_matrix(&mut net, &images, labels, &[bits])
+            .map_err(|e| e.to_string())?;
+        let sens = matrix.to_layer_sensitivities();
+        let mut empirical = Vec::new();
+        let mut certified = Vec::new();
+        for (info, trace) in infos.iter().zip(&traces) {
+            if !info.kind.is_quantizable() {
+                continue;
+            }
+            if let Some(s) = sens.iter().find(|s| s.name == info.name) {
+                empirical.push((trace.mean / s.numel.max(1) as f32).abs());
+                certified.push(s.curvature);
+            }
+        }
+        let rho = spearman_rank(&empirical, &certified);
+        let global_trace: f32 = traces.iter().map(|t| t.mean).sum();
+
+        println!(
+            "{} after {epochs} epochs: λ_max {:.4} ± {:.4}, λ_min {:.4}, tr(H) {:.2}, \
+             E[λ²] {:.4}, trace-vs-static Spearman ρ {:.3} over {} layers",
+            method.paper_name(),
+            density.lambda_max.mean,
+            density.lambda_max.ci95(),
+            density.lambda_min.mean,
+            global_trace,
+            density.second_moment.mean,
+            rho,
+            empirical.len()
+        );
+        println!(
+            "{} spectral density (SLQ, {} probes × {} steps, σ {:.3}):",
+            method.paper_name(),
+            probes,
+            steps,
+            density.sigma
+        );
+        let rows: Vec<(String, f64)> = density
+            .grid
+            .iter()
+            .zip(&density.density)
+            .map(|(&x, &d)| (format!("{x:>10.3}"), f64::from(d)))
+            .collect();
+        print!("{}", hero_obs::ascii_bars(&rows, 48));
+
+        hero_obs::Event::new("spectrum_summary")
+            .str("method", method.paper_name())
+            .f64("lambda_max", f64::from(density.lambda_max.mean))
+            .f64("lambda_min", f64::from(density.lambda_min.mean))
+            .f64("trace", f64::from(global_trace))
+            .f64("second_moment", f64::from(density.second_moment.mean))
+            .f64("spearman", f64::from(rho))
+            .emit();
+
+        if !first_method {
+            json.push_str(",\n");
+        }
+        first_method = false;
+        let _ = write!(
+            json,
+            "    {{\n      \"method\": \"{}\",\n      \"test_acc\": {},\n      \
+             \"lambda_max\": {},\n      \"lambda_max_se\": {},\n      \
+             \"lambda_min\": {},\n      \"mean_eigenvalue\": {},\n      \
+             \"second_moment\": {},\n      \"trace\": {},\n      \
+             \"spearman_trace_vs_static\": {},\n      \"sigma\": {},\n",
+            method.paper_name(),
+            jnum(rec.final_test_acc),
+            jnum(density.lambda_max.mean),
+            jnum(density.lambda_max.std_error),
+            jnum(density.lambda_min.mean),
+            jnum(density.mean_eigenvalue.mean),
+            jnum(density.second_moment.mean),
+            jnum(global_trace),
+            jnum(rho),
+            jnum(density.sigma)
+        );
+        let grid: Vec<String> = density.grid.iter().map(|&v| jnum(v)).collect();
+        let dens: Vec<String> = density.density.iter().map(|&v| jnum(v)).collect();
+        let _ = write!(
+            json,
+            "      \"grid\": [{}],\n      \"density\": [{}],\n      \"layers\": [\n",
+            grid.join(", "),
+            dens.join(", ")
+        );
+        for (i, (info, trace)) in infos.iter().zip(&traces).enumerate() {
+            let _ = write!(
+                json,
+                "        {{\"layer\": \"{}\", \"quantizable\": {}, \"trace\": {}, \
+                 \"trace_se\": {}}}{}",
+                info.name.replace(['"', '\\'], "_"),
+                info.kind.is_quantizable(),
+                jnum(trace.mean),
+                jnum(trace.std_error),
+                if i + 1 < traces.len() { ",\n" } else { "\n" }
+            );
+        }
+        json.push_str("      ],\n      \"trajectory\": [\n");
+        for (i, p) in rec.spectra.iter().enumerate() {
+            let _ = write!(
+                json,
+                "        {{\"epoch\": {}, \"lambda_max\": {}, \"trace\": {}, \
+                 \"second_moment\": {}}}{}",
+                p.epoch,
+                jnum(p.lambda_max.mean),
+                jnum(p.global_trace()),
+                jnum(p.second_moment.mean),
+                if i + 1 < rec.spectra.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                }
+            );
+        }
+        json.push_str("      ]\n    }");
+    }
+    json.push_str("\n  ]\n}\n");
+    if let Some(dir) = out_path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(&out_path, &json).map_err(|e| e.to_string())?;
+    println!("spectrum artifact written to {}", out_path.display());
     Ok(())
 }
 

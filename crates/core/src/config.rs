@@ -30,6 +30,11 @@ pub struct TrainConfig {
     /// Run the ‖Hz‖ curvature probe every `probe_every` epochs; 0 disables
     /// probing (it costs two gradient evaluations per probe).
     pub probe_every: usize,
+    /// Take a full spectrum probe (SLQ density summary + per-layer
+    /// Hutchinson traces, see [`crate::spectrum`]) every `spectrum_every`
+    /// epochs; 0 (the default) disables it — each probe costs dozens of
+    /// gradient evaluations, so it is strictly opt-in telemetry.
+    pub spectrum_every: usize,
     /// Seed for batching/augmentation randomness.
     pub seed: u64,
     /// Worker threads for the sharded data-parallel executor; 0 *and* 1
@@ -56,6 +61,7 @@ impl TrainConfig {
             augment: Augment::standard(),
             eval_every: 1,
             probe_every: 0,
+            spectrum_every: 0,
             seed: 0,
             threads: hero_parallel::threads_from_env(),
         }
@@ -80,6 +86,13 @@ impl TrainConfig {
     #[must_use]
     pub fn with_probe_every(mut self, every: usize) -> Self {
         self.probe_every = every;
+        self
+    }
+
+    /// Builder: enables the spectrum probe at the given epoch interval.
+    #[must_use]
+    pub fn with_spectrum_every(mut self, every: usize) -> Self {
+        self.spectrum_every = every;
         self
     }
 
@@ -127,6 +140,7 @@ mod tests {
         assert_eq!(c.weight_decay, 1e-4);
         assert_eq!(c.epochs, 10);
         assert_eq!(c.augment, Augment::standard());
+        assert_eq!(c.spectrum_every, 0, "spectrum probing must be opt-in");
     }
 
     #[test]
@@ -134,11 +148,13 @@ mod tests {
         let c = TrainConfig::new(Method::Sgd, 5)
             .with_seed(9)
             .with_probe_every(2)
+            .with_spectrum_every(3)
             .with_lr(0.05)
             .with_batch_size(16)
             .without_augment();
         assert_eq!(c.seed, 9);
         assert_eq!(c.probe_every, 2);
+        assert_eq!(c.spectrum_every, 3);
         assert_eq!(c.lr, 0.05);
         assert_eq!(c.batch_size, 16);
         assert_eq!(c.augment, Augment::none());

@@ -39,6 +39,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod preflight;
 pub mod report;
+pub mod spectrum;
 pub mod trainer;
 
 pub use config::TrainConfig;
@@ -47,6 +48,7 @@ pub use preflight::{
     certified_noise_bounds, noise_crosscheck, preflight_report_with_noise, probe_loss,
     static_sensitivity_matrix, CrosscheckCell, CrosscheckReport, NoiseBits, NoiseConfig,
 };
+pub use spectrum::{probe_spectrum, LayerTrace, SpectrumOptions, SpectrumProbe};
 pub use trainer::{
     preflight_report, probe_hessian_norm, train, verify_network_tape, verify_network_tape_with,
 };

@@ -1,5 +1,7 @@
 //! Per-epoch metrics and whole-run records.
 
+use crate::spectrum::SpectrumProbe;
+
 /// Metrics collected at the end of one epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochMetrics {
@@ -56,6 +58,9 @@ pub struct TrainRecord {
     pub final_train_acc: f32,
     /// Total gradient evaluations spent.
     pub grad_evals: usize,
+    /// Spectrum probes taken over training (empty unless
+    /// [`crate::TrainConfig::spectrum_every`] was enabled).
+    pub spectra: Vec<SpectrumProbe>,
 }
 
 impl TrainRecord {
@@ -131,6 +136,7 @@ mod tests {
             final_test_acc: 0.7,
             final_train_acc: 1.0,
             grad_evals: 0,
+            spectra: vec![],
         };
         assert!((rec.mean_late_gap(2) - 0.25).abs() < 1e-6);
         assert!((rec.final_gap() - 0.3).abs() < 1e-6);
@@ -150,6 +156,7 @@ mod tests {
             final_test_acc: 0.6,
             final_train_acc: 0.7,
             grad_evals: 0,
+            spectra: vec![],
         };
         assert_eq!(rec.hessian_series(), vec![(0, 2.0), (2, 1.0)]);
     }
@@ -162,6 +169,7 @@ mod tests {
             final_test_acc: 0.0,
             final_train_acc: 0.0,
             grad_evals: 0,
+            spectra: vec![],
         };
         assert!(rec.mean_late_gap(5).is_nan());
     }
@@ -174,6 +182,7 @@ mod tests {
             final_test_acc: 0.8,
             final_train_acc: 0.9,
             grad_evals: 0,
+            spectra: vec![],
         };
         assert!(rec.mean_late_gap(0).is_nan());
     }
@@ -194,6 +203,7 @@ mod tests {
             final_test_acc: 0.7,
             final_train_acc: 1.0,
             grad_evals: 0,
+            spectra: vec![],
         };
         let g = rec.mean_late_gap(10);
         assert!((g - (0.1 + 0.3) / 2.0).abs() < 1e-6, "gap {g}");
@@ -210,6 +220,7 @@ mod tests {
             final_test_acc: f32::NAN,
             final_train_acc: 1.0,
             grad_evals: 0,
+            spectra: vec![],
         };
         assert!(rec.mean_late_gap(2).is_nan());
         assert!(!rec.epochs[0].gap_is_measured());
@@ -228,6 +239,7 @@ mod tests {
             final_test_acc: 0.6,
             final_train_acc: 0.8,
             grad_evals: 0,
+            spectra: vec![],
         };
         assert_eq!(rec.hessian_series(), vec![(0, 2.0), (3, 1.0)]);
     }

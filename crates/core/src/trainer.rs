@@ -2,6 +2,7 @@
 
 use crate::config::TrainConfig;
 use crate::metrics::{EpochMetrics, TrainRecord};
+use crate::spectrum::{probe_spectrum, SpectrumOptions};
 use hero_analyze::{Report, VerifyOptions};
 use hero_data::{Dataset, Loader};
 use hero_hessian::hessian_norm_probe;
@@ -58,6 +59,7 @@ pub fn train(
 
     let mut aug_rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xA06));
     let mut epochs = Vec::with_capacity(config.epochs);
+    let mut spectra = Vec::new();
     let mut grad_evals = 0usize;
     let mut step = 0usize;
     let mut final_test_acc = f32::NAN;
@@ -110,6 +112,18 @@ pub fn train(
             f32::NAN
         };
 
+        if config.spectrum_every > 0
+            && (epoch % config.spectrum_every == 0 || epoch + 1 == config.epochs)
+        {
+            // One independent probe stream per epoch, derived from the run
+            // seed so trajectories and probes reproduce together.
+            let opts =
+                SpectrumOptions::default().with_seed(hero_hessian::probe_seed(config.seed, epoch));
+            let probe = probe_spectrum(net, train_set, epoch, &opts)?;
+            probe.emit();
+            spectra.push(probe);
+        }
+
         let metrics = EpochMetrics {
             epoch,
             train_loss,
@@ -130,6 +144,7 @@ pub fn train(
         final_test_acc,
         final_train_acc,
         grad_evals,
+        spectra,
     })
 }
 
@@ -290,6 +305,30 @@ mod tests {
         // Epochs 0, 2 and the final epoch 3.
         assert_eq!(series.len(), 3);
         assert!(series.iter().all(|(_, v)| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn spectrum_interval_collects_probes() {
+        let (mut net, train_set, test_set) = setup();
+        let config = TrainConfig::new(Method::Sgd, 4)
+            .with_batch_size(16)
+            .with_spectrum_every(2);
+        let rec = train(&mut net, &train_set, &test_set, &config).unwrap();
+        // Epochs 0, 2 and the final epoch 3.
+        assert_eq!(
+            rec.spectra.iter().map(|s| s.epoch).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        for s in &rec.spectra {
+            assert!(s.lambda_max.mean.is_finite());
+            assert_eq!(s.layers.len(), net.params().len());
+            assert!(s.global_trace().is_finite());
+        }
+        // Disabled by default: no probes, no probe cost.
+        let (mut net2, train_set2, test_set2) = setup();
+        let plain = TrainConfig::new(Method::Sgd, 2).with_batch_size(16);
+        let rec2 = train(&mut net2, &train_set2, &test_set2, &plain).unwrap();
+        assert!(rec2.spectra.is_empty());
     }
 
     #[test]

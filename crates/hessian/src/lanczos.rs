@@ -1,10 +1,24 @@
 //! Lanczos iteration over Hessian-vector products: Ritz-value estimates of
-//! the Hessian spectrum (stochastic Lanczos quadrature), extending the
-//! single-eigenvalue power iteration to whole-spectrum summaries.
+//! the Hessian spectrum (the quadrature rule behind stochastic Lanczos
+//! quadrature), extending the single-eigenvalue power iteration to
+//! whole-spectrum summaries.
+//!
+//! The Krylov basis is kept and every new direction is re-orthogonalized
+//! against *all* previous basis vectors (two classical Gram–Schmidt
+//! passes). In floating point, plain three-term Lanczos loses
+//! orthogonality as soon as a Ritz pair converges and then re-discovers
+//! the same eigenvalue as a spurious "ghost" copy — fatal for quadrature
+//! weights, which ghosts silently split. Full reorthogonalization costs
+//! `O(steps² · dim)` flops (no extra gradient evaluations, which dominate
+//! here) and keeps the density estimate honest; see DESIGN.md §15.
 
 use crate::hvp::{fd_hvp, GradOracle};
 use hero_tensor::rng::Rng;
 use hero_tensor::{fill_standard_normal, global_dot, global_norm_l2, Result, Tensor, TensorError};
+
+/// Breakdown threshold: a residual norm at or below this means the Krylov
+/// space is exhausted (happy breakdown) and iteration stops cleanly.
+const BREAKDOWN_TOL: f32 = 1e-7;
 
 /// Result of a Lanczos run: Ritz values (eigenvalue estimates) and their
 /// quadrature weights.
@@ -55,12 +69,13 @@ impl LanczosResult {
 
 /// Runs `steps` of Lanczos iteration on the Hessian at `params` with a
 /// random unit start vector, using finite-difference HVPs (one gradient
-/// evaluation per step).
+/// evaluation per step) and full reorthogonalization of the Krylov basis.
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::InvalidArgument`] for zero steps and propagates
-/// oracle errors.
+/// Returns [`TensorError::InvalidArgument`] for zero steps or a
+/// non-finite tridiagonal entry (an oracle returning NaN/Inf gradients),
+/// and propagates oracle errors.
 pub fn lanczos_spectrum(
     oracle: &mut dyn GradOracle,
     params: &[Tensor],
@@ -68,15 +83,9 @@ pub fn lanczos_spectrum(
     eps: f32,
     rng: &mut impl Rng,
 ) -> Result<LanczosResult> {
-    if steps == 0 {
-        return Err(TensorError::InvalidArgument(
-            "lanczos needs at least one step".into(),
-        ));
-    }
-    let _obs = hero_obs::span("lanczos");
-    let (_, base_grad) = oracle.grad(params)?;
-    // v1: random unit vector.
-    let mut v: Vec<Tensor> = params
+    // v1: random unit vector (a standard-normal draw is zero with
+    // probability zero, and lanczos_spectrum_from re-checks the norm).
+    let v0: Vec<Tensor> = params
         .iter()
         .map(|p| {
             let mut t = Tensor::zeros(p.shape().clone());
@@ -84,38 +93,83 @@ pub fn lanczos_spectrum(
             t
         })
         .collect();
-    normalize(&mut v);
-    let mut v_prev: Option<Vec<Tensor>> = None;
+    lanczos_spectrum_from(oracle, params, &v0, steps, eps)
+}
+
+/// [`lanczos_spectrum`] with an explicit start direction `v0` (not
+/// necessarily normalized) — the seeded-probe entry point stochastic
+/// Lanczos quadrature uses so every probe is reproducible.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for zero steps, a zero (or
+/// non-finite) start direction, or a non-finite tridiagonal entry, and
+/// propagates oracle errors.
+pub fn lanczos_spectrum_from(
+    oracle: &mut dyn GradOracle,
+    params: &[Tensor],
+    v0: &[Tensor],
+    steps: usize,
+    eps: f32,
+) -> Result<LanczosResult> {
+    if steps == 0 {
+        return Err(TensorError::InvalidArgument(
+            "lanczos needs at least one step".into(),
+        ));
+    }
+    let _obs = hero_obs::span("lanczos");
+    let n0 = global_norm_l2(v0);
+    if !n0.is_finite() || n0 <= f32::MIN_POSITIVE {
+        return Err(TensorError::InvalidArgument(format!(
+            "lanczos start direction has norm {n0}; probes must be nonzero and finite"
+        )));
+    }
+    let (_, base_grad) = oracle.grad(params)?;
+    let mut v: Vec<Tensor> = v0.to_vec();
+    for t in &mut v {
+        t.scale_in_place(1.0 / n0);
+    }
+    // The full Krylov basis, kept for reorthogonalization.
+    let mut basis: Vec<Vec<Tensor>> = Vec::with_capacity(steps);
     let mut alphas = Vec::with_capacity(steps);
     let mut betas: Vec<f32> = Vec::new();
     for _ in 0..steps {
         let mut w = fd_hvp(oracle, params, &base_grad, &v, eps)?;
         let alpha = global_dot(&v, &w);
-        alphas.push(alpha);
-        // w = H v - alpha v - beta v_prev
-        for (wi, vi) in w.iter_mut().zip(&v) {
-            wi.axpy(-alpha, vi)?;
+        if !alpha.is_finite() {
+            return Err(TensorError::InvalidArgument(format!(
+                "lanczos produced a non-finite diagonal entry ({alpha}); \
+                 the oracle returned NaN/Inf gradients"
+            )));
         }
-        if let (Some(prev), Some(&beta)) = (&v_prev, betas.last()) {
-            for (wi, pi) in w.iter_mut().zip(prev) {
-                wi.axpy(-beta, pi)?;
+        alphas.push(alpha);
+        basis.push(std::mem::take(&mut v));
+        // Full reorthogonalization: two classical Gram–Schmidt passes of
+        // w against every basis vector (the second pass mops up the
+        // rounding the first one leaves behind — "twice is enough").
+        for _ in 0..2 {
+            for q in &basis {
+                let proj = global_dot(&w, q);
+                for (wi, qi) in w.iter_mut().zip(q) {
+                    wi.axpy(-proj, qi)?;
+                }
             }
         }
-        // Full reorthogonalization is overkill at these sizes; one extra
-        // projection against v keeps the basis numerically sane.
-        let drift = global_dot(&w, &v);
-        for (wi, vi) in w.iter_mut().zip(&v) {
-            wi.axpy(-drift, vi)?;
-        }
         let beta = global_norm_l2(&w);
-        if beta <= 1e-7 {
+        if !beta.is_finite() {
+            return Err(TensorError::InvalidArgument(format!(
+                "lanczos produced a non-finite off-diagonal entry ({beta}); \
+                 the oracle returned NaN/Inf gradients"
+            )));
+        }
+        if beta <= BREAKDOWN_TOL {
             break; // Krylov space exhausted (happy breakdown).
         }
         betas.push(beta);
         for wi in &mut w {
             wi.scale_in_place(1.0 / beta);
         }
-        v_prev = Some(std::mem::replace(&mut v, w));
+        v = w;
     }
     let k = alphas.len();
     betas.truncate(k.saturating_sub(1));
@@ -125,15 +179,6 @@ pub fn lanczos_spectrum(
         weights,
         steps: k,
     })
-}
-
-fn normalize(v: &mut [Tensor]) {
-    let n = global_norm_l2(v);
-    if n > f32::MIN_POSITIVE {
-        for t in v {
-            t.scale_in_place(1.0 / n);
-        }
-    }
 }
 
 /// Eigenvalues and squared-first-component weights of a symmetric

@@ -3,31 +3,30 @@
 //! Curvature analysis for the HERO (DAC 2022) reproduction: the
 //! finite-difference Hessian-vector product that powers HERO's regularizer
 //! gradient, power iteration for λ_max, the paper's ‖Hz‖ probe (Fig. 2a),
-//! Hutchinson trace estimation, and the computable Theorem 3 robustness
-//! bounds.
+//! Hutchinson trace estimation (global and per-layer), stochastic Lanczos
+//! quadrature for the eigenvalue density, and the computable Theorem 3
+//! robustness bounds.
 //!
 //! Everything works through the [`GradOracle`] trait — any closure mapping
 //! parameters to `(loss, gradients)` — so the tools apply equally to test
-//! quadratics ([`Quadratic`]) and real networks.
+//! quadratics ([`Quadratic`]) and real networks. Stochastic estimators
+//! take explicit seeds and return [`Estimate`]s (mean ± standard error),
+//! so every spectrum artifact is reproducible and confidence-annotated.
 //!
 //! # Examples
 //!
 //! ```
 //! use hero_hessian::{power_iteration, PowerIterConfig, Quadratic};
 //! use hero_tensor::Tensor;
-//! use hero_tensor::rng::StdRng;
 //!
 //! # fn main() -> Result<(), hero_tensor::TensorError> {
 //! let q = Quadratic::diag(&[1.0, 7.0]);
 //! let mut oracle = q.oracle();
 //! let params = vec![Tensor::zeros([2])];
-//! let res = power_iteration(
-//!     &mut oracle,
-//!     &params,
-//!     PowerIterConfig::default(),
-//!     &mut StdRng::seed_from_u64(0),
-//! )?;
-//! assert!((res.eigenvalue - 7.0).abs() < 0.2);
+//! let cfg = PowerIterConfig::default().with_seed(0).with_restarts(2);
+//! let res = power_iteration(&mut oracle, &params, cfg)?;
+//! assert!((res.lambda() - 7.0).abs() < 0.2);
+//! assert!(res.eigenvalue.std_error.is_finite());
 //! # Ok(())
 //! # }
 //! ```
@@ -40,13 +39,17 @@ mod lanczos;
 mod norm;
 mod power;
 mod quadratic;
+mod slq;
+mod stats;
 
 pub use bounds::BoundInputs;
 pub use hvp::{fd_hvp, fd_hvp_into, perturbed, perturbed_into, GradOracle};
-pub use lanczos::{lanczos_spectrum, LanczosResult};
+pub use lanczos::{lanczos_spectrum, lanczos_spectrum_from, LanczosResult};
 pub use norm::{
     eigen_sq_sum_estimate, hessian_norm_probe, hutchinson_trace, layer_scaled_direction,
-    layer_scaled_direction_into,
+    layer_scaled_direction_into, layer_traces,
 };
 pub use power::{power_iteration, PowerIterConfig, PowerIterResult};
 pub use quadratic::Quadratic;
+pub use slq::{slq_density, SlqConfig, SlqDensity};
+pub use stats::{probe_seed, spearman_rank, Estimate};

@@ -1,34 +1,49 @@
 //! Power iteration for the dominant Hessian eigenvalue.
 
 use crate::hvp::{fd_hvp, GradOracle};
-use hero_tensor::rng::Rng;
-use hero_tensor::{fill_standard_normal, global_dot, global_norm_l2, Result, Tensor};
+use crate::stats::{probe_seed, Estimate};
+use hero_tensor::rng::StdRng;
+use hero_tensor::{fill_standard_normal, global_dot, global_norm_l2, Result, Tensor, TensorError};
 
 /// Result of a power-iteration run.
 #[derive(Debug, Clone)]
 pub struct PowerIterResult {
     /// Rayleigh-quotient estimate of the dominant eigenvalue λ_max
-    /// (the `v` of Theorem 3).
-    pub eigenvalue: f32,
-    /// The corresponding unit eigenvector estimate, shaped like the
-    /// parameters.
+    /// (the `v` of Theorem 3): the mean over the configured restarts,
+    /// with the across-restart standard error attached.
+    pub eigenvalue: Estimate,
+    /// The unit eigenvector estimate from the restart with the largest
+    /// `|λ|`, shaped like the parameters.
     pub eigenvector: Vec<Tensor>,
-    /// Iterations actually run.
+    /// Iterations actually run, summed over restarts.
     pub iterations: usize,
-    /// Whether the eigenvalue moved less than the tolerance on the final
-    /// iteration.
+    /// Whether every restart's eigenvalue moved less than the tolerance on
+    /// its final iteration.
     pub converged: bool,
+}
+
+impl PowerIterResult {
+    /// The point estimate of λ_max (mean over restarts).
+    pub fn lambda(&self) -> f32 {
+        self.eigenvalue.mean
+    }
 }
 
 /// Configuration for [`power_iteration`].
 #[derive(Debug, Clone, Copy)]
 pub struct PowerIterConfig {
-    /// Maximum iterations.
+    /// Maximum iterations per restart.
     pub max_iters: usize,
     /// Relative change in eigenvalue below which iteration stops.
     pub tol: f32,
     /// Finite-difference step for the inner HVPs.
     pub eps: f32,
+    /// Independent restarts from distinct seeded start vectors; the
+    /// spread across restarts is the reported standard error.
+    pub restarts: usize,
+    /// Base seed for the start vectors (restart `i` draws from
+    /// [`probe_seed`]`(seed, i)`).
+    pub seed: u64,
 }
 
 impl Default for PowerIterConfig {
@@ -37,64 +52,104 @@ impl Default for PowerIterConfig {
             max_iters: 30,
             tol: 1e-3,
             eps: 1e-3,
+            restarts: 1,
+            seed: 0,
         }
+    }
+}
+
+impl PowerIterConfig {
+    /// Builder: sets the base seed for the start vectors.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the number of independent restarts.
+    #[must_use]
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts;
+        self
     }
 }
 
 /// Estimates the dominant Hessian eigenvalue of `oracle` at `params` by
 /// power iteration over finite-difference HVPs.
 ///
-/// Each iteration costs one gradient evaluation. The returned eigenvalue is
-/// the Rayleigh quotient `uᵀHu` of the final unit iterate `u`, which is
-/// what Theorem 3's bounds consume.
+/// Each iteration costs one gradient evaluation. Every restart runs from
+/// an independent seeded start vector; the returned eigenvalue is the mean
+/// of the per-restart Rayleigh quotients `uᵀHu`, annotated with their
+/// standard error (what Theorem 3's bounds consume, now with a confidence
+/// interval).
 ///
 /// # Errors
 ///
-/// Propagates oracle and shape errors.
+/// Returns [`TensorError::InvalidArgument`] for zero restarts and
+/// propagates oracle and shape errors.
 pub fn power_iteration(
     oracle: &mut dyn GradOracle,
     params: &[Tensor],
     cfg: PowerIterConfig,
-    rng: &mut impl Rng,
 ) -> Result<PowerIterResult> {
+    if cfg.restarts == 0 {
+        return Err(TensorError::InvalidArgument(
+            "power_iteration needs at least one restart".into(),
+        ));
+    }
     let _obs = hero_obs::span("power");
     let (_, base_grad) = oracle.grad(params)?;
-    // Random unit start direction.
-    let mut u: Vec<Tensor> = params
-        .iter()
-        .map(|p| {
-            let mut t = Tensor::zeros(p.shape().clone());
-            fill_standard_normal(&mut t, rng);
-            t
-        })
-        .collect();
-    normalize(&mut u);
-    let mut eigenvalue = 0.0f32;
-    let mut converged = false;
-    let mut iterations = 0;
-    for it in 0..cfg.max_iters {
-        iterations = it + 1;
-        let hu = fd_hvp(oracle, params, &base_grad, &u, cfg.eps)?;
-        let rayleigh = global_dot(&u, &hu);
-        let norm = global_norm_l2(&hu);
-        if norm <= f32::MIN_POSITIVE {
-            // H u = 0: the direction is in the null space; eigenvalue 0.
-            eigenvalue = 0.0;
-            converged = true;
-            break;
-        }
-        let delta = (rayleigh - eigenvalue).abs();
-        eigenvalue = rayleigh;
-        u = hu;
+    let mut samples = Vec::with_capacity(cfg.restarts);
+    let mut best: Option<(f32, Vec<Tensor>)> = None;
+    let mut iterations = 0usize;
+    let mut converged = true;
+    for restart in 0..cfg.restarts {
+        let mut rng = StdRng::seed_from_u64(probe_seed(cfg.seed, restart));
+        // Random unit start direction.
+        let mut u: Vec<Tensor> = params
+            .iter()
+            .map(|p| {
+                let mut t = Tensor::zeros(p.shape().clone());
+                fill_standard_normal(&mut t, &mut rng);
+                t
+            })
+            .collect();
         normalize(&mut u);
-        if it > 0 && delta <= cfg.tol * eigenvalue.abs().max(1e-6) {
-            converged = true;
-            break;
+        let mut eigenvalue = 0.0f32;
+        let mut this_converged = false;
+        for it in 0..cfg.max_iters {
+            iterations += 1;
+            let hu = fd_hvp(oracle, params, &base_grad, &u, cfg.eps)?;
+            let rayleigh = global_dot(&u, &hu);
+            let norm = global_norm_l2(&hu);
+            if norm <= f32::MIN_POSITIVE {
+                // H u = 0: the direction is in the null space; eigenvalue 0.
+                eigenvalue = 0.0;
+                this_converged = true;
+                break;
+            }
+            let delta = (rayleigh - eigenvalue).abs();
+            eigenvalue = rayleigh;
+            u = hu;
+            normalize(&mut u);
+            if it > 0 && delta <= cfg.tol * eigenvalue.abs().max(1e-6) {
+                this_converged = true;
+                break;
+            }
+        }
+        converged &= this_converged;
+        samples.push(eigenvalue);
+        if best
+            .as_ref()
+            .is_none_or(|(b, _)| eigenvalue.abs() > b.abs())
+        {
+            best = Some((eigenvalue, u));
         }
     }
+    let eigenvector = best.map(|(_, u)| u).unwrap_or_default();
     Ok(PowerIterResult {
-        eigenvalue,
-        eigenvector: u,
+        eigenvalue: Estimate::from_samples(&samples),
+        eigenvector,
         iterations,
         converged,
     })
@@ -113,7 +168,6 @@ fn normalize(v: &mut [Tensor]) {
 mod tests {
     use super::*;
     use crate::quadratic::Quadratic;
-    use hero_tensor::rng::StdRng;
 
     #[test]
     fn recovers_dominant_eigenvalue_of_diagonal() {
@@ -123,11 +177,10 @@ mod tests {
         let res = power_iteration(
             &mut oracle,
             &params,
-            PowerIterConfig::default(),
-            &mut StdRng::seed_from_u64(1),
+            PowerIterConfig::default().with_seed(1),
         )
         .unwrap();
-        assert!((res.eigenvalue - 10.0).abs() < 0.2, "λ={}", res.eigenvalue);
+        assert!((res.lambda() - 10.0).abs() < 0.2, "λ={}", res.lambda());
         assert!(res.converged);
         // Eigenvector should align with e_2.
         let ev = &res.eigenvector[0];
@@ -142,12 +195,11 @@ mod tests {
         let res = power_iteration(
             &mut oracle,
             &params,
-            PowerIterConfig::default(),
-            &mut StdRng::seed_from_u64(2),
+            PowerIterConfig::default().with_seed(2),
         )
         .unwrap();
         assert!((global_norm_l2(&res.eigenvector) - 1.0).abs() < 1e-4);
-        assert!((res.eigenvalue - 5.0).abs() < 0.1);
+        assert!((res.lambda() - 5.0).abs() < 0.1);
     }
 
     #[test]
@@ -159,11 +211,10 @@ mod tests {
         let res = power_iteration(
             &mut oracle,
             &params,
-            PowerIterConfig::default(),
-            &mut StdRng::seed_from_u64(3),
+            PowerIterConfig::default().with_seed(3),
         )
         .unwrap();
-        assert_eq!(res.eigenvalue, 0.0);
+        assert_eq!(res.lambda(), 0.0);
         assert!(res.converged);
     }
 
@@ -176,9 +227,34 @@ mod tests {
             max_iters: 2,
             tol: 1e-12,
             eps: 1e-3,
+            restarts: 1,
+            seed: 4,
         };
-        let res =
-            power_iteration(&mut oracle, &params, cfg, &mut StdRng::seed_from_u64(4)).unwrap();
+        let res = power_iteration(&mut oracle, &params, cfg).unwrap();
         assert!(res.iterations <= 2);
+    }
+
+    #[test]
+    fn restarts_report_standard_error_and_reproduce() {
+        let q = Quadratic::diag(&[1.0, 3.0, 10.0]);
+        let params = vec![Tensor::zeros([3])];
+        let cfg = PowerIterConfig::default().with_seed(11).with_restarts(3);
+        let a = power_iteration(&mut q.oracle(), &params, cfg).unwrap();
+        let b = power_iteration(&mut q.oracle(), &params, cfg).unwrap();
+        assert_eq!(a.eigenvalue, b.eigenvalue);
+        assert_eq!(a.eigenvalue.samples, 3);
+        // All restarts converge to the same dominant eigenvalue: the
+        // spread is small but finite (not NaN — we have 3 samples).
+        assert!(a.eigenvalue.std_error.is_finite());
+        assert!(a.eigenvalue.std_error < 0.1);
+        assert!((a.lambda() - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn zero_restarts_is_an_error() {
+        let q = Quadratic::diag(&[1.0]);
+        let params = vec![Tensor::zeros([1])];
+        let cfg = PowerIterConfig::default().with_restarts(0);
+        assert!(power_iteration(&mut q.oracle(), &params, cfg).is_err());
     }
 }

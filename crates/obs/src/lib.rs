@@ -1,7 +1,7 @@
 //! `hero-obs` — zero-dependency observability for the HERO workspace:
 //! span tracing, hot-path counters and structured run telemetry.
 //!
-//! Three layers, all hand-rolled on `std` (the workspace builds offline):
+//! Four layers, all hand-rolled on `std` (the workspace builds offline):
 //!
 //! 1. **Span tracer** ([`span`], [`obs_span!`]): RAII scope guards over
 //!    thread-local span stacks with a global self/total-time aggregation
@@ -9,7 +9,10 @@
 //! 2. **Counters** ([`counters`]): named relaxed `AtomicU64`s in a global
 //!    registry — gradient evaluations, scratch-pool hit/miss, packed-GEMM
 //!    flops, NaN-taint trips.
-//! 3. **Sinks** ([`sink`]): a per-run JSONL event stream
+//! 3. **Series** ([`series`]): named `(step, value)` time-series samples
+//!    and fixed-bin [`Histogram`]s — the spectrum observatory's training
+//!    telemetry, rolled into the run summary.
+//! 4. **Sinks** ([`sink`]): a per-run JSONL event stream
 //!    (`results/TRACE_<run>.jsonl`), a run-summary table and a
 //!    Chrome-trace export, all sharing the one JSON writer in [`json`].
 //!
@@ -36,10 +39,12 @@
 pub mod chrome;
 pub mod counters;
 pub mod json;
+pub mod series;
 pub mod sink;
 pub mod span;
 pub mod summary;
 
+pub use series::{ascii_bars, record, series_snapshot, take_series, Histogram, SeriesSnapshot};
 pub use sink::{finish, init_from_env, init_run, run_active, Event, RunArtifacts};
 pub use span::{
     disable, enable, enable_events, is_enabled, span, summary_rows, SpanEvent, SpanGuard,

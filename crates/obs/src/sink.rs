@@ -241,6 +241,7 @@ pub struct RunArtifacts {
 pub fn finish() -> Option<RunArtifacts> {
     let rows = span::summary_rows();
     let counters = counters::snapshot();
+    let series = crate::series::take_series();
     if !rows.is_empty() {
         println!("\n-- span summary --");
         print!("{}", summary::render(&rows));
@@ -270,6 +271,17 @@ pub fn finish() -> Option<RunArtifacts> {
         let _ = file.write_all(line.as_bytes());
         let _ = file.write_all(b"\n");
     }
+    for s in &series {
+        let line = {
+            let mut o = JsonObj::new();
+            o.str("ev", "series_summary")
+                .u64("t_us", span::now_us())
+                .raw("row", &s.to_json());
+            o.finish()
+        };
+        let _ = file.write_all(line.as_bytes());
+        let _ = file.write_all(b"\n");
+    }
     let counters_line = {
         let mut o = JsonObj::new();
         o.str("ev", "counters").u64("t_us", span::now_us());
@@ -283,10 +295,16 @@ pub fn finish() -> Option<RunArtifacts> {
     let _ = file.flush();
     drop(file);
 
+    // One array holds both shapes: span rows (keyed `phase`) and series
+    // roll-ups (keyed `series`) — readers select by key.
     let summary_path = dir.join(format!("SUMMARY_{name}.json"));
     let _ = std::fs::write(
         &summary_path,
-        crate::json::array_lines(rows.iter().map(summary::SummaryRow::to_json)),
+        crate::json::array_lines(
+            rows.iter()
+                .map(summary::SummaryRow::to_json)
+                .chain(series.iter().map(crate::series::SeriesSnapshot::to_json)),
+        ),
     );
     let chrome_path = dir.join(format!("TRACE_{name}.chrome.json"));
     let events = span::events_snapshot();
@@ -357,6 +375,41 @@ mod tests {
         assert!(parse(&summary).expect("summary json").as_arr().is_some());
         let chrome = std::fs::read_to_string(&artifacts.chrome).expect("chrome");
         assert!(parse(&chrome).expect("chrome json").as_arr().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn series_roll_into_summary_artifact() {
+        let _l = crate::testutil::locked();
+        let dir = temp_dir();
+        span::enable();
+        span::reset();
+        let _ = crate::series::take_series();
+        init_run(&dir, "series").expect("init run");
+        crate::series::record("lambda_max", 1, 5.0);
+        crate::series::record("lambda_max", 2, 4.0);
+        {
+            let _s = span("unit_work");
+        }
+        let artifacts = finish().expect("artifacts");
+        span::disable();
+        let text = std::fs::read_to_string(&artifacts.trace).expect("trace");
+        assert!(text.contains("\"ev\": \"series_summary\""));
+        let summary = std::fs::read_to_string(&artifacts.summary).expect("summary");
+        let v = parse(&summary).expect("summary json");
+        let arr = v.as_arr().expect("array");
+        let row = arr
+            .iter()
+            .find(|r| r.get("series").is_some())
+            .expect("series row in summary");
+        assert_eq!(
+            row.get("series").and_then(Value::as_str),
+            Some("lambda_max")
+        );
+        assert_eq!(row.get("count").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(row.get("last").and_then(Value::as_f64), Some(4.0));
+        // finish() drained the registry for the next run.
+        assert!(crate::series::series_snapshot().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

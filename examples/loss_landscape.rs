@@ -89,20 +89,21 @@ fn main() -> Result<(), TensorError> {
                 max_iters: 10,
                 tol: 1e-2,
                 eps: 1e-3,
+                restarts: 1,
+                seed: 17,
             },
-            &mut StdRng::seed_from_u64(17),
         )?;
         let nonzeros: usize = params.iter().map(|p| p.norm_l0()).sum();
         let bounds = BoundInputs {
             grad_l2: global_norm_l2(&grads),
             grad_l1: global_norm_l1(&grads),
-            eigenvalue: eig.eigenvalue,
+            eigenvalue: eig.lambda(),
             nonzeros,
             tolerance: 0.1,
         };
         println!(
             "theorem 3: λ_max≈{:.2}; ‖δ*‖₂ ≥ {:.4}; ‖δ*‖∞ ≥ {:.6} (safe Δ ≤ {:.6})\n",
-            eig.eigenvalue,
+            eig.lambda(),
             bounds.l2_bound(),
             bounds.linf_bound(),
             bounds.max_safe_bin_width()

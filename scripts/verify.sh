@@ -51,6 +51,26 @@ cargo run --release -p hero-bench --bin hero -- \
   noise-crosscheck --preset c10 --models resnet,mobilenet,vgg \
   --scale 0.25 --epochs 2 --out results/analyze/noise_crosscheck.json
 
+echo "==> spectrum observatory smoke (hero spectrum, SGD vs HERO)"
+mkdir -p results
+# Trains two short runs with per-epoch spectrum telemetry, takes a deep
+# SLQ + per-layer-trace probe of each final model, and writes the
+# comparison artifact (density grids, per-layer traces, Spearman overlap
+# between the empirical trace ranking and the static sensitivity
+# ranking). The overlap is recorded, not gated: 2-epoch smoke models are
+# too noisy for a stable ranking. Runs traced so the JSONL stream carries
+# the per-epoch `spectrum` / `spectrum_layer` events and the summary
+# rolls up the `spectrum/*` series.
+HERO_TRACE=1 HERO_TRACE_RUN=spectrum \
+  cargo run --release -p hero-bench --bin hero -- \
+  spectrum --preset c10 --model resnet --methods sgd,hero \
+  --scale 0.2 --epochs 2 --steps 6 --probes 2 \
+  --out results/SPECTRUM_resnet_c10.json
+
+echo "==> spectrum probe cost (spectrum_cost --quick)"
+HERO_BENCH_OUT="$PWD/results/BENCH_spectrum.json" \
+  cargo bench -p hero-bench --bench spectrum_cost -- --quick
+
 echo "==> bench smoke (step_cost --quick, HERO_THREADS=1 vs 4)"
 mkdir -p results
 # HERO_BENCH_OUT is resolved in the bench executable's working directory
