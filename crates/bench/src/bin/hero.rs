@@ -2,16 +2,21 @@
 //!
 //! ```text
 //! hero train     --preset c10 --model resnet --method hero --epochs 30 [--out net.ckpt]
-//! hero quantize  --preset c10 --model resnet --ckpt net.ckpt --bits 3,4,6,8
-//!                [--mixed 5.0 [--sens static|proxy]]
+//!                [--save model.ha] [--checkpoint ckpt.ha --checkpoint-every 5]
+//!                [--resume ckpt.ha] [--git-rev REV] [--golden-recipe golden.ha]
+//! hero quantize  --preset c10 --model resnet (--ckpt net.ckpt | --artifact model.ha)
+//!                --bits 3,4,6,8 [--mixed 5.0 [--sens static|proxy]]
+//!                [--save quantized.ha [--save-bits 4]]
 //! hero analyze   --preset c10 --model resnet --ckpt net.ckpt
-//! hero preflight --preset c10 --model resnet [--bits 3,4,8]
-//!                [--noise-bits 4 | --mixed 4.0] [--budget 0.5]
+//! hero preflight --preset c10 --model resnet [--artifact model.ha [--stamp model.ha]]
+//!                [--bits 3,4,8] [--noise-bits 4 | --mixed 4.0] [--budget 0.5]
 //!                [--out-dir results/analyze]
 //! hero noise-crosscheck --preset c10 --models resnet,mobilenet,vgg
 //!                [--bits 2,4,8] [--trials 2] [--out results/analyze/noise_crosscheck.json]
 //! hero spectrum  --preset c10 --model resnet --methods sgd,hero [--epochs 3]
-//!                [--steps 10] [--probes 4] [--out results/SPECTRUM_run.json]
+//!                [--artifact model.ha] [--steps 10] [--probes 4]
+//!                [--out results/SPECTRUM_run.json]
+//! hero artifact inspect --path model.ha
 //! ```
 //!
 //! `train` trains and optionally checkpoints a model; `quantize` sweeps
@@ -32,9 +37,23 @@
 //! cross-checks the empirical trace ranking against the certified static
 //! sensitivity matrix (Spearman), prints an ASCII density plot, and
 //! writes one comparison artifact.
+//!
+//! The `--save`/`--artifact` family speaks the versioned deterministic
+//! model-artifact format (`hero-artifact`): `train --save` captures the
+//! trained weights, batch-norm state, full config and training history in
+//! one byte-reproducible file, `--checkpoint`/`--resume` make runs
+//! interruptible without perturbing a single bit of the final result, and
+//! `preflight --artifact` / `quantize --artifact` / `spectrum --artifact`
+//! re-analyze a saved model without retraining. `artifact inspect` prints
+//! a human summary of any artifact file.
 
+use hero_artifact::{Artifact, MetaValue, QuantEntry};
 use hero_core::experiment::{model_config, MethodKind};
-use hero_core::{train, NoiseConfig, TrainConfig};
+use hero_core::{
+    attach_quant, golden_recipe, load_artifact, network_from_artifact, record_from_artifact,
+    resume_from_artifact, save_artifact, train, train_to_artifact, ModelSpec, NoiseConfig, RunMeta,
+    TrainConfig, TrainRecord,
+};
 use hero_data::Preset;
 use hero_hessian::{
     hessian_norm_probe, lanczos_spectrum, layer_traces, slq_density, spearman_rank, BoundInputs,
@@ -44,7 +63,8 @@ use hero_nn::models::ModelKind;
 use hero_nn::{evaluate_accuracy, load_params_from_file, save_params_to_file, Network};
 use hero_optim::BatchOracle;
 use hero_quant::{
-    allocate_bits, network_sensitivities, quantize_params, quantize_params_mixed, QuantScheme,
+    allocate_bits, network_sensitivities, quantize_params, quantize_params_mixed, quantize_tensor,
+    QuantScheme,
 };
 use hero_tensor::rng::StdRng;
 use hero_tensor::{global_norm_l1, global_norm_l2};
@@ -59,6 +79,19 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `artifact` takes a subcommand word before its flags; fold it into
+    // the command name so the flag parser only ever sees `--key value`.
+    let (cmd, rest): (&str, &[String]) = if cmd == "artifact" {
+        match rest.split_first() {
+            Some((sub, tail)) if sub == "inspect" => ("artifact-inspect", tail),
+            _ => {
+                eprintln!("error: `hero artifact` supports `inspect --path FILE`\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (cmd.as_str(), rest)
+    };
     let opts = match parse_flags(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -67,13 +100,14 @@ fn main() -> ExitCode {
         }
     };
     hero_obs::init_from_env(&format!("hero_{cmd}"));
-    let result = match cmd.as_str() {
+    let result = match cmd {
         "train" => cmd_train(&opts),
         "quantize" => cmd_quantize(&opts),
         "analyze" => cmd_analyze(&opts),
         "preflight" => cmd_preflight(&opts),
         "noise-crosscheck" => cmd_noise_crosscheck(&opts),
         "spectrum" => cmd_spectrum(&opts),
+        "artifact-inspect" => cmd_artifact_inspect(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -96,19 +130,31 @@ hero — HERO (DAC 2022) reproduction CLI
 USAGE:
   hero train    --preset <c10|c100|in50> --model <resnet|mobilenet|vgg>
                 --method <hero|sam|gradl1|sgd> [--epochs N] [--scale F]
-                [--seed N] [--out FILE]
-  hero quantize --preset ... --model ... (--ckpt FILE | --method ... [--epochs N])
+                [--seed N] [--out FILE] [--save FILE.ha] [--git-rev REV]
+                [--checkpoint FILE.ha [--checkpoint-every N]]
+                [--resume FILE.ha] [--golden-recipe FILE.ha]
+  hero quantize --preset ... --model ...
+                (--ckpt FILE | --artifact FILE.ha | --method ... [--epochs N])
                 [--bits 3,4,6,8] [--mixed AVG_BITS [--sens static|proxy]]
+                [--save FILE.ha [--save-bits N]]
   hero analyze  --preset ... --model ... (--ckpt FILE | --method ... [--epochs N])
   hero preflight --preset ... --model ... [--ckpt FILE] [--scale F] [--seed N]
+                 [--artifact FILE.ha [--stamp FILE.ha]]
                  [--bits 3,4,8] [--noise-bits N | --mixed AVG_BITS]
                  [--budget F] [--out-dir DIR]
   hero noise-crosscheck --preset ... [--models resnet,mobilenet,vgg]
                  [--bits 2,4,8] [--trials N] [--epochs N] [--scale F]
                  [--avg AVG_BITS] [--min-overlap F] [--out FILE]
   hero spectrum  --preset ... --model ... [--methods sgd,hero] [--epochs N]
-                 [--scale F] [--seed N] [--steps N] [--probes N] [--bits N]
-                 [--spectrum-every N] [--out FILE]";
+                 [--artifact FILE.ha] [--scale F] [--seed N] [--steps N]
+                 [--probes N] [--bits N] [--spectrum-every N] [--out FILE]
+  hero artifact inspect --path FILE.ha
+
+Artifact-format notes: `--save`/`--checkpoint` write the versioned
+deterministic model-artifact format (see DESIGN.md §16); `--resume`
+continues a checkpoint bit-exactly (pass the original --preset/--scale so
+the datasets match); `--golden-recipe` trains the fixed smoke recipe
+behind the committed golden artifact and writes it to FILE.ha.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -223,6 +269,107 @@ fn obtain_model(
 }
 
 fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    // The fixed golden-recipe run: shared with the byte-pin regression
+    // test and verify.sh, so the three can never disagree on the recipe.
+    if let Some(out) = opts.get("golden-recipe") {
+        let (train_set, test_set, mut net, meta) = golden_recipe();
+        let (rec, art) = train_to_artifact(&mut net, &train_set, &test_set, &meta, 0, None)
+            .map_err(|e| e.to_string())?;
+        save_artifact(&art, PathBuf::from(out)).map_err(|e| e.to_string())?;
+        println!(
+            "golden artifact ({} scalars, train acc {:.2}%, test acc {:.2}%) written to {out}",
+            art.num_scalars(),
+            100.0 * rec.final_train_acc,
+            100.0 * rec.final_test_acc
+        );
+        return Ok(());
+    }
+
+    let save = opts.get("save").map(PathBuf::from);
+    let ckpt_path = opts.get("checkpoint").map(PathBuf::from);
+    let ckpt_every: usize = num(opts, "checkpoint-every", 1)?;
+
+    // Resume a checkpoint artifact: the model, config and trainer state
+    // all come from the file; only the datasets are reloaded, so the
+    // caller must pass the original --preset/--scale.
+    if let Some(resume) = opts.get("resume") {
+        let preset = preset_of(opts)?;
+        let scale: f32 = num(opts, "scale", 0.5)?;
+        let (train_set, test_set) = preset.load(scale);
+        let art = load_artifact(PathBuf::from(resume)).map_err(|e| e.to_string())?;
+        let (rec, final_art, _net) = resume_from_artifact(
+            &art,
+            &train_set,
+            &test_set,
+            ckpt_every,
+            ckpt_path.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        hero_obs::Event::new("train_result")
+            .f64("train_acc", f64::from(rec.final_train_acc))
+            .f64("test_acc", f64::from(rec.final_test_acc))
+            .human(format!(
+                "resumed {resume}: train acc {:.2}%, test acc {:.2}%",
+                100.0 * rec.final_train_acc,
+                100.0 * rec.final_test_acc
+            ))
+            .emit();
+        if let Some(out) = &save {
+            save_artifact(&final_art, out).map_err(|e| e.to_string())?;
+            println!("artifact written to {}", out.display());
+        }
+        return Ok(());
+    }
+
+    // Fresh training through the artifact pipeline when any artifact
+    // output is requested.
+    if save.is_some() || ckpt_path.is_some() {
+        let preset = preset_of(opts)?;
+        let model = model_of(opts)?;
+        let method = method_of(opts)?;
+        let scale: f32 = num(opts, "scale", 0.5)?;
+        let seed: u64 = num(opts, "seed", 42)?;
+        let epochs: usize = num(opts, "epochs", 20)?;
+        let (train_set, test_set) = preset.load(scale);
+        let mut net = model.build(model_config(preset), &mut StdRng::seed_from_u64(seed));
+        let meta = RunMeta {
+            model: ModelSpec::Kind(model),
+            model_cfg: model_config(preset),
+            config: TrainConfig::new(method.tuned(), epochs).with_seed(seed),
+            git_rev: opts
+                .get("git-rev")
+                .cloned()
+                .unwrap_or_else(|| "unknown".into()),
+            preflight_hash: None,
+        };
+        let (rec, art) = train_to_artifact(
+            &mut net,
+            &train_set,
+            &test_set,
+            &meta,
+            ckpt_every,
+            ckpt_path.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        hero_obs::Event::new("train_result")
+            .f64("train_acc", f64::from(rec.final_train_acc))
+            .f64("test_acc", f64::from(rec.final_test_acc))
+            .human(format!(
+                "trained: train acc {:.2}%, test acc {:.2}%",
+                100.0 * rec.final_train_acc,
+                100.0 * rec.final_test_acc
+            ))
+            .emit();
+        if let Some(out) = &save {
+            save_artifact(&art, out).map_err(|e| e.to_string())?;
+            println!("artifact written to {}", out.display());
+        }
+        if let Some(out) = opts.get("out") {
+            save_params_to_file(&net, &PathBuf::from(out)).map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+
     let (net, _, _, _) = obtain_model(opts)?;
     if let Some(out) = opts.get("out") {
         save_params_to_file(&net, &PathBuf::from(out)).map_err(|e| e.to_string())?;
@@ -235,7 +382,21 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
-    let (mut net, _, train_set, test_set) = obtain_model(opts)?;
+    let (mut net, mut loaded, train_set, test_set) = if let Some(path) = opts.get("artifact") {
+        let preset = preset_of(opts)?;
+        let scale: f32 = num(opts, "scale", 0.5)?;
+        let (train_set, test_set) = preset.load(scale);
+        let art = load_artifact(PathBuf::from(path)).map_err(|e| e.to_string())?;
+        let net = network_from_artifact(&art).map_err(|e| e.to_string())?;
+        hero_obs::Event::new("artifact_loaded")
+            .str("path", path)
+            .human(format!("loaded artifact {path}"))
+            .emit();
+        (net, Some(art), train_set, test_set)
+    } else {
+        let (net, _, train_set, test_set) = obtain_model(opts)?;
+        (net, None, train_set, test_set)
+    };
     let full_params = net.params();
     let full_acc = evaluate_accuracy(&mut net, &test_set.images, &test_set.labels, 64)
         .map_err(|e| e.to_string())?;
@@ -338,6 +499,41 @@ fn cmd_quantize(opts: &HashMap<String, String>) -> Result<(), String> {
             .emit();
         net.set_params(&full_params).map_err(|e| e.to_string())?;
     }
+
+    // Persist one quantization decision back into the artifact: the
+    // quantized values replace the TENSORS section and the QUANT section
+    // records the per-tensor bit width and grid. The RESUME section is
+    // dropped — a quantized snapshot is a deployment artifact, not a
+    // training state.
+    if let Some(out) = opts.get("save") {
+        let Some(art) = loaded.as_mut() else {
+            return Err("--save needs --artifact (a model artifact to quantize)".into());
+        };
+        let first_bits = parse_bits(&bits_arg, "bits")?[0];
+        let b: u8 = num(opts, "save-bits", first_bits)?;
+        let scheme = QuantScheme::symmetric(b).map_err(|e| e.to_string())?;
+        let infos = net.param_infos();
+        let mut quantized = Vec::with_capacity(full_params.len());
+        let mut entries = Vec::new();
+        for (p, info) in full_params.iter().zip(&infos) {
+            if info.kind.is_quantizable() {
+                let q = quantize_tensor(p, &scheme).map_err(|e| e.to_string())?;
+                entries.push(QuantEntry {
+                    name: info.name.clone(),
+                    bits: b,
+                    per_channel: false,
+                    bin_widths: q.bin_widths.clone(),
+                });
+                quantized.push(q.values);
+            } else {
+                quantized.push(p.clone());
+            }
+        }
+        attach_quant(art, &quantized, entries);
+        art.resume = None;
+        save_artifact(art, PathBuf::from(out)).map_err(|e| e.to_string())?;
+        println!("quantized artifact ({b}-bit weights) written to {out}");
+    }
     Ok(())
 }
 
@@ -347,10 +543,19 @@ fn cmd_preflight(opts: &HashMap<String, String>) -> Result<(), String> {
     let scale: f32 = num(opts, "scale", 0.5)?;
     let seed: u64 = num(opts, "seed", 42)?;
     let (train_set, _) = preset.load(scale);
-    let mut net = model.build(model_config(preset), &mut StdRng::seed_from_u64(seed));
-    if let Some(ckpt) = opts.get("ckpt") {
-        load_params_from_file(&mut net, &PathBuf::from(ckpt)).map_err(|e| e.to_string())?;
-    }
+    let mut loaded: Option<Artifact> = None;
+    let mut net = if let Some(path) = opts.get("artifact") {
+        let art = load_artifact(PathBuf::from(path)).map_err(|e| e.to_string())?;
+        let net = network_from_artifact(&art).map_err(|e| e.to_string())?;
+        loaded = Some(art);
+        net
+    } else {
+        let mut net = model.build(model_config(preset), &mut StdRng::seed_from_u64(seed));
+        if let Some(ckpt) = opts.get("ckpt") {
+            load_params_from_file(&mut net, &PathBuf::from(ckpt)).map_err(|e| e.to_string())?;
+        }
+        net
+    };
     let bits_arg = opts.get("bits").cloned().unwrap_or_else(|| "3,4,8".into());
     let bits = parse_bits(&bits_arg, "bits")?;
     let probe = train_set.len().min(64);
@@ -452,12 +657,25 @@ fn cmd_preflight(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let errors = report.errors().count();
     let warnings = report.warnings().count();
+    // The report hash is the provenance fingerprint an artifact can carry
+    // (`provenance.preflight_hash`); `--stamp FILE` writes it into the
+    // loaded artifact so downstream consumers can tell which static
+    // analysis the model passed.
+    let hash = hero_core::preflight_hash(&report);
     println!(
-        "preflight {}: {} nodes, {errors} errors, {warnings} warnings -> {}",
+        "preflight {}: {} nodes, {errors} errors, {warnings} warnings, report hash {hash:#018x} -> {}",
         net.name(),
         report.nodes,
         txt_path.display()
     );
+    if let Some(stamp) = opts.get("stamp") {
+        let Some(art) = loaded.as_mut() else {
+            return Err("--stamp needs --artifact (an artifact to annotate)".into());
+        };
+        art.set_meta("provenance.preflight_hash", MetaValue::U64(hash));
+        save_artifact(art, PathBuf::from(stamp)).map_err(|e| e.to_string())?;
+        println!("preflight hash stamped into {stamp}");
+    }
     if errors > 0 || warnings > 0 {
         print!("{report}");
     }
@@ -512,9 +730,10 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"preset\": \"{}\",\n  \"bits\": {:?},\n  \"avg_bits\": {avg},\n  \"models\": [\n",
+        "  \"preset\": \"{}\",\n  \"bits\": {:?},\n  \"avg_bits\": {},\n  \"models\": [\n",
         preset.paper_name(),
-        grid
+        grid,
+        jnum(avg)
     );
     let mut total_violations = 0usize;
     let mut worst_overlap = f32::INFINITY;
@@ -578,30 +797,33 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
             json.push_str(",\n");
         }
         first_model = false;
+        // Every float goes through `jnum`: a NaN overlap (degenerate
+        // ranking) or a non-finite measured shift must land in the sink
+        // as `null`, not as a bare `NaN` token no JSON parser accepts.
         let _ = write!(
             json,
             "    {{\n      \"model\": \"{}\",\n      \"violations\": {},\n      \
-             \"overlap\": {:.4},\n      \"ref_bits\": {},\n      \
-             \"full_acc\": {:.4},\n      \"mixed_acc\": {:.4},\n      \
-             \"uniform_acc\": {:.4},\n      \"allocation\": {:?},\n      \"cells\": [\n",
+             \"overlap\": {},\n      \"ref_bits\": {},\n      \
+             \"full_acc\": {},\n      \"mixed_acc\": {},\n      \
+             \"uniform_acc\": {},\n      \"allocation\": {:?},\n      \"cells\": [\n",
             model.paper_name(),
             report.violations,
-            report.overlap,
+            jnum(report.overlap),
             report.ref_bits,
-            rec.final_test_acc,
-            mixed_acc,
-            uniform_acc,
+            jnum(rec.final_test_acc),
+            jnum(mixed_acc),
+            jnum(uniform_acc),
             alloc
         );
         for (i, c) in report.cells.iter().enumerate() {
             let _ = write!(
                 json,
-                "        {{\"layer\": \"{}\", \"bits\": {}, \"certified\": {:e}, \
-                 \"empirical\": {:e}, \"violated\": {}}}{}",
+                "        {{\"layer\": \"{}\", \"bits\": {}, \"certified\": {}, \
+                 \"empirical\": {}, \"violated\": {}}}{}",
                 c.layer.replace(['"', '\\'], "_"),
                 c.bits,
-                c.certified,
-                c.empirical,
+                jnum(c.certified),
+                jnum(c.empirical),
                 c.violated,
                 if i + 1 < report.cells.len() {
                     ",\n"
@@ -615,12 +837,13 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
     let _ = write!(
         json,
         "\n  ],\n  \"total_violations\": {total_violations},\n  \
-         \"worst_overlap\": {:.4}\n}}\n",
-        if worst_overlap.is_finite() {
-            worst_overlap
-        } else {
+         \"worst_overlap\": {}\n}}\n",
+        jnum(if worst_overlap == f32::INFINITY {
+            // No models ran; report a vacuous perfect overlap.
             1.0
-        }
+        } else {
+            worst_overlap
+        })
     );
     if let Some(dir) = out_path.parent() {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
@@ -644,14 +867,11 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Formats a float as a JSON number, mapping non-finite values to `null`
-/// (NaN/inf literals are not valid JSON).
+/// Formats a float as a JSON number through the obs sink's canonical
+/// encoder: non-finite values become `null` (NaN/inf literals are not
+/// valid JSON and silently poison every downstream parser).
 fn jnum(v: f32) -> String {
-    if v.is_finite() {
-        format!("{v:e}")
-    } else {
-        "null".into()
-    }
+    hero_obs::json::num(f64::from(v))
 }
 
 /// The spectrum observatory (`hero spectrum`): for each requested method,
@@ -703,21 +923,38 @@ fn cmd_spectrum(opts: &HashMap<String, String>) -> Result<(), String> {
         preset.paper_name(),
         model.paper_name()
     );
+    // Either probe one saved model artifact (no retraining — the weights
+    // and per-epoch spectrum trajectory both come from the file) or train
+    // each requested method fresh.
+    let mut runs: Vec<(String, Network, TrainRecord)> = Vec::new();
+    if let Some(path) = opts.get("artifact") {
+        let art = load_artifact(PathBuf::from(path)).map_err(|e| e.to_string())?;
+        let name = art
+            .meta_str("train.method.kind")
+            .unwrap_or("artifact")
+            .to_string();
+        let net = network_from_artifact(&art).map_err(|e| e.to_string())?;
+        let rec = record_from_artifact(&art).map_err(|e| e.to_string())?;
+        runs.push((name, net, rec));
+    } else {
+        for token in methods_arg.split(',') {
+            let method = match token.trim() {
+                "hero" => MethodKind::Hero,
+                "sam" | "first-order" => MethodKind::FirstOrder,
+                "gradl1" => MethodKind::GradL1,
+                "sgd" => MethodKind::Sgd,
+                other => return Err(format!("--methods: unknown method `{other}`")),
+            };
+            let mut net = model.build(model_config(preset), &mut StdRng::seed_from_u64(seed));
+            let config = TrainConfig::new(method.tuned(), epochs)
+                .with_seed(seed)
+                .with_spectrum_every(every);
+            let rec = train(&mut net, &train_set, &test_set, &config).map_err(|e| e.to_string())?;
+            runs.push((method.paper_name().to_string(), net, rec));
+        }
+    }
     let mut first_method = true;
-    for token in methods_arg.split(',') {
-        let method = match token.trim() {
-            "hero" => MethodKind::Hero,
-            "sam" | "first-order" => MethodKind::FirstOrder,
-            "gradl1" => MethodKind::GradL1,
-            "sgd" => MethodKind::Sgd,
-            other => return Err(format!("--methods: unknown method `{other}`")),
-        };
-        let mut net = model.build(model_config(preset), &mut StdRng::seed_from_u64(seed));
-        let config = TrainConfig::new(method.tuned(), epochs)
-            .with_seed(seed)
-            .with_spectrum_every(every);
-        let rec = train(&mut net, &train_set, &test_set, &config).map_err(|e| e.to_string())?;
-
+    for (name, mut net, rec) in runs {
         // Deep final probe. Unlike the trainer's epoch probe this keeps the
         // full broadened density for plotting, so it calls the estimators
         // directly rather than going through `probe_spectrum`.
@@ -764,9 +1001,10 @@ fn cmd_spectrum(opts: &HashMap<String, String>) -> Result<(), String> {
         let global_trace: f32 = traces.iter().map(|t| t.mean).sum();
 
         println!(
-            "{} after {epochs} epochs: λ_max {:.4} ± {:.4}, λ_min {:.4}, tr(H) {:.2}, \
+            "{} after {} epochs: λ_max {:.4} ± {:.4}, λ_min {:.4}, tr(H) {:.2}, \
              E[λ²] {:.4}, trace-vs-static Spearman ρ {:.3} over {} layers",
-            method.paper_name(),
+            name,
+            rec.epochs.len(),
             density.lambda_max.mean,
             density.lambda_max.ci95(),
             density.lambda_min.mean,
@@ -777,10 +1015,7 @@ fn cmd_spectrum(opts: &HashMap<String, String>) -> Result<(), String> {
         );
         println!(
             "{} spectral density (SLQ, {} probes × {} steps, σ {:.3}):",
-            method.paper_name(),
-            probes,
-            steps,
-            density.sigma
+            name, probes, steps, density.sigma
         );
         let rows: Vec<(String, f64)> = density
             .grid
@@ -791,7 +1026,7 @@ fn cmd_spectrum(opts: &HashMap<String, String>) -> Result<(), String> {
         print!("{}", hero_obs::ascii_bars(&rows, 48));
 
         hero_obs::Event::new("spectrum_summary")
-            .str("method", method.paper_name())
+            .str("method", &name)
             .f64("lambda_max", f64::from(density.lambda_max.mean))
             .f64("lambda_min", f64::from(density.lambda_min.mean))
             .f64("trace", f64::from(global_trace))
@@ -810,7 +1045,7 @@ fn cmd_spectrum(opts: &HashMap<String, String>) -> Result<(), String> {
              \"lambda_min\": {},\n      \"mean_eigenvalue\": {},\n      \
              \"second_moment\": {},\n      \"trace\": {},\n      \
              \"spearman_trace_vs_static\": {},\n      \"sigma\": {},\n",
-            method.paper_name(),
+            name,
             jnum(rec.final_test_acc),
             jnum(density.lambda_max.mean),
             jnum(density.lambda_max.std_error),
@@ -924,5 +1159,17 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
         .f64("max_safe_bin_width", f64::from(bounds.max_safe_bin_width()))
         .human(report)
         .emit();
+    Ok(())
+}
+
+/// `hero artifact inspect --path FILE`: decodes an artifact (verifying
+/// magic, version and checksum on the way in) and prints its meta,
+/// tensor inventory, quantization decision and resume state.
+fn cmd_artifact_inspect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = opts
+        .get("path")
+        .ok_or_else(|| "artifact inspect needs --path FILE".to_string())?;
+    let art = load_artifact(PathBuf::from(path)).map_err(|e| e.to_string())?;
+    print!("{}", art.describe());
     Ok(())
 }

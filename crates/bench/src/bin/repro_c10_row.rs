@@ -1,12 +1,28 @@
 //! Re-runs the CIFAR-10 row of Table 1 / Fig. 1 (all three model
 //! families) — a focused subset of `repro_fig1` for quick iteration on
 //! per-architecture hyper-parameters.
+//!
+//! `--artifact-dir DIR` backs every training cell with the deterministic
+//! model-artifact cache: a warm cache reproduces the row (table and
+//! quantization sweeps alike) from saved weights without retraining, and
+//! a cold one trains once and fills the cache for the next run.
 
 use hero_bench::{banner, emit_artifact, scale_from_args};
-use hero_core::experiment::{fig1_bits, quant_sweep, run_table1};
+use hero_core::experiment::{fig1_bits, quant_sweep, run_table1, run_table1_cached};
 use hero_core::report::{render_fig1_panel, render_table1};
 use hero_data::Preset;
 use hero_nn::models::ModelKind;
+use std::path::PathBuf;
+
+fn artifact_dir_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--artifact-dir" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
 
 fn main() {
     hero_obs::init_from_env("repro_c10_row");
@@ -17,7 +33,10 @@ fn main() {
         (Preset::C10, ModelKind::Mobilenet),
         (Preset::C10, ModelKind::Vgg),
     ];
-    let (table, mut models) = run_table1(&matrix, scale).expect("training");
+    let (table, mut models) = match artifact_dir_from_args() {
+        Some(dir) => run_table1_cached(&matrix, scale, &dir).expect("training"),
+        None => run_table1(&matrix, scale).expect("training"),
+    };
     emit_artifact("table1_c10_row", render_table1(&table));
     let bits = fig1_bits();
     for ((preset, model), cell) in matrix.iter().zip(models.iter_mut()) {

@@ -37,14 +37,16 @@ pub struct TrainConfig {
     pub spectrum_every: usize,
     /// Seed for batching/augmentation randomness.
     pub seed: u64,
-    /// Worker threads for the sharded data-parallel executor; 0 *and* 1
-    /// select the serial in-process path (a single shard worker would
-    /// only add shard/reduce overhead to the same math). Defaults to the
-    /// `HERO_THREADS` environment variable (unset ⇒ 0). With the shard
-    /// count fixed, any value ≥ 2 produces bitwise identical trajectories
-    /// (see DESIGN.md §11), so this trades wall-clock only. The same
-    /// variable also sizes the GEMM worker pool (DESIGN.md §13), which
-    /// accelerates the serial step too.
+    /// Worker threads for the sharded data-parallel executor; 0 selects
+    /// the serial in-process path. Defaults to the `HERO_THREADS`
+    /// environment variable (unset ⇒ 0). With the shard count fixed,
+    /// every value ≥ 1 produces bitwise identical trajectories (see
+    /// DESIGN.md §11 and the parallel_equiv suite) — a single worker
+    /// re-runs the sharded math behind one thread, so `HERO_THREADS=1`
+    /// and `HERO_THREADS=4` yield byte-identical model artifacts — and
+    /// the value trades wall-clock only. The same variable also sizes
+    /// the GEMM worker pool (DESIGN.md §13), which accelerates the
+    /// serial step too.
     pub threads: usize,
 }
 

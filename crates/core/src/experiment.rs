@@ -199,6 +199,74 @@ pub fn train_on(
     })
 }
 
+/// Like [`train_cell`] but backed by a directory of model artifacts: a
+/// cache hit reconstructs the trained model (weights, batch-norm state
+/// and full training record, all bitwise equal to the fresh run) from
+/// disk instead of retraining; a miss trains and saves the artifact for
+/// the next invocation.
+///
+/// # Errors
+///
+/// Propagates training, artifact-decode and I/O errors. A corrupt or
+/// mismatched cache file is an error rather than a silent retrain, so a
+/// stale cache never masquerades as a reproduction.
+pub fn train_cell_cached(
+    preset: Preset,
+    model: ModelKind,
+    method: MethodKind,
+    scale: Scale,
+    probe_every: usize,
+    cache_dir: &std::path::Path,
+) -> Result<TrainedModel> {
+    let slug = format!(
+        "{}_{}_{}",
+        preset.paper_name(),
+        model.paper_name(),
+        method.paper_name()
+    )
+    .to_lowercase()
+    .replace(['/', ' ', '-'], "_");
+    let path = cache_dir.join(format!("{slug}.ha"));
+    if path.is_file() {
+        let art = crate::artifact_io::load_artifact(&path)?;
+        let net = crate::artifact_io::network_from_artifact(&art)?;
+        let record = crate::artifact_io::record_from_artifact(&art)?;
+        hero_obs::Event::new("artifact_cache_hit")
+            .str("path", &path.to_string_lossy())
+            .human(format!("loaded trained model from {}", path.display()))
+            .emit();
+        return Ok(TrainedModel {
+            net,
+            record,
+            method,
+        });
+    }
+    let (train_set, test_set) = preset.load(scale.data);
+    let mut rng = StdRng::seed_from_u64(model_seed(preset, model));
+    let mut net = model.build(model_config(preset), &mut rng);
+    let config = TrainConfig::new(method.tuned_for(preset, model), scale.epochs(preset))
+        .with_probe_every(probe_every)
+        .with_seed(model_seed(preset, model) ^ 0x7EA7);
+    let meta = crate::artifact_io::RunMeta {
+        model: crate::artifact_io::ModelSpec::Kind(model),
+        model_cfg: model_config(preset),
+        config,
+        git_rev: "cache".to_string(),
+        preflight_hash: None,
+    };
+    let (record, art) =
+        crate::artifact_io::train_to_artifact(&mut net, &train_set, &test_set, &meta, 0, None)?;
+    std::fs::create_dir_all(cache_dir).map_err(|e| {
+        TensorError::InvalidArgument(format!("create {}: {e}", cache_dir.display()))
+    })?;
+    crate::artifact_io::save_artifact(&art, &path)?;
+    Ok(TrainedModel {
+        net,
+        record,
+        method,
+    })
+}
+
 fn model_seed(preset: Preset, model: ModelKind) -> u64 {
     let p = match preset {
         Preset::C10 => 1,
@@ -268,6 +336,46 @@ pub fn run_table1(
         let mut cell_models = Vec::new();
         for &method in &methods {
             let trained = train_cell(preset, model, method, scale, 0)?;
+            accs.push(trained.record.final_test_acc);
+            cell_models.push(trained);
+        }
+        rows.push(Table1Row {
+            dataset: preset.paper_name(),
+            model: model.paper_name(),
+            accs,
+        });
+        all_models.push(cell_models);
+    }
+    Ok((
+        Table1 {
+            methods: methods.to_vec(),
+            rows,
+        },
+        all_models,
+    ))
+}
+
+/// Like [`run_table1`] but with every cell backed by an artifact cache
+/// directory ([`train_cell_cached`]): a fully warm cache reproduces the
+/// table (and the Fig. 1 sweeps over exactly these checkpoints) without
+/// a single training step.
+///
+/// # Errors
+///
+/// Propagates training, artifact and I/O errors.
+pub fn run_table1_cached(
+    matrix: &[(Preset, ModelKind)],
+    scale: Scale,
+    cache_dir: &std::path::Path,
+) -> Result<(Table1, Vec<Vec<TrainedModel>>)> {
+    let methods = [MethodKind::Hero, MethodKind::GradL1, MethodKind::Sgd];
+    let mut rows = Vec::new();
+    let mut all_models = Vec::new();
+    for &(preset, model) in matrix {
+        let mut accs = Vec::new();
+        let mut cell_models = Vec::new();
+        for &method in &methods {
+            let trained = train_cell_cached(preset, model, method, scale, 0, cache_dir)?;
             accs.push(trained.record.final_test_acc);
             cell_models.push(trained);
         }

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact_io;
 pub mod config;
 pub mod experiment;
 pub mod metrics;
@@ -42,6 +43,11 @@ pub mod report;
 pub mod spectrum;
 pub mod trainer;
 
+pub use artifact_io::{
+    attach_quant, build_artifact, golden_recipe, load_artifact, network_from_artifact,
+    preflight_hash, record_from_artifact, resume_from_artifact, run_meta_from_artifact,
+    save_artifact, train_to_artifact, ModelSpec, RunMeta,
+};
 pub use config::TrainConfig;
 pub use metrics::{EpochMetrics, TrainRecord};
 pub use preflight::{
@@ -50,5 +56,6 @@ pub use preflight::{
 };
 pub use spectrum::{probe_spectrum, LayerTrace, SpectrumOptions, SpectrumProbe};
 pub use trainer::{
-    preflight_report, probe_hessian_norm, train, verify_network_tape, verify_network_tape_with,
+    preflight_report, probe_hessian_norm, train, train_resumable, verify_network_tape,
+    verify_network_tape_with, TrainerState,
 };

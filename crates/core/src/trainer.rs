@@ -16,6 +16,39 @@ use hero_tensor::{Result, Tensor, TensorError};
 /// probe costs two gradient evaluations).
 const PROBE_SAMPLES: usize = 64;
 
+/// Mid-training snapshot: everything beyond the network weights and
+/// batch-norm statistics that a bitwise-exact resume needs. Produced for
+/// checkpoint hooks by [`train_resumable`] and fed back in to resume.
+///
+/// The snapshot is taken at an epoch boundary: `next_epoch` is the first
+/// epoch the resumed run will execute, and the RNG states are captured
+/// *after* the completed epoch consumed its draws, so the resumed loop
+/// continues the exact same random streams.
+#[derive(Debug, Clone)]
+pub struct TrainerState {
+    /// First epoch the resumed run executes.
+    pub next_epoch: usize,
+    /// Global step counter (drives the cosine schedule).
+    pub step: usize,
+    /// Gradient evaluations spent so far.
+    pub grad_evals: usize,
+    /// Data-loader shuffle RNG state.
+    pub loader_rng: u64,
+    /// Augmentation RNG state.
+    pub aug_rng: u64,
+    /// SGD momentum buffers in canonical parameter order (empty when the
+    /// optimizer has not materialized them).
+    pub momentum: Vec<Tensor>,
+    /// Per-epoch metrics accumulated so far.
+    pub epochs: Vec<EpochMetrics>,
+    /// Last evaluated training accuracy (NaN if never evaluated).
+    pub final_train_acc: f32,
+    /// Last evaluated test accuracy (NaN if never evaluated).
+    pub final_test_acc: f32,
+    /// Spectrum probes accumulated so far.
+    pub spectra: Vec<crate::spectrum::SpectrumProbe>,
+}
+
 /// Trains `net` on `train`, evaluating on `test`, according to `config`.
 ///
 /// Implements the paper's §5.1 recipe on the synthetic substrate: shuffled
@@ -31,6 +64,50 @@ pub fn train(
     test_set: &Dataset,
     config: &TrainConfig,
 ) -> Result<TrainRecord> {
+    let (record, _) =
+        train_resumable(
+            net,
+            train_set,
+            test_set,
+            config,
+            None,
+            0,
+            &mut |_, _| Ok(()),
+        )?;
+    Ok(record)
+}
+
+/// [`train`] with epoch-boundary checkpointing and bitwise-exact resume.
+///
+/// When `resume` is given, the loop continues from the snapshot: the
+/// caller must already have restored the network's parameters and
+/// batch-norm statistics to the checkpointed values (the snapshot only
+/// carries trainer-side state). When `checkpoint_every > 0`,
+/// `on_checkpoint` is invoked with the network and a fresh snapshot after
+/// every `checkpoint_every`-th completed epoch (except the last — the
+/// final model is the caller's return value, not a checkpoint).
+///
+/// Resumed runs reproduce the uninterrupted trajectory exactly: weights,
+/// metrics, RNG streams and the final [`TrainRecord`] are bitwise equal
+/// (proven in `tests/artifact_pipeline.rs`).
+///
+/// Returns the record together with the end-of-run [`TrainerState`] —
+/// which is what a final model artifact embeds so the training history
+/// survives serialization.
+///
+/// # Errors
+///
+/// Returns shape errors if the datasets are incompatible with the network
+/// or whatever error `on_checkpoint` surfaces.
+pub fn train_resumable(
+    net: &mut Network,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    config: &TrainConfig,
+    resume: Option<TrainerState>,
+    checkpoint_every: usize,
+    on_checkpoint: &mut dyn FnMut(&mut Network, &TrainerState) -> Result<()>,
+) -> Result<(TrainRecord, TrainerState)> {
     let mut loader = Loader::new(config.batch_size, config.seed);
     let batches_per_epoch = train_set.len().div_ceil(config.batch_size);
     let schedule = config.schedule(batches_per_epoch);
@@ -40,20 +117,24 @@ pub fn train(
     // Statically verify the tape this model records — once per build,
     // before spending epochs on it. A malformed tape fails here with a
     // structured report instead of corrupting λmax estimates silently.
+    // BN statistics are frozen around the probe, so re-running it on
+    // resume does not perturb the restored trajectory.
     let probe = train_set.len().min(config.batch_size);
     if probe > 0 {
         let images = train_set.images.narrow(0, probe)?;
         verify_network_tape(net, &images, &train_set.labels[..probe])?;
     }
 
-    // Persistent data-parallel context (config.threads > 1): workers with
+    // Persistent data-parallel context (config.threads ≥ 1): workers with
     // network replicas live across the whole run. With the shard count
-    // fixed, the trajectory is bitwise identical for any worker count ≥ 2
-    // — see DESIGN.md §11 and the parallel_equiv test suite. A single
-    // worker would only re-run the serial math behind a shard/reduce
-    // round-trip (~1.5× step cost), so 1 dispatches to the serial step;
+    // fixed, the trajectory is bitwise identical for any worker count ≥ 1
+    // — see DESIGN.md §11 and the parallel_equiv test suite — which is
+    // what makes saved model artifacts byte-equal across HERO_THREADS
+    // settings. 0 selects the serial in-process path (a distinct, equally
+    // deterministic trajectory: batch-norm statistics advance inside the
+    // first gradient evaluation rather than in a post-step refresh);
     // GEMM-level parallelism (DESIGN.md §13) needs no shard context.
-    let mut pctx = (config.threads > 1)
+    let mut pctx = (config.threads > 0)
         .then(|| ParallelCtx::new(net, config.threads))
         .transpose()?;
 
@@ -64,8 +145,24 @@ pub fn train(
     let mut step = 0usize;
     let mut final_test_acc = f32::NAN;
     let mut final_train_acc = f32::NAN;
+    let mut start_epoch = 0usize;
 
-    for epoch in 0..config.epochs {
+    if let Some(state) = resume {
+        loader.set_rng_state(state.loader_rng);
+        aug_rng = StdRng::seed_from_u64(state.aug_rng);
+        if !state.momentum.is_empty() {
+            optimizer.set_momentum_buffers(state.momentum);
+        }
+        epochs = state.epochs;
+        spectra = state.spectra;
+        grad_evals = state.grad_evals;
+        step = state.step;
+        final_train_acc = state.final_train_acc;
+        final_test_acc = state.final_test_acc;
+        start_epoch = state.next_epoch;
+    }
+
+    for epoch in start_epoch..config.epochs {
         let _epoch_span = hero_obs::span("epoch");
         let mut loss_acc = 0.0;
         let mut reg_acc = 0.0;
@@ -136,16 +233,52 @@ pub fn train(
             metrics.to_event().emit();
         }
         epochs.push(metrics);
+
+        if checkpoint_every > 0 && (epoch + 1) % checkpoint_every == 0 && epoch + 1 < config.epochs
+        {
+            let state = TrainerState {
+                next_epoch: epoch + 1,
+                step,
+                grad_evals,
+                loader_rng: loader.rng_state(),
+                aug_rng: aug_rng.state(),
+                momentum: optimizer
+                    .momentum_buffers()
+                    .map(<[Tensor]>::to_vec)
+                    .unwrap_or_default(),
+                epochs: epochs.clone(),
+                final_train_acc,
+                final_test_acc,
+                spectra: spectra.clone(),
+            };
+            on_checkpoint(net, &state)?;
+        }
     }
 
-    Ok(TrainRecord {
+    let final_state = TrainerState {
+        next_epoch: config.epochs,
+        step,
+        grad_evals,
+        loader_rng: loader.rng_state(),
+        aug_rng: aug_rng.state(),
+        momentum: optimizer
+            .momentum_buffers()
+            .map(<[Tensor]>::to_vec)
+            .unwrap_or_default(),
+        epochs: epochs.clone(),
+        final_train_acc,
+        final_test_acc,
+        spectra: spectra.clone(),
+    };
+    let record = TrainRecord {
         method: config.method.name().to_string(),
         epochs,
         final_test_acc,
         final_train_acc,
         grad_evals,
         spectra,
-    })
+    };
+    Ok((record, final_state))
 }
 
 /// Records one train-mode forward/loss tape for `net` on the given batch

@@ -1,0 +1,394 @@
+//! The model-artifact regression suite (DESIGN.md §16): checkpoint/resume
+//! bitwise equality, save→load→save byte identity, loaded-artifact
+//! inference equivalence, HERO_THREADS invariance of saved bytes,
+//! quantize-from-artifact exactness, and the committed golden artifact's
+//! byte pin.
+
+use hero_core::experiment::{quant_sweep, MethodKind, TrainedModel};
+use hero_core::{
+    golden_recipe, load_artifact, network_from_artifact, record_from_artifact,
+    resume_from_artifact, save_artifact, train_to_artifact, ModelSpec, RunMeta, TrainConfig,
+    TrainRecord,
+};
+use hero_data::{Dataset, SynthGenerator, SynthSpec};
+use hero_nn::models::ModelConfig;
+use hero_nn::Network;
+use hero_optim::Method;
+use std::path::PathBuf;
+
+fn setup() -> (Dataset, Dataset) {
+    let spec = SynthSpec {
+        classes: 4,
+        hw: 4,
+        noise_std: 0.2,
+        ..SynthSpec::default()
+    };
+    SynthGenerator::new(spec).train_test(48, 24)
+}
+
+fn run_meta(method: Method, threads: usize, epochs: usize) -> RunMeta {
+    let model_cfg = ModelConfig {
+        classes: 4,
+        in_channels: 3,
+        input_hw: 4,
+        width: 4,
+    };
+    RunMeta {
+        model: ModelSpec::Mlp(vec![20]),
+        model_cfg,
+        config: TrainConfig::new(method, epochs)
+            .with_batch_size(16)
+            .with_lr(0.05)
+            .with_seed(9)
+            .with_threads(threads),
+        git_rev: "test".to_string(),
+        preflight_hash: None,
+    }
+}
+
+fn param_bits(net: &Network) -> Vec<u32> {
+    net.params()
+        .iter()
+        .flat_map(|t| t.data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+/// Bit-exact fingerprint of a record: every float via `to_bits` so NaN
+/// placeholders compare equal too.
+fn record_bits(rec: &TrainRecord) -> Vec<u64> {
+    let mut out = vec![rec.grad_evals as u64, rec.epochs.len() as u64];
+    out.push(u64::from(rec.final_train_acc.to_bits()));
+    out.push(u64::from(rec.final_test_acc.to_bits()));
+    for e in &rec.epochs {
+        out.push(e.epoch as u64);
+        for v in [
+            e.train_loss,
+            e.train_acc,
+            e.test_acc,
+            e.hessian_norm,
+            e.regularizer,
+        ] {
+            out.push(u64::from(v.to_bits()));
+        }
+    }
+    for s in &rec.spectra {
+        out.push(s.epoch as u64);
+        for est in [
+            &s.lambda_max,
+            &s.lambda_min,
+            &s.mean_eigenvalue,
+            &s.second_moment,
+        ] {
+            out.push(u64::from(est.mean.to_bits()));
+            out.push(u64::from(est.std_error.to_bits()));
+            out.push(est.samples as u64);
+        }
+        for l in &s.layers {
+            out.push(u64::from(l.trace.mean.to_bits()));
+        }
+    }
+    out
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hero_artifact_pipeline_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+// --- checkpoint / resume (satellite: interrupt at epoch k, resume) --------
+
+fn checkpoint_resume_case(method: Method, threads: usize, tag: &str) {
+    let (train_set, test_set) = setup();
+    let meta = run_meta(method, threads, 5);
+
+    // Uninterrupted reference run.
+    let mut ref_net = meta.model.build(meta.model_cfg);
+    let (ref_record, ref_art) =
+        train_to_artifact(&mut ref_net, &train_set, &test_set, &meta, 0, None).unwrap();
+
+    // Interrupted run: checkpoint every 2 epochs, stop after the one at
+    // epoch 2 (next_epoch = 2 means epochs 0..2 ran), resume to the end.
+    let ckpt_path = temp_path(&format!("ckpt_{tag}.ha"));
+    let mut net = meta.model.build(meta.model_cfg);
+    let (_, _) =
+        train_to_artifact(&mut net, &train_set, &test_set, &meta, 2, Some(&ckpt_path)).unwrap();
+    let ckpt = load_artifact(&ckpt_path).unwrap();
+    let resume_state = ckpt.resume.as_ref().expect("checkpoint has RESUME section");
+    assert!(
+        resume_state.next_epoch < 5,
+        "{tag}: checkpoint should be mid-run, next_epoch={}",
+        resume_state.next_epoch
+    );
+    let (resumed_record, resumed_art, resumed_net) =
+        resume_from_artifact(&ckpt, &train_set, &test_set, 0, None).unwrap();
+
+    assert_eq!(
+        param_bits(&resumed_net),
+        param_bits(&ref_net),
+        "{tag}: resumed weights diverge from the uninterrupted run"
+    );
+    assert_eq!(
+        record_bits(&resumed_record),
+        record_bits(&ref_record),
+        "{tag}: resumed TrainRecord diverges from the uninterrupted run"
+    );
+    assert_eq!(
+        resumed_art.to_bytes(),
+        ref_art.to_bytes(),
+        "{tag}: resumed final artifact bytes diverge"
+    );
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
+fn checkpoint_resume_is_bitwise_exact_sgd_serial() {
+    checkpoint_resume_case(Method::Sgd, 0, "sgd_serial");
+}
+
+#[test]
+fn checkpoint_resume_is_bitwise_exact_sgd_threads4() {
+    checkpoint_resume_case(Method::Sgd, 4, "sgd_t4");
+}
+
+#[test]
+fn checkpoint_resume_is_bitwise_exact_hero_serial() {
+    checkpoint_resume_case(
+        Method::Hero {
+            h: 0.05,
+            gamma: 0.1,
+        },
+        0,
+        "hero_serial",
+    );
+}
+
+#[test]
+fn checkpoint_resume_is_bitwise_exact_hero_threads4() {
+    checkpoint_resume_case(
+        Method::Hero {
+            h: 0.05,
+            gamma: 0.1,
+        },
+        4,
+        "hero_t4",
+    );
+}
+
+// --- save → load → save byte identity + inference equivalence -------------
+
+#[test]
+fn save_load_save_is_byte_identical_and_inference_equivalent() {
+    let (train_set, test_set) = setup();
+    let meta = run_meta(
+        Method::Hero {
+            h: 0.05,
+            gamma: 0.1,
+        },
+        0,
+        3,
+    );
+    let mut net = meta.model.build(meta.model_cfg);
+    let (record, art) = train_to_artifact(&mut net, &train_set, &test_set, &meta, 0, None).unwrap();
+
+    let path = temp_path("round_trip.ha");
+    save_artifact(&art, &path).unwrap();
+    let loaded = load_artifact(&path).unwrap();
+    let path2 = temp_path("round_trip2.ha");
+    save_artifact(&loaded, &path2).unwrap();
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&path2).unwrap(),
+        "save→load→save changed the bytes"
+    );
+
+    // The loaded network is the trained network, bit for bit: same
+    // parameters, same BN statistics, same logits on a fixed batch.
+    let mut loaded_net = network_from_artifact(&loaded).unwrap();
+    assert_eq!(param_bits(&loaded_net), param_bits(&net));
+    assert_eq!(loaded_net.state(), net.state());
+    let reference = net.predict(&test_set.images).unwrap();
+    let reloaded = loaded_net.predict(&test_set.images).unwrap();
+    assert_eq!(
+        reference.data(),
+        reloaded.data(),
+        "loaded-artifact logits differ from the in-memory model"
+    );
+
+    // The training history survives serialization exactly.
+    let rec2 = record_from_artifact(&loaded).unwrap();
+    assert_eq!(record_bits(&rec2), record_bits(&record));
+    assert_eq!(rec2.method, record.method);
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&path2).ok();
+}
+
+// --- HERO_THREADS invariance of saved bytes -------------------------------
+
+#[test]
+fn artifact_bytes_are_identical_across_worker_counts() {
+    let (train_set, test_set) = setup();
+    let mut reference = None;
+    for threads in 1..=4usize {
+        let meta = run_meta(
+            Method::Hero {
+                h: 0.05,
+                gamma: 0.1,
+            },
+            threads,
+            3,
+        );
+        let mut net = meta.model.build(meta.model_cfg);
+        let (_, art) = train_to_artifact(&mut net, &train_set, &test_set, &meta, 0, None).unwrap();
+        let bytes = art.to_bytes();
+        match &reference {
+            None => reference = Some(bytes),
+            Some(r) => assert_eq!(
+                &bytes, r,
+                "artifact bytes diverge at {threads} worker threads"
+            ),
+        }
+    }
+}
+
+// --- quantize from artifact == in-memory quant_sweep ----------------------
+
+#[test]
+fn quant_sweep_from_loaded_artifact_matches_in_memory() {
+    let (train_set, test_set) = setup();
+    let meta = run_meta(Method::Sgd, 0, 3);
+    let mut net = meta.model.build(meta.model_cfg);
+    let (record, art) = train_to_artifact(&mut net, &train_set, &test_set, &meta, 0, None).unwrap();
+
+    let bits = [3u8, 4, 8];
+    let mut in_memory = TrainedModel {
+        net,
+        record,
+        method: MethodKind::Sgd,
+    };
+    let curve_mem = quant_sweep(&mut in_memory, &test_set, &bits).unwrap();
+
+    let loaded_net = network_from_artifact(&art).unwrap();
+    let loaded_record = record_from_artifact(&art).unwrap();
+    let mut from_artifact = TrainedModel {
+        net: loaded_net,
+        record: loaded_record,
+        method: MethodKind::Sgd,
+    };
+    let curve_art = quant_sweep(&mut from_artifact, &test_set, &bits).unwrap();
+
+    assert_eq!(
+        curve_art.full_acc.to_bits(),
+        curve_mem.full_acc.to_bits(),
+        "full-precision accuracy differs"
+    );
+    for ((b1, a1), (b2, a2)) in curve_mem.points.iter().zip(&curve_art.points) {
+        assert_eq!(b1, b2);
+        assert_eq!(
+            a1.to_bits(),
+            a2.to_bits(),
+            "quantized accuracy at {b1} bits differs between in-memory and artifact"
+        );
+    }
+}
+
+// --- checkpoints land in the same format ----------------------------------
+
+#[test]
+fn checkpoint_artifacts_reload_as_networks_too() {
+    let (train_set, test_set) = setup();
+    let meta = run_meta(Method::Sgd, 0, 4);
+    let ckpt_path = temp_path("inspectable_ckpt.ha");
+    let mut net = meta.model.build(meta.model_cfg);
+    train_to_artifact(&mut net, &train_set, &test_set, &meta, 3, Some(&ckpt_path)).unwrap();
+    let ckpt = load_artifact(&ckpt_path).unwrap();
+    // A checkpoint is a full model artifact: same sections, plus RESUME.
+    let mid_net = network_from_artifact(&ckpt).unwrap();
+    assert_eq!(mid_net.params().len(), net.params().len());
+    assert!(ckpt.resume.is_some());
+    let described = ckpt.describe();
+    assert!(described.contains("resume: next_epoch=3"), "{described}");
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
+fn train_cell_cache_hit_is_bitwise_equal_to_the_fresh_run() {
+    use hero_core::experiment::{train_cell_cached, Scale};
+    use hero_data::Preset;
+    use hero_nn::models::ModelKind;
+
+    let scale = Scale {
+        data: 0.05,
+        epochs_small: 2,
+        epochs_large: 1,
+    };
+    let dir = temp_path("cell_cache");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut fresh = train_cell_cached(
+        Preset::C10,
+        ModelKind::Resnet,
+        MethodKind::Sgd,
+        scale,
+        0,
+        &dir,
+    )
+    .expect("cold cache trains and saves");
+    let mut cached = train_cell_cached(
+        Preset::C10,
+        ModelKind::Resnet,
+        MethodKind::Sgd,
+        scale,
+        0,
+        &dir,
+    )
+    .expect("warm cache loads");
+    assert_eq!(param_bits(&fresh.net), param_bits(&cached.net));
+    assert_eq!(record_bits(&fresh.record), record_bits(&cached.record));
+    assert_eq!(cached.method, MethodKind::Sgd);
+    // Batch-norm running stats ride along too, so inference matches
+    // bitwise, not just the learned parameters.
+    let (_, test_set) = Preset::C10.load(scale.data);
+    let a = fresh.net.predict(&test_set.images).unwrap();
+    let b = cached.net.predict(&test_set.images).unwrap();
+    let a_bits: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+    let b_bits: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(a_bits, b_bits);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// --- the committed golden artifact ----------------------------------------
+
+/// Byte-pin of the committed golden artifact. The golden file is
+/// generated with scalar GEMM (`HERO_NO_SIMD=1`) as the canonical
+/// kernel, so the pin only runs under that environment — verify.sh
+/// exercises it in its scalar pass with both HERO_THREADS=1 and =4.
+#[test]
+fn golden_artifact_bytes_are_pinned() {
+    if std::env::var("HERO_NO_SIMD").is_err() {
+        eprintln!("skipping golden byte-pin: HERO_NO_SIMD not set (SIMD kernels differ bitwise)");
+        return;
+    }
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/c10_resnet_hero_smoke.ha");
+    let committed = std::fs::read(&golden_path)
+        .unwrap_or_else(|e| panic!("golden artifact missing at {}: {e}", golden_path.display()));
+
+    let (train_set, test_set, mut net, meta) = golden_recipe();
+    let (_, art) = train_to_artifact(&mut net, &train_set, &test_set, &meta, 0, None).unwrap();
+    let fresh = art.to_bytes();
+    assert_eq!(
+        hero_artifact::fnv1a64(&fresh),
+        hero_artifact::fnv1a64(&committed),
+        "golden artifact hash changed — the training trajectory is no longer \
+         byte-stable (or the recipe/format changed; regenerate tests/golden/ \
+         deliberately if so)"
+    );
+    assert_eq!(fresh, committed, "golden artifact bytes changed");
+
+    // And the committed file itself decodes into a working model.
+    let decoded = hero_artifact::Artifact::from_bytes(&committed).unwrap();
+    let mut golden_net = network_from_artifact(&decoded).unwrap();
+    let logits = golden_net.predict(&test_set.images).unwrap();
+    assert!(logits.data().iter().all(|v| v.is_finite()));
+}

@@ -114,6 +114,17 @@ impl Loader {
         self.batch_size
     }
 
+    /// Current shuffle-RNG state, for checkpointing mid-training.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restores the shuffle RNG to a previously captured state so a
+    /// resumed run draws the exact same epoch orderings.
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng = StdRng::seed_from_u64(state);
+    }
+
     /// Returns the batches of one epoch in a fresh shuffled order. The
     /// final batch may be smaller than `batch_size`.
     pub fn epoch(&mut self, data: &Dataset) -> Vec<Batch> {

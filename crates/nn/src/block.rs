@@ -3,7 +3,7 @@
 
 use crate::act::Activation;
 use crate::conv::{Conv2d, DepthwiseConv2d};
-use crate::module::{Layer, ParamInfo, ParamSource};
+use crate::module::{Layer, ParamInfo, ParamSource, StateSource};
 use crate::norm::BatchNorm2d;
 use hero_autodiff::{Graph, Var};
 use hero_tensor::rng::Rng;
@@ -102,6 +102,23 @@ impl Layer for BasicBlock {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn collect_state(&self, prefix: &str, out: &mut Vec<(String, Vec<f32>)>) {
+        self.bn1.collect_state(&format!("{prefix}.bn1"), out);
+        self.bn2.collect_state(&format!("{prefix}.bn2"), out);
+        if let Some((_, bn)) = &self.downsample {
+            bn.collect_state(&format!("{prefix}.down.bn"), out);
+        }
+    }
+
+    fn assign_state(&mut self, src: &mut StateSource<'_>) -> Result<()> {
+        self.bn1.assign_state(src)?;
+        self.bn2.assign_state(src)?;
+        if let Some((_, bn)) = &mut self.downsample {
+            bn.assign_state(src)?;
+        }
+        Ok(())
     }
 }
 
@@ -208,6 +225,24 @@ impl Layer for InvertedResidual {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn collect_state(&self, prefix: &str, out: &mut Vec<(String, Vec<f32>)>) {
+        if let Some((_, bn)) = &self.expand {
+            bn.collect_state(&format!("{prefix}.expand.bn"), out);
+        }
+        self.bn_dw.collect_state(&format!("{prefix}.dw.bn"), out);
+        self.bn_proj
+            .collect_state(&format!("{prefix}.proj.bn"), out);
+    }
+
+    fn assign_state(&mut self, src: &mut StateSource<'_>) -> Result<()> {
+        if let Some((_, bn)) = &mut self.expand {
+            bn.assign_state(src)?;
+        }
+        self.bn_dw.assign_state(src)?;
+        self.bn_proj.assign_state(src)?;
+        Ok(())
     }
 }
 

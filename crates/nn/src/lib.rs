@@ -51,5 +51,5 @@ pub use linear::Linear;
 pub use loss::{
     accuracy, eval_loss, evaluate_accuracy, loss_and_grads, loss_and_grads_smoothed, LossAndGrads,
 };
-pub use module::{Layer, Network, ParamInfo, ParamKind, ParamSource, Sequential};
+pub use module::{Layer, Network, ParamInfo, ParamKind, ParamSource, Sequential, StateSource};
 pub use norm::BatchNorm2d;

@@ -98,6 +98,22 @@ pub trait Layer: std::fmt::Debug + Send {
     fn rng_stateful(&self) -> bool {
         false
     }
+
+    /// Appends named non-parameter state buffers (batch-norm running
+    /// statistics) as `(dotted_path, values)` pairs. `prefix` is the
+    /// dotted path of the enclosing scope, exactly as in
+    /// [`Layer::param_infos`]. Stateless layers keep the default no-op.
+    fn collect_state(&self, _prefix: &str, _out: &mut Vec<(String, Vec<f32>)>) {}
+
+    /// Overwrites non-parameter state buffers from `src` in the same
+    /// canonical order that [`Layer::collect_state`] emits them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `src` runs dry or a buffer length differs.
+    fn assign_state(&mut self, _src: &mut StateSource<'_>) -> Result<()> {
+        Ok(())
+    }
 }
 
 impl Clone for Box<dyn Layer> {
@@ -168,6 +184,50 @@ impl<'a> ParamSource<'a> {
     /// True when every tensor has been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.cursor == self.tensors.len()
+    }
+}
+
+/// Cursor over a flat list of replacement state buffers, the
+/// [`ParamSource`] counterpart for [`Layer::assign_state`].
+#[derive(Debug)]
+pub struct StateSource<'a> {
+    buffers: &'a [(String, Vec<f32>)],
+    cursor: usize,
+}
+
+impl<'a> StateSource<'a> {
+    /// Creates a source reading `buffers` front to back.
+    pub fn new(buffers: &'a [(String, Vec<f32>)]) -> Self {
+        StateSource { buffers, cursor: 0 }
+    }
+
+    /// Takes the next buffer, checking its length matches `expected_len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when exhausted or on a length mismatch.
+    pub fn next_buffer(&mut self, expected_len: usize) -> Result<&'a [f32]> {
+        let (name, data) = self.buffers.get(self.cursor).ok_or_else(|| {
+            TensorError::InvalidArgument(format!("state source exhausted at index {}", self.cursor))
+        })?;
+        if data.len() != expected_len {
+            return Err(TensorError::InvalidArgument(format!(
+                "state buffer `{name}` has {} values, layer expects {expected_len}",
+                data.len()
+            )));
+        }
+        self.cursor += 1;
+        Ok(data)
+    }
+
+    /// Number of buffers consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+
+    /// True when every buffer has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor == self.buffers.len()
     }
 }
 
@@ -248,6 +308,24 @@ impl Layer for Sequential {
 
     fn rng_stateful(&self) -> bool {
         self.layers.iter().any(|l| l.rng_stateful())
+    }
+
+    fn collect_state(&self, prefix: &str, out: &mut Vec<(String, Vec<f32>)>) {
+        for (layer, name) in self.layers.iter().zip(&self.names) {
+            let child = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}.{name}")
+            };
+            layer.collect_state(&child, out);
+        }
+    }
+
+    fn assign_state(&mut self, src: &mut StateSource<'_>) -> Result<()> {
+        for layer in &mut self.layers {
+            layer.assign_state(src)?;
+        }
+        Ok(())
     }
 }
 
@@ -335,6 +413,33 @@ impl Network {
     /// replicated by the data-parallel executor.
     pub fn rng_stateful(&self) -> bool {
         self.body.rng_stateful()
+    }
+
+    /// Named non-parameter state buffers (batch-norm running statistics)
+    /// in canonical order — the complement of [`Network::params`] that a
+    /// serialized model needs for exact inference reconstruction.
+    pub fn state(&self) -> Vec<(String, Vec<f32>)> {
+        let mut out = Vec::new();
+        self.body.collect_state("", &mut out);
+        out
+    }
+
+    /// Overwrites all state buffers from a canonical-order list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the count or any buffer length differs.
+    pub fn set_state(&mut self, state: &[(String, Vec<f32>)]) -> Result<()> {
+        let mut src = StateSource::new(state);
+        self.body.assign_state(&mut src)?;
+        if !src.is_exhausted() {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} state buffers supplied, {} consumed",
+                state.len(),
+                src.consumed()
+            )));
+        }
+        Ok(())
     }
 
     /// Computes logits for `x` without recording gradients (eval mode).

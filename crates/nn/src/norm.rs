@@ -1,6 +1,6 @@
 //! Batch normalization with running statistics.
 
-use crate::module::{Layer, ParamInfo, ParamKind, ParamSource};
+use crate::module::{Layer, ParamInfo, ParamKind, ParamSource, StateSource};
 use hero_autodiff::{Graph, Var};
 use hero_tensor::{Result, Tensor};
 use std::cell::Cell;
@@ -139,6 +139,19 @@ impl Layer for BatchNorm2d {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn collect_state(&self, prefix: &str, out: &mut Vec<(String, Vec<f32>)>) {
+        out.push((format!("{prefix}.running_mean"), self.running_mean.clone()));
+        out.push((format!("{prefix}.running_var"), self.running_var.clone()));
+    }
+
+    fn assign_state(&mut self, src: &mut StateSource<'_>) -> Result<()> {
+        let mean = src.next_buffer(self.running_mean.len())?;
+        self.running_mean.copy_from_slice(mean);
+        let var = src.next_buffer(self.running_var.len())?;
+        self.running_var.copy_from_slice(var);
+        Ok(())
     }
 }
 

@@ -130,8 +130,12 @@ pub static ANALYZE_NOISE_PASSES: Counter = Counter::new("analyze_noise_passes");
 /// Static-vs-empirical noise crosscheck trials where the measured error
 /// escaped the certified bound (must stay zero; gated in verify.sh).
 pub static NOISE_CROSSCHECK_VIOLATIONS: Counter = Counter::new("noise_crosscheck_violations");
+/// Model artifacts written (final saves and epoch checkpoints).
+pub static ARTIFACT_SAVES: Counter = Counter::new("artifact_saves");
+/// Model artifacts successfully decoded from disk.
+pub static ARTIFACT_LOADS: Counter = Counter::new("artifact_loads");
 
-const BUILTINS: [&Counter; 17] = [
+const BUILTINS: [&Counter; 19] = [
     &GRAD_EVALS,
     &POOL_HITS,
     &POOL_FRESH_ALLOCS,
@@ -149,6 +153,8 @@ const BUILTINS: [&Counter; 17] = [
     &ANALYZE_DIAGS_WARN,
     &ANALYZE_NOISE_PASSES,
     &NOISE_CROSSCHECK_VIOLATIONS,
+    &ARTIFACT_SAVES,
+    &ARTIFACT_LOADS,
 ];
 
 fn registry() -> &'static Mutex<Vec<&'static Counter>> {

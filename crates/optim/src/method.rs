@@ -198,6 +198,19 @@ impl Optimizer {
         self.method
     }
 
+    /// Momentum buffers of the inner SGD state, if materialized.
+    /// Checkpointing serializes these; everything else the optimizer
+    /// holds is per-step scratch that is overwritten before use.
+    pub fn momentum_buffers(&self) -> Option<&[Tensor]> {
+        self.sgd.buffers()
+    }
+
+    /// Restores momentum buffers captured by [`Optimizer::momentum_buffers`]
+    /// so a resumed run continues the exact velocity trajectory.
+    pub fn set_momentum_buffers(&mut self, buffers: Vec<Tensor>) {
+        self.sgd.set_buffers(buffers);
+    }
+
     /// Runs one optimization step in place on `params`.
     ///
     /// `decay_mask[i]` selects which parameter tensors receive weight decay

@@ -73,6 +73,24 @@ impl SgdState {
     pub fn reset(&mut self) {
         self.buffers = None;
     }
+
+    /// The momentum buffers, if they have been materialized. Buffers are
+    /// created lazily on the first non-zero-momentum step, so `None`
+    /// also describes a freshly constructed state.
+    pub fn buffers(&self) -> Option<&[Tensor]> {
+        self.buffers.as_deref()
+    }
+
+    /// Installs previously captured momentum buffers (checkpoint
+    /// resume). Passing an empty vector clears them, matching a state
+    /// that never stepped.
+    pub fn set_buffers(&mut self, buffers: Vec<Tensor>) {
+        self.buffers = if buffers.is_empty() {
+            None
+        } else {
+            Some(buffers)
+        };
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,13 @@ impl StdRng {
         StdRng { state: seed }
     }
 
+    /// Current internal state. Feeding it back through
+    /// [`StdRng::seed_from_u64`] resumes the stream exactly where it
+    /// left off — the hook checkpointing uses to persist RNG streams.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Advances the state and returns the next 64 raw bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

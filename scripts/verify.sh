@@ -31,6 +31,46 @@ cargo fmt --all -- --check
 echo "==> scripts/lint.sh"
 scripts/lint.sh
 
+echo "==> golden model-artifact byte pin (HERO_THREADS=1 vs 4, scalar GEMM)"
+# The committed golden artifact (tests/golden/) pins the bytes of the
+# fixed smoke training recipe. Regenerate it under both worker counts
+# with the canonical scalar kernel: each run must reproduce the committed
+# file bit-for-bit, so any drift in the trainer, RNG, serializer or
+# executor sharding fails the gate loudly. (Regenerate the pin
+# deliberately with `hero train --golden-recipe tests/golden/...` when a
+# change is *meant* to alter the trajectory.)
+mkdir -p results/artifacts
+for t in 1 4; do
+  HERO_NO_SIMD=1 HERO_THREADS="$t" cargo run --release -p hero-bench --bin hero -- \
+    train --golden-recipe "results/artifacts/golden_t$t.ha"
+  cmp tests/golden/c10_resnet_hero_smoke.ha "results/artifacts/golden_t$t.ha" || {
+    echo "FAIL: golden artifact bytes drifted at HERO_THREADS=$t"; exit 1; }
+done
+sha256sum tests/golden/c10_resnet_hero_smoke.ha
+rm -f results/artifacts/golden_t1.ha results/artifacts/golden_t4.ha
+
+echo "==> artifact pipeline smoke (train --save -> inspect -> preflight -> quantize)"
+# Drives the deterministic artifact pipeline end to end on the smoke
+# preset and leaves the artifacts in results/artifacts/ for upload: a
+# trained model, the preflight-stamped copy, and a 4-bit quantized
+# snapshot. save->load->save byte identity and checkpoint/resume
+# equality are covered by the test suites above; this exercises the
+# same flow through the shipped binary.
+cargo run --release -p hero-bench --bin hero -- \
+  train --preset c10 --model resnet --method hero --scale 0.25 --epochs 2 \
+  --seed 42 --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+  --save results/artifacts/model.ha
+cargo run --release -p hero-bench --bin hero -- \
+  artifact inspect --path results/artifacts/model.ha
+cargo run --release -p hero-bench --bin hero -- \
+  preflight --preset c10 --scale 0.25 --artifact results/artifacts/model.ha \
+  --stamp results/artifacts/model_stamped.ha --out-dir results/analyze
+cargo run --release -p hero-bench --bin hero -- \
+  quantize --preset c10 --scale 0.25 --artifact results/artifacts/model_stamped.ha \
+  --bits 3,4,8 --save results/artifacts/model_int4.ha --save-bits 4
+cargo run --release -p hero-bench --bin hero -- \
+  artifact inspect --path results/artifacts/model_int4.ha
+
 echo "==> pre-flight analyzer over the example networks"
 mkdir -p results/analyze
 # `hero preflight` exits nonzero when the analyzer finds error-severity
