@@ -184,8 +184,15 @@ pub struct ValueAnalysis {
     /// nodes the loss cannot reach.
     pub grad_bounds: Vec<f32>,
     /// Propagated quantization-noise bound per tape node (index-aligned);
-    /// empty when no noise seeds were supplied.
+    /// empty when no noise seeds were supplied. This is the *tightened*
+    /// cell: the relational zonotope enclosure intersected with the
+    /// interval-domain cell, so it is always contained in
+    /// [`ValueAnalysis::noise_interval`].
     pub noise: Vec<Interval>,
+    /// The plain interval-domain noise bound per tape node, kept for
+    /// domain-tightness comparison (`hero preflight --tightness`);
+    /// empty when no noise seeds were supplied.
+    pub noise_interval: Vec<Interval>,
 }
 
 /// Everything the analyzer found on one tape.

@@ -25,6 +25,12 @@
 //!   (`Δ(bits)/2` for a quantized tensor) that certifies an end-to-end
 //!   output-error bound per node, feeding the noise-dominance and
 //!   error-budget lints and `hero-quant`'s static sensitivity matrix.
+//! * **Relational noise** (automatic whenever noise seeds are present) —
+//!   a zonotope/affine-arithmetic refinement of the noise domain that
+//!   threads shared noise symbols through the tape and centers value
+//!   ranges on the recorded trace ([`ValueOptions::recorded_abs`]),
+//!   then intersects per node with the interval result so the published
+//!   bound ([`ValueAnalysis::noise`]) only ever tightens.
 //!
 //! Findings come back as structured [`Diagnostic`]s (node index, op name,
 //! provenance chain) in a [`Report`] instead of a panic mid-step.
@@ -53,11 +59,13 @@ mod liveness;
 mod noisepass;
 mod scalepass;
 mod verify;
+mod zonotope;
 
 pub use diag::{DiagCode, Diagnostic, Report, Severity, ValueAnalysis};
 pub use dot::to_dot_colored;
 pub use interval::{interval_pass, quant_clip_risk, Interval, RangeSeed};
 pub use noisepass::{noise_pass, NoiseSeed};
+pub use zonotope::{relational_noise_pass, AffineNoise, RelationalNoise};
 
 use hero_autodiff::{Graph, NodeTrace, Var};
 
@@ -86,6 +94,12 @@ pub struct ValueOptions {
     /// Certified output-error budget: roots whose propagated noise bound
     /// exceeds it are flagged [`DiagCode::QuantErrorBudgetExceeded`].
     pub noise_budget: Option<f32>,
+    /// Per-node recorded `max |value|` from the traced forward run
+    /// ([`hero_autodiff::Graph::value_abs_max`]); empty means
+    /// unavailable. When present, the relational noise pass centers its
+    /// base-run value ranges on the recording, which is what makes its
+    /// bounds trace-specific and tight.
+    pub recorded_abs: Vec<f32>,
 }
 
 impl Default for ValueOptions {
@@ -98,6 +112,7 @@ impl Default for ValueOptions {
             vanish_threshold: 1e-30,
             noise_seeds: Vec::new(),
             noise_budget: None,
+            recorded_abs: Vec::new(),
         }
     }
 }
@@ -189,23 +204,25 @@ pub fn analyze(tape: &[NodeTrace], opts: &AnalyzeOptions) -> Report {
                 vopts.explode_threshold,
                 vopts.vanish_threshold,
             ));
-            let noise = if vopts.noise_seeds.is_empty() {
-                Vec::new()
+            let (noise, noise_interval) = if vopts.noise_seeds.is_empty() {
+                (Vec::new(), Vec::new())
             } else {
-                let noise = noisepass::noise_pass(tape, &intervals, &vopts.noise_seeds);
+                let rec = (!vopts.recorded_abs.is_empty()).then_some(&vopts.recorded_abs[..]);
+                let rn = zonotope::relational_noise_pass(tape, &intervals, rec, &vopts.noise_seeds);
                 diagnostics.extend(noisepass::noise_diags(
                     tape,
                     &intervals,
-                    &noise,
+                    &rn.tightened,
                     &roots,
                     vopts.noise_budget,
                 ));
-                noise
+                (rn.tightened, rn.interval)
             };
             value = Some(ValueAnalysis {
                 intervals,
                 grad_bounds: bounds.iter().map(|&b| b as f32).collect(),
                 noise,
+                noise_interval,
             });
         }
     }
@@ -244,6 +261,7 @@ pub fn verify_graph_with(g: &Graph, roots: &[Var], opts: &VerifyOptions) -> Repo
             vanish_threshold: opts.vanish_threshold,
             noise_seeds: opts.noise_seeds.clone(),
             noise_budget: opts.noise_budget,
+            recorded_abs: g.value_abs_max(),
         }),
     };
     analyze(&g.trace(), &aopts)

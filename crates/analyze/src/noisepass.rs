@@ -43,7 +43,7 @@ const ZERO: Interval = Interval {
 };
 
 /// `-ln(1e-12)` rounded up: the per-sample cap the clamped CE loss obeys.
-const CE_CAP: f64 = 27.65;
+pub(crate) const CE_CAP: f64 = 27.65;
 
 /// A symmetric perturbation `|δ| ≤ magnitude` on an input leaf.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,7 +71,7 @@ impl NoiseSeed {
 }
 
 /// Narrows `f64` bounds to an [`Interval`]; NaN bounds give up.
-fn span(lo: f64, hi: f64) -> Interval {
+pub(crate) fn span(lo: f64, hi: f64) -> Interval {
     if lo.is_nan() || hi.is_nan() {
         return Interval::TOP;
     }
@@ -83,7 +83,7 @@ fn span(lo: f64, hi: f64) -> Interval {
 }
 
 /// Element-wise op output: one rounding per run at magnitude `out_abs`.
-fn elem(e: Interval, out_abs: f64) -> Interval {
+pub(crate) fn elem(e: Interval, out_abs: f64) -> Interval {
     if e.maybe_nan || !out_abs.is_finite() {
         return Interval::TOP;
     }
@@ -93,7 +93,7 @@ fn elem(e: Interval, out_abs: f64) -> Interval {
 
 /// `K`-term contraction of a per-term error `e`, with both runs' summation
 /// slack at term magnitude `term_abs`.
-fn contract_err(e: Interval, k: usize, term_abs: f64) -> Interval {
+pub(crate) fn contract_err(e: Interval, k: usize, term_abs: f64) -> Interval {
     if e.maybe_nan || !term_abs.is_finite() {
         return Interval::TOP;
     }
@@ -104,7 +104,7 @@ fn contract_err(e: Interval, k: usize, term_abs: f64) -> Interval {
 
 /// Mean-style reduction over `k` terms: the mean of per-element errors
 /// stays inside `e`; only the accumulation slack (both runs) is added.
-fn mean_err(e: Interval, k: usize, term_abs: f64) -> Interval {
+pub(crate) fn mean_err(e: Interval, k: usize, term_abs: f64) -> Interval {
     if e.maybe_nan || !term_abs.is_finite() {
         return Interval::TOP;
     }
@@ -115,7 +115,7 @@ fn mean_err(e: Interval, k: usize, term_abs: f64) -> Interval {
 
 /// Smallest interval containing `e` and `0` — the image of an error under
 /// a monotone 1-Lipschitz clamp (ReLU family, max-pool).
-fn hull_zero(e: Interval) -> Interval {
+pub(crate) fn hull_zero(e: Interval) -> Interval {
     Interval {
         lo: e.lo.min(0.0),
         hi: e.hi.max(0.0),
@@ -305,7 +305,7 @@ pub fn noise_pass(tape: &[NodeTrace], values: &[Interval], seeds: &[NoiseSeed]) 
             "batch_norm" => {
                 let xs = pshape(0);
                 match node.detail {
-                    TraceDetail::BatchNorm { inv_std_max } if xs.len() == 4 => {
+                    TraceDetail::BatchNorm { inv_std_max, .. } if xs.len() == 4 => {
                         let m = xs[0] * xs[2] * xs[3];
                         let core = bn_err(
                             e(0),

@@ -126,7 +126,7 @@ fn parent_multipliers(tape: &[NodeTrace], i: usize, intervals: &[Interval]) -> V
                 1.0
             };
             let inv_std_max = match node.detail {
-                TraceDetail::BatchNorm { inv_std_max } => inv_std_max as f64,
+                TraceDetail::BatchNorm { inv_std_max, .. } => inv_std_max as f64,
                 _ => f64::INFINITY,
             };
             let gmax = iv(1).abs_max() as f64;

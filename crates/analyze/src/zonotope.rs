@@ -1,0 +1,930 @@
+//! Relational (zonotope / affine-arithmetic) quantization-noise domain.
+//!
+//! The fourth abstract domain of `hero-analyze`. Where the interval noise
+//! pass ([`crate::noise_pass`], §14) carries one error interval per node
+//! and forgets every correlation at every join, this pass threads *shared
+//! noise symbols* through the tape: each node carries an affine form
+//!
+//! ```text
+//!   e  =  Σᵢ cᵢ·εᵢ  +  [r_lo, r_hi]        εᵢ ∈ [−1, 1]
+//! ```
+//!
+//! with one symbol family `εᵢ` minted per [`NoiseSeed`] (one per seeded
+//! weight tensor) and an interval remainder absorbing nonlinear and
+//! rounding slack, outward-rounded in `f64` with the same margin
+//! discipline as the value and noise passes.
+//!
+//! # Lane-aligned symbol semantics
+//!
+//! A seeded tensor's elements perturb *independently*, so symbol `i`
+//! is really a vector of independent symbols, one per element (lane) of
+//! seed `i`'s tensor. A form is attached to a node under the invariant
+//! that any node carrying a nonzero coefficient on symbol `i` has the
+//! same shape as seed `i`'s tensor with the identity lane map (reshape,
+//! which permutes nothing in flat order, also preserves lanes). Where
+//! that alignment breaks — contractions (matmul, conv, reductions,
+//! batch-norm, losses) and broadcasts — the symbolic part is
+//! *delinearized*: `Σ|cᵢ|` folds into the remainder and the term list
+//! empties. Cancellation (e.g. `x − x ≡ 0` up to rounding slack) is
+//! therefore exact through element-wise chains and degrades soundly to
+//! the interval behavior across contractions.
+//!
+//! # Trace-centered magnitudes
+//!
+//! The noise pass certifies the *two-run* difference `f(x+δ) − f(x)`
+//! against one recorded tape — the crosscheck's base run is that exact
+//! recorded forward (byte-reproducible by the determinism contract). So
+//! this pass may soundly intersect every *base-run* value range with the
+//! recorded per-node magnitude (`Graph::value_abs_max`): in the exact
+//! first-order error identities (`a'b' − ab = a·e_b + e_a·b'`) the
+//! unprimed factors are base-run values, and batch-norm's recorded
+//! `|x̂|` replaces the worst-case `√m` for the base run. This is where
+//! the bounds tighten on real conv nets — the interval pass's
+//! input-range-general value intervals balloon layer over layer, while
+//! the recorded trace stays small. The resulting certificate is
+//! correspondingly *trace-specific*: it bounds perturbations of the
+//! recorded batch, which is exactly what the static sensitivity matrix
+//! and `hero noise-crosscheck` consume.
+//!
+//! The same argument gives *zero preservation*: a node whose parents all
+//! carry exactly zero error is recomputed by the identical f32
+//! instruction sequence on bit-identical inputs in both runs, so its
+//! two-run difference is exactly zero (guarded by the plain pass's NaN
+//! analysis — `NaN − NaN` is `NaN`). Error therefore only exists inside
+//! a seed's cone of influence; the interval pass instead charges its
+//! rounding margins unconditionally and lets phantom error grow from
+//! unseeded regions of the tape, which is what used to pin every
+//! sensitivity cell at the loss-interval ceiling.
+//!
+//! # Monotone tightening
+//!
+//! Per node the pass also keeps the plain interval-pass cell and stores
+//! `tightened = concretize(form) ∩ interval`, falling back to the
+//! interval cell whenever the zonotope is not strictly tighter (or the
+//! intersection would be empty). `tightened[i] ⊆ interval[i]` therefore
+//! holds *by construction*, so adopting this domain can never weaken a
+//! previously certified bound.
+
+use crate::interval::{Interval, ABS_MARGIN, CONTRACT_MARGIN, REL_MARGIN};
+use crate::noisepass::{contract_err, elem, mean_err, noise_pass, span, NoiseSeed, CE_CAP};
+use hero_autodiff::{NodeTrace, TraceDetail};
+
+/// An affine error form `Σᵢ cᵢ·εᵢ + [rem_lo, rem_hi]`, `εᵢ ∈ [−1, 1]`.
+///
+/// Coefficients are signed (that is what lets `x − x` cancel); symbol
+/// ids index the seed list handed to [`relational_noise_pass`]. The
+/// `top` flag marks the unbounded form (no finite certificate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineNoise {
+    /// `(symbol id, coefficient)`, strictly sorted by id.
+    terms: Vec<(u32, f64)>,
+    /// Remainder lower bound.
+    rem_lo: f64,
+    /// Remainder upper bound.
+    rem_hi: f64,
+    /// Unbounded form (analogue of [`Interval::TOP`]).
+    top: bool,
+}
+
+impl AffineNoise {
+    /// The exactly-zero form (unseeded leaves).
+    pub fn zero() -> Self {
+        AffineNoise {
+            terms: Vec::new(),
+            rem_lo: 0.0,
+            rem_hi: 0.0,
+            top: false,
+        }
+    }
+
+    /// The unbounded form.
+    pub fn top() -> Self {
+        AffineNoise {
+            terms: Vec::new(),
+            rem_lo: f64::NEG_INFINITY,
+            rem_hi: f64::INFINITY,
+            top: true,
+        }
+    }
+
+    /// A fresh symbol `c·ε` for seed `id` with magnitude `c ≥ 0`. A zero
+    /// magnitude is the exactly-zero form (keeps zero preservation
+    /// firing downstream of zero-magnitude seeds).
+    pub fn symbol(id: u32, magnitude: f64) -> Self {
+        if !magnitude.is_finite() {
+            return Self::top();
+        }
+        if magnitude == 0.0 {
+            return Self::zero();
+        }
+        AffineNoise {
+            terms: vec![(id, magnitude)],
+            rem_lo: 0.0,
+            rem_hi: 0.0,
+            top: false,
+        }
+    }
+
+    /// A purely non-relational form: the interval goes to the remainder.
+    pub fn from_interval(iv: Interval) -> Self {
+        if iv.maybe_nan || !iv.is_finite() {
+            return Self::top();
+        }
+        AffineNoise {
+            terms: Vec::new(),
+            rem_lo: f64::from(iv.lo),
+            rem_hi: f64::from(iv.hi),
+            top: false,
+        }
+    }
+
+    /// Sum of coefficient magnitudes (the symbolic radius).
+    fn radius(&self) -> f64 {
+        self.terms.iter().map(|&(_, c)| c.abs()).sum()
+    }
+
+    /// True for the exactly-zero form: no symbols, zero remainder.
+    fn is_zero(&self) -> bool {
+        !self.top && self.terms.is_empty() && self.rem_lo == 0.0 && self.rem_hi == 0.0
+    }
+
+    /// Drops the symbolic part into the remainder (sound: each `εᵢ`
+    /// ranges over `[−1, 1]`).
+    fn delinearize(&mut self) {
+        let r = self.radius();
+        self.rem_lo -= r;
+        self.rem_hi += r;
+        self.terms.clear();
+    }
+
+    /// Self with the symbolic part folded into the remainder.
+    fn delinearized(&self) -> Self {
+        let mut out = self.clone();
+        out.delinearize();
+        out
+    }
+
+    /// The concrete enclosure `[rem_lo − Σ|cᵢ|, rem_hi + Σ|cᵢ|]`,
+    /// rounded outward before narrowing to `f32`.
+    pub fn concretize(&self) -> Interval {
+        if self.top {
+            return Interval::TOP;
+        }
+        let r = self.radius();
+        let lo = self.rem_lo - r;
+        let hi = self.rem_hi + r;
+        if lo.is_nan() || hi.is_nan() {
+            return Interval::TOP;
+        }
+        // span() narrows via round-to-nearest; pad by more than one f32
+        // ulp so the narrowed interval still encloses the f64 one.
+        let pad = |x: f64| x.abs() * 1.2e-7 + f64::from(f32::MIN_POSITIVE);
+        span(lo - pad(lo), hi + pad(hi))
+    }
+
+    /// `self + other` with exact (signed) merging of shared symbols.
+    fn add_form(&self, other: &Self) -> Self {
+        if self.top || other.top {
+            return Self::top();
+        }
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut a, mut b) = (self.terms.iter().peekable(), other.terms.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia == ib {
+                        let c = ca + cb;
+                        if c != 0.0 {
+                            terms.push((ia, c));
+                        }
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        terms.push((ia, ca));
+                        a.next();
+                    } else {
+                        terms.push((ib, cb));
+                        b.next();
+                    }
+                }
+                (Some(&&t), None) => {
+                    terms.push(t);
+                    a.next();
+                }
+                (None, Some(&&t)) => {
+                    terms.push(t);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        AffineNoise {
+            terms,
+            rem_lo: self.rem_lo + other.rem_lo,
+            rem_hi: self.rem_hi + other.rem_hi,
+            top: false,
+        }
+        .checked()
+    }
+
+    /// `self − other` (exact symbol cancellation).
+    fn sub_form(&self, other: &Self) -> Self {
+        self.add_form(&other.neg_form())
+    }
+
+    /// `−self`.
+    fn neg_form(&self) -> Self {
+        if self.top {
+            return Self::top();
+        }
+        AffineNoise {
+            terms: self.terms.iter().map(|&(i, c)| (i, -c)).collect(),
+            rem_lo: -self.rem_hi,
+            rem_hi: -self.rem_lo,
+            top: false,
+        }
+    }
+
+    /// `c · self` for a known constant factor.
+    fn scale_by(&self, c: f64) -> Self {
+        if self.top {
+            return Self::top();
+        }
+        if !c.is_finite() {
+            return Self::top();
+        }
+        let (lo, hi) = if c >= 0.0 {
+            (self.rem_lo * c, self.rem_hi * c)
+        } else {
+            (self.rem_hi * c, self.rem_lo * c)
+        };
+        AffineNoise {
+            terms: self.terms.iter().map(|&(i, k)| (i, k * c)).collect(),
+            rem_lo: lo,
+            rem_hi: hi,
+            top: false,
+        }
+        .checked()
+    }
+
+    /// `a · self` for an unknown per-lane factor `a ∈ r` (slope
+    /// enclosures, first-order products): coefficients scale by `mid(r)`,
+    /// the remainder takes the four-corner product hull plus the
+    /// half-width excursion `½·width(r)·Σ|cᵢ|`.
+    fn mul_by_range(&self, r: Interval) -> Self {
+        if self.top {
+            return Self::top();
+        }
+        if r.maybe_nan || !r.is_finite() {
+            return Self::top();
+        }
+        let (rlo, rhi) = (f64::from(r.lo), f64::from(r.hi));
+        let mid = 0.5 * (rlo + rhi);
+        let half = (0.5 * (rhi - rlo)).max(0.0);
+        let corners = [
+            self.rem_lo * rlo,
+            self.rem_lo * rhi,
+            self.rem_hi * rlo,
+            self.rem_hi * rhi,
+        ];
+        let excursion = half * self.radius();
+        AffineNoise {
+            terms: self.terms.iter().map(|&(i, c)| (i, c * mid)).collect(),
+            rem_lo: corners.iter().copied().fold(f64::INFINITY, f64::min) - excursion,
+            rem_hi: corners.iter().copied().fold(f64::NEG_INFINITY, f64::max) + excursion,
+            top: false,
+        }
+        .checked()
+    }
+
+    /// `a · self` for an unknown per-lane factor `a ∈ r`, minting a
+    /// *fresh* symbol for the excursion instead of widening the
+    /// remainder. Sound because for any fixed admissible run the
+    /// excursion `(a − mid)·e` is one fixed per-lane quantity — the same
+    /// quantity wherever this node's output flows — so it may share a
+    /// single symbol (`|(a − mid)·e| ≤ ½·width(r)·max|e|`). This is what
+    /// lets activation outputs still cancel (`relu(x) − relu(x) ≈ 0`).
+    ///
+    /// `fresh` is the next unused symbol id; it is consumed only if the
+    /// excursion is nonzero.
+    fn mul_by_range_fresh(&self, r: Interval, fresh: &mut u32) -> Self {
+        if self.top {
+            return Self::top();
+        }
+        if r.maybe_nan || !r.is_finite() {
+            return Self::top();
+        }
+        let (rlo, rhi) = (f64::from(r.lo), f64::from(r.hi));
+        let mid = 0.5 * (rlo + rhi);
+        let half = (0.5 * (rhi - rlo)).max(0.0);
+        let e_abs = self.radius() + self.rem_lo.abs().max(self.rem_hi.abs());
+        let mut out = self.scale_by(mid);
+        let k = half * e_abs;
+        if out.top || !k.is_finite() {
+            return Self::top();
+        }
+        if k > 0.0 {
+            // Minted ids grow monotonically in tape order, so appending
+            // preserves the sorted-by-id invariant.
+            out.terms.push((*fresh, k));
+            *fresh += 1;
+        }
+        out.checked()
+    }
+
+    /// Widens the remainder symmetrically by `s ≥ 0` (rounding slack).
+    fn widen_sym(&mut self, s: f64) {
+        if self.top {
+            return;
+        }
+        if !s.is_finite() {
+            *self = Self::top();
+            return;
+        }
+        self.rem_lo -= s;
+        self.rem_hi += s;
+    }
+
+    /// Adds an interval straight into the remainder (e.g. a `δ²` term).
+    fn add_rem(&mut self, iv: Interval) {
+        if self.top {
+            return;
+        }
+        if iv.maybe_nan || !iv.is_finite() {
+            *self = Self::top();
+            return;
+        }
+        self.rem_lo += f64::from(iv.lo);
+        self.rem_hi += f64::from(iv.hi);
+    }
+
+    /// Collapses to top if any bound went non-finite.
+    fn checked(self) -> Self {
+        if self.top {
+            return self;
+        }
+        if !self.rem_lo.is_finite()
+            || !self.rem_hi.is_finite()
+            || self.terms.iter().any(|&(_, c)| !c.is_finite())
+        {
+            return Self::top();
+        }
+        self
+    }
+}
+
+/// Result of [`relational_noise_pass`], index-aligned with the tape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationalNoise {
+    /// The affine form per node (rebased to the tightened interval
+    /// wherever the zonotope was not at least as tight).
+    pub forms: Vec<AffineNoise>,
+    /// The plain interval noise-pass result for the same tape/seeds.
+    pub interval: Vec<Interval>,
+    /// `concretize(form) ∩ interval` per node; `tightened[i] ⊆
+    /// interval[i]` holds by construction.
+    pub tightened: Vec<Interval>,
+}
+
+/// `c ∩ iv` biased toward the trusted interval cell: if the zonotope
+/// enclosure is NaN-tainted or the intersection would be empty, the
+/// interval cell wins outright, and `maybe_nan` is always inherited from
+/// the interval cell (the relational pass never claims better
+/// NaN-freedom than the plain pass).
+/// True when an error cell pins the two-run difference to exactly zero.
+fn exactly_zero(iv: Interval) -> bool {
+    iv.lo == 0.0 && iv.hi == 0.0 && !iv.maybe_nan
+}
+
+fn intersect(c: Interval, iv: Interval) -> Interval {
+    if c.maybe_nan {
+        return iv;
+    }
+    let lo = c.lo.max(iv.lo);
+    let hi = c.hi.min(iv.hi);
+    if lo > hi {
+        return iv;
+    }
+    Interval {
+        lo,
+        hi,
+        maybe_nan: iv.maybe_nan,
+    }
+}
+
+/// Batch-norm output error with the recorded `|x̂|` in every place the
+/// base run appears. Mirrors the interval pass's `bn_err` derivation
+/// (`x̂' − x̂ = x̂·(u−u')/u' + (δ − μ(δ))/u'`), except:
+///
+/// * the *base-run* `|x̂|` is bounded by `min(√m_widened, x̂_rec)` where
+///   `x̂_rec` is the largest normalized value the recorded forward
+///   actually produced (the perturbed run keeps the input-independent
+///   `√m` bound — an adversarial in-bin `δ` can collapse a channel's
+///   variance, so no recorded quantity bounds `x̂'` by itself);
+/// * the trivial fallback becomes `√m + x̂_rec` instead of `2√m`;
+/// * the perturbed `|x̂'|` is additionally capped by `x̂_rec + |x̂'−x̂|`.
+#[allow(clippy::too_many_arguments)]
+fn bn_err_rec(
+    ex: Interval,
+    eg: Interval,
+    eb: Interval,
+    vg: Interval,
+    m: usize,
+    inv_std_max: f32,
+    xhat_rec: f64,
+    out_abs: f64,
+) -> Interval {
+    if ex.maybe_nan || eg.maybe_nan || eb.maybe_nan {
+        return Interval::TOP;
+    }
+    let mf = m as f64;
+    let xhat_stat = mf.sqrt() * (1.0 + mf * CONTRACT_MARGIN) + 1e-6;
+    let xrec = if xhat_rec.is_finite() {
+        xhat_rec.min(xhat_stat)
+    } else {
+        xhat_stat
+    };
+    let g_base = f64::from(vg.abs_max());
+    let g_pert = f64::from(vg.add(eg).abs_max());
+    let eg_abs = f64::from(eg.abs_max());
+    let w = f64::from(ex.hi) - f64::from(ex.lo);
+    if !w.is_finite() || !g_pert.is_finite() || !out_abs.is_finite() {
+        return Interval::TOP;
+    }
+    let d = w / 2.0;
+    let u_min = (1.0 / f64::from(inv_std_max)) * (1.0 - 1e-5);
+    let trivial = xhat_stat + xrec;
+    let refined = if u_min.is_finite() && u_min > d {
+        (xrec * d + w) / (u_min - d)
+    } else {
+        f64::INFINITY
+    };
+    let xdiff = refined.min(trivial);
+    let xhat_pert = xhat_stat.min(xrec + xdiff);
+    let core = g_base * xdiff + eg_abs * xhat_pert;
+    let e = span(-core, core).add(eb);
+    mean_err(e, m, out_abs.max(g_pert * xhat_pert))
+}
+
+/// Runs the relational noise pass. `values` must be the interval-pass
+/// result for the same tape; `recorded_abs` is the per-node recorded
+/// `max |value|` from the traced base run ([`Graph::value_abs_max`],
+/// `None` or short/`∞` entries degrade gracefully to the input-range
+/// bounds); `seeds` perturb input leaves exactly as in [`noise_pass`].
+///
+/// Internally the plain interval pass runs first; the returned
+/// [`RelationalNoise::tightened`] cells are each the intersection of the
+/// zonotope enclosure with the corresponding interval cell.
+///
+/// [`Graph::value_abs_max`]: hero_autodiff::Graph::value_abs_max
+pub fn relational_noise_pass(
+    tape: &[NodeTrace],
+    values: &[Interval],
+    recorded_abs: Option<&[f32]>,
+    seeds: &[NoiseSeed],
+) -> RelationalNoise {
+    hero_obs::counters::ANALYZE_ZONOTOPE_PASSES.incr();
+    let plain = noise_pass(tape, values, seeds);
+    let mut forms: Vec<AffineNoise> = Vec::with_capacity(tape.len());
+    // Symbol ids 0..seeds.len() name the seeds; nonlinear transfers mint
+    // fresh ids above that for their linearization excursions.
+    let mut fresh = seeds.len() as u32;
+    let mut tightened: Vec<Interval> = Vec::with_capacity(tape.len());
+    // Widened recorded magnitude per node: a hair of headroom over the
+    // recorded bytes so re-execution noise (none, by the determinism
+    // contract) can never flip soundness.
+    let rec = |idx: usize| -> f64 {
+        recorded_abs
+            .and_then(|r| r.get(idx))
+            .map_or(f64::INFINITY, |&m| {
+                if m.is_finite() {
+                    f64::from(m) * (1.0 + 1e-5) + 1e-9
+                } else {
+                    f64::INFINITY
+                }
+            })
+    };
+    // Base-run value range: interval-pass cell ∩ recorded magnitude.
+    // Sound for base-run quantities only — the recorded forward IS the
+    // base run of the two-run difference this pass certifies.
+    let clip = |iv: Interval, idx: usize| -> Interval {
+        let m = rec(idx);
+        if iv.maybe_nan || !m.is_finite() {
+            return iv;
+        }
+        let (mlo, mhi) = ((-m) as f32, m as f32);
+        let lo = iv.lo.max(mlo);
+        let hi = iv.hi.min(mhi);
+        if lo > hi {
+            // Disjoint means the interval seeds disagree with the
+            // recording; trust the pass input.
+            return iv;
+        }
+        Interval {
+            lo,
+            hi,
+            maybe_nan: iv.maybe_nan,
+        }
+    };
+    for (i, node) in tape.iter().enumerate() {
+        let pidx = |slot: usize| -> Option<usize> {
+            node.parents.get(slot).filter(|&&idx| idx < i).copied()
+        };
+        // Tightened error interval of a parent.
+        let et = |slot: usize| -> Interval { pidx(slot).map_or(Interval::TOP, |p| tightened[p]) };
+        // Recorded-clipped base-run value range of a parent.
+        let vc = |slot: usize| -> Interval {
+            pidx(slot).map_or(Interval::TOP, |p| {
+                clip(values.get(p).copied().unwrap_or(Interval::TOP), p)
+            })
+        };
+        let pshape = |slot: usize| -> &[usize] { pidx(slot).map_or(&[][..], |p| &tape[p].shape) };
+        let numel = |shape: &[usize]| -> usize { shape.iter().product() };
+        // A parent's form, delinearized unless its lanes align with this
+        // node's (same shape, element-wise correspondence).
+        let aligned = |slot: usize| -> AffineNoise {
+            pidx(slot).map_or_else(AffineNoise::top, |p| {
+                if tape[p].shape == node.shape {
+                    forms[p].clone()
+                } else {
+                    forms[p].delinearized()
+                }
+            })
+        };
+        let ownc = clip(values.get(i).copied().unwrap_or(Interval::TOP), i);
+        // Magnitude both runs' outputs stay under at this node.
+        let magc = |ee: Interval| -> f64 { f64::from(ownc.abs_max()) + f64::from(ee.abs_max()) };
+        // Element-wise rounding slack (both runs), mirroring `elem`.
+        let with_elem_slack = |mut f: AffineNoise| -> AffineNoise {
+            let ee = f.concretize();
+            if ee.maybe_nan {
+                return AffineNoise::top();
+            }
+            f.widen_sym(2.0 * (REL_MARGIN * magc(ee) + ABS_MARGIN));
+            f.checked()
+        };
+        let scalar_c = match node.detail {
+            TraceDetail::Scalar { c } => Some(c),
+            _ => None,
+        };
+        // Trace-centered zero preservation: a node whose parents all carry
+        // exactly zero error is recomputed by the identical f32 instruction
+        // sequence on bit-identical inputs in both runs, so its two-run
+        // difference is exactly zero — no rounding or contraction slack
+        // applies. (Guarded by the plain pass's own NaN analysis: NaN−NaN
+        // is NaN, not zero.) This is what confines the certificate to the
+        // seed's cone of influence; the interval pass charges its margins
+        // unconditionally and lets phantom error grow from unseeded nodes.
+        let parents_zero = node.op != "input"
+            && !node.parents.is_empty()
+            && node
+                .parents
+                .iter()
+                .all(|&p| p < i && exactly_zero(tightened[p]))
+            && !plain[i].maybe_nan;
+        if parents_zero {
+            forms.push(AffineNoise::zero());
+            tightened.push(Interval::point(0.0));
+            continue;
+        }
+        let form = match node.op {
+            "input" => seeds
+                .iter()
+                .position(|s| s.node == i)
+                .map_or_else(AffineNoise::zero, |si| {
+                    AffineNoise::symbol(si as u32, f64::from(seeds[si].magnitude.abs()))
+                }),
+            "add" => with_elem_slack(aligned(0).add_form(&aligned(1))),
+            "sub" => with_elem_slack(aligned(0).sub_form(&aligned(1))),
+            "mul" => {
+                // a'b' − ab = a·e_b + e_a·b', a the base run (clipped).
+                let f = aligned(1)
+                    .mul_by_range(vc(0))
+                    .add_form(&aligned(0).mul_by_range(vc(1).add(et(1))));
+                with_elem_slack(f)
+            }
+            "scale" => match scalar_c {
+                Some(c) => with_elem_slack(aligned(0).scale_by(f64::from(c))),
+                None => AffineNoise::top(),
+            },
+            "add_scalar" => with_elem_slack(aligned(0)),
+            "square" => {
+                // (x+δ)² − x² = 2xδ + δ².
+                let mut f = aligned(0).mul_by_range(vc(0).mul(Interval::point(2.0)));
+                f.add_rem(et(0).square());
+                with_elem_slack(f)
+            }
+            "matmul" => {
+                let k = pshape(0).get(1).copied().unwrap_or(0);
+                let eprod = vc(0).mul(et(1)).add(et(0).mul(vc(1).add(et(1))));
+                let term = f64::from(vc(0).add(et(0)).mul(vc(1).add(et(1))).abs_max());
+                AffineNoise::from_interval(contract_err(eprod, k, term))
+            }
+            "conv2d" | "depthwise_conv2d" => {
+                let k = match node.detail {
+                    TraceDetail::Conv { geom } => {
+                        if node.op == "conv2d" {
+                            pshape(0).get(1).copied().unwrap_or(0) * geom.kernel * geom.kernel
+                        } else {
+                            geom.kernel * geom.kernel
+                        }
+                    }
+                    _ => 0,
+                };
+                if k == 0 {
+                    AffineNoise::top()
+                } else {
+                    let eprod = vc(0).mul(et(1)).add(et(0).mul(vc(1).add(et(1))));
+                    let term = f64::from(vc(0).add(et(0)).mul(vc(1).add(et(1))).abs_max());
+                    AffineNoise::from_interval(contract_err(eprod, k, term))
+                }
+            }
+            // relu(x+δ) − relu(x) = s·δ for a per-lane chord slope
+            // s ∈ [0, 1]; exact in f32, so no rounding slack — and the
+            // symbols survive the clamp.
+            "relu" | "relu6" => aligned(0).mul_by_range_fresh(Interval::of(0.0, 1.0), &mut fresh),
+            // Window max moves by at most the extreme per-element
+            // perturbation, but lanes do not survive the reduction.
+            "max_pool2d" => AffineNoise::from_interval(crate::noisepass::hull_zero(et(0))),
+            // Flat order is untouched: lanes survive by definition.
+            "reshape" => pidx(0).map_or_else(AffineNoise::top, |p| forms[p].clone()),
+            "sum" => {
+                let k = numel(pshape(0));
+                let term = f64::from(vc(0).add(et(0)).abs_max());
+                AffineNoise::from_interval(contract_err(et(0), k, term))
+            }
+            "mean" => {
+                let k = numel(pshape(0));
+                let term = f64::from(vc(0).add(et(0)).abs_max());
+                AffineNoise::from_interval(mean_err(et(0), k, term))
+            }
+            "avg_pool2d" => match node.detail {
+                TraceDetail::AvgPool { k } => {
+                    let term = f64::from(vc(0).add(et(0)).abs_max());
+                    AffineNoise::from_interval(mean_err(et(0), k * k, term))
+                }
+                _ => AffineNoise::top(),
+            },
+            "global_avg_pool2d" => {
+                let xs = pshape(0);
+                if xs.len() != 4 {
+                    AffineNoise::top()
+                } else {
+                    let term = f64::from(vc(0).add(et(0)).abs_max());
+                    AffineNoise::from_interval(mean_err(et(0), xs[2] * xs[3], term))
+                }
+            }
+            "batch_norm" => {
+                let xs = pshape(0);
+                match node.detail {
+                    TraceDetail::BatchNorm {
+                        inv_std_max,
+                        xhat_abs_max,
+                    } if xs.len() == 4 => {
+                        let m = xs[0] * xs[2] * xs[3];
+                        let xrec = if xhat_abs_max.is_finite() {
+                            f64::from(xhat_abs_max) * (1.0 + 1e-5) + 1e-9
+                        } else {
+                            f64::INFINITY
+                        };
+                        let core = bn_err_rec(
+                            et(0),
+                            et(1),
+                            et(2),
+                            vc(1),
+                            m,
+                            inv_std_max,
+                            xrec,
+                            f64::from(ownc.abs_max()),
+                        );
+                        AffineNoise::from_interval(elem(core, magc(core)))
+                    }
+                    _ => AffineNoise::top(),
+                }
+            }
+            "cross_entropy" | "cross_entropy_smoothed" => {
+                let ez = et(0);
+                let z_pert = vc(0).add(ez);
+                if ez.maybe_nan || !z_pert.is_finite() {
+                    AffineNoise::top()
+                } else {
+                    let classes = pshape(0).get(1).copied().unwrap_or(1).max(1);
+                    let batch = pshape(0).first().copied().unwrap_or(1).max(1);
+                    let b = (2.0 * f64::from(ez.abs_max())).min(CE_CAP);
+                    AffineNoise::from_interval(mean_err(span(-b, b), batch * classes, CE_CAP))
+                }
+            }
+            "sigmoid" => {
+                with_elem_slack(aligned(0).mul_by_range_fresh(Interval::of(0.0, 0.25), &mut fresh))
+            }
+            "tanh" => {
+                with_elem_slack(aligned(0).mul_by_range_fresh(Interval::of(0.0, 1.0), &mut fresh))
+            }
+            "leaky_relu" => match scalar_c {
+                Some(s) => with_elem_slack(
+                    aligned(0).mul_by_range_fresh(Interval::of(s.min(1.0), s.max(1.0)), &mut fresh),
+                ),
+                None => AffineNoise::top(),
+            },
+            "ln" => {
+                let u = vc(0).hull(vc(0).add(et(0)));
+                if u.lo <= 0.0 || !u.is_finite() {
+                    AffineNoise::top()
+                } else {
+                    let d = Interval::of(
+                        (1.0 / f64::from(u.hi)) as f32,
+                        (1.0 / f64::from(u.lo)) as f32,
+                    );
+                    with_elem_slack(aligned(0).mul_by_range_fresh(d, &mut fresh))
+                }
+            }
+            "dropout" => match node.detail {
+                TraceDetail::Dropout { max_scale } => with_elem_slack(
+                    aligned(0).mul_by_range_fresh(Interval::of(0.0, max_scale), &mut fresh),
+                ),
+                _ => AffineNoise::top(),
+            },
+            "mse_loss" => match node.detail {
+                TraceDetail::Mse {
+                    target_lo,
+                    target_hi,
+                } => {
+                    let d = vc(0).sub(Interval::of(target_lo, target_hi));
+                    let ee = Interval::point(2.0).mul(d).mul(et(0)).add(et(0).square());
+                    let term = f64::from(d.add(et(0)).square().abs_max());
+                    AffineNoise::from_interval(mean_err(ee, numel(pshape(0)), term))
+                }
+                _ => AffineNoise::top(),
+            },
+            _ => AffineNoise::top(),
+        };
+        // Monotone reduced product with the interval cell.
+        let iv = plain[i];
+        let (form, tight) = if iv.maybe_nan || !iv.is_finite() {
+            // The plain pass gave up here; never outdo it on NaN-ness.
+            (AffineNoise::from_interval(iv), iv)
+        } else if form.is_zero() {
+            // An exactly-zero form (unseeded input, or a transfer that
+            // provably cancels) stays exactly zero: concretize()'s
+            // outward pad would otherwise break the zero-preservation
+            // chain one node downstream.
+            (form, Interval::point(0.0))
+        } else {
+            let c = form.concretize();
+            let tight = intersect(c, iv);
+            // Keep the symbolic form unless the interval cell is
+            // meaningfully tighter than the zonotope enclosure (beyond
+            // concretize()'s own outward padding): the form is a sound
+            // enclosure either way, so rebasing is purely a precision
+            // heuristic, and symbols are worth a sliver of width.
+            let keep = f64::from(c.width()) <= f64::from(tight.width()) * (1.0 + 1e-3) + 1e-30;
+            if keep && !c.maybe_nan {
+                (form, tight)
+            } else {
+                // The interval pass won here: rebase so downstream
+                // transfers start from the better cell.
+                (AffineNoise::from_interval(tight), tight)
+            }
+        };
+        forms.push(form);
+        tightened.push(tight);
+    }
+    RelationalNoise {
+        forms,
+        interval: plain,
+        tightened,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{interval_pass, RangeSeed};
+    use hero_autodiff::Graph;
+    use hero_tensor::Tensor;
+
+    fn seeds_for(g: &Graph) -> Vec<RangeSeed> {
+        g.input_ranges()
+            .into_iter()
+            .map(|(node, lo, hi)| RangeSeed { node, lo, hi })
+            .collect()
+    }
+
+    fn run(g: &Graph, noise: &[NoiseSeed]) -> RelationalNoise {
+        let tape = g.trace();
+        let values = interval_pass(&tape, &seeds_for(g));
+        let rec = g.value_abs_max();
+        relational_noise_pass(&tape, &values, Some(&rec), noise)
+    }
+
+    #[test]
+    fn tightened_is_contained_in_interval_everywhere() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_fn([4, 8], |_| 0.5));
+        let w = g.input(Tensor::from_fn([8, 3], |_| 0.1));
+        let h = g.matmul(x, w).unwrap();
+        let _loss = g.sum(h);
+        let seed = NoiseSeed {
+            node: w.index(),
+            magnitude: 0.01,
+        };
+        let rn = run(&g, &[seed]);
+        for (i, (t, iv)) in rn.tightened.iter().zip(rn.interval.iter()).enumerate() {
+            assert!(
+                t.lo >= iv.lo && t.hi <= iv.hi,
+                "node {i}: tightened {t:?} escapes interval {iv:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_symbols_cancel_through_subtraction() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_fn([4], |_| 0.5));
+        let d = g.sub(x, x).unwrap();
+        let seed = NoiseSeed {
+            node: x.index(),
+            magnitude: 0.1,
+        };
+        let rn = run(&g, &[seed]);
+        // Interval domain: e(x) − e(x) = [−0.2, 0.2]. Zonotope: ≈ 0.
+        let zono = rn.tightened[d.index()].abs_max();
+        let interval = rn.interval[d.index()].abs_max();
+        assert!(zono < 1e-4, "cancellation failed: {zono}");
+        assert!(interval > 0.19, "interval should not cancel: {interval}");
+    }
+
+    #[test]
+    fn symbols_survive_relu_chains() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_fn([4], |_| 0.5));
+        let r = g.relu(x);
+        let d = g.sub(r, r).unwrap();
+        let seed = NoiseSeed {
+            node: x.index(),
+            magnitude: 0.1,
+        };
+        let rn = run(&g, &[seed]);
+        assert!(
+            rn.tightened[d.index()].abs_max() < 1e-4,
+            "relu should preserve lanes: {:?}",
+            rn.tightened[d.index()]
+        );
+    }
+
+    #[test]
+    fn recorded_magnitudes_tighten_a_contraction() {
+        // Interval seeds say |x| ≤ 10, but the recording says |x| ≤ 0.5:
+        // the zonotope contraction uses the recorded base magnitudes.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_fn([4, 8], |_| 0.5));
+        let w = g.input(Tensor::from_fn([8, 3], |_| 0.1));
+        let h = g.matmul(x, w).unwrap();
+        let _loss = g.sum(h);
+        let tape = g.trace();
+        let mut seeds = seeds_for(&g);
+        for s in &mut seeds {
+            if s.node == x.index() {
+                s.lo = -10.0;
+                s.hi = 10.0;
+            }
+        }
+        let values = interval_pass(&tape, &seeds);
+        let noise = [NoiseSeed {
+            node: w.index(),
+            magnitude: 0.01,
+        }];
+        let rec = g.value_abs_max();
+        let with_rec = relational_noise_pass(&tape, &values, Some(&rec), &noise);
+        let without = relational_noise_pass(&tape, &values, None, &noise);
+        let hw = with_rec.tightened[h.index()].abs_max();
+        let ho = without.tightened[h.index()].abs_max();
+        assert!(
+            hw < ho / 5.0,
+            "recorded clip should tighten: with={hw} without={ho}"
+        );
+    }
+
+    #[test]
+    fn unseeded_pass_certifies_zero_noise() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(4));
+        let y = g.square(x);
+        let loss = g.sum(y);
+        let rn = run(&g, &[]);
+        assert!(rn.tightened[loss.index()].abs_max() < 1e-3);
+    }
+
+    #[test]
+    fn concretize_rounds_outward() {
+        let f = AffineNoise {
+            terms: vec![(0, 0.1)],
+            rem_lo: -1e-3,
+            rem_hi: 1e-3,
+            top: false,
+        };
+        let c = f.concretize();
+        assert!(f64::from(c.lo) <= -0.101 && f64::from(c.hi) >= 0.101);
+        assert!(AffineNoise::top().concretize() == Interval::TOP);
+    }
+}

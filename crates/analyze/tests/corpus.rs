@@ -6,7 +6,7 @@
 //! tapes (it validates eagerly), which is exactly why the verifier works on
 //! the plain-data trace IR.
 
-use hero_analyze::{analyze, AnalyzeOptions, DiagCode, RangeSeed, Report, ValueOptions};
+use hero_analyze::{analyze, AnalyzeOptions, DiagCode, NoiseSeed, RangeSeed, Report, ValueOptions};
 use hero_autodiff::{NodeTrace, TraceDetail};
 use hero_tensor::ConvGeometry;
 
@@ -484,4 +484,58 @@ fn ln_of_a_sign_straddling_range_goes_non_finite_at_the_ln() {
     assert!(report.flags(1, DiagCode::NonFiniteRange), "{report}");
     // Origin-only: downstream nodes inherit the flag silently.
     assert!(!report.flags(2, DiagCode::NonFiniteRange), "{report}");
+}
+
+// ---------------------------------------------------------------------------
+// Quantization-noise domain (relational pass through the analyze() front end)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeded_tape_over_budget_flags_the_root() {
+    // A 0.25-magnitude perturbation scaled by 8 and summed over 4 lanes
+    // induces up to 8 units of output noise — far over a 1e-3 budget.
+    let tape = vec![
+        input(0, &[4]),
+        node(1, "scale", &[0], &[4], scalar(8.0)),
+        node(2, "sum", &[1], &[], TraceDetail::None),
+    ];
+    let vopts = ValueOptions {
+        noise_seeds: vec![NoiseSeed {
+            node: 0,
+            magnitude: 0.25,
+        }],
+        noise_budget: Some(1e-3),
+        ..seeded(&[(0, -1.0, 1.0)])
+    };
+    let report = run_value(&tape, vopts);
+    assert!(
+        report.flags(2, DiagCode::QuantErrorBudgetExceeded),
+        "{report}"
+    );
+}
+
+#[test]
+fn zero_magnitude_seed_certifies_exactly_zero_noise() {
+    // The zero-seed zonotope proves δ ≡ 0 end to end: even a *zero*
+    // error budget holds, which only an exact certificate can satisfy
+    // (any margin-charging domain would exceed it).
+    let tape = vec![
+        input(0, &[4]),
+        node(1, "scale", &[0], &[4], scalar(8.0)),
+        node(2, "square", &[1], &[4], TraceDetail::None),
+        node(3, "sum", &[2], &[], TraceDetail::None),
+    ];
+    let vopts = ValueOptions {
+        noise_seeds: vec![NoiseSeed {
+            node: 0,
+            magnitude: 0.0,
+        }],
+        noise_budget: Some(0.0),
+        ..seeded(&[(0, -1.0, 1.0)])
+    };
+    let report = run_value(&tape, vopts);
+    assert!(
+        !report.flags(3, DiagCode::QuantErrorBudgetExceeded),
+        "zero-seed zonotope failed to certify zero noise: {report}"
+    );
 }

@@ -9,7 +9,7 @@
 //! tracked bound must also be *finite* (non-vacuity): a transfer that
 //! escapes to `TOP` on an op it claims to support fails loudly.
 
-use hero_analyze::{interval_pass, noise_pass, NoiseSeed, RangeSeed};
+use hero_analyze::{interval_pass, noise_pass, relational_noise_pass, NoiseSeed, RangeSeed};
 use hero_autodiff::{Graph, Var};
 use hero_tensor::rng::{Rng, StdRng};
 use hero_tensor::{ConvGeometry, Shape, Tensor};
@@ -284,6 +284,132 @@ fn whole_mlp_forward_respects_its_noise_bounds() {
         let loss = c.g.cross_entropy(logits, &labels).unwrap();
         c.track(loss);
     });
+}
+
+/// Builds one random element-wise tape from `op_seed`: a pool of `[4, 5]`
+/// tensors (some noise-seeded) grown by randomly chosen ops, closed with
+/// `sum` and `mean` reductions. The op choices come from a dedicated RNG
+/// derived only from `op_seed`, so the base and perturbed phases of one
+/// tape are structurally identical.
+fn build_random_tape(c: &mut Ctx, op_seed: u64) {
+    let mut op_rng = StdRng::seed_from_u64(op_seed ^ 0x0F5E_ED00);
+    let n_inputs = op_rng.gen_range(2..=3usize);
+    let mut pool: Vec<Var> = Vec::new();
+    for i in 0..n_inputs {
+        // The first input is always seeded so every tape exercises the
+        // relational transfers; later ones are a mix of seeded and exact.
+        let mag = if i == 0 || op_rng.gen::<bool>() {
+            0.01 + 0.04 * (op_seed % 5) as f32 / 4.0
+        } else {
+            0.0
+        };
+        pool.push(c.input([4, 5], -1.5, 1.5, mag));
+    }
+    let n_ops = op_rng.gen_range(4..=8usize);
+    for _ in 0..n_ops {
+        let a = pool[op_rng.gen_range(0..pool.len())];
+        let b = pool[op_rng.gen_range(0..pool.len())];
+        let v = match op_rng.gen_range(0..11usize) {
+            0 => c.g.add(a, b).unwrap(),
+            1 => c.g.sub(a, b).unwrap(),
+            2 => c.g.sub(a, a).unwrap(),
+            3 => c.g.mul(a, b).unwrap(),
+            4 => c.g.scale(a, -0.6),
+            5 => c.g.add_scalar(a, 0.25),
+            6 => c.g.relu(a),
+            7 => c.g.relu6(a),
+            8 => c.g.leaky_relu(a, 0.1),
+            9 => c.g.sigmoid(a),
+            _ => c.g.tanh(a),
+        };
+        pool.push(c.track(v));
+    }
+    let last = *pool.last().unwrap();
+    let s = c.g.sum(last);
+    c.track(s);
+    let m = c.g.mean(last);
+    c.track(m);
+}
+
+/// Zonotope-vs-interval dominance fuzzer: 200 independently seeded random
+/// tapes, each asserting per node that the relational pass's tightened
+/// cell is contained in the plain interval cell (`tightened ⊆ interval`),
+/// that the pass's `interval` field reproduces [`noise_pass`] exactly,
+/// and that the tightened cell still encloses the measured difference of
+/// two real forward runs on perturbed seeded inputs.
+#[test]
+fn zonotope_dominates_interval_on_random_tapes() {
+    const TAPES: u64 = 200;
+    for op_seed in 0..TAPES {
+        // Phase 1: base run; derive intervals and both noise domains.
+        let mut rng = StdRng::seed_from_u64(0xD0_0D ^ (op_seed << 8));
+        let mut g1 = Graph::new();
+        let mut ctx = Ctx {
+            g: &mut g1,
+            rng: &mut rng,
+            noise_rng: None,
+            value_seeds: Vec::new(),
+            noise_seeds: Vec::new(),
+            vars: Vec::new(),
+        };
+        build_random_tape(&mut ctx, op_seed);
+        let (value_seeds, noise_seeds, vars) = (ctx.value_seeds, ctx.noise_seeds, ctx.vars);
+        let tape = g1.trace();
+        let values = interval_pass(&tape, &value_seeds);
+        let plain = noise_pass(&tape, &values, &noise_seeds);
+        let rec = g1.value_abs_max();
+        let rn = relational_noise_pass(&tape, &values, Some(&rec), &noise_seeds);
+        assert_eq!(rn.tightened.len(), tape.len(), "tape {op_seed}: length");
+        for i in 0..tape.len() {
+            let (t, iv) = (rn.tightened[i], rn.interval[i]);
+            assert_eq!(
+                (iv.lo, iv.hi, iv.maybe_nan),
+                (plain[i].lo, plain[i].hi, plain[i].maybe_nan),
+                "tape {op_seed}: node #{i} interval field drifted from noise_pass"
+            );
+            assert!(
+                t.lo >= iv.lo && t.hi <= iv.hi && (iv.maybe_nan || !t.maybe_nan),
+                "tape {op_seed}: node #{i} ({}) tightened {t:?} escapes interval {iv:?}",
+                tape[i].op,
+            );
+        }
+        let base_vals: Vec<Vec<f32>> = vars.iter().map(|v| g1.value(*v).data().to_vec()).collect();
+
+        // Phase 2: identical program randomness, perturbed seeded inputs;
+        // the tightened cells must still enclose the measured difference.
+        let mut rng2 = StdRng::seed_from_u64(0xD0_0D ^ (op_seed << 8));
+        let mut nrng = StdRng::seed_from_u64(op_seed ^ 0xD1CE_CA5E);
+        let mut g2 = Graph::new();
+        let mut ctx2 = Ctx {
+            g: &mut g2,
+            rng: &mut rng2,
+            noise_rng: Some(&mut nrng),
+            value_seeds: Vec::new(),
+            noise_seeds: Vec::new(),
+            vars: Vec::new(),
+        };
+        build_random_tape(&mut ctx2, op_seed);
+        let vars2 = ctx2.vars;
+        assert_eq!(vars.len(), vars2.len(), "tape {op_seed}: phases diverged");
+        for (vi, (v1, v2)) in vars.iter().zip(&vars2).enumerate() {
+            let t = rn.tightened[v1.index()];
+            let pert = g2.value(*v2);
+            for (j, (&b, &p)) in base_vals[vi].iter().zip(pert.data().iter()).enumerate() {
+                let diff = p - b;
+                assert!(
+                    t.contains(diff),
+                    "tape {op_seed}: node #{} ({}) element {j}: measured diff {diff:e} \
+                     escapes tightened bound [{:e}, {:e}]",
+                    v1.index(),
+                    tape[v1.index()].op,
+                    t.lo,
+                    t.hi,
+                );
+            }
+        }
+        g1.reset();
+        g2.reset();
+    }
 }
 
 #[test]

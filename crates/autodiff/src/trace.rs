@@ -69,10 +69,15 @@ pub enum TraceDetail {
         /// The recorded constant.
         c: f32,
     },
-    /// Batch normalization: the largest saved per-channel `1/sqrt(var+eps)`.
+    /// Batch normalization: the largest saved per-channel `1/sqrt(var+eps)`
+    /// and the largest recorded normalized value `|x̂|`.
     BatchNorm {
         /// Upper bound on the normalization scale across channels.
         inv_std_max: f32,
+        /// Largest `|x̂|` the recorded forward actually produced
+        /// (`f32::INFINITY` when the saved tensor holds NaN). Batch-specific:
+        /// only valid for reasoning about the recorded run itself.
+        xhat_abs_max: f32,
     },
     /// Dropout: the largest entry of the saved `mask / keep_prob`.
     Dropout {
@@ -86,6 +91,19 @@ pub enum TraceDetail {
         /// Largest target element.
         target_hi: f32,
     },
+}
+
+/// Largest absolute value in `data`, or `f32::INFINITY` when any element
+/// is NaN (an unusable magnitude must never read as a small finite one).
+fn abs_max_or_inf(data: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for &v in data {
+        if v.is_nan() {
+            return f32::INFINITY;
+        }
+        acc = acc.max(v.abs());
+    }
+    acc
 }
 
 impl Op {
@@ -173,8 +191,9 @@ impl Op {
             Op::Scale(_, c) | Op::AddScalar(_, c) | Op::LeakyRelu(_, c) => {
                 TraceDetail::Scalar { c: *c }
             }
-            Op::BatchNorm { inv_std, .. } => TraceDetail::BatchNorm {
+            Op::BatchNorm { inv_std, xhat, .. } => TraceDetail::BatchNorm {
                 inv_std_max: inv_std.iter().copied().fold(0.0, f32::max),
+                xhat_abs_max: abs_max_or_inf(xhat.data()),
             },
             Op::Dropout { scaled_mask, .. } => TraceDetail::Dropout {
                 max_scale: scaled_mask.data().iter().copied().fold(0.0, f32::max),
@@ -231,6 +250,21 @@ impl Graph {
                 let hi = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                 (i, lo, hi)
             })
+            .collect()
+    }
+
+    /// The largest absolute value every node's recorded forward actually
+    /// produced, in tape order (`f32::INFINITY` for a tensor holding NaN).
+    ///
+    /// These magnitudes are batch-specific: they bound the recorded run
+    /// only, not every run the tape shape admits. The relational noise
+    /// domain in `hero-analyze` uses them to certify the *two-run*
+    /// difference `f(x+δ) − f(x)` against this exact trace, which is what
+    /// the quantization crosscheck measures.
+    pub fn value_abs_max(&self) -> Vec<f32> {
+        self.nodes
+            .iter()
+            .map(|node| abs_max_or_inf(node.value.data()))
             .collect()
     }
 

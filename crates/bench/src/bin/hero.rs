@@ -13,6 +13,7 @@
 //!                [--out-dir results/analyze]
 //! hero noise-crosscheck --preset c10 --models resnet,mobilenet,vgg
 //!                [--bits 2,4,8] [--trials 2] [--out results/analyze/noise_crosscheck.json]
+//!                [--tightness results/analyze/tightness.json]
 //! hero spectrum  --preset c10 --model resnet --methods sgd,hero [--epochs 3]
 //!                [--artifact model.ha] [--steps 10] [--probes 4]
 //!                [--out results/SPECTRUM_run.json]
@@ -30,8 +31,10 @@
 //! model's tape without training and writes the report plus an
 //! interval-colored Graphviz view; `noise-crosscheck` adversarially
 //! validates the noise domain against measured fake-quant probe-loss
-//! shifts and writes a JSON artifact, exiting nonzero on any soundness
-//! violation; `spectrum` is the Hessian observatory — it trains each
+//! shifts, writes a JSON artifact (plus, with `--tightness`, the
+//! interval-vs-zonotope domain-comparison table), and exits nonzero on
+//! any soundness violation or domain-tightness regression; `spectrum` is
+//! the Hessian observatory — it trains each
 //! requested method with per-epoch spectrum telemetry, takes a deep SLQ
 //! density + per-layer Hutchinson-trace probe of the final weights,
 //! cross-checks the empirical trace ranking against the certified static
@@ -56,8 +59,8 @@ use hero_core::{
 };
 use hero_data::Preset;
 use hero_hessian::{
-    hessian_norm_probe, lanczos_spectrum, layer_traces, slq_density, spearman_rank, BoundInputs,
-    GradOracle, SlqConfig,
+    hessian_norm_probe, lanczos_spectrum, layer_traces, slq_density, spearman_rank_checked,
+    BoundInputs, GradOracle, SlqConfig,
 };
 use hero_nn::models::ModelKind;
 use hero_nn::{evaluate_accuracy, load_params_from_file, save_params_to_file, Network};
@@ -145,6 +148,7 @@ USAGE:
   hero noise-crosscheck --preset ... [--models resnet,mobilenet,vgg]
                  [--bits 2,4,8] [--trials N] [--epochs N] [--scale F]
                  [--avg AVG_BITS] [--min-overlap F] [--out FILE]
+                 [--tightness FILE]
   hero spectrum  --preset ... --model ... [--methods sgd,hero] [--epochs N]
                  [--artifact FILE.ha] [--scale F] [--seed N] [--steps N]
                  [--probes N] [--bits N] [--spectrum-every N] [--out FILE]
@@ -694,8 +698,13 @@ fn cmd_preflight(opts: &HashMap<String, String>) -> Result<(), String> {
 /// ([`hero_core::noise_crosscheck`]), compares a static-matrix mixed
 /// allocation against uniform quantization at equal average bits, and
 /// writes everything to one JSON artifact. Exits nonzero if any measured
-/// error escapes its certified bound (or the ranking overlap falls under
-/// `--min-overlap`, when set).
+/// error escapes its certified bound, if any zonotope-tightened cell is
+/// wider than its interval-domain cell, or if the ranking overlap falls
+/// under `--min-overlap` — a NaN overlap (degenerate ranking) counts as
+/// a failure there, never as a silent pass. With `--tightness FILE` it
+/// additionally writes the per-layer×bits domain-comparison artifact
+/// (interval width, zonotope width, ratio) and fails if the raw
+/// un-clamped sensitivity matrix is rank-constant on a multi-layer model.
 fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
     let preset = preset_of(opts)?;
     let scale: f32 = num(opts, "scale", 0.25)?;
@@ -715,6 +724,7 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
             .cloned()
             .unwrap_or_else(|| "results/analyze/noise_crosscheck.json".into()),
     );
+    let tightness_path = opts.get("tightness").map(PathBuf::from);
 
     let (train_set, test_set) = preset.load(scale);
     let probe = train_set.len().min(64);
@@ -737,6 +747,13 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     let mut total_violations = 0usize;
     let mut worst_overlap = f32::INFINITY;
+    // NaN never survives an `f32::min`, so a degenerate (constant or
+    // single-layer) ranking would otherwise sail through the
+    // `--min-overlap` gate unexamined. Track it explicitly instead.
+    let mut saw_degenerate_ranking = false;
+    let mut widened_cells = 0usize;
+    let mut rank_constant_models: Vec<String> = Vec::new();
+    let mut tightness_json = String::from("{\n  \"models\": [\n");
     let mut first_model = true;
     for token in models_arg.split(',') {
         let model = match token.trim() {
@@ -751,11 +768,19 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
         let report = hero_core::noise_crosscheck(&mut net, &images, labels, &grid, trials, seed)
             .map_err(|e| e.to_string())?;
         total_violations += report.violations;
-        worst_overlap = worst_overlap.min(report.overlap);
 
         // Static-matrix mixed allocation vs uniform at equal average bits.
-        let matrix = hero_core::static_sensitivity_matrix(&mut net, &images, labels, &grid)
-            .map_err(|e| e.to_string())?;
+        // The crosscheck already certified the matrix; reuse it rather
+        // than paying for a second relational pass per layer×bits.
+        let matrix = &report.matrix;
+        // A single-layer ranking is trivially perfect, not degenerate; on
+        // multi-layer models an undefined rho means a constant side.
+        if report.overlap.is_nan() || (report.rank_rho.is_none() && matrix.layers.len() >= 2) {
+            saw_degenerate_ranking = true;
+        }
+        if !report.overlap.is_nan() {
+            worst_overlap = worst_overlap.min(report.overlap);
+        }
         let max_b = grid.last().copied().unwrap_or(8);
         let alloc = matrix
             .allocate(avg, grid[0].min(2), max_b)
@@ -774,13 +799,77 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         net.set_params(&full).map_err(|e| e.to_string())?;
 
+        // Domain-tightness audit: every zonotope-tightened cell must sit
+        // inside its interval-domain cell, and the raw (un-clamped)
+        // matrix must distinguish at least two layer ranks somewhere on
+        // the grid for the ranking to mean anything.
+        let mut model_widened = 0usize;
+        let mut distinct_ranks = 0usize;
+        for (k, _) in matrix.bits.iter().enumerate() {
+            let mut col: Vec<f32> = Vec::new();
+            for l in &matrix.layers {
+                let zono = l.err[k];
+                let interval = l.err_interval.get(k).copied().unwrap_or(zono);
+                if zono > interval {
+                    model_widened += 1;
+                }
+                col.push(zono);
+            }
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            col.dedup();
+            distinct_ranks = distinct_ranks.max(col.len());
+        }
+        widened_cells += model_widened;
+        if matrix.layers.len() >= 2 && distinct_ranks < 2 {
+            rank_constant_models.push(model.paper_name().to_string());
+        }
+        if !first_model {
+            tightness_json.push_str(",\n");
+        }
+        let _ = write!(
+            tightness_json,
+            "    {{\n      \"model\": \"{}\",\n      \"distinct_ranks\": {},\n      \
+             \"widened_cells\": {},\n      \"cells\": [\n",
+            model.paper_name(),
+            distinct_ranks,
+            model_widened
+        );
+        let total_cells: usize = matrix.layers.len() * matrix.bits.len();
+        let mut cell_idx = 0usize;
+        for l in &matrix.layers {
+            for (k, &b) in matrix.bits.iter().enumerate() {
+                let zono = l.err[k];
+                let interval = l.err_interval.get(k).copied().unwrap_or(zono);
+                let ratio = if interval > 0.0 { zono / interval } else { 1.0 };
+                cell_idx += 1;
+                let _ = write!(
+                    tightness_json,
+                    "        {{\"layer\": \"{}\", \"bits\": {}, \"interval\": {}, \
+                     \"zonotope\": {}, \"ratio\": {}}}{}",
+                    l.name.replace(['"', '\\'], "_"),
+                    b,
+                    jnum(interval),
+                    jnum(zono),
+                    jnum(ratio),
+                    if cell_idx < total_cells { ",\n" } else { "\n" }
+                );
+            }
+        }
+        tightness_json.push_str("      ]\n    }");
+
+        let rho_str = report
+            .rank_rho
+            .map_or_else(|| "undefined".to_string(), |r| format!("{r:.3}"));
         println!(
-            "{}: {} cells, {} violations, overlap {:.2}, mixed {:.2}% vs uniform {:.2}% \
+            "{}: {} cells, {} violations, overlap {:.2}, rank rho {}, \
+             {} distinct ranks, mixed {:.2}% vs uniform {:.2}% \
              at avg {avg} bits (full {:.2}%)",
             model.paper_name(),
             report.cells.len(),
             report.violations,
             report.overlap,
+            rho_str,
+            distinct_ranks,
             100.0 * mixed_acc,
             100.0 * uniform_acc,
             100.0 * rec.final_test_acc
@@ -788,7 +877,10 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
         hero_obs::Event::new("noise_crosscheck")
             .str("model", model.paper_name())
             .u64("violations", report.violations as u64)
+            .u64("distinct_ranks", distinct_ranks as u64)
+            .u64("widened_cells", model_widened as u64)
             .f64("overlap", f64::from(report.overlap))
+            .f64("rank_rho", f64::from(report.rank_rho.unwrap_or(f32::NAN)))
             .f64("mixed_acc", f64::from(mixed_acc))
             .f64("uniform_acc", f64::from(uniform_acc))
             .emit();
@@ -803,12 +895,13 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
         let _ = write!(
             json,
             "    {{\n      \"model\": \"{}\",\n      \"violations\": {},\n      \
-             \"overlap\": {},\n      \"ref_bits\": {},\n      \
+             \"overlap\": {},\n      \"rank_rho\": {},\n      \"ref_bits\": {},\n      \
              \"full_acc\": {},\n      \"mixed_acc\": {},\n      \
              \"uniform_acc\": {},\n      \"allocation\": {:?},\n      \"cells\": [\n",
             model.paper_name(),
             report.violations,
             jnum(report.overlap),
+            report.rank_rho.map_or_else(|| "null".into(), jnum),
             report.ref_bits,
             jnum(rec.final_test_acc),
             jnum(mixed_acc),
@@ -850,6 +943,18 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     std::fs::write(&out_path, &json).map_err(|e| e.to_string())?;
     println!("noise crosscheck written to {}", out_path.display());
+    if let Some(path) = &tightness_path {
+        let _ = write!(
+            tightness_json,
+            "\n  ],\n  \"widened_cells\": {widened_cells},\n  \
+             \"rank_constant_models\": {rank_constant_models:?}\n}}\n"
+        );
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(path, &tightness_json).map_err(|e| e.to_string())?;
+        println!("domain-tightness artifact written to {}", path.display());
+    }
 
     if total_violations > 0 {
         return Err(format!(
@@ -858,11 +963,33 @@ fn cmd_noise_crosscheck(opts: &HashMap<String, String>) -> Result<(), String> {
             out_path.display()
         ));
     }
-    if min_overlap > 0.0 && worst_overlap < min_overlap {
+    if widened_cells > 0 {
         return Err(format!(
-            "static-vs-empirical ranking overlap {worst_overlap:.2} below the \
-             required {min_overlap:.2}"
+            "domain tightening regressed: {widened_cells} zonotope cells are wider \
+             than their interval-domain cells"
         ));
+    }
+    if tightness_path.is_some() && !rank_constant_models.is_empty() {
+        return Err(format!(
+            "raw sensitivity matrix is rank-constant (every layer×bits cell ties) \
+             on: {}",
+            rank_constant_models.join(", ")
+        ));
+    }
+    if min_overlap > 0.0 {
+        if saw_degenerate_ranking {
+            return Err(format!(
+                "static-vs-empirical ranking is degenerate (NaN overlap or \
+                 undefined Spearman rho) on at least one model; cannot certify \
+                 the required {min_overlap:.2} overlap"
+            ));
+        }
+        if worst_overlap < min_overlap {
+            return Err(format!(
+                "static-vs-empirical ranking overlap {worst_overlap:.2} below the \
+                 required {min_overlap:.2}"
+            ));
+        }
     }
     Ok(())
 }
@@ -997,12 +1124,15 @@ fn cmd_spectrum(opts: &HashMap<String, String>) -> Result<(), String> {
                 certified.push(s.curvature);
             }
         }
-        let rho = spearman_rank(&empirical, &certified);
+        // Checked Spearman: a constant or sub-2-layer ranking reports as
+        // explicitly undefined instead of a NaN that comparisons ignore.
+        let rho = spearman_rank_checked(&empirical, &certified);
+        let rho_str = rho.map_or_else(|| "undefined".to_string(), |r| format!("{r:.3}"));
         let global_trace: f32 = traces.iter().map(|t| t.mean).sum();
 
         println!(
             "{} after {} epochs: λ_max {:.4} ± {:.4}, λ_min {:.4}, tr(H) {:.2}, \
-             E[λ²] {:.4}, trace-vs-static Spearman ρ {:.3} over {} layers",
+             E[λ²] {:.4}, trace-vs-static Spearman ρ {} over {} layers",
             name,
             rec.epochs.len(),
             density.lambda_max.mean,
@@ -1010,7 +1140,7 @@ fn cmd_spectrum(opts: &HashMap<String, String>) -> Result<(), String> {
             density.lambda_min.mean,
             global_trace,
             density.second_moment.mean,
-            rho,
+            rho_str,
             empirical.len()
         );
         println!(
@@ -1031,7 +1161,7 @@ fn cmd_spectrum(opts: &HashMap<String, String>) -> Result<(), String> {
             .f64("lambda_min", f64::from(density.lambda_min.mean))
             .f64("trace", f64::from(global_trace))
             .f64("second_moment", f64::from(density.second_moment.mean))
-            .f64("spearman", f64::from(rho))
+            .f64("spearman", f64::from(rho.unwrap_or(f32::NAN)))
             .emit();
 
         if !first_method {
@@ -1053,7 +1183,7 @@ fn cmd_spectrum(opts: &HashMap<String, String>) -> Result<(), String> {
             jnum(density.mean_eigenvalue.mean),
             jnum(density.second_moment.mean),
             jnum(global_trace),
-            jnum(rho),
+            rho.map_or_else(|| "null".into(), jnum),
             jnum(density.sigma)
         );
         let grid: Vec<String> = density.grid.iter().map(|&v| jnum(v)).collect();

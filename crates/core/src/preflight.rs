@@ -20,7 +20,7 @@
 //!   static bound dominates every measured error and that the static
 //!   sensitivity *ranking* agrees with the empirical one.
 
-use hero_analyze::{noise_pass, NoiseSeed, Report, VerifyOptions};
+use hero_analyze::{relational_noise_pass, NoiseSeed, Report, VerifyOptions};
 use hero_autodiff::Graph;
 use hero_nn::Network;
 use hero_quant::{quantize_tensor, QuantScheme, SensitivityMatrix, StaticSensitivity};
@@ -198,8 +198,12 @@ fn validate_grid(bits_grid: &[u8]) -> Result<()> {
 /// Computes the certified static sensitivity matrix `err[layer][bits]`
 /// for `net` on one probe batch: the tape is recorded and
 /// interval/scale-analyzed once, then each `(layer, bits)` cell runs one
-/// cheap noise propagation seeding that layer alone with
-/// `‖δW‖∞ ≤ Δ(bits)/2`, bounding the induced loss perturbation.
+/// relational (zonotope) noise propagation seeding that layer alone with
+/// `‖δW‖∞ ≤ Δ(bits)/2`, bounding the induced loss perturbation. The
+/// zonotope pass centers its base-run ranges on the recorded trace
+/// magnitudes, which is what keeps the raw cells off the loss-interval
+/// ceiling; the plain interval-domain cells are retained in
+/// [`StaticSensitivity::err_interval`] for tightness reporting.
 ///
 /// This is the sound replacement for the `curvature = 1` placeholder of
 /// [`hero_quant::network_sensitivities`]: feed the matrix (or its
@@ -238,6 +242,7 @@ pub fn static_sensitivity_matrix(
         TensorError::InvalidArgument("analyzer produced no value analysis".into())
     })?;
     let tape = g.trace();
+    let recorded = g.value_abs_max();
     let params = net.params();
     let infos = net.param_infos();
     let mut layers = Vec::new();
@@ -251,20 +256,21 @@ pub fn static_sensitivity_matrix(
             .get(var.index())
             .copied()
             .unwrap_or(f32::INFINITY);
-        let err = bits_grid
-            .iter()
-            .map(|&b| {
-                let seed = NoiseSeed::for_quantized_weight(var.index(), max_abs, b);
-                let noise = noise_pass(&tape, &value.intervals, &[seed]);
-                noise[loss.index()].abs_max()
-            })
-            .collect();
+        let mut err = Vec::with_capacity(bits_grid.len());
+        let mut err_interval = Vec::with_capacity(bits_grid.len());
+        for &b in bits_grid {
+            let seed = NoiseSeed::for_quantized_weight(var.index(), max_abs, b);
+            let rn = relational_noise_pass(&tape, &value.intervals, Some(&recorded), &[seed]);
+            err.push(rn.tightened[loss.index()].abs_max());
+            err_interval.push(rn.interval[loss.index()].abs_max());
+        }
         layers.push(StaticSensitivity {
             name: info.name.clone(),
             numel: param.numel(),
             max_abs,
             grad_bound,
             err,
+            err_interval,
         });
     }
     g.reset();
@@ -311,6 +317,7 @@ pub fn certified_noise_bounds(
         TensorError::InvalidArgument("analyzer produced no value analysis".into())
     })?;
     let tape = g.trace();
+    let recorded = g.value_abs_max();
     let params = net.params();
     let infos = net.param_infos();
     let bounds = bits
@@ -325,8 +332,8 @@ pub fn certified_noise_bounds(
                     NoiseSeed::for_quantized_weight(var.index(), param.norm_linf(), b)
                 })
                 .collect();
-            let noise = noise_pass(&tape, &value.intervals, &seeds);
-            noise[loss.index()].abs_max()
+            let rn = relational_noise_pass(&tape, &value.intervals, Some(&recorded), &seeds);
+            rn.tightened[loss.index()].abs_max()
         })
         .collect();
     g.reset();
@@ -363,8 +370,18 @@ pub struct CrosscheckReport {
     /// layers that also rank top-half empirically (at [`Self::ref_bits`]).
     /// `1.0` for single-layer networks (ranking is trivial).
     pub overlap: f32,
+    /// Spearman rank correlation between the static per-layer impacts and
+    /// the empirical loss shifts at [`Self::ref_bits`]; `None` when the
+    /// ranking is degenerate (fewer than two layers, or one side
+    /// constant — e.g. every static cell clamped at the loss ceiling).
+    /// Gates must treat `None` as a failure, never as a pass.
+    pub rank_rho: Option<f32>,
     /// Bit width the ranking overlap was computed at (grid midpoint).
     pub ref_bits: u8,
+    /// The certified static sensitivity matrix the cells were checked
+    /// against (tightened cells in `err`, interval-domain cells in
+    /// `err_interval` — the tightness artifact is derived from these).
+    pub matrix: SensitivityMatrix,
 }
 
 /// Cross-validates the static noise domain against measurement: for every
@@ -474,13 +491,25 @@ pub fn noise_crosscheck(
         let hits = static_top.iter().filter(|l| emp_top.contains(l)).count();
         hits as f32 / top as f32
     };
+    let static_scores: Vec<f32> = (0..n).map(|l| matrix.impact(l, ref_bits)).collect();
+    let emp_scores: Vec<f32> = (0..n)
+        .map(|l| {
+            cells
+                .iter()
+                .find(|c| c.layer == matrix.layers[l].name && c.bits == ref_bits)
+                .map_or(0.0, |c| c.empirical)
+        })
+        .collect();
+    let rank_rho = hero_hessian::spearman_rank_checked(&static_scores, &emp_scores);
 
     Ok(CrosscheckReport {
         model: net.name().to_string(),
         cells,
         violations,
         overlap,
+        rank_rho,
         ref_bits,
+        matrix,
     })
 }
 

@@ -52,4 +52,4 @@ pub use norm::{
 pub use power::{power_iteration, PowerIterConfig, PowerIterResult};
 pub use quadratic::Quadratic;
 pub use slq::{slq_density, SlqConfig, SlqDensity};
-pub use stats::{probe_seed, spearman_rank, Estimate};
+pub use stats::{probe_seed, spearman_rank, spearman_rank_checked, Estimate};

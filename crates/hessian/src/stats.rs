@@ -130,6 +130,24 @@ pub fn spearman_rank(a: &[f32], b: &[f32]) -> f32 {
     cov / (va.sqrt() * vb.sqrt())
 }
 
+/// [`spearman_rank`] with the degenerate cases made explicit: `None`
+/// instead of `NaN` for lists shorter than two entries or with a
+/// constant (zero-rank-variance) side.
+///
+/// Gating code must use this form: a `NaN` fed to `f32::min`/`max` or a
+/// `<` comparison silently disappears (both ignore `NaN`), so a
+/// degenerate ranking would pass a `worst_overlap` gate it never
+/// actually cleared.
+///
+/// # Panics
+///
+/// Panics if the lists have different lengths (they always describe the
+/// same layer set).
+pub fn spearman_rank_checked(a: &[f32], b: &[f32]) -> Option<f32> {
+    let rho = spearman_rank(a, b);
+    (!rho.is_nan()).then_some(rho)
+}
+
 /// Derives the per-probe RNG seed for probe `index` of a run seeded with
 /// `base`: probes are independent streams, and inserting or dropping one
 /// probe never re-seeds the others (SplitMix-style stream splitting).
@@ -192,6 +210,17 @@ mod tests {
     fn spearman_degenerate_lengths() {
         assert!(spearman_rank(&[], &[]).is_nan());
         assert!(spearman_rank(&[1.0], &[2.0]).is_nan());
+    }
+
+    #[test]
+    fn spearman_checked_surfaces_degeneracy_as_none() {
+        assert_eq!(spearman_rank_checked(&[], &[]), None);
+        assert_eq!(spearman_rank_checked(&[1.0], &[2.0]), None);
+        assert_eq!(spearman_rank_checked(&[1.0, 1.0], &[1.0, 2.0]), None);
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        let rho = spearman_rank_checked(&a, &b).expect("well-defined");
+        assert!((rho + 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -127,6 +127,8 @@ pub static ANALYZE_DIAGS_ERROR: Counter = Counter::new("analyze_diags_error");
 pub static ANALYZE_DIAGS_WARN: Counter = Counter::new("analyze_diags_warn");
 /// Quantization-noise propagation passes executed by `hero-analyze`.
 pub static ANALYZE_NOISE_PASSES: Counter = Counter::new("analyze_noise_passes");
+/// Relational (zonotope) noise passes executed by `hero-analyze`.
+pub static ANALYZE_ZONOTOPE_PASSES: Counter = Counter::new("analyze_zonotope_passes");
 /// Static-vs-empirical noise crosscheck trials where the measured error
 /// escaped the certified bound (must stay zero; gated in verify.sh).
 pub static NOISE_CROSSCHECK_VIOLATIONS: Counter = Counter::new("noise_crosscheck_violations");
@@ -135,7 +137,7 @@ pub static ARTIFACT_SAVES: Counter = Counter::new("artifact_saves");
 /// Model artifacts successfully decoded from disk.
 pub static ARTIFACT_LOADS: Counter = Counter::new("artifact_loads");
 
-const BUILTINS: [&Counter; 19] = [
+const BUILTINS: [&Counter; 20] = [
     &GRAD_EVALS,
     &POOL_HITS,
     &POOL_FRESH_ALLOCS,
@@ -152,6 +154,7 @@ const BUILTINS: [&Counter; 19] = [
     &ANALYZE_DIAGS_ERROR,
     &ANALYZE_DIAGS_WARN,
     &ANALYZE_NOISE_PASSES,
+    &ANALYZE_ZONOTOPE_PASSES,
     &NOISE_CROSSCHECK_VIOLATIONS,
     &ARTIFACT_SAVES,
     &ARTIFACT_LOADS,

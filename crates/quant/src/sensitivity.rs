@@ -34,6 +34,11 @@ pub struct StaticSensitivity {
     /// with [`SensitivityMatrix::bits`]. Entry `k` bounds `|L(W + δ) − L(W)|`
     /// over all `‖δ‖∞ ≤ Δ(bits[k])/2` perturbations of this layer alone.
     pub err: Vec<f32>,
+    /// The plain interval-domain bound per grid bit width, before the
+    /// relational (zonotope) tightening that produces [`Self::err`].
+    /// Kept for domain-tightness reporting (`err[k] ≤ err_interval[k]`
+    /// holds cell-wise); may be empty when only one domain was run.
+    pub err_interval: Vec<f32>,
 }
 
 impl StaticSensitivity {
@@ -85,24 +90,51 @@ impl SensitivityMatrix {
                     self.bits.len()
                 )));
             }
+            if !l.err_interval.is_empty() && l.err_interval.len() != self.bits.len() {
+                return Err(TensorError::InvalidArgument(format!(
+                    "layer {}: {} err_interval entries for a {}-point grid",
+                    l.name,
+                    l.err_interval.len(),
+                    self.bits.len()
+                )));
+            }
         }
         Ok(())
     }
 
     /// Certified (or certificate-extrapolated) loss impact of quantizing
     /// `layer` at `bits`: the grid cell when `bits` is on the grid,
-    /// otherwise the nearest grid cell rescaled linearly in Δ (error
-    /// propagation is linear in the seed magnitude to first order) —
-    /// always clamped by the layer's first-order certificate.
+    /// otherwise an *outward-rounded* Δ-linear rescale of the sampled
+    /// cells — always clamped by the layer's first-order certificate.
+    ///
+    /// Off-grid the error curve's shape between samples is unknown: it
+    /// is superlinear in Δ where higher-order terms dominate, and
+    /// *sublinear* where the loss-interval ceiling saturates (there a
+    /// down-rescale from the coarser cell badly under-reports — both
+    /// cells sit at the cap, yet the linear estimate halves). Between
+    /// two sampled cells the rescale therefore takes the worse (larger)
+    /// of the two neighbours' linear extrapolations, covering both
+    /// regimes; beyond the grid ends only one neighbour exists. The
+    /// result is widened by a relative margin in `f64` and is never
+    /// smaller than the single-neighbour estimate it replaces.
     pub fn impact(&self, layer: usize, bits: u8) -> f32 {
         let l = &self.layers[layer];
         let certified = match self.bits.binary_search(&bits) {
             Ok(k) => l.err[k],
             Err(ins) => {
-                // Nearest grid neighbour, preferring the one below.
-                let k = if ins > 0 { ins - 1 } else { 0 };
-                let scale = l.delta(bits) / l.delta(self.bits[k]).max(f32::MIN_POSITIVE);
-                l.err[k] * scale
+                let rescale = |k: usize| -> f64 {
+                    let from = f64::from(l.delta(self.bits[k])).max(f64::from(f32::MIN_POSITIVE));
+                    f64::from(l.err[k]) * f64::from(l.delta(bits)) / from
+                };
+                let below = ins.checked_sub(1).map(rescale);
+                let above = (ins < self.bits.len()).then(|| rescale(ins));
+                let worst = match (below, above) {
+                    (Some(a), Some(b)) => a.max(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => f64::INFINITY,
+                };
+                (worst * (1.0 + 1e-4)) as f32
             }
         };
         certified.min(l.first_order(bits))
@@ -172,6 +204,7 @@ mod tests {
                     max_abs: 1.0,
                     grad_bound: f32::INFINITY,
                     err: vec![8.0, 1.6, 0.09],
+                    err_interval: vec![16.0, 3.2, 0.18],
                 },
                 StaticSensitivity {
                     name: "robust".into(),
@@ -179,6 +212,7 @@ mod tests {
                     max_abs: 1.0,
                     grad_bound: f32::INFINITY,
                     err: vec![0.08, 0.016, 0.0009],
+                    err_interval: vec![],
                 },
             ],
         }
@@ -203,14 +237,43 @@ mod tests {
     fn impact_reads_grid_and_extrapolates_off_grid() {
         let m = matrix();
         assert_eq!(m.impact(0, 4), 1.6);
-        // Off-grid 6 bits: rescaled from the 4-bit cell, linear in Δ.
-        let expect = 1.6 * (m.layers[0].delta(6) / m.layers[0].delta(4));
-        assert!((m.impact(0, 6) - expect).abs() < 1e-6);
+        // Off-grid 6 bits: the worse of the two neighbours' Δ-linear
+        // rescalings, rounded outward — never below either estimate.
+        let down = 1.6 * (m.layers[0].delta(6) / m.layers[0].delta(4));
+        let up = 0.09 * (m.layers[0].delta(6) / m.layers[0].delta(8));
+        assert!(m.impact(0, 6) >= down.max(up));
+        assert!(m.impact(0, 6) <= down.max(up) * 1.001);
         // Between grid points, rescaled up from the cell below.
         assert!(m.impact(0, 3) > m.impact(0, 4));
         // Below the grid: 1- and 2-bit symmetric grids share Δ
         // (half_levels saturates at 1), so the bound is merely not worse.
         assert!(m.impact(0, 1) >= m.impact(0, 2));
+    }
+
+    #[test]
+    fn off_grid_rescale_rounds_outward_in_the_saturated_regime() {
+        // Both sampled cells sit at the CE-loss ceiling: the true error
+        // at 3 bits is plausibly still the ceiling, so the old
+        // below-neighbour linear rescale (≈ cap·Δ(3)/Δ(2) ≈ cap/3)
+        // under-reported it. Outward rounding must keep the estimate at
+        // or above the ceiling.
+        let cap = 27.66f32;
+        let m = SensitivityMatrix {
+            bits: vec![2, 4],
+            layers: vec![StaticSensitivity {
+                name: "saturated".into(),
+                numel: 10,
+                max_abs: 1.0,
+                grad_bound: f32::INFINITY,
+                err: vec![cap, cap],
+                err_interval: vec![],
+            }],
+        };
+        let old_estimate = cap * (m.layers[0].delta(3) / m.layers[0].delta(2));
+        assert!(old_estimate < cap * 0.5, "premise: old rescale halves");
+        assert!(m.impact(0, 3) >= cap, "outward rescale must cover the cap");
+        // And it is never weaker than the estimate it replaced.
+        assert!(m.impact(0, 3) >= old_estimate);
     }
 
     #[test]
